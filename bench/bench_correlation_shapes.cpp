@@ -1,0 +1,125 @@
+// Figures 1 and 2 reproduction: measurement correlations in the
+// monitoring data — linear pairs, non-linear pairs and the overall mix.
+//
+// The paper reports that "nearly half of the measurements have linear
+// relationships with at least one of the other measurements, but the
+// other half only have non-linear ones", and motivates the method with
+// the three scatter shapes of Figure 2(b)-(d).
+#include <algorithm>
+#include <iostream>
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "telemetry/generator.h"
+#include "timeseries/summary.h"
+
+int main() {
+  using namespace pmcorr;
+  using namespace pmcorr::bench;
+
+  ScenarioConfig config;
+  config.machine_count = 16;
+  config.trace_days = 7;
+  const PaperScenario scenario = MakeGroupScenario('A', config);
+  const MeasurementFrame frame = GenerateTrace(scenario.spec);
+
+  PrintSection(std::cout, "Figure 2 — exemplar pair shapes (Group A)");
+  struct Exemplar {
+    const char* description;
+    MetricKind kx;
+    MetricKind ky;
+    bool same_machine;
+  };
+  const Exemplar exemplars[] = {
+      {"2(b) in/out octets, same machine (linear)",
+       MetricKind::kIfInOctetsRate, MetricKind::kIfOutOctetsRate, true},
+      {"2(c) out octets on two machines (non-linear)",
+       MetricKind::kIfOutOctetsRate, MetricKind::kIfOutOctetsRate, false},
+      {"2(d) port throughput vs utilization (arbitrary)",
+       MetricKind::kPortOutOctetsRate, MetricKind::kCurrentUtilizationPort,
+       true},
+  };
+
+  TextTable table;
+  table.SetHeader({"pair", "pearson", "spearman", "linear R^2"});
+  for (const Exemplar& ex : exemplars) {
+    std::optional<MeasurementId> a, b;
+    for (const auto& info : frame.Infos()) {
+      if (!a && info.kind == ex.kx) {
+        a = info.id;
+        continue;
+      }
+      if (a && !b && info.kind == ex.ky) {
+        const bool same = frame.Info(*a).machine == info.machine;
+        if (same == ex.same_machine) b = info.id;
+      }
+    }
+    if (!a || !b) continue;
+    const auto xs = frame.Series(*a).Values();
+    const auto ys = frame.Series(*b).Values();
+    const auto fit = FitLinear(xs, ys);
+    table.Row()
+        .Cell(ex.description)
+        .Num(PearsonCorrelation(xs, ys).value_or(0.0), 3)
+        .Num(SpearmanCorrelation(xs, ys).value_or(0.0), 3)
+        .Num(fit ? fit->r_squared : 0.0, 3)
+        .Done();
+  }
+  table.Print(std::cout);
+  std::cout << "All three pairs are strongly associated (high Spearman), but"
+               " only 2(b) is\nexplained by a line — the gap 2(c)/(d)"
+               " motivates the grid model.\n";
+
+  // The in-text statistic: fraction of measurements with at least one
+  // linear partner.
+  const auto relations = FindLinearRelations(frame, 0.9);
+  std::unordered_set<MeasurementId> with_linear;
+  for (const auto& rel : relations) {
+    with_linear.insert(rel.pair.a);
+    with_linear.insert(rel.pair.b);
+  }
+  const double frac = static_cast<double>(with_linear.size()) /
+                      static_cast<double>(frame.MeasurementCount());
+
+  PrintSection(std::cout, "Section 1 in-text — linear vs non-linear mix");
+  std::cout << frame.MeasurementCount() << " measurements, "
+            << relations.size() << " strongly linear pairs (R^2 >= 0.9)\n"
+            << "measurements with >= 1 linear partner: "
+            << with_linear.size() << " ("
+            << FormatPercent(frac, 1)
+            << "; the paper reports \"nearly half\")\n";
+
+  // Figure 1: two correlated series rising together during a flood.
+  PrintSection(std::cout, "Figure 1 — correlated time series (first day)");
+  std::optional<MeasurementId> in_id, out_id;
+  for (const auto& info : frame.Infos()) {
+    if (info.kind == MetricKind::kIfInOctetsRate && !in_id) in_id = info.id;
+    if (info.kind == MetricKind::kIfOutOctetsRate && !out_id &&
+        in_id && frame.Info(*in_id).machine == info.machine) {
+      out_id = info.id;
+    }
+  }
+  if (in_id && out_id) {
+    TextTable day;
+    day.SetHeader({"hour", "IfInOctetsRate", "IfOutOctetsRate"});
+    for (int h = 0; h < 24; h += 3) {
+      const std::size_t t = static_cast<std::size_t>(h) * 10;  // 6-min rate
+      day.Row()
+          .Cell(std::to_string(h) + ":00")
+          .Num(frame.Value(*in_id, t), 0)
+          .Num(frame.Value(*out_id, t), 0)
+          .Done();
+    }
+    day.Print(std::cout);
+    const auto r = PearsonCorrelation(frame.Series(*in_id).Values(),
+                                      frame.Series(*out_id).Values());
+    std::cout << "Correlation over the whole week: "
+              << FormatDouble(r.value_or(0.0), 3)
+              << " — the two measurements rise and fall together with the"
+                 " workload.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Threshold sensitivity: how the fitness alarm bound trades detection
+// against false alarms (a quantitative extension of the paper's
+// qualitative Figure 12 reading), plus auto-calibration.
+//
+// Setup: the Group B scenario (anomalous jump at 2pm + level shift until
+// 8pm on June 13). The focus pair's fitness series is swept over alarm
+// thresholds and each operating point is scored window-level against the
+// ground truth; finally the calibrated threshold (2% holdout FPR) is
+// marked.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/sparkline.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/calibration.h"
+#include "engine/evaluation.h"
+#include "telemetry/generator.h"
+
+int main() {
+  using namespace pmcorr;
+  using namespace pmcorr::bench;
+
+  ScenarioConfig config;
+  config.machine_count = 16;
+  config.trace_days = 16;
+  const PaperScenario scenario = MakeGroupScenario('B', config);
+  const MeasurementFrame frame = GenerateTrace(scenario.spec);
+  const TimePoint june13 = PaperTestStart();
+  const MeasurementFrame train =
+      frame.SliceByTime(PaperTraceStart(), june13 - kDay);
+  const MeasurementFrame holdout =
+      frame.SliceByTime(june13 - kDay, june13);  // clean calibration day
+  const MeasurementFrame test = frame.SliceByTime(june13, june13 + kDay);
+
+  const MeasurementId x = *frame.FindByName(scenario.focus_x);
+  const MeasurementId y = *frame.FindByName(scenario.focus_y);
+
+  // Train, calibrate on the clean held-out day, then score the test day.
+  ModelConfig model_config = DefaultModelConfig();
+  PairModel model = PairModel::Learn(train.Series(x).Values(),
+                                     train.Series(y).Values(), model_config);
+  const ThresholdCalibration calibration = CalibrateOnHoldout(
+      model, holdout.Series(x).Values(), holdout.Series(y).Values(), 0.02);
+
+  std::vector<std::optional<double>> scores(test.SampleCount());
+  for (std::size_t t = 0; t < test.SampleCount(); ++t) {
+    const StepOutcome out = model.Step(test.Value(x, t), test.Value(y, t));
+    if (out.has_score) scores[t] = out.fitness;
+  }
+
+  PrintSection(std::cout, "Fitness over June 13 (Group B focus pair)");
+  SparklineOptions spark;
+  spark.width = 72;
+  spark.lo = 0.0;
+  spark.hi = 1.0;
+  std::cout << Sparkline(std::span<const std::optional<double>>(scores),
+                         spark)
+            << "\n12am" << std::string(30, ' ') << "noon"
+            << std::string(30, ' ') << "12am\n"
+            << "ground truth: " << FaultTypeName(FaultType::kAnomalousJump)
+            << " + level shift, "
+            << FormatTimePoint(scenario.problem_start).substr(11) << "-"
+            << FormatTimePoint(scenario.problem_end).substr(11) << "\n";
+
+  const std::vector<LabeledWindow> truth = {
+      {scenario.problem_start, scenario.problem_end}};
+  const std::vector<double> thresholds = {0.2,  0.3,  0.4, 0.5,
+                                          0.6,  0.7,  0.8, 0.9,
+                                          calibration.fitness_threshold};
+  const auto sweep = SweepThresholds(scores, june13, kPaperSamplePeriod,
+                                     truth, thresholds, 1, kHour);
+
+  PrintSection(std::cout, "Threshold sweep (window-level, 1h grace)");
+  TextTable table;
+  table.SetHeader({"threshold", "alarm windows", "detected", "false alarms",
+                   "precision", "recall", "latency (min)"});
+  for (const auto& point : sweep) {
+    const bool calibrated = point.threshold == calibration.fitness_threshold;
+    auto row = table.Row();
+    row.Cell(FormatDouble(point.threshold, 3) +
+             (calibrated ? " (calibrated @2% fpr)" : ""));
+    row.Int(static_cast<long long>(point.outcome.alarm_windows));
+    row.Int(static_cast<long long>(point.outcome.detected));
+    row.Int(static_cast<long long>(point.outcome.false_alarms));
+    row.Num(point.outcome.Precision(), 2);
+    row.Num(point.outcome.Recall(), 2);
+    row.Cell(point.outcome.mean_latency_seconds
+                 ? FormatDouble(*point.outcome.mean_latency_seconds / 60.0, 0)
+                 : "-");
+    row.Done();
+  }
+  table.Print(std::cout);
+  std::cout << "\nLow thresholds only catch the deepest spike (high"
+               " precision); high thresholds\nadd false-alarm windows. The"
+               " auto-calibrated bound (2% holdout FPR) picks an\noperating"
+               " point on that curve without manual tuning — full recall,"
+               " with the\nfalse-alarm cost the FPR target implies.\n";
+  return 0;
+}

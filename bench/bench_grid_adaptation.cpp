@@ -1,0 +1,133 @@
+// Figures 7 and 8 reproduction: the adaptive grid structure learned from
+// history data, and its online extension when the distribution drifts —
+// plus an ablation of the extension policy (extend vs reject-all).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/fitness.h"
+#include "core/model.h"
+#include "grid/partitioner.h"
+
+namespace {
+
+using namespace pmcorr;
+
+// History like Figure 7: a dense elongated cloud. Online data like
+// Figure 8: the same cloud slowly shifted along the vertical axis.
+void MakeCloud(std::size_t n, double y_shift_end, std::uint64_t seed,
+               std::vector<double>* xs, std::vector<double>* ys) {
+  Rng rng(seed);
+  xs->resize(n);
+  ys->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    const double x = 0.05 + 0.35 * rng.Uniform() * rng.Uniform();
+    const double y = 0.005 + 0.09 * x + rng.Normal(0.0, 0.003) +
+                     y_shift_end * t;
+    (*xs)[i] = x;
+    (*ys)[i] = y;
+  }
+}
+
+void PrintIntervals(const char* label, const IntervalList& list) {
+  std::cout << label << " (" << list.Size() << " intervals): "
+            << list.ToString() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace pmcorr;
+  using namespace pmcorr::bench;
+
+  std::vector<double> hist_x, hist_y;
+  MakeCloud(2000, 0.0, 11, &hist_x, &hist_y);
+
+  ModelConfig config = DefaultModelConfig();
+  config.partition.max_intervals = 10;
+  PairModel model = PairModel::Learn(hist_x, hist_y, config);
+
+  PrintSection(std::cout, "Figure 7 — initial grid from history data");
+  std::cout << model.Grid().Describe() << "\n";
+  PrintIntervals("dim1", model.Grid().Dim1());
+  PrintIntervals("dim2", model.Grid().Dim2());
+  const std::size_t cells_before = model.Grid().CellCount();
+  const std::size_t rows_before = model.Grid().Rows();
+  const std::size_t cols_before = model.Grid().Cols();
+
+  // Online data drifts upward along dim2 (the Figure 8 situation).
+  std::vector<double> on_x, on_y;
+  MakeCloud(1500, 0.02, 13, &on_x, &on_y);
+  std::size_t extensions = 0, outliers = 0;
+  for (std::size_t i = 0; i < on_x.size(); ++i) {
+    const StepOutcome out = model.Step(on_x[i], on_y[i]);
+    if (out.extended_grid) ++extensions;
+    if (out.outlier) ++outliers;
+  }
+
+  PrintSection(std::cout, "Figure 8 — grid after online drift");
+  std::cout << model.Grid().Describe() << "\n";
+  PrintIntervals("dim1", model.Grid().Dim1());
+  PrintIntervals("dim2", model.Grid().Dim2());
+
+  TextTable table;
+  table.SetHeader({"", "before", "after"});
+  table.Row()
+      .Cell("dim1 intervals")
+      .Int(static_cast<long long>(rows_before))
+      .Int(static_cast<long long>(model.Grid().Rows()))
+      .Done();
+  table.Row()
+      .Cell("dim2 intervals")
+      .Int(static_cast<long long>(cols_before))
+      .Int(static_cast<long long>(model.Grid().Cols()))
+      .Done();
+  table.Row()
+      .Cell("cells")
+      .Int(static_cast<long long>(cells_before))
+      .Int(static_cast<long long>(model.Grid().CellCount()))
+      .Done();
+  table.Print(std::cout);
+  std::cout << "extension events: " << extensions
+            << ", outliers rejected: " << outliers
+            << "\nThe data evolve along the vertical axis and intervals are"
+               " added predominantly\nthere — matching the Figure 7 ->"
+               " Figure 8 transition in the paper.\n";
+
+  // Ablation: a frozen grid (reject-all policy) turns the drifted tail
+  // into outliers with fitness 0.
+  ModelConfig frozen = config;
+  frozen.adaptive = false;
+  PairModel frozen_model = PairModel::Learn(hist_x, hist_y, frozen);
+  std::size_t frozen_outliers = 0;
+  ScoreAverager frozen_avg, adaptive_avg;
+  PairModel adaptive_model = PairModel::Learn(hist_x, hist_y, config);
+  for (std::size_t i = 0; i < on_x.size(); ++i) {
+    const StepOutcome f = frozen_model.Step(on_x[i], on_y[i]);
+    if (f.outlier) ++frozen_outliers;
+    if (f.has_score) frozen_avg.Add(f.fitness);
+    const StepOutcome a = adaptive_model.Step(on_x[i], on_y[i]);
+    if (a.has_score) adaptive_avg.Add(a.fitness);
+  }
+
+  PrintSection(std::cout, "Ablation — extension policy under drift");
+  TextTable ab;
+  ab.SetHeader({"policy", "outliers", "avg fitness"});
+  ab.Row()
+      .Cell("extend within lambda*r_avg (paper)")
+      .Int(static_cast<long long>(outliers))
+      .Num(adaptive_avg.Mean(), 4)
+      .Done();
+  ab.Row()
+      .Cell("frozen grid (reject all)")
+      .Int(static_cast<long long>(frozen_outliers))
+      .Num(frozen_avg.Mean(), 4)
+      .Done();
+  ab.Print(std::cout);
+  std::cout << "Freezing the grid misclassifies gradual distribution"
+               " evolution as outliers.\n";
+  return 0;
+}

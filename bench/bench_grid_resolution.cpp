@@ -1,0 +1,101 @@
+// Ablation: grid resolution (max_intervals) — the model's key
+// hyper-parameter, which the paper does not sweep.
+//
+// Coarse grids blur anomalies into normal cells (weak detection); fine
+// grids fragment normal behaviour across many cells (lower fitness on
+// normal data, larger matrices, slower updates). This bench sweeps the
+// per-dimension interval cap on the Group B scenario and reports normal
+// fitness, spike depth on the injected fault, matrix size and step cost.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/fitness.h"
+#include "engine/alarm.h"
+#include "telemetry/generator.h"
+
+int main() {
+  using namespace pmcorr;
+  using namespace pmcorr::bench;
+
+  ScenarioConfig config;
+  config.machine_count = 16;
+  config.trace_days = 16;
+  const PaperScenario scenario = MakeGroupScenario('C', config);
+  const MeasurementFrame frame = GenerateTrace(scenario.spec);
+  const TimePoint june13 = PaperTestStart();
+  const MeasurementFrame train = frame.SliceByTime(PaperTraceStart(), june13);
+  const MeasurementFrame test = frame.SliceByTime(june13, june13 + kDay);
+  const MeasurementId x = *frame.FindByName(scenario.focus_x);
+  const MeasurementId y = *frame.FindByName(scenario.focus_y);
+
+  PrintSection(std::cout,
+               "Ablation — grid resolution (intervals per dimension)");
+  std::cout << "Group C focus pair (in-range correlation break); fault "
+            << FormatTimePoint(scenario.problem_start).substr(11) << "-"
+            << FormatTimePoint(scenario.problem_end).substr(11)
+            << "; normal fitness should stay high and the fault's min"
+               " fitness low.\n\n";
+
+  TextTable table;
+  table.SetHeader({"max intervals", "cells", "normal fitness",
+                   "fault min Q", "detected", "train ms", "test ms"});
+
+  for (std::size_t cap : {3u, 6u, 10u, 14u, 20u, 28u}) {
+    ModelConfig model_config = DefaultModelConfig();
+    model_config.partition.max_intervals = cap;
+    model_config.partition.units = std::max<std::size_t>(50, cap * 4);
+
+    Stopwatch clock;
+    PairModel model = PairModel::Learn(train.Series(x).Values(),
+                                       train.Series(y).Values(),
+                                       model_config);
+    const double train_ms = clock.ElapsedSeconds() * 1e3;
+
+    clock.Reset();
+    std::vector<std::optional<double>> scores(test.SampleCount());
+    ScoreAverager normal;
+    double fault_min = 1.0;
+    for (std::size_t t = 0; t < test.SampleCount(); ++t) {
+      const StepOutcome out = model.Step(test.Value(x, t), test.Value(y, t));
+      if (!out.has_score) continue;
+      scores[t] = out.fitness;
+      const TimePoint tp = test.TimeAt(t);
+      const bool in_fault = tp >= scenario.problem_start - kHour &&
+                            tp < scenario.problem_end + kHour;
+      if (in_fault) {
+        fault_min = std::min(fault_min, out.fitness);
+      } else {
+        normal.Add(out.fitness);
+      }
+    }
+    const double test_ms = clock.ElapsedSeconds() * 1e3;
+
+    const auto windows = ExtractLowScoreWindows(
+        std::span<const std::optional<double>>(scores), june13,
+        kPaperSamplePeriod, 0.55);
+    const bool detected =
+        AnyWindowOverlaps(windows, scenario.problem_start - kHour,
+                          scenario.problem_end + kHour);
+
+    table.Row()
+        .Int(static_cast<long long>(cap))
+        .Int(static_cast<long long>(model.Grid().CellCount()))
+        .Num(normal.Mean(), 4)
+        .Num(fault_min, 3)
+        .Cell(detected ? "yes" : "NO")
+        .Num(train_ms, 1)
+        .Num(test_ms, 1)
+        .Done();
+  }
+  table.Print(std::cout);
+  std::cout << "\nCoarse grids blur the anomaly (shallower spike: the break"
+               " shares cells with\nnormal data); very fine grids fragment"
+               " normal behaviour (normal fitness drops,\nspike depth"
+               " shrinks again) while matrix memory grows quadratically and"
+               " step\ncost linearly in cells. The defaults (10-14"
+               " intervals) sit in the sweet spot.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 14 reproduction: Q scores with respect to locations (machines).
+//
+// For each group, the engine monitors the whole fleet over the 9-day test
+// period and averages fitness per machine. The paper's shape: most
+// machines sit above a clear threshold; a small number score much lower
+// (e.g. one Group A machine below 0.9) — those are the problem sources.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "engine/localizer.h"
+#include "engine/monitor.h"
+#include "telemetry/generator.h"
+
+int main() {
+  using namespace pmcorr;
+  using namespace pmcorr::bench;
+
+  ScenarioConfig config;
+  config.machine_count = 20;
+  config.trace_days = 24;  // May 29 .. June 21
+
+  PrintSection(std::cout, "Figure 14 — Q scores w.r.t. locations");
+
+  for (char g : {'A', 'B', 'C'}) {
+    const PaperScenario scenario = MakeGroupScenario(g, config);
+    const MeasurementFrame frame = GenerateTrace(scenario.spec);
+    const TimePoint june13 = PaperTestStart();
+    const MeasurementFrame train =
+        frame.SliceByTime(PaperTraceStart(), june13);
+    const MeasurementFrame test =
+        frame.SliceByTime(june13, june13 + 9 * kDay);
+
+    MonitorConfig engine;
+    engine.model = DefaultModelConfig();
+    engine.model.partition.max_intervals = 10;  // keep the fleet light
+    const MeasurementGraph graph =
+        MeasurementGraph::Neighborhood(train, 2, 7);
+    SystemMonitor monitor(train, graph, engine);
+    monitor.Run(test);
+
+    LocalizerConfig loc;
+    loc.deviations = 2.0;
+    const LocalizationReport report =
+        Localize(monitor.Infos(), monitor.MeasurementAverages(), loc);
+
+    std::cout << "\nGroup " << g << " (" << frame.MeasurementCount()
+              << " measurements on " << config.machine_count
+              << " machines, " << graph.PairCount()
+              << " pair models, 9-day test):\n";
+    TextTable table;
+    table.SetHeader({"rank", "machine", "avg Q", "note"});
+    std::size_t rank = 1;
+    for (const MachineScore& ms : report.ranking) {
+      const bool worst5 = rank <= 5;
+      const bool last = rank + 2 >= report.ranking.size();
+      if (!worst5 && !last) {
+        if (rank == 6) table.Row().Cell("...").Cell("").Cell("").Done();
+        ++rank;
+        continue;
+      }
+      std::string note;
+      if (ms.machine == scenario.localization_machine) {
+        note = "<- injected 9-day fault";
+      } else if (ms.machine == scenario.problem_machine) {
+        note = "<- June 13 problem machine";
+      }
+      table.Row()
+          .Int(static_cast<long long>(rank))
+          .Cell(scenario.spec.topology.machines
+                    .at(static_cast<std::size_t>(ms.machine.value))
+                    .hostname)
+          .Num(ms.score, 4)
+          .Cell(note)
+          .Done();
+      ++rank;
+    }
+    table.Print(std::cout);
+
+    const bool hit = !report.ranking.empty() &&
+                     report.ranking.front().machine ==
+                         scenario.localization_machine;
+    std::cout << "suspect threshold (mean - 2 sigma): "
+              << FormatDouble(report.threshold, 4) << ", suspects flagged: "
+              << report.suspects.size() << ", faulty machine ranked #1: "
+              << (hit ? "yes" : "NO") << "\n";
+  }
+
+  std::cout << "\nPaper's Figure 14: within each group most machines score"
+               " above a clear bar\nand only a few score low (one Group A"
+               " machine below 0.9); the low scorers are\nwhere the"
+               " administrators should look. Score scales differ per group"
+               " because the\nthree systems have different data"
+               " characteristics — ours differ too.\n";
+  return 0;
+}

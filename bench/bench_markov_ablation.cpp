@@ -1,0 +1,136 @@
+// Ablation: does the temporal (order-1 Markov) structure matter?
+//
+// The paper's claim against prior art: "our approach models the data
+// evolution instead of static data points, and thus detects outliers
+// from both spatial and temporal perspectives." This bench strips the
+// temporal part — an order-0 model that scores each point by its cell's
+// historical density over the *same* adaptive grid — and compares the
+// two on a test day containing (a) a teleporting anomaly that visits
+// only individually-common states, and (b) a static outlier excursion.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baselines/static_density.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/model.h"
+
+namespace {
+
+using namespace pmcorr;
+using namespace pmcorr::bench;
+
+struct Labeled {
+  std::vector<double> xs, ys;
+  std::vector<int> label;  // 0 normal, 1 teleport anomaly, 2 static outlier
+};
+
+void MakeData(std::uint64_t seed, std::vector<double>* train_x,
+              std::vector<double>* train_y, Labeled* test) {
+  Rng rng(seed);
+  auto load_at = [&](int t) {
+    const double phase =
+        2.0 * 3.14159265358979 * (static_cast<double>(t) / kSamplesPerDay);
+    return 70.0 + 45.0 * std::sin(phase) + rng.Normal(0.0, 1.2);
+  };
+  auto y_of = [&](double load) {
+    return 100.0 * load / (load + 50.0) + rng.Normal(0.0, 0.6);
+  };
+
+  for (int d = 0; d < 6; ++d) {
+    for (int t = 0; t < kSamplesPerDay; ++t) {
+      const double load = load_at(t);
+      train_x->push_back(load);
+      train_y->push_back(y_of(load));
+    }
+  }
+
+  for (int t = 0; t < kSamplesPerDay; ++t) {
+    const int hour = t * 24 / kSamplesPerDay;
+    int label = 0;
+    double load = load_at(t);
+    if (hour >= 9 && hour < 11) {
+      // Teleporting anomaly: each sample drawn from a *common* operating
+      // state, but states alternate between the daily extremes — every
+      // point is spatially ordinary, the sequence is temporal nonsense.
+      label = 1;
+      load = (t % 2 == 0) ? 26.0 + rng.Normal(0.0, 1.0)
+                          : 114.0 + rng.Normal(0.0, 1.0);
+    } else if (hour >= 15 && hour < 17) {
+      // Static outlier: a level the system never visited (spatially odd,
+      // temporally smooth) — the easy case both models should flag.
+      label = 2;
+      load = 150.0 + rng.Normal(0.0, 1.0);
+    }
+    test->xs.push_back(load);
+    test->ys.push_back(label == 2 ? y_of(load) + 20.0 : y_of(load));
+    test->label.push_back(label);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintSection(std::cout,
+               "Ablation — order-1 transitions vs order-0 static density");
+  std::cout << "Same adaptive grid; the order-0 model scores points by cell"
+               " density, ignoring\nthe previous sample. Cells: mean score /"
+               " min score per bucket.\n\n";
+
+  std::vector<double> train_x, train_y;
+  Labeled test;
+  MakeData(29, &train_x, &train_y, &test);
+
+  ModelConfig config = DefaultModelConfig();
+  config.partition.max_intervals = 12;
+  config.adaptive = false;  // isolate the scoring rule from adaptation
+  PairModel order1 = PairModel::Learn(train_x, train_y, config);
+  const StaticDensityModel order0 =
+      StaticDensityModel::Learn(train_x, train_y, config.partition);
+
+  double sum[2][3] = {{0}}, mn[2][3] = {{1, 1, 1}, {1, 1, 1}};
+  std::size_t n[2][3] = {{0}};
+  for (std::size_t i = 0; i < test.xs.size(); ++i) {
+    const int l = test.label[i];
+    const double s0 = order0.Score(test.xs[i], test.ys[i]);
+    sum[0][l] += s0;
+    mn[0][l] = std::min(mn[0][l], s0);
+    ++n[0][l];
+    const StepOutcome out = order1.Step(test.xs[i], test.ys[i]);
+    if (out.has_score) {
+      sum[1][l] += out.fitness;
+      mn[1][l] = std::min(mn[1][l], out.fitness);
+      ++n[1][l];
+    }
+  }
+
+  TextTable table;
+  table.SetHeader({"model", "normal", "teleport anomaly", "static outlier"});
+  const char* names[2] = {"order-0 static density",
+                          "order-1 transitions (paper)"};
+  for (int m = 0; m < 2; ++m) {
+    auto row = table.Row();
+    row.Cell(names[m]);
+    for (int l = 0; l < 3; ++l) {
+      const double mean = n[m][l] ? sum[m][l] / static_cast<double>(n[m][l])
+                                  : 0.0;
+      row.Cell(FormatDouble(mean, 2) + "/" + FormatDouble(mn[m][l], 2));
+    }
+    row.Done();
+  }
+  table.Print(std::cout);
+
+  const double tele0 = sum[0][1] / static_cast<double>(n[0][1]);
+  const double tele1 = sum[1][1] / static_cast<double>(n[1][1]);
+  std::cout << "\nThe static outlier is easy for both (score ~0). The"
+               " teleporting anomaly is\ninvisible to the order-0 model ("
+            << FormatDouble(tele0, 2) << " — every state is common) but"
+               " collapses under\nthe transition model ("
+            << FormatDouble(tele1, 2)
+            << ") — the temporal correlations are what detect it.\n";
+  return 0;
+}

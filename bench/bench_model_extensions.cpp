@@ -1,0 +1,195 @@
+// Ablations of the two model extensions built on top of the paper:
+//
+//  1. Time-of-day conditioning — one (G, V) per day bucket. Helps when
+//     the *same* cells have time-dependent dynamics (a flapping
+//     daytime-only load balancer over the night walk's range); is
+//     neutral when regimes occupy disjoint cells, because the order-1
+//     model is already regime-aware through its state.
+//  2. Rolling re-initialization — rebuild M from a sliding window on a
+//     cadence. Under strong month-scale drift a frozen model goes
+//     *silent* (the tail leaves its grid: outliers, then unscorable
+//     samples); rolling rebuilds keep full scoring coverage.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/fitness.h"
+#include "core/time_conditioned.h"
+#include "engine/retrainer.h"
+
+namespace {
+
+using namespace pmcorr;
+using namespace pmcorr::bench;
+
+// Night: slow random walk over [42, 80]. Day: flapping between 50 and 74
+// every sample. Same value range, different dynamics.
+void FlappingData(std::size_t days, std::uint64_t seed,
+                  std::vector<double>* xs, std::vector<double>* ys,
+                  std::vector<TimePoint>* times) {
+  Rng rng(seed);
+  const TimePoint start = PaperTraceStart();
+  double walk = 60.0;
+  for (std::size_t d = 0; d < days; ++d) {
+    for (int t = 0; t < kSamplesPerDay; ++t) {
+      const TimePoint tp = start + static_cast<TimePoint>(d) * kDay +
+                           static_cast<TimePoint>(t) * kPaperSamplePeriod;
+      const int hour = static_cast<int>(SecondsIntoDay(tp) / kHour);
+      double load;
+      if (hour < 7 || hour >= 19) {
+        walk += rng.Normal(0.0, 2.0);
+        walk = std::clamp(walk, 42.0, 80.0);
+        load = walk;
+      } else {
+        load = (t % 2 == 0 ? 50.0 : 74.0) + rng.Normal(0.0, 1.5);
+      }
+      xs->push_back(load);
+      ys->push_back(1.5 * load + 20.0 + rng.Normal(0.0, 1.0));
+      times->push_back(tp);
+    }
+  }
+}
+
+void TimeConditioningAblation() {
+  PrintSection(std::cout,
+               "Extension 1 — time-of-day conditioning (flapping workload)");
+  std::vector<double> xs, ys;
+  std::vector<TimePoint> times;
+  FlappingData(10, 17, &xs, &ys, &times);
+  const std::size_t split = 7 * static_cast<std::size_t>(kSamplesPerDay);
+
+  const std::vector<double> tx(xs.begin(), xs.begin() + split);
+  const std::vector<double> ty(ys.begin(), ys.begin() + split);
+  const std::vector<TimePoint> tt(times.begin(), times.begin() + split);
+
+  TimeConditionedConfig config;
+  config.model = DefaultModelConfig();
+  config.model.partition.max_intervals = 10;
+  config.bucket_start_hours = {0, 7, 19};
+  auto conditioned = TimeConditionedPairModel::Learn(tx, ty, tt, config);
+  PairModel plain = PairModel::Learn(tx, ty, config.model);
+
+  ScoreAverager plain_day, plain_night, cond_day, cond_night;
+  std::size_t plain_low = 0, cond_low = 0;
+  for (std::size_t i = split; i < xs.size(); ++i) {
+    const int hour = static_cast<int>(SecondsIntoDay(times[i]) / kHour);
+    const bool night = hour < 7 || hour >= 19;
+    const StepOutcome p = plain.Step(xs[i], ys[i]);
+    if (p.has_score) {
+      (night ? plain_night : plain_day).Add(p.fitness);
+      if (p.fitness < 0.5) ++plain_low;
+    }
+    const StepOutcome c = conditioned.Step(xs[i], ys[i], times[i]);
+    if (c.has_score) {
+      (night ? cond_night : cond_day).Add(c.fitness);
+      if (c.fitness < 0.5) ++cond_low;
+    }
+  }
+
+  TextTable table;
+  table.SetHeader({"model", "day fitness", "night fitness",
+                   "false alarms (<0.5)"});
+  table.Row()
+      .Cell("plain TPM (paper)")
+      .Num(plain_day.Mean(), 4)
+      .Num(plain_night.Mean(), 4)
+      .Int(static_cast<long long>(plain_low))
+      .Done();
+  table.Row()
+      .Cell("time-conditioned (3 buckets)")
+      .Num(cond_day.Mean(), 4)
+      .Num(cond_night.Mean(), 4)
+      .Int(static_cast<long long>(cond_low))
+      .Done();
+  table.Print(std::cout);
+  std::cout << "The plain matrix mixes the night walk's local transitions"
+               " with the daytime\nflap over the same cells; the day-bucket"
+               " model learns the flap as normal.\n";
+}
+
+void RollingRetrainAblation() {
+  PrintSection(std::cout,
+               "Extension 2 — rolling re-initialization under strong drift");
+  Rng rng(23);
+  std::vector<double> xs, ys;
+  const std::size_t n = 4000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double level = 50.0 + 0.05 * static_cast<double>(i);  // +200
+    const double load = level + 20.0 * std::sin(i * 0.05) +
+                        rng.Normal(0.0, 1.0);
+    xs.push_back(load);
+    ys.push_back(2.0 * load + 10.0 + rng.Normal(0.0, 1.0));
+  }
+  const std::size_t split = 800;
+  const std::vector<double> tx(xs.begin(), xs.begin() + split);
+  const std::vector<double> ty(ys.begin(), ys.begin() + split);
+
+  ModelConfig frozen_config = DefaultModelConfig();
+  frozen_config.adaptive = false;
+  PairModel frozen = PairModel::Learn(tx, ty, frozen_config);
+  ModelConfig adaptive_config = DefaultModelConfig();
+  PairModel adaptive = PairModel::Learn(tx, ty, adaptive_config);
+  RetrainerConfig cadence;
+  cadence.window_samples = 800;
+  cadence.interval_samples = 240;
+  cadence.min_samples = 200;
+  RollingPairRetrainer rolling(tx, ty, adaptive_config, cadence);
+
+  struct Row {
+    const char* name;
+    ScoreAverager avg;
+    std::size_t scored = 0, outliers = 0, cells = 0;
+  };
+  Row rows[3] = {{"frozen (offline)", {}, 0, 0, 0},
+                 {"adaptive (paper online updates)", {}, 0, 0, 0},
+                 {"adaptive + rolling rebuild", {}, 0, 0, 0}};
+  for (std::size_t i = split; i < n; ++i) {
+    const StepOutcome f = frozen.Step(xs[i], ys[i]);
+    const StepOutcome a = adaptive.Step(xs[i], ys[i]);
+    const StepOutcome r = rolling.Step(xs[i], ys[i]);
+    const StepOutcome* outs[3] = {&f, &a, &r};
+    for (int m = 0; m < 3; ++m) {
+      if (outs[m]->has_score) {
+        rows[m].avg.Add(outs[m]->fitness);
+        ++rows[m].scored;
+      }
+      if (outs[m]->outlier) ++rows[m].outliers;
+    }
+  }
+  rows[0].cells = frozen.Grid().CellCount();
+  rows[1].cells = adaptive.Grid().CellCount();
+  rows[2].cells = rolling.Model().Grid().CellCount();
+
+  TextTable table;
+  table.SetHeader({"model", "scored", "outliers", "avg fitness",
+                   "final grid cells"});
+  const std::size_t total = n - split;
+  for (const Row& row : rows) {
+    table.Row()
+        .Cell(row.name)
+        .Cell(std::to_string(row.scored) + "/" + std::to_string(total))
+        .Int(static_cast<long long>(row.outliers))
+        .Num(row.avg.Mean(), 4)
+        .Int(static_cast<long long>(row.cells))
+        .Done();
+  }
+  table.Print(std::cout);
+  std::cout << "rolling rebuilds: " << rolling.Rebuilds()
+            << "\nFrozen goes silent (outliers + unscorable gaps); paper-"
+               "style adaptive chases the\ndrift by growing the grid"
+               " without bound; rolling rebuilds keep a compact grid\nand"
+               " full coverage.\n";
+}
+
+}  // namespace
+
+int main() {
+  TimeConditioningAblation();
+  RollingRetrainAblation();
+  return 0;
+}

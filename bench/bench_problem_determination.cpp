@@ -1,0 +1,84 @@
+// Figure 12 reproduction: fitness scores for the three focus pairs on the
+// June 13 test day, with the ground-truth problems injected in the
+// morning (Group A) and the afternoon (Groups B and C).
+//
+// The paper's signature: a deep downward spike in the fitness score
+// during the problem window, recovery afterwards.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/sparkline.h"
+#include "common/table.h"
+#include "engine/alarm.h"
+#include "telemetry/generator.h"
+
+int main() {
+  using namespace pmcorr;
+  using namespace pmcorr::bench;
+
+  ScenarioConfig config;
+  config.machine_count = 20;
+  config.trace_days = 16;  // May 29 .. June 13 inclusive
+
+  PrintSection(std::cout,
+               "Figure 12 — fitness scores when system problems occur");
+
+  TextTable table;
+  table.SetHeader({"group", "12am-6am", "6am-12pm", "12pm-6pm", "6pm-12am",
+                   "fault window", "detected"});
+  for (char g : {'A', 'B', 'C'}) {
+    const PaperScenario scenario = MakeGroupScenario(g, config);
+    const MeasurementFrame frame = GenerateTrace(scenario.spec);
+    const TimePoint june13 = PaperTestStart();
+    const MeasurementFrame train =
+        frame.SliceByTime(PaperTraceStart(), june13);
+    const MeasurementFrame test =
+        frame.SliceByTime(june13, june13 + kDay);
+
+    const MeasurementId x = *frame.FindByName(scenario.focus_x);
+    const MeasurementId y = *frame.FindByName(scenario.focus_y);
+    const PairRun run = RunPair(train, test, x, y, DefaultModelConfig());
+    const QuarterStats quarters =
+        QuarterizeScores(run.scores, june13, kPaperSamplePeriod);
+
+    const auto windows = ExtractLowScoreWindows(
+        std::span<const std::optional<double>>(run.scores), june13,
+        kPaperSamplePeriod, 0.55);
+    // One hour of grace on both sides: the jump into the anomalous state
+    // and the recovery transition out of it are themselves improbable
+    // transitions and commonly carry the deepest spike (the paper's
+    // Group B narration counts the post-jump disturbance as part of the
+    // event).
+    const bool detected =
+        AnyWindowOverlaps(windows, scenario.problem_start - kHour,
+                          scenario.problem_end + kHour);
+
+    auto row = table.Row();
+    row.Cell(std::string("Group ") + g);
+    for (int q = 0; q < 4; ++q) row.Num(quarters.min[q], 3);
+    row.Cell(FormatTimePoint(scenario.problem_start).substr(11) + "-" +
+             FormatTimePoint(scenario.problem_end).substr(11));
+    row.Cell(detected ? "yes" : "NO");
+    row.Done();
+
+    SparklineOptions spark;
+    spark.width = 72;
+    spark.lo = 0.0;
+    spark.hi = 1.0;
+    std::cout << "Group " << g << ": pair " << scenario.focus_x << " x "
+              << scenario.focus_y << "\n  "
+              << Sparkline(std::span<const std::optional<double>>(run.scores),
+                           spark)
+              << "\n  12am" << std::string(29, ' ') << "noon"
+              << std::string(29, ' ') << "12am\n";
+  }
+  std::cout << "\nMinimum fitness score per quarter of June 13 "
+               "(1.0 = perfectly predicted):\n";
+  table.Print(std::cout);
+  std::cout
+      << "\nPaper's Figure 12: the deep downward spike falls in the 6am-12pm"
+         " quarter for\nGroup A and in the 12pm-6pm / 6pm-12am quarters for"
+         " Groups B and C. 'detected'\nmeans a sub-0.55 fitness window"
+         " overlaps the injected ground-truth fault.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 16 reproduction: Q scores over one test day (June 13) for
+// models initialized from 1, 8 and 15 days of history.
+//
+// The paper: the 1-day model dips at peak hours; the 15-day model stays
+// above 0.9 through peak and off-peak alike — more history that shares
+// the online data's properties stabilizes the initial model.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/fitness.h"
+#include "engine/measurement_graph.h"
+#include "telemetry/generator.h"
+
+int main() {
+  using namespace pmcorr;
+  using namespace pmcorr::bench;
+
+  ScenarioConfig config;
+  config.machine_count = 10;
+  config.trace_days = 16;
+  config.localization_fault = false;
+  const PaperScenario base = MakeGroupScenario('A', config);
+  // This figure studies normal-data predictability, so strip the June 13
+  // problem injection as well.
+  TraceSpec spec = base.spec;
+  spec.faults.clear();
+  const MeasurementFrame frame = GenerateTrace(spec);
+
+  const TimePoint june13 = PaperTestStart();
+  const MeasurementFrame test = frame.SliceByTime(june13, june13 + kDay);
+
+  const MeasurementGraph graph = MeasurementGraph::Neighborhood(frame, 1, 5);
+  std::vector<PairId> pairs(graph.Pairs().begin(), graph.Pairs().end());
+  if (pairs.size() > 12) pairs.resize(12);
+
+  PrintSection(std::cout,
+               "Figure 16 — Q scores for one day (6.13) by training size");
+  TextTable table;
+  table.SetHeader({"training set", "12am-6am", "6am-12pm", "12pm-6pm",
+                   "6pm-12am", "day avg", "day min"});
+  std::vector<double> day_avgs;
+  for (int td : {1, 8, 15}) {
+    const MeasurementFrame train = frame.SliceByTime(
+        PaperTraceStart(), PaperTraceStart() + static_cast<Duration>(td) * kDay);
+
+    // Aggregate Q_t across the sampled pairs.
+    std::vector<std::vector<std::optional<double>>> runs;
+    for (const PairId& pair : pairs) {
+      runs.push_back(
+          RunPair(train, test, pair.a, pair.b, DefaultModelConfig()).scores);
+    }
+    std::vector<std::optional<double>> q(test.SampleCount());
+    double day_min = 1.0;
+    ScoreAverager day_avg;
+    for (std::size_t t = 0; t < test.SampleCount(); ++t) {
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (const auto& run : runs) {
+        if (run[t]) {
+          sum += *run[t];
+          ++n;
+        }
+      }
+      if (n) {
+        q[t] = sum / static_cast<double>(n);
+        day_avg.Add(*q[t]);
+        day_min = std::min(day_min, *q[t]);
+      }
+    }
+    const QuarterStats quarters =
+        QuarterizeScores(q, june13, kPaperSamplePeriod);
+
+    auto row = table.Row();
+    row.Cell("5.29-" + PaperDay(PaperTraceStart() +
+                                static_cast<Duration>(td - 1) * kDay) +
+             " (" + std::to_string(td) + "d)");
+    for (int quarter = 0; quarter < 4; ++quarter) {
+      row.Num(quarters.mean[quarter], 4);
+    }
+    row.Num(day_avg.Mean(), 4);
+    row.Num(day_min, 4);
+    row.Done();
+    day_avgs.push_back(day_avg.Mean());
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPaper's Figure 16: the 1-day model drops when heavy"
+               " workloads raise prediction\ncomplexity; the 15-day model"
+               " stays above 0.9 during both peak and non-peak\nhours."
+               " Here: day averages "
+            << FormatDouble(day_avgs[0], 4) << " (1d) -> "
+            << FormatDouble(day_avgs[1], 4) << " (8d) -> "
+            << FormatDouble(day_avgs[2], 4) << " (15d).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Section 4.2 in-text statistic: the "spatial closeness tendency".
+//
+// The paper counts transitions in two days of measurement values: 701
+// total, of which 412 stay inside their cell and 280 move to the closest
+// neighbor, with counts falling as cell distance grows. This bench
+// reproduces the analysis on two days of a synthetic Group A pair.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/model.h"
+#include "core/transition_matrix.h"
+#include "telemetry/generator.h"
+
+int main() {
+  using namespace pmcorr;
+  using namespace pmcorr::bench;
+
+  ScenarioConfig config;
+  config.machine_count = 12;
+  config.trace_days = 2;  // the paper checks two days' measurement values
+  const PaperScenario scenario = MakeGroupScenario('A', config);
+  const MeasurementFrame frame = GenerateTrace(scenario.spec);
+
+  const MeasurementId x = *frame.FindByName(scenario.focus_x);
+  const MeasurementId y = *frame.FindByName(scenario.focus_y);
+
+  // Learn on the two days; the learned matrix's empirical counts are the
+  // observed transitions. Interval granularity matches the paper's small
+  // illustrative grids.
+  ModelConfig model_config = DefaultModelConfig();
+  model_config.partition.max_intervals = 10;
+  const PairModel model = PairModel::Learn(frame.Series(x).Values(),
+                                           frame.Series(y).Values(),
+                                           model_config);
+  const auto hist = TransitionDistanceHistogram(model.Matrix(), model.Grid());
+
+  std::uint64_t total = 0;
+  for (std::uint64_t c : hist) total += c;
+
+  PrintSection(std::cout,
+               "Section 4.2 — transition counts by cell distance (2 days)");
+  std::cout << "Pair: " << scenario.focus_x << " x " << scenario.focus_y
+            << "\nGrid: " << model.Grid().Describe() << "\n";
+
+  TextTable table;
+  table.SetHeader({"cell distance", "transitions", "share"});
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    if (hist[d] == 0 && d > 3) continue;
+    table.Row()
+        .Cell(d == 0 ? "0 (inside the cell)"
+                     : d == 1 ? "1 (closest neighbor)" : std::to_string(d))
+        .Int(static_cast<long long>(hist[d]))
+        .Percent(total ? static_cast<double>(hist[d]) /
+                             static_cast<double>(total)
+                       : 0.0)
+        .Done();
+  }
+  table.Row().Cell("total").Int(static_cast<long long>(total)).Cell("").Done();
+  table.Print(std::cout);
+
+  const double in_cell =
+      total ? static_cast<double>(hist[0]) / static_cast<double>(total) : 0;
+  const double neighbor =
+      total && hist.size() > 1
+          ? static_cast<double>(hist[1]) / static_cast<double>(total)
+          : 0;
+  std::cout << "\nPaper (proprietary traces): 701 transitions, 412 in-cell"
+               " (59%), 280 to the\nclosest neighbor (40%), falling with"
+               " distance.\nOurs: " << total << " transitions, "
+            << static_cast<int>(in_cell * 100) << "% in-cell, "
+            << static_cast<int>(neighbor * 100)
+            << "% closest-neighbor — the spatial closeness tendency holds,\n"
+               "which is the justification for the decaying prior.\n";
+  return 0;
+}

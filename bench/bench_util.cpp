@@ -1,0 +1,67 @@
+#include "bench_util.h"
+
+#include "core/fitness.h"
+
+namespace pmcorr::bench {
+
+ModelConfig DefaultModelConfig() {
+  ModelConfig config;
+  config.partition.units = 50;
+  config.partition.max_intervals = 14;
+  config.lambda1 = 3.0;
+  config.lambda2 = 3.0;
+  return config;
+}
+
+PairRun RunPair(const MeasurementFrame& train, const MeasurementFrame& test,
+                MeasurementId x, MeasurementId y, const ModelConfig& config) {
+  PairModel model = PairModel::Learn(train.Series(x).Values(),
+                                     train.Series(y).Values(), config);
+  PairRun run;
+  run.scores.resize(test.SampleCount());
+  ScoreAverager avg;
+  for (std::size_t t = 0; t < test.SampleCount(); ++t) {
+    const StepOutcome out = model.Step(test.Value(x, t), test.Value(y, t));
+    if (out.has_score) {
+      run.scores[t] = out.fitness;
+      avg.Add(out.fitness);
+    }
+    if (out.outlier) ++run.outliers;
+    if (out.extended_grid) ++run.extensions;
+  }
+  run.average = avg.Mean();
+  return run;
+}
+
+const char* const kQuarterLabels[4] = {"12am-6am", "6am-12pm", "12pm-6pm",
+                                       "6pm-12am"};
+
+int QuarterOf(TimePoint tp) {
+  return static_cast<int>(SecondsIntoDay(tp) / (6 * kHour));
+}
+
+QuarterStats QuarterizeScores(const std::vector<std::optional<double>>& scores,
+                              TimePoint start, Duration period) {
+  QuarterStats stats;
+  double sum[4] = {0, 0, 0, 0};
+  std::size_t n[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (!scores[i]) continue;
+    const int q = QuarterOf(start + static_cast<Duration>(i) * period);
+    sum[q] += *scores[i];
+    if (n[q] == 0 || *scores[i] < stats.min[q]) stats.min[q] = *scores[i];
+    ++n[q];
+  }
+  for (int q = 0; q < 4; ++q) {
+    if (n[q] > 0) {
+      stats.mean[q] = sum[q] / static_cast<double>(n[q]);
+    } else {
+      stats.min[q] = -1;
+    }
+  }
+  return stats;
+}
+
+std::string PaperDay(TimePoint tp) { return FormatPaperDate(ToCivilDate(tp)); }
+
+}  // namespace pmcorr::bench

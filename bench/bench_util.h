@@ -1,0 +1,52 @@
+// Shared helpers for the experiment benchmarks: scenario slicing,
+// pair-model evaluation runs, and quarter-of-day aggregation matching the
+// x-axes of the paper's Figures 12 and 16.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "telemetry/scenarios.h"
+#include "timeseries/frame.h"
+
+namespace pmcorr::bench {
+
+/// Default model configuration used by all experiment benches (kept in
+/// one place so every figure runs the same model).
+ModelConfig DefaultModelConfig();
+
+/// Evaluation trace of one pair model over a test frame.
+struct PairRun {
+  /// Q^{a,b} per test sample (disengaged samples nullopt).
+  std::vector<std::optional<double>> scores;
+  /// Mean over engaged scores.
+  double average = 0.0;
+  std::size_t outliers = 0;
+  std::size_t extensions = 0;
+};
+
+/// Learns a model for (x, y) on `train` and steps it through `test`.
+PairRun RunPair(const MeasurementFrame& train, const MeasurementFrame& test,
+                MeasurementId x, MeasurementId y, const ModelConfig& config);
+
+/// The paper's four x-axis buckets in Figures 12/16.
+extern const char* const kQuarterLabels[4];  // "12am-6am" ... "6pm-12am"
+
+/// Index 0..3 of the quarter containing `tp`.
+int QuarterOf(TimePoint tp);
+
+/// Per-quarter mean and min of engaged scores; quarters with no engaged
+/// samples report mean/min = -1.
+struct QuarterStats {
+  double mean[4] = {-1, -1, -1, -1};
+  double min[4] = {-1, -1, -1, -1};
+};
+QuarterStats QuarterizeScores(const std::vector<std::optional<double>>& scores,
+                              TimePoint start, Duration period);
+
+/// "6.13" style label for a TimePoint's date.
+std::string PaperDay(TimePoint tp);
+
+}  // namespace pmcorr::bench

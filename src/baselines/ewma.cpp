@@ -1,0 +1,48 @@
+#include "baselines/ewma.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace pmcorr {
+
+EwmaDetector EwmaDetector::Learn(std::span<const double> history,
+                                 const EwmaConfig& config) {
+  assert(config.lambda > 0.0 && config.lambda <= 1.0);
+  RunningStats stats;
+  for (double v : history) stats.Add(v);
+  EwmaDetector det;
+  det.config_ = config;
+  det.mean_ = stats.Mean();
+  det.sigma_ = std::max(stats.StdDev(), 1e-12);
+  det.Reset();
+  return det;
+}
+
+void EwmaDetector::Reset() {
+  ewma_ = mean_;
+  t_ = 0;
+}
+
+EwmaDetector::Eval EwmaDetector::Observe(double value) {
+  const double lambda = config_.lambda;
+  ewma_ = lambda * value + (1.0 - lambda) * ewma_;
+  ++t_;
+
+  // Exact start-up variance: sigma_z^2 = sigma^2 * lambda/(2-lambda) *
+  // (1 - (1-lambda)^(2t)); converges to the asymptotic limit.
+  const double shrink =
+      1.0 - std::pow(1.0 - lambda, 2.0 * static_cast<double>(t_));
+  const double sigma_z =
+      sigma_ * std::sqrt(lambda / (2.0 - lambda) * shrink);
+
+  Eval eval;
+  eval.ewma = ewma_;
+  eval.sigmas = sigma_z > 0.0 ? std::fabs(ewma_ - mean_) / sigma_z : 0.0;
+  eval.alarm = eval.sigmas > config_.limit_sigmas;
+  return eval;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,52 @@
+// EWMA control chart — the classic statistical-process-control detector,
+// one per measurement. Smooths small persistent shifts into detectable
+// excursions (more sensitive than a plain z-score to slow drifts), but —
+// like every single-measurement detector — it cannot tell a legitimate
+// workload surge from a real problem.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace pmcorr {
+
+/// Chart parameters (textbook defaults).
+struct EwmaConfig {
+  /// Smoothing weight of the newest observation (0 < lambda <= 1).
+  double lambda = 0.2;
+  /// Control-limit width in asymptotic EWMA standard deviations.
+  double limit_sigmas = 3.0;
+};
+
+/// Streaming EWMA chart with time-varying (start-up-exact) limits.
+class EwmaDetector {
+ public:
+  /// Learns the in-control mean/sigma from history (>= 2 samples).
+  static EwmaDetector Learn(std::span<const double> history,
+                            const EwmaConfig& config = {});
+
+  /// One streamed observation.
+  struct Eval {
+    double ewma = 0.0;
+    /// Distance of the EWMA from the in-control mean, in units of the
+    /// current (start-up-corrected) EWMA standard deviation.
+    double sigmas = 0.0;
+    bool alarm = false;
+  };
+  Eval Observe(double value);
+
+  /// Restarts the chart at the in-control mean.
+  void Reset();
+
+  double Mean() const { return mean_; }
+  double Sigma() const { return sigma_; }
+
+ private:
+  EwmaConfig config_;
+  double mean_ = 0.0;
+  double sigma_ = 1.0;
+  double ewma_ = 0.0;
+  std::size_t t_ = 0;  // observations since Reset
+};
+
+}  // namespace pmcorr

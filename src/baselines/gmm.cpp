@@ -1,0 +1,200 @@
+#include "baselines/gmm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pmcorr {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+double LogSumExp(std::span<const double> xs) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double x : xs) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double total = 0.0;
+  for (double x : xs) total += std::exp(x - mx);
+  return mx + std::log(total);
+}
+
+}  // namespace
+
+double GaussianComponent::Mahalanobis2(double x, double y) const {
+  const double det = cov_xx * cov_yy - cov_xy * cov_xy;
+  if (det <= 0.0) return std::numeric_limits<double>::infinity();
+  const double dx = x - mean_x;
+  const double dy = y - mean_y;
+  // Inverse of a symmetric 2x2 matrix.
+  const double ixx = cov_yy / det;
+  const double ixy = -cov_xy / det;
+  const double iyy = cov_xx / det;
+  return dx * dx * ixx + 2.0 * dx * dy * ixy + dy * dy * iyy;
+}
+
+double GaussianComponent::LogDensity(double x, double y) const {
+  const double det = cov_xx * cov_yy - cov_xy * cov_xy;
+  if (det <= 0.0) return -std::numeric_limits<double>::infinity();
+  return -0.5 * (Mahalanobis2(x, y) + std::log(det)) - kLog2Pi;
+}
+
+GaussianMixtureModel GaussianMixtureModel::Fit(std::span<const double> x,
+                                               std::span<const double> y,
+                                               const GmmConfig& config) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  const std::size_t k = std::max<std::size_t>(1, config.components);
+  assert(n >= k);
+
+  const double var_x = std::max(Variance(x), 1e-12);
+  const double var_y = std::max(Variance(y), 1e-12);
+  const double ridge_x = config.ridge * var_x + 1e-12;
+  const double ridge_y = config.ridge * var_y + 1e-12;
+
+  GaussianMixtureModel model;
+  model.components_.resize(k);
+
+  // k-means++-style seeding: first mean uniform, then proportional to
+  // squared distance from the nearest chosen mean.
+  Rng rng(config.seed);
+  std::vector<std::size_t> centers;
+  centers.push_back(static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(n) - 1)));
+  while (centers.size() < k) {
+    std::vector<double> d2(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t c : centers) {
+        const double dx = (x[i] - x[c]) / std::sqrt(var_x);
+        const double dy = (y[i] - y[c]) / std::sqrt(var_y);
+        best = std::min(best, dx * dx + dy * dy);
+      }
+      d2[i] = best;
+    }
+    double total = 0.0;
+    for (double v : d2) total += v;
+    if (total <= 0.0) {
+      centers.push_back(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(n) - 1)));
+    } else {
+      centers.push_back(rng.Categorical(d2));
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    auto& comp = model.components_[c];
+    comp.weight = 1.0 / static_cast<double>(k);
+    comp.mean_x = x[centers[c]];
+    comp.mean_y = y[centers[c]];
+    comp.cov_xx = var_x;
+    comp.cov_yy = var_y;
+    comp.cov_xy = 0.0;
+  }
+
+  // EM iterations.
+  std::vector<double> resp(n * k);
+  double prev_loglik = -std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // E step.
+    double loglik = 0.0;
+    std::vector<double> logp(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        logp[c] = std::log(std::max(model.components_[c].weight, 1e-300)) +
+                  model.components_[c].LogDensity(x[i], y[i]);
+      }
+      const double lse = LogSumExp(logp);
+      loglik += lse;
+      for (std::size_t c = 0; c < k; ++c) {
+        resp[i * k + c] = std::exp(logp[c] - lse);
+      }
+    }
+
+    // M step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double nc = 0.0, mx = 0.0, my = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = resp[i * k + c];
+        nc += r;
+        mx += r * x[i];
+        my += r * y[i];
+      }
+      auto& comp = model.components_[c];
+      if (nc < 1e-9) {
+        // Dead component: re-seed on the point the mixture explains worst.
+        std::size_t worst = 0;
+        double worst_d = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = model.LogDensity(x[i], y[i]);
+          if (d < worst_d) {
+            worst_d = d;
+            worst = i;
+          }
+        }
+        comp.mean_x = x[worst];
+        comp.mean_y = y[worst];
+        comp.cov_xx = var_x;
+        comp.cov_yy = var_y;
+        comp.cov_xy = 0.0;
+        comp.weight = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      comp.weight = nc / static_cast<double>(n);
+      comp.mean_x = mx / nc;
+      comp.mean_y = my / nc;
+      double sxx = 0.0, sxy = 0.0, syy = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = resp[i * k + c];
+        const double dx = x[i] - comp.mean_x;
+        const double dy = y[i] - comp.mean_y;
+        sxx += r * dx * dx;
+        sxy += r * dx * dy;
+        syy += r * dy * dy;
+      }
+      comp.cov_xx = sxx / nc + ridge_x;
+      comp.cov_xy = sxy / nc;
+      comp.cov_yy = syy / nc + ridge_y;
+    }
+
+    const double rel = std::fabs(loglik - prev_loglik) /
+                       (std::fabs(prev_loglik) + 1e-12);
+    model.train_loglik_ = loglik / static_cast<double>(n);
+    if (iter > 0 && rel < config.tolerance) break;
+    prev_loglik = loglik;
+  }
+
+  // Anomaly boundary: a low quantile of training densities.
+  std::vector<double> densities(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    densities[i] = model.LogDensity(x[i], y[i]);
+  }
+  model.density_threshold_ =
+      Quantile(densities, config.density_quantile).value_or(-1e30);
+  const double median = Quantile(densities, 0.5).value_or(0.0);
+  model.density_scale_ =
+      std::max(median - model.density_threshold_, 1e-6);
+  return model;
+}
+
+double GaussianMixtureModel::LogDensity(double x, double y) const {
+  std::vector<double> logp(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    logp[c] = std::log(std::max(components_[c].weight, 1e-300)) +
+              components_[c].LogDensity(x, y);
+  }
+  return LogSumExp(logp);
+}
+
+bool GaussianMixtureModel::IsAnomaly(double x, double y) const {
+  return LogDensity(x, y) < density_threshold_;
+}
+
+double GaussianMixtureModel::Score(double x, double y) const {
+  const double d = LogDensity(x, y);
+  return std::clamp((d - density_threshold_) / density_scale_, 0.0, 1.0);
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,86 @@
+// Gaussian-mixture baseline (reference [3] in the paper: Guo et al.,
+// "Tracking probabilistic correlation of monitoring data for fault
+// detection in complex systems", DSN 2006).
+//
+// The 2-D points of a measurement pair are modeled as a mixture of
+// Gaussians; each component's covariance ellipse is a "cluster boundary"
+// and points of low mixture density fall outside every ellipse — an
+// anomaly. Works for elliptical clusters (Figure 2(c)), fails on the
+// arbitrary shapes of Figure 2(d) — the paper's second motivating gap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pmcorr {
+
+/// A 2-D Gaussian component with full covariance.
+struct GaussianComponent {
+  double weight = 1.0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  // Covariance [ [xx, xy], [xy, yy] ].
+  double cov_xx = 1.0;
+  double cov_xy = 0.0;
+  double cov_yy = 1.0;
+
+  /// Log N([x,y]; mean, cov) — -inf for a degenerate covariance.
+  double LogDensity(double x, double y) const;
+
+  /// Squared Mahalanobis distance of (x, y) from the component mean.
+  double Mahalanobis2(double x, double y) const;
+};
+
+/// Fit/detection configuration.
+struct GmmConfig {
+  std::size_t components = 3;
+  std::size_t max_iterations = 120;
+  double tolerance = 1e-6;        // relative log-likelihood change
+  std::uint64_t seed = 17;        // k-means++-style initialization
+  /// Anomaly boundary: the q-quantile of training log densities (points
+  /// scoring below it are "outside the cluster boundaries").
+  double density_quantile = 0.01;
+  /// Covariance regularization added to the diagonal (scaled by data
+  /// variance) to keep EM stable.
+  double ridge = 1e-6;
+};
+
+/// 2-D Gaussian mixture fit by expectation-maximization.
+class GaussianMixtureModel {
+ public:
+  /// Fits the mixture to equal-length x/y vectors (size >= components).
+  static GaussianMixtureModel Fit(std::span<const double> x,
+                                  std::span<const double> y,
+                                  const GmmConfig& config = {});
+
+  const std::vector<GaussianComponent>& Components() const {
+    return components_;
+  }
+
+  /// Log mixture density at a point.
+  double LogDensity(double x, double y) const;
+
+  /// Training log-likelihood per point at convergence.
+  double TrainLogLikelihood() const { return train_loglik_; }
+
+  /// The learned anomaly boundary (training density quantile).
+  double DensityThreshold() const { return density_threshold_; }
+
+  /// True when the point's density is below the boundary.
+  bool IsAnomaly(double x, double y) const;
+
+  /// Score in [0, 1] comparable to a fitness score: 1 well inside the
+  /// clusters, approaching 0 at/beyond the boundary.
+  double Score(double x, double y) const;
+
+ private:
+  std::vector<GaussianComponent> components_;
+  double train_loglik_ = 0.0;
+  double density_threshold_ = 0.0;
+  /// Typical spread of training log densities above the threshold, used
+  /// to scale Score().
+  double density_scale_ = 1.0;
+};
+
+}  // namespace pmcorr

@@ -1,0 +1,40 @@
+#include "baselines/linear_invariant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace pmcorr {
+
+std::optional<LinearInvariant> LinearInvariant::Learn(
+    std::span<const double> x, std::span<const double> y,
+    const LinearInvariantConfig& config) {
+  const auto fit = FitLinear(x, y);
+  if (!fit || fit->r_squared < config.min_r_squared) return std::nullopt;
+
+  LinearInvariant inv;
+  inv.config_ = config;
+  inv.slope_ = fit->slope;
+  inv.intercept_ = fit->intercept;
+  inv.r_squared_ = fit->r_squared;
+
+  RunningStats residuals;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    residuals.Add(y[i] - (fit->slope * x[i] + fit->intercept));
+  }
+  inv.residual_sigma_ = std::max(residuals.StdDev(), 1e-12);
+  return inv;
+}
+
+LinearInvariant::Eval LinearInvariant::Evaluate(double x, double y) const {
+  Eval eval;
+  eval.predicted = slope_ * x + intercept_;
+  eval.residual = y - eval.predicted;
+  eval.sigmas = std::fabs(eval.residual) / residual_sigma_;
+  eval.alarm = eval.sigmas > config_.alarm_sigmas;
+  eval.score = std::clamp(1.0 - eval.sigmas / config_.alarm_sigmas, 0.0, 1.0);
+  return eval;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,63 @@
+// Linear-invariant baseline (the approach of references [1]/[2] in the
+// paper: Jiang et al., "Discovering likely invariants of distributed
+// transaction systems", and Munawar et al.'s invariant metric
+// relationships).
+//
+// A pairwise invariant is a least-squares line y = slope*x + intercept
+// whose fit quality clears a threshold; at runtime the residual is
+// monitored and an alarm flags when the extracted relationship "breaks".
+// This baseline characterizes Figure 2(b)-style pairs perfectly and —
+// which is the paper's motivating point — cannot model Figure 2(c)/(d).
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace pmcorr {
+
+/// Configuration of the invariant learner/detector.
+struct LinearInvariantConfig {
+  /// Minimum R^2 for the pair to count as holding a linear invariant at
+  /// all ([1] keeps only high-fitness invariants).
+  double min_r_squared = 0.7;
+  /// Alarm when |residual| exceeds this many training residual sigmas.
+  double alarm_sigmas = 3.0;
+};
+
+/// One learned pairwise linear invariant.
+class LinearInvariant {
+ public:
+  /// Fits y ~ x on the history; returns nullopt when x is degenerate or
+  /// the fit's R^2 is below config.min_r_squared (no invariant exists —
+  /// exactly what happens on the paper's non-linear pairs).
+  static std::optional<LinearInvariant> Learn(
+      std::span<const double> x, std::span<const double> y,
+      const LinearInvariantConfig& config = {});
+
+  /// Evaluation of one observation against the invariant.
+  struct Eval {
+    double predicted = 0.0;
+    double residual = 0.0;
+    /// Residual in training-sigma units (absolute).
+    double sigmas = 0.0;
+    bool alarm = false;
+    /// Fitness-like score in [0, 1]: 1 at zero residual, linearly
+    /// decaying to 0 at the alarm boundary (comparable to Q^{a,b}).
+    double score = 1.0;
+  };
+  Eval Evaluate(double x, double y) const;
+
+  double Slope() const { return slope_; }
+  double Intercept() const { return intercept_; }
+  double RSquared() const { return r_squared_; }
+  double ResidualSigma() const { return residual_sigma_; }
+
+ private:
+  LinearInvariantConfig config_;
+  double slope_ = 0.0;
+  double intercept_ = 0.0;
+  double r_squared_ = 0.0;
+  double residual_sigma_ = 1.0;
+};
+
+}  // namespace pmcorr

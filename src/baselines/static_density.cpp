@@ -1,0 +1,48 @@
+#include "baselines/static_density.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pmcorr {
+
+StaticDensityModel StaticDensityModel::Learn(std::span<const double> x,
+                                             std::span<const double> y,
+                                             const PartitionerConfig& config) {
+  if (x.size() != y.size() || x.empty()) {
+    throw std::invalid_argument(
+        "StaticDensityModel::Learn: history vectors must be non-empty and"
+        " equal size");
+  }
+  StaticDensityModel model;
+  model.grid_ = Grid2D(PartitionDimension(x, config),
+                       PartitionDimension(y, config));
+  model.counts_.assign(model.grid_.CellCount(), 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (const auto cell = model.grid_.CellOf({x[i], y[i]})) {
+      ++model.counts_[*cell];
+    }
+  }
+  return model;
+}
+
+std::size_t StaticDensityModel::RankOf(std::size_t cell) const {
+  assert(cell < counts_.size());
+  std::size_t rank = 1;
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    if (counts_[j] > counts_[cell] ||
+        (counts_[j] == counts_[cell] && j < cell)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+double StaticDensityModel::Score(double x, double y) const {
+  const auto cell = grid_.CellOf({x, y});
+  if (!cell) return 0.0;
+  const std::size_t rank = RankOf(*cell);
+  return 1.0 - static_cast<double>(rank - 1) /
+                   static_cast<double>(counts_.size());
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,50 @@
+// Order-0 ablation of the transition probability model: a *static*
+// grid-density model.
+//
+// The paper's key claim is that modeling the data's *evolution*
+// (temporal correlations, Section 3's Markov transition matrix) beats
+// modeling static data points. This baseline strips the temporal part:
+// it keeps the identical adaptive grid but scores each observation by
+// the rank of its cell's historical visit density, ignoring where the
+// previous observation was. Comparing the two isolates exactly what the
+// order-1 structure buys (see bench_markov_ablation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grid/grid.h"
+#include "grid/partitioner.h"
+
+namespace pmcorr {
+
+/// Spatial-only grid model: M = (G, cell densities).
+class StaticDensityModel {
+ public:
+  /// Builds the same adaptive grid a PairModel would use and counts the
+  /// history points per cell. Vectors must be non-empty and equal size.
+  static StaticDensityModel Learn(std::span<const double> x,
+                                  std::span<const double> y,
+                                  const PartitionerConfig& config = {});
+
+  const Grid2D& Grid() const { return grid_; }
+
+  /// Visit count of a cell.
+  std::uint64_t CountOf(std::size_t cell) const { return counts_.at(cell); }
+
+  /// 1-based rank of the cell's density (1 = densest; ties break toward
+  /// the lower index).
+  std::size_t RankOf(std::size_t cell) const;
+
+  /// The analogue of the paper's fitness score, but rank-by-density:
+  /// 1 for the historically densest cell, 1/s for the sparsest, 0 for
+  /// points outside the grid. Stateless: the previous sample is ignored.
+  double Score(double x, double y) const;
+
+ private:
+  Grid2D grid_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace pmcorr

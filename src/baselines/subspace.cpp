@@ -1,0 +1,162 @@
+#include "baselines/subspace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pmcorr {
+namespace {
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(std::span<const double> v) { return std::sqrt(Dot(v, v)); }
+
+}  // namespace
+
+SubspaceDetector SubspaceDetector::Fit(const MeasurementFrame& frame,
+                                       const SubspaceConfig& config) {
+  const std::size_t l = frame.MeasurementCount();
+  const std::size_t n = frame.SampleCount();
+  if (l == 0 || n < 2) {
+    throw std::invalid_argument(
+        "SubspaceDetector::Fit: need measurements and >= 2 samples");
+  }
+
+  SubspaceDetector det;
+  det.means_.resize(l);
+  det.scales_.resize(l);
+  for (std::size_t a = 0; a < l; ++a) {
+    RunningStats stats;
+    for (double v :
+         frame.Series(MeasurementId(static_cast<std::int32_t>(a))).Values()) {
+      stats.Add(v);
+    }
+    det.means_[a] = stats.Mean();
+    const double sd = stats.StdDev();
+    det.scales_[a] = sd > 1e-12 ? 1.0 / sd : 0.0;
+  }
+
+  // Standardized data matrix (n x l) and covariance (l x l).
+  std::vector<double> z(n * l);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t a = 0; a < l; ++a) {
+      const double v =
+          frame.Value(MeasurementId(static_cast<std::int32_t>(a)), t);
+      z[t * l + a] = (v - det.means_[a]) * det.scales_[a];
+    }
+  }
+  std::vector<double> cov(l * l, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < l; ++i) {
+      const double zi = z[t * l + i];
+      for (std::size_t j = i; j < l; ++j) {
+        cov[i * l + j] += zi * z[t * l + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = i; j < l; ++j) {
+      cov[i * l + j] /= static_cast<double>(n - 1);
+      cov[j * l + i] = cov[i * l + j];
+    }
+  }
+
+  // Top-k eigenvectors by power iteration with deflation.
+  const std::size_t k = std::min(config.components, l);
+  Rng rng(config.seed);
+  std::vector<double> work(cov);  // deflated in place
+  double total_variance = 0.0;
+  for (std::size_t i = 0; i < l; ++i) total_variance += cov[i * l + i];
+  double captured = 0.0;
+
+  for (std::size_t comp = 0; comp < k; ++comp) {
+    std::vector<double> v(l);
+    for (double& x : v) x = rng.Normal();
+    double eigenvalue = 0.0;
+    for (std::size_t iter = 0; iter < config.power_iterations; ++iter) {
+      std::vector<double> next(l, 0.0);
+      for (std::size_t i = 0; i < l; ++i) {
+        for (std::size_t j = 0; j < l; ++j) {
+          next[i] += work[i * l + j] * v[j];
+        }
+      }
+      const double norm = Norm(next);
+      if (norm < 1e-15) break;  // deflated to nothing
+      for (std::size_t i = 0; i < l; ++i) next[i] /= norm;
+      eigenvalue = norm;
+      v = std::move(next);
+    }
+    captured += eigenvalue;
+    // Deflate: work -= lambda * v v^T.
+    for (std::size_t i = 0; i < l; ++i) {
+      for (std::size_t j = 0; j < l; ++j) {
+        work[i * l + j] -= eigenvalue * v[i] * v[j];
+      }
+    }
+    det.components_.push_back(std::move(v));
+  }
+  det.captured_variance_ =
+      total_variance > 0.0 ? captured / total_variance : 0.0;
+
+  // SPE boundary from the training distribution.
+  std::vector<double> spes(n);
+  std::vector<double> sample(l);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t a = 0; a < l; ++a) {
+      sample[a] =
+          frame.Value(MeasurementId(static_cast<std::int32_t>(a)), t);
+    }
+    spes[t] = det.Spe(sample);
+  }
+  det.threshold_ = Quantile(spes, config.spe_quantile).value_or(0.0);
+  return det;
+}
+
+std::vector<double> SubspaceDetector::Standardize(
+    std::span<const double> values) const {
+  std::vector<double> z(means_.size());
+  for (std::size_t a = 0; a < means_.size(); ++a) {
+    z[a] = (values[a] - means_[a]) * scales_[a];
+  }
+  return z;
+}
+
+std::vector<double> SubspaceDetector::ResidualContributions(
+    std::span<const double> values) const {
+  if (values.size() != means_.size()) {
+    throw std::invalid_argument(
+        "SubspaceDetector::ResidualContributions: size mismatch");
+  }
+  const std::vector<double> z = Standardize(values);
+  // Residual = z - P P^T z.
+  std::vector<double> residual = z;
+  for (const auto& component : components_) {
+    const double coeff = Dot(z, component);
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      residual[i] -= coeff * component[i];
+    }
+  }
+  for (double& r : residual) r = r * r;
+  return residual;
+}
+
+double SubspaceDetector::Spe(std::span<const double> values) const {
+  const std::vector<double> contributions = ResidualContributions(values);
+  double total = 0.0;
+  for (double c : contributions) total += c;
+  return total;
+}
+
+bool SubspaceDetector::IsAnomaly(std::span<const double> values) const {
+  return Spe(values) > threshold_;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,74 @@
+// PCA subspace baseline (the family of reference [7] in the paper:
+// Li et al., "Detection and identification of network anomalies using
+// sketch subspaces", itself building on the Lakhina-style PCA method).
+//
+// Fit: standardize the l measurements over the training frame, compute
+// the covariance, extract the top-k principal components (the "normal
+// subspace"). Detect: project a sample onto the residual subspace; a
+// large squared prediction error (SPE) marks an anomaly. This is a
+// *system-level* detector: one score per sample, with no pairwise
+// drill-down — which is exactly the capability gap the paper's
+// three-level fitness hierarchy fills.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "timeseries/frame.h"
+
+namespace pmcorr {
+
+/// Fit/detection configuration.
+struct SubspaceConfig {
+  /// Principal components forming the normal subspace (clamped to the
+  /// number of measurements).
+  std::size_t components = 3;
+  /// SPE anomaly boundary: this quantile of training SPEs.
+  double spe_quantile = 0.995;
+  /// Power-iteration steps per component.
+  std::size_t power_iterations = 300;
+  std::uint64_t seed = 29;  // power-iteration start vectors
+};
+
+class SubspaceDetector {
+ public:
+  /// Fits the normal subspace on a training frame (samples >= 2).
+  static SubspaceDetector Fit(const MeasurementFrame& frame,
+                              const SubspaceConfig& config = {});
+
+  std::size_t MeasurementCount() const { return means_.size(); }
+  std::size_t ComponentCount() const { return components_.size(); }
+
+  /// Squared prediction error of one aligned sample (values[i] =
+  /// measurement i): the squared norm of the standardized sample's
+  /// projection onto the residual subspace.
+  double Spe(std::span<const double> values) const;
+
+  /// True when the sample's SPE exceeds the training-quantile boundary.
+  bool IsAnomaly(std::span<const double> values) const;
+
+  /// The SPE boundary.
+  double Threshold() const { return threshold_; }
+
+  /// Per-measurement squared residual contributions (sums to Spe).
+  /// The classic PCA-diagnosis heuristic: the largest contributor is the
+  /// most suspicious measurement.
+  std::vector<double> ResidualContributions(
+      std::span<const double> values) const;
+
+  /// Fraction of training variance captured by the normal subspace.
+  double CapturedVariance() const { return captured_variance_; }
+
+ private:
+  std::vector<double> Standardize(std::span<const double> values) const;
+
+  std::vector<double> means_;
+  std::vector<double> scales_;  // 1 / stddev (0 for constant measurements)
+  /// Row-major k x l orthonormal basis of the normal subspace.
+  std::vector<std::vector<double>> components_;
+  double threshold_ = 0.0;
+  double captured_variance_ = 0.0;
+};
+
+}  // namespace pmcorr

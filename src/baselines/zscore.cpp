@@ -1,0 +1,29 @@
+#include "baselines/zscore.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace pmcorr {
+
+ZScoreDetector ZScoreDetector::Learn(std::span<const double> history,
+                                     double alarm_sigmas) {
+  RunningStats stats;
+  for (double v : history) stats.Add(v);
+  ZScoreDetector det;
+  det.mean_ = stats.Mean();
+  det.sigma_ = std::max(stats.StdDev(), 1e-12);
+  det.alarm_sigmas_ = alarm_sigmas;
+  return det;
+}
+
+double ZScoreDetector::Z(double value) const {
+  return (value - mean_) / sigma_;
+}
+
+bool ZScoreDetector::Alarm(double value) const {
+  return std::fabs(Z(value)) > alarm_sigmas_;
+}
+
+}  // namespace pmcorr

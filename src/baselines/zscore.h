@@ -1,0 +1,36 @@
+// Naive per-measurement threshold baseline.
+//
+// Monitors each measurement in isolation and alarms on large z-scores.
+// This is the straw man of the paper's introduction: a legitimate flood
+// of user requests raises many measurements at once (Figure 1) and this
+// detector floods with false positives, while the correlation-based model
+// correctly sees unchanged relationships.
+#pragma once
+
+#include <span>
+
+namespace pmcorr {
+
+/// Per-measurement z-score detector.
+class ZScoreDetector {
+ public:
+  /// Learns mean/sigma from history; `alarm_sigmas` is the alarm bound.
+  static ZScoreDetector Learn(std::span<const double> history,
+                              double alarm_sigmas = 3.0);
+
+  /// Signed z-score of one observation.
+  double Z(double value) const;
+
+  /// True when |z| exceeds the bound.
+  bool Alarm(double value) const;
+
+  double Mean() const { return mean_; }
+  double Sigma() const { return sigma_; }
+
+ private:
+  double mean_ = 0.0;
+  double sigma_ = 1.0;
+  double alarm_sigmas_ = 3.0;
+};
+
+}  // namespace pmcorr

@@ -1,0 +1,51 @@
+// Leveled logging for the engine and experiment harnesses.
+//
+// Deliberately tiny: a global level, a stream sink, and printf-style
+// helpers. Benchmarks set the level to kWarn so their tables stay clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pmcorr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits one log line (used by the PMCORR_LOG macro; callable directly).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pmcorr
+
+#define PMCORR_LOG(level)                                       \
+  if (static_cast<int>(::pmcorr::LogLevel::level) <             \
+      static_cast<int>(::pmcorr::GetLogLevel())) {              \
+  } else                                                        \
+    ::pmcorr::internal::LogLine(::pmcorr::LogLevel::level)

@@ -1,0 +1,80 @@
+#include "common/sparkline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace pmcorr {
+namespace {
+
+// U+2581 .. U+2588, lowest to tallest.
+const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+
+}  // namespace
+
+std::string Sparkline(std::span<const std::optional<double>> values,
+                      const SparklineOptions& options) {
+  const std::size_t width = std::max<std::size_t>(1, options.width);
+  if (values.empty()) return std::string(width, options.gap);
+
+  // Bucket-average the engaged values.
+  std::vector<std::optional<double>> buckets(std::min(width, values.size()));
+  const double per_bucket =
+      static_cast<double>(values.size()) / static_cast<double>(buckets.size());
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const auto from = static_cast<std::size_t>(
+        std::floor(static_cast<double>(b) * per_bucket));
+    auto to = static_cast<std::size_t>(
+        std::floor(static_cast<double>(b + 1) * per_bucket));
+    to = std::clamp(to, from + 1, values.size());
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = from; i < to; ++i) {
+      if (values[i]) {
+        sum += *values[i];
+        ++n;
+      }
+    }
+    if (n > 0) buckets[b] = sum / static_cast<double>(n);
+  }
+
+  double lo = options.lo;
+  double hi = options.hi;
+  if (lo >= hi) {
+    lo = 1e300;
+    hi = -1e300;
+    for (const auto& b : buckets) {
+      if (b) {
+        lo = std::min(lo, *b);
+        hi = std::max(hi, *b);
+      }
+    }
+    if (lo > hi) {  // all gaps
+      return std::string(buckets.size(), options.gap);
+    }
+    if (lo == hi) hi = lo + 1.0;  // flat series renders mid-height
+  }
+
+  std::string out;
+  out.reserve(buckets.size() * 3);
+  for (const auto& b : buckets) {
+    if (!b) {
+      out += options.gap;
+      continue;
+    }
+    const double norm = std::clamp((*b - lo) / (hi - lo), 0.0, 1.0);
+    const auto level =
+        std::min<std::size_t>(7, static_cast<std::size_t>(norm * 8.0));
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string Sparkline(std::span<const double> values,
+                      const SparklineOptions& options) {
+  std::vector<std::optional<double>> wrapped(values.begin(), values.end());
+  return Sparkline(std::span<const std::optional<double>>(wrapped), options);
+}
+
+}  // namespace pmcorr

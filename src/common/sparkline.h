@@ -1,0 +1,32 @@
+// Terminal sparklines: compact score-series plots for benches and
+// examples (the closest a stdout harness gets to the paper's figures).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+namespace pmcorr {
+
+/// Options for sparkline rendering.
+struct SparklineOptions {
+  /// Output width in characters; the series is bucketed to fit.
+  std::size_t width = 72;
+  /// Fixed value range; when lo >= hi the data range is used.
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Character used where a bucket has no engaged values.
+  char gap = ' ';
+};
+
+/// Renders the series as one line of U+2581..U+2588 block characters,
+/// bucket-averaging down to `options.width` columns. Disengaged samples
+/// (nullopt) render as the gap character.
+std::string Sparkline(std::span<const std::optional<double>> values,
+                      const SparklineOptions& options = {});
+
+/// Dense-series overload.
+std::string Sparkline(std::span<const double> values,
+                      const SparklineOptions& options = {});
+
+}  // namespace pmcorr

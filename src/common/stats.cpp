@@ -1,0 +1,185 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace pmcorr {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::SampleVariance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const {
+  return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double RunningStats::Max() const {
+  return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  RunningStats stats;
+  for (double x : xs) stats.Add(x);
+  return stats.Variance();
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+std::optional<double> Quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return std::nullopt;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::optional<double> PearsonCorrelation(std::span<const double> xs,
+                                         std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return std::nullopt;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return std::nullopt;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Fractional ranks (average rank for ties), 1-based.
+std::vector<double> FractionalRanks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+std::optional<double> SpearmanCorrelation(std::span<const double> xs,
+                                          std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return std::nullopt;
+  const std::vector<double> rx = FractionalRanks(xs);
+  const std::vector<double> ry = FractionalRanks(ys);
+  return PearsonCorrelation(rx, ry);
+}
+
+std::optional<LinearFit> FitLinear(std::span<const double> xs,
+                                   std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return std::nullopt;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return std::nullopt;
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins > 0);
+  assert(hi > lo);
+}
+
+void Histogram::Add(double x) {
+  ++counts_[BinOf(x)];
+  ++total_;
+}
+
+void Histogram::AddAll(std::span<const double> xs) {
+  for (double x : xs) Add(x);
+}
+
+double Histogram::BinWidth() const {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::BinLower(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * BinWidth();
+}
+
+std::size_t Histogram::BinOf(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const auto bin = static_cast<std::size_t>((x - lo_) / BinWidth());
+  return std::min(bin, counts_.size() - 1);
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,103 @@
+// Descriptive statistics used across the library: running moments,
+// quantiles, correlation coefficients and fixed-width histograms. These
+// back the grid partitioner (histograms), the telemetry selection criteria
+// (variance / linear-relationship scan) and the experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace pmcorr {
+
+/// Single-pass accumulator for count / mean / variance / min / max
+/// (Welford's algorithm; numerically stable).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+  std::size_t Count() const { return count_; }
+  double Mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (divides by n). Zero for fewer than 2 samples.
+  double Variance() const;
+  /// Sample variance (divides by n-1). Zero for fewer than 2 samples.
+  double SampleVariance() const;
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of `xs`; 0 for an empty span.
+double Mean(std::span<const double> xs);
+
+/// Population variance of `xs`; 0 for fewer than 2 samples.
+double Variance(std::span<const double> xs);
+
+double StdDev(std::span<const double> xs);
+
+/// The q-quantile (0 <= q <= 1) by linear interpolation between order
+/// statistics. Returns nullopt for an empty span.
+std::optional<double> Quantile(std::span<const double> xs, double q);
+
+/// Pearson linear correlation coefficient. Returns nullopt when either
+/// series is constant or the spans differ in length / are empty.
+std::optional<double> PearsonCorrelation(std::span<const double> xs,
+                                         std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over fractional ranks). Captures
+/// monotone non-linear association. Same failure conditions as Pearson.
+std::optional<double> SpearmanCorrelation(std::span<const double> xs,
+                                          std::span<const double> ys);
+
+/// Least-squares fit y = slope*x + intercept plus the coefficient of
+/// determination R^2. Returns nullopt when x is constant or sizes differ.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+std::optional<LinearFit> FitLinear(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi) with `bins` equal-sized bins;
+/// values outside the range are clamped into the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  void AddAll(std::span<const double> xs);
+
+  std::size_t BinCount() const { return counts_.size(); }
+  std::size_t CountAt(std::size_t bin) const { return counts_.at(bin); }
+  const std::vector<std::size_t>& Counts() const { return counts_; }
+  std::size_t TotalCount() const { return total_; }
+  double Lo() const { return lo_; }
+  double Hi() const { return hi_; }
+  /// Width of one bin.
+  double BinWidth() const;
+  /// Lower edge of `bin`.
+  double BinLower(std::size_t bin) const;
+  /// Index of the bin containing `x` (clamped).
+  std::size_t BinOf(double x) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pmcorr

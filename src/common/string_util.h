@@ -1,0 +1,34 @@
+// Small string helpers shared by the CSV layer and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmcorr {
+
+/// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style double formatting with `digits` decimals.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a fraction as a percentage string, e.g. 0.2198 -> "21.98%".
+std::string FormatPercent(double fraction, int digits = 2);
+
+/// Parses a double; returns false on any trailing garbage or empty input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a 64-bit signed integer with the same strictness.
+bool ParseInt64(std::string_view text, long long* out);
+
+}  // namespace pmcorr

@@ -1,0 +1,81 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pmcorr {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Cell(std::string text) {
+  cells_.push_back(std::move(text));
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Num(double value, int digits) {
+  cells_.push_back(FormatDouble(value, digits));
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Int(long long value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Percent(double fraction,
+                                                      int digits) {
+  cells_.push_back(FormatPercent(fraction, digits));
+  return *this;
+}
+
+void TextTable::RowBuilder::Done() { table_->AddRow(std::move(cells_)); }
+
+std::string TextTable::ToString() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return "";
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto account = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < columns) out << "  ";
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (columns - 1);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TextTable::Print(std::ostream& os) const { os << ToString(); }
+
+void PrintSection(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,56 @@
+// ASCII table printer used by every benchmark binary to render paper-style
+// rows (figure series, matrices, sweeps) on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmcorr {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed decimals. Rendering pads every column to its widest cell.
+class TextTable {
+ public:
+  TextTable() = default;
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (may be ragged; short rows render empty cells).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience builder for a row mixing labels and numbers.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TextTable* table) : table_(table) {}
+    RowBuilder& Cell(std::string text);
+    RowBuilder& Num(double value, int digits = 4);
+    RowBuilder& Int(long long value);
+    RowBuilder& Percent(double fraction, int digits = 2);
+    /// Commits the row to the table.
+    void Done();
+
+   private:
+    TextTable* table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(this); }
+
+  std::size_t RowCount() const { return rows_.size(); }
+
+  /// Renders with a separator line under the header.
+  std::string ToString() const;
+
+  /// Renders to the stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a titled section banner ("== title ==") around benchmark output.
+void PrintSection(std::ostream& os, const std::string& title);
+
+}  // namespace pmcorr

@@ -1,0 +1,23 @@
+#include "common/types.h"
+
+namespace pmcorr {
+
+std::string MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCpuUtilization:         return "CpuUtilization";
+    case MetricKind::kMemoryUtilization:      return "MemoryUtilization";
+    case MetricKind::kFreeMemory:             return "FreeMemory";
+    case MetricKind::kDiskIoThroughput:       return "DiskIoThroughput";
+    case MetricKind::kIfInOctetsRate:         return "IfInOctetsRate_IF";
+    case MetricKind::kIfOutOctetsRate:        return "IfOutOctetsRate_IF";
+    case MetricKind::kPortInOctetsRate:       return "IfInOctetsRate_PORT";
+    case MetricKind::kPortOutOctetsRate:      return "IfOutOctetsRate_PORT";
+    case MetricKind::kCurrentUtilizationIf:   return "CurrentUtilization_IF";
+    case MetricKind::kCurrentUtilizationPort: return "CurrentUtilization_PORT";
+    case MetricKind::kResponseTimeMs:         return "ResponseTime_MS";
+    case MetricKind::kRequestRate:            return "RequestRate";
+  }
+  return "UnknownMetric";
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,98 @@
+// Core value types shared across pmcorr modules.
+//
+// Measurements, machines and metric kinds get small strong-ish types so the
+// rest of the code never passes bare ints around with ambiguous meaning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pmcorr {
+
+/// Index of a measurement within a monitored system (0-based, dense).
+/// A measurement is one metric on one machine, e.g. "CPU utilization on
+/// server 10.0.0.7" — the unit the paper's pairwise models are built over.
+struct MeasurementId {
+  std::int32_t value = -1;
+
+  constexpr MeasurementId() = default;
+  constexpr explicit MeasurementId(std::int32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value >= 0; }
+  friend constexpr auto operator<=>(MeasurementId, MeasurementId) = default;
+};
+
+/// Index of a machine (server) within a group/company.
+struct MachineId {
+  std::int32_t value = -1;
+
+  constexpr MachineId() = default;
+  constexpr explicit MachineId(std::int32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value >= 0; }
+  friend constexpr auto operator<=>(MachineId, MachineId) = default;
+};
+
+/// An unordered pair of distinct measurements (a < b), identifying one of
+/// the l(l-1)/2 pairwise correlation models.
+struct PairId {
+  MeasurementId a;
+  MeasurementId b;
+
+  constexpr PairId() = default;
+  constexpr PairId(MeasurementId x, MeasurementId y)
+      : a(x.value <= y.value ? x : y), b(x.value <= y.value ? y : x) {}
+
+  constexpr bool valid() const {
+    return a.valid() && b.valid() && a.value != b.value;
+  }
+  friend constexpr auto operator<=>(const PairId&, const PairId&) = default;
+};
+
+/// System metric kinds mirroring the paper's examples (Figures 1–2).
+enum class MetricKind : std::uint8_t {
+  kCpuUtilization,        // percent busy
+  kMemoryUtilization,     // percent used
+  kFreeMemory,            // bytes free
+  kDiskIoThroughput,      // ops/s
+  kIfInOctetsRate,        // bytes/s in on an interface
+  kIfOutOctetsRate,       // bytes/s out on an interface
+  kPortInOctetsRate,      // bytes/s in on a switch port
+  kPortOutOctetsRate,     // bytes/s out on a switch port
+  kCurrentUtilizationIf,  // interface utilization percent
+  kCurrentUtilizationPort,// switch port utilization percent
+  kResponseTimeMs,        // request latency
+  kRequestRate,           // requests/s observed at the frontend
+};
+
+/// Human-readable metric name matching the paper's naming convention,
+/// e.g. "IfInOctetsRate_IF" or "CurrentUtilization_PORT".
+std::string MetricKindName(MetricKind kind);
+
+}  // namespace pmcorr
+
+template <>
+struct std::hash<pmcorr::MeasurementId> {
+  std::size_t operator()(pmcorr::MeasurementId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<pmcorr::MachineId> {
+  std::size_t operator()(pmcorr::MachineId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<pmcorr::PairId> {
+  std::size_t operator()(const pmcorr::PairId& p) const noexcept {
+    const auto h = static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(p.a.value))
+                       << 32 |
+                   static_cast<std::uint32_t>(p.b.value);
+    return std::hash<std::uint64_t>{}(h);
+  }
+};

@@ -1,0 +1,53 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace pmcorr {
+
+ThresholdCalibration CalibrateOnHoldout(const PairModel& model,
+                                        std::span<const double> x,
+                                        std::span<const double> y,
+                                        double target_false_positive_rate) {
+  const double q = std::clamp(target_false_positive_rate, 0.0, 1.0);
+
+  // Frozen copy: the replay must not adapt the grid or matrix, and must
+  // not alarm (thresholds off) so every transition is scored.
+  ModelConfig frozen_config = model.Config();
+  frozen_config.adaptive = false;
+  frozen_config.delta = 0.0;
+  frozen_config.fitness_alarm_threshold = 0.0;
+  PairModel frozen =
+      PairModel::FromParts(frozen_config, model.Grid(), model.Matrix());
+
+  std::vector<double> fitness;
+  std::vector<double> probability;
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const StepOutcome out = frozen.Step(x[i], y[i]);
+    if (out.has_score) {
+      fitness.push_back(out.fitness);
+      probability.push_back(out.probability);
+    }
+  }
+
+  ThresholdCalibration calibration;
+  calibration.samples = fitness.size();
+  if (!fitness.empty()) {
+    calibration.fitness_threshold = Quantile(fitness, q).value_or(0.0);
+    calibration.delta = Quantile(probability, q).value_or(0.0);
+  }
+  return calibration;
+}
+
+ModelConfig WithCalibratedThresholds(
+    const ModelConfig& config, const ThresholdCalibration& calibration) {
+  ModelConfig out = config;
+  out.fitness_alarm_threshold = calibration.fitness_threshold;
+  out.delta = calibration.delta;
+  return out;
+}
+
+}  // namespace pmcorr

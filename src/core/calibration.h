@@ -1,0 +1,44 @@
+// Alarm-threshold calibration.
+//
+// The paper leaves δ (the transition-probability alarm bound of Figure 6)
+// and the fitness bound as operator-chosen constants. Useful values
+// depend on the grid size and the pair's predictability, so this module
+// derives them from data: replay a held-out slice of normal history
+// through a frozen copy of the model and place each threshold at the
+// quantile matching a target false-positive rate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/model.h"
+
+namespace pmcorr {
+
+/// Calibrated alarm bounds for one pair model.
+struct ThresholdCalibration {
+  /// Alarm when Q^{a,b} falls below this (0 when calibration had no
+  /// scored samples).
+  double fitness_threshold = 0.0;
+  /// δ: alarm when P(x_t -> x_{t+1}) falls below this.
+  double delta = 0.0;
+  /// Scored holdout samples the quantiles were computed from.
+  std::size_t samples = 0;
+};
+
+/// Replays (x, y) — assumed *normal* data, e.g. a held-out slice of the
+/// training period — through a frozen (non-adaptive) copy of `model` and
+/// returns the `target_false_positive_rate` quantile of the observed
+/// fitness scores and transition probabilities. Out-of-grid outliers in
+/// the holdout count as score 0 (they would alarm at any threshold).
+ThresholdCalibration CalibrateOnHoldout(const PairModel& model,
+                                        std::span<const double> x,
+                                        std::span<const double> y,
+                                        double target_false_positive_rate);
+
+/// Convenience: returns a copy of `config` with the calibrated bounds
+/// installed.
+ModelConfig WithCalibratedThresholds(const ModelConfig& config,
+                                     const ThresholdCalibration& calibration);
+
+}  // namespace pmcorr

@@ -1,0 +1,49 @@
+// Configuration of the pair-wise transition probability model M = (G, V).
+#pragma once
+
+#include "grid/kernels.h"
+#include "grid/partitioner.h"
+
+namespace pmcorr {
+
+/// All tuning knobs of a PairModel. Defaults follow the paper where it is
+/// explicit and use conservative values elsewhere (each choice is noted).
+struct ModelConfig {
+  /// Grid discretization (Section 4.1).
+  PartitionerConfig partition;
+
+  /// Decay kernel shared by the prior and the Eq. (2) likelihood.
+  KernelConfig kernel;
+
+  /// λ per dimension: the maximum number of r_avg-sized intervals the
+  /// boundary may grow by for one out-of-grid point (Section 4.1 Update).
+  /// Points farther out are outliers.
+  double lambda1 = 3.0;
+  double lambda2 = 3.0;
+
+  /// δ — alarm when P(x_t -> x_{t+1}) drops below this (Figure 6).
+  /// The transition matrix row is a distribution over s cells, so useful
+  /// values scale like 1/s; 0 disables probability alarms.
+  double delta = 0.0;
+
+  /// Alarm when the rank-based fitness score drops below this
+  /// (Section 5); 0 disables fitness alarms.
+  double fitness_alarm_threshold = 0.0;
+
+  /// Exponential forgetting applied to the accumulated log-likelihood
+  /// before each online update. 1.0 reproduces the paper's literal
+  /// Eq. (1) (every historical transition keeps full weight); values
+  /// slightly below 1 bound the posterior's sharpness so probability
+  /// thresholds remain meaningful over long streams.
+  double forgetting = 1.0;
+
+  /// Relative weight of one observed transition in the posterior update
+  /// (scales the Eq. (2) log-likelihood term).
+  double likelihood_weight = 1.0;
+
+  /// When false the model is frozen after initialization — the "Offline"
+  /// method of Figure 13(a). When true, the grid and matrix adapt online.
+  bool adaptive = true;
+};
+
+}  // namespace pmcorr

@@ -1,0 +1,54 @@
+#include "core/fitness.h"
+
+#include <cassert>
+
+namespace pmcorr {
+
+double RankFitness(std::size_t rank, std::size_t cells) {
+  assert(cells > 0);
+  assert(rank >= 1 && rank <= cells);
+  return 1.0 - static_cast<double>(rank - 1) / static_cast<double>(cells);
+}
+
+std::optional<double> AggregateScores(
+    std::span<const std::optional<double>> scores) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : scores) {
+    if (s) {
+      sum += *s;
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+double AggregateScores(std::span<const double> scores) {
+  if (scores.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  return sum / static_cast<double>(scores.size());
+}
+
+void ScoreAverager::Add(double score) {
+  sum_ += score;
+  ++count_;
+}
+
+void ScoreAverager::Add(std::optional<double> score) {
+  if (score) Add(*score);
+}
+
+double ScoreAverager::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+ScoreAverager ScoreAverager::FromState(double sum, std::size_t count) {
+  ScoreAverager avg;
+  avg.sum_ = sum;
+  avg.count_ = count;
+  return avg;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,52 @@
+// Fitness scores (Section 5) — the paper's three-level indicator of how
+// well the models explain the monitoring data.
+//
+// Level 1, Q^{a,b}: rank the destination cells of row c_i by probability;
+// an observation landing in the rank-π cell of an s-cell grid scores
+//   Q = 1 - (π - 1) / s,
+// so the modal cell scores 1 and an out-of-grid outlier scores 0.
+// Level 2, Q^a: mean of Q^{a,b} over the l-1 partner measurements.
+// Level 3, Q: mean of Q^a over all measurements.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace pmcorr {
+
+/// Level-1 fitness from a 1-based rank within `cells` grid cells.
+double RankFitness(std::size_t rank, std::size_t cells);
+
+/// Mean of the engaged (non-nullopt) scores — the paper's aggregation for
+/// both Q^a (over partner models) and Q (over measurements). Returns
+/// nullopt when no score is engaged (e.g. the very first sample).
+std::optional<double> AggregateScores(
+    std::span<const std::optional<double>> scores);
+
+/// Convenience overload for dense score vectors.
+double AggregateScores(std::span<const double> scores);
+
+/// Running mean of scores over a stream; used for the "average fitness
+/// score" reported in Figure 13(a).
+class ScoreAverager {
+ public:
+  void Add(double score);
+  void Add(std::optional<double> score);
+
+  std::size_t Count() const { return count_; }
+  /// Sum of added scores (exposed for checkpointing).
+  double Sum() const { return sum_; }
+  /// Mean of added scores; 0 when empty.
+  double Mean() const;
+
+  /// Rebuilds an averager from checkpointed state.
+  static ScoreAverager FromState(double sum, std::size_t count);
+
+ private:
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace pmcorr

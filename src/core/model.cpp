@@ -1,0 +1,152 @@
+#include "core/model.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/fitness.h"
+#include "grid/partitioner.h"
+
+namespace pmcorr {
+
+PairModel PairModel::Learn(std::span<const double> x,
+                           std::span<const double> y,
+                           const ModelConfig& config) {
+  if (x.size() != y.size() || x.empty()) {
+    throw std::invalid_argument(
+        "PairModel::Learn: history vectors must be non-empty and equal size");
+  }
+
+  // Drop non-finite history samples (collector gaps) before building the
+  // grid; NaNs must never reach the interval search.
+  std::vector<double> fx, fy;
+  fx.reserve(x.size());
+  fy.reserve(y.size());
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    if (std::isfinite(x[t]) && std::isfinite(y[t])) {
+      fx.push_back(x[t]);
+      fy.push_back(y[t]);
+    }
+  }
+  if (fx.empty()) {
+    throw std::invalid_argument(
+        "PairModel::Learn: history contains no finite samples");
+  }
+
+  PairModel model;
+  model.config_ = config;
+  model.kernel_ = MakeKernel(config.kernel);
+  model.grid_ = Grid2D(PartitionDimension(fx, config.partition),
+                       PartitionDimension(fy, config.partition));
+  model.matrix_ = TransitionMatrix::Prior(model.grid_, *model.kernel_);
+
+  // Replay the history transitions through the Bayesian update (Eq. 1):
+  // the posterior after the snapshot is the model's initial V. The replay
+  // walks the *original* sequence so a gap breaks the transition chain
+  // instead of stitching its neighbors together.
+  std::optional<std::size_t> prev;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    std::optional<std::size_t> cell;
+    if (std::isfinite(x[t]) && std::isfinite(y[t])) {
+      cell = model.grid_.CellOf({x[t], y[t]});
+    }
+    if (cell && prev) {
+      model.matrix_.ObserveTransition(*prev, *cell, model.grid_,
+                                      *model.kernel_,
+                                      config.likelihood_weight,
+                                      config.forgetting);
+    }
+    prev = cell;
+  }
+  return model;
+}
+
+PairModel PairModel::FromParts(ModelConfig config, Grid2D grid,
+                               TransitionMatrix matrix) {
+  PairModel model;
+  model.config_ = config;
+  model.kernel_ = MakeKernel(config.kernel);
+  model.grid_ = std::move(grid);
+  model.matrix_ = std::move(matrix);
+  return model;
+}
+
+StepOutcome PairModel::Step(double x, double y) {
+  ++stats_.steps;
+  StepOutcome out;
+
+  // Collector gaps: a non-finite coordinate cannot be located in the
+  // grid and the transition across the gap is unknowable — skip the
+  // sample and restart the sequence (the paper's streams are assumed
+  // complete; real feeds are not).
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    out.missing = true;
+    prev_cell_.reset();
+    return out;
+  }
+
+  const Point2 p{x, y};
+
+  std::optional<std::size_t> cell = grid_.CellOf(p);
+  if (!cell && config_.adaptive) {
+    // Out of boundary but perhaps only just: the paper treats points
+    // within lambda * r_avg as evidence of gradual distribution change
+    // and grows the grid; anything farther is an outlier.
+    const std::size_t old_cols = grid_.Cols();
+    if (const auto ext =
+            grid_.ExtendToInclude(p, config_.lambda1, config_.lambda2)) {
+      matrix_.ApplyExtension(*ext, old_cols, grid_, *kernel_,
+                             config_.likelihood_weight);
+      if (prev_cell_) {
+        prev_cell_ = Grid2D::RemapIndex(*prev_cell_, old_cols, *ext);
+      }
+      cell = grid_.CellOf(p);
+      out.extended_grid = true;
+      ++stats_.extensions;
+      assert(cell.has_value());
+    }
+  }
+
+  if (!cell) {
+    // Outlier: transition probability 0, fitness 0, no model update, and
+    // the next observation has no valid source cell.
+    out.outlier = true;
+    ++stats_.outliers;
+    if (prev_cell_) {
+      out.has_score = true;
+      ++stats_.scored;
+    }
+    const bool alarm_configured =
+        config_.delta > 0.0 || config_.fitness_alarm_threshold > 0.0;
+    out.alarm = alarm_configured;
+    if (out.alarm) ++stats_.alarms;
+    prev_cell_.reset();
+    return out;
+  }
+
+  out.cell = cell;
+  if (prev_cell_) {
+    out.has_score = true;
+    ++stats_.scored;
+    out.probability = matrix_.Probability(*prev_cell_, *cell);
+    out.rank = matrix_.RankOf(*prev_cell_, *cell);
+    out.fitness = RankFitness(out.rank, matrix_.CellCount());
+    out.alarm = (config_.delta > 0.0 && out.probability < config_.delta) ||
+                (config_.fitness_alarm_threshold > 0.0 &&
+                 out.fitness < config_.fitness_alarm_threshold);
+    if (out.alarm) ++stats_.alarms;
+
+    // "We update the model to incorporate the actual transition made by
+    // x_{t+1} if it is normal" — alarmed transitions are left out.
+    if (config_.adaptive && !out.alarm) {
+      matrix_.ObserveTransition(*prev_cell_, *cell, grid_, *kernel_,
+                                config_.likelihood_weight,
+                                config_.forgetting);
+      ++stats_.matrix_updates;
+    }
+  }
+  prev_cell_ = cell;
+  return out;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,84 @@
+#include "core/time_conditioned.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace pmcorr {
+
+std::size_t TimeConditionedPairModel::BucketOf(TimePoint tp) const {
+  const int hour = static_cast<int>(SecondsIntoDay(tp) / kHour);
+  const auto& starts = config_.bucket_start_hours;
+  // The last bucket whose start is <= hour; hours before the first start
+  // wrap into the final bucket.
+  std::size_t bucket = starts.size() - 1;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    if (hour >= starts[i]) bucket = i;
+  }
+  return bucket;
+}
+
+TimeConditionedPairModel TimeConditionedPairModel::Learn(
+    std::span<const double> x, std::span<const double> y,
+    std::span<const TimePoint> times, const TimeConditionedConfig& config) {
+  if (x.size() != y.size() || x.size() != times.size() || x.empty()) {
+    throw std::invalid_argument(
+        "TimeConditionedPairModel::Learn: inputs must be non-empty and"
+        " equal size");
+  }
+  if (config.bucket_start_hours.empty()) {
+    throw std::invalid_argument(
+        "TimeConditionedPairModel::Learn: need at least one bucket");
+  }
+  for (std::size_t i = 1; i < config.bucket_start_hours.size(); ++i) {
+    if (config.bucket_start_hours[i] <= config.bucket_start_hours[i - 1]) {
+      throw std::invalid_argument(
+          "TimeConditionedPairModel::Learn: bucket starts must ascend");
+    }
+  }
+
+  TimeConditionedPairModel model;
+  model.config_ = config;
+
+  // Split the history by bucket; a NaN separator marks every point where
+  // the bucket's stream was interrupted (PairModel::Learn treats NaN as
+  // a sequence break, so segments never stitch across days).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::size_t buckets = config.bucket_start_hours.size();
+  std::vector<std::vector<double>> bx(buckets), by(buckets);
+  std::size_t prev_bucket = buckets;  // sentinel
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const std::size_t b = model.BucketOf(times[t]);
+    if (b != prev_bucket && !bx[b].empty()) {
+      bx[b].push_back(nan);
+      by[b].push_back(nan);
+    }
+    bx[b].push_back(x[t]);
+    by[b].push_back(y[t]);
+    prev_bucket = b;
+  }
+
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (bx[b].empty()) {
+      throw std::invalid_argument(
+          "TimeConditionedPairModel::Learn: a bucket received no history"
+          " samples");
+    }
+    model.models_.push_back(PairModel::Learn(bx[b], by[b], config.model));
+    model.models_.back().ResetSequence();
+  }
+  return model;
+}
+
+StepOutcome TimeConditionedPairModel::Step(double x, double y, TimePoint tp) {
+  const std::size_t bucket = BucketOf(tp);
+  if (bucket != last_bucket_) {
+    // Entering a new regime: its model's last observation (if any) is
+    // from a previous visit — not this sample's predecessor.
+    models_[bucket].ResetSequence();
+    last_bucket_ = bucket;
+  }
+  return models_[bucket].Step(x, y);
+}
+
+}  // namespace pmcorr

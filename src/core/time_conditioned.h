@@ -1,0 +1,62 @@
+// Time-of-day conditioned pair model — an extension beyond the paper.
+//
+// Figures 15/16 show the plain model is least accurate at peak hours:
+// one transition matrix must explain both the calm overnight regime and
+// the volatile busy-hour regime. This extension partitions the day into
+// buckets (e.g. night / business / evening) and trains an independent
+// M = (G, V) per bucket; each observation is scored by its bucket's
+// model. bench_time_conditioning ablates it against the plain model on
+// workloads whose correlation structure genuinely changes by hour (e.g.
+// nightly batch jobs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+#include "core/model.h"
+
+namespace pmcorr {
+
+/// Configuration: bucket boundaries as hours-of-day.
+struct TimeConditionedConfig {
+  ModelConfig model;
+  /// Ascending start hours; bucket i covers [start[i], start[i+1]) and
+  /// the last bucket wraps to start[0]. {0} = a single bucket =
+  /// exactly the paper's model.
+  std::vector<int> bucket_start_hours = {0, 7, 19};
+};
+
+class TimeConditionedPairModel {
+ public:
+  /// Learns one PairModel per bucket from timestamped history. Within a
+  /// bucket, samples that were not adjacent in the original stream (the
+  /// bucket's daily segments) do not form transitions.
+  static TimeConditionedPairModel Learn(std::span<const double> x,
+                                        std::span<const double> y,
+                                        std::span<const TimePoint> times,
+                                        const TimeConditionedConfig& config);
+
+  /// Scores one observation with its bucket's model. Crossing into a new
+  /// bucket starts that bucket's transition sequence fresh (the previous
+  /// observation belongs to a different regime's model).
+  StepOutcome Step(double x, double y, TimePoint tp);
+
+  std::size_t BucketCount() const { return models_.size(); }
+
+  /// The bucket index for a timestamp.
+  std::size_t BucketOf(TimePoint tp) const;
+
+  /// The per-bucket model (for inspection).
+  const PairModel& Model(std::size_t bucket) const {
+    return models_.at(bucket);
+  }
+
+ private:
+  TimeConditionedConfig config_;
+  std::vector<PairModel> models_;
+  std::size_t last_bucket_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace pmcorr

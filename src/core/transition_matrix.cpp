@@ -1,0 +1,186 @@
+#include "core/transition_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pmcorr {
+namespace {
+
+// Absolute coordinate deltas between two cells of `grid`.
+std::pair<int, int> Deltas(const Grid2D& grid, std::size_t a, std::size_t b) {
+  const CellCoord ca = grid.CoordOf(a);
+  const CellCoord cb = grid.CoordOf(b);
+  return {std::abs(ca.i1 - cb.i1), std::abs(ca.i2 - cb.i2)};
+}
+
+}  // namespace
+
+TransitionMatrix TransitionMatrix::Prior(const Grid2D& grid,
+                                         const DecayKernel& kernel) {
+  TransitionMatrix m;
+  m.cells_ = grid.CellCount();
+  m.prior_logw_.resize(m.cells_ * m.cells_);
+  m.evidence_.assign(m.cells_ * m.cells_, 0.0);
+  m.counts_.assign(m.cells_ * m.cells_, 0);
+  for (std::size_t i = 0; i < m.cells_; ++i) {
+    for (std::size_t j = 0; j < m.cells_; ++j) {
+      const auto [dx, dy] = Deltas(grid, i, j);
+      m.prior_logw_[i * m.cells_ + j] = kernel.LogWeight(dx, dy);
+    }
+  }
+  return m;
+}
+
+double TransitionMatrix::Probability(std::size_t from, std::size_t to) const {
+  assert(from < cells_ && to < cells_);
+  double max_logw = PosteriorLogW(from, 0);
+  for (std::size_t j = 1; j < cells_; ++j) {
+    max_logw = std::max(max_logw, PosteriorLogW(from, j));
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < cells_; ++j) {
+    total += std::exp(PosteriorLogW(from, j) - max_logw);
+  }
+  return std::exp(PosteriorLogW(from, to) - max_logw) / total;
+}
+
+std::vector<double> TransitionMatrix::RowDistribution(std::size_t from) const {
+  assert(from < cells_);
+  std::vector<double> row(cells_);
+  double max_logw = PosteriorLogW(from, 0);
+  for (std::size_t j = 1; j < cells_; ++j) {
+    max_logw = std::max(max_logw, PosteriorLogW(from, j));
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < cells_; ++j) {
+    row[j] = std::exp(PosteriorLogW(from, j) - max_logw);
+    total += row[j];
+  }
+  for (double& p : row) p /= total;
+  return row;
+}
+
+void TransitionMatrix::ObserveTransition(std::size_t from,
+                                         std::size_t observed,
+                                         const Grid2D& grid,
+                                         const DecayKernel& kernel,
+                                         double weight, double forgetting) {
+  assert(from < cells_ && observed < cells_);
+  assert(grid.CellCount() == cells_);
+  for (std::size_t j = 0; j < cells_; ++j) {
+    const auto [dx, dy] = Deltas(grid, observed, j);
+    double& e = evidence_[from * cells_ + j];
+    e = e * forgetting + weight * kernel.LogWeight(dx, dy);
+  }
+  ++counts_[from * cells_ + observed];
+  ++observed_;
+}
+
+std::size_t TransitionMatrix::RankOf(std::size_t from, std::size_t to) const {
+  assert(from < cells_ && to < cells_);
+  const double target = PosteriorLogW(from, to);
+  std::size_t rank = 1;
+  for (std::size_t j = 0; j < cells_; ++j) {
+    const double w = PosteriorLogW(from, j);
+    if (w > target || (w == target && j < to)) ++rank;
+  }
+  return rank;
+}
+
+std::size_t TransitionMatrix::ArgMax(std::size_t from) const {
+  assert(from < cells_);
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < cells_; ++j) {
+    if (PosteriorLogW(from, j) > PosteriorLogW(from, best)) best = j;
+  }
+  return best;
+}
+
+std::uint64_t TransitionMatrix::CountOf(std::size_t from,
+                                        std::size_t to) const {
+  assert(from < cells_ && to < cells_);
+  return counts_[from * cells_ + to];
+}
+
+void TransitionMatrix::ApplyExtension(const GridExtension& ext,
+                                      std::size_t old_cols,
+                                      const Grid2D& new_grid,
+                                      const DecayKernel& kernel,
+                                      double likelihood_weight) {
+  const std::size_t old_cells = cells_;
+  TransitionMatrix grown = Prior(new_grid, kernel);
+  std::vector<bool> is_old(grown.cells_, false);
+  for (std::size_t i = 0; i < old_cells; ++i) {
+    const std::size_t ni = Grid2D::RemapIndex(i, old_cols, ext);
+    is_old[ni] = true;
+    for (std::size_t j = 0; j < old_cells; ++j) {
+      const std::size_t nj = Grid2D::RemapIndex(j, old_cols, ext);
+      grown.evidence_[ni * grown.cells_ + nj] = evidence_[i * cells_ + j];
+      grown.counts_[ni * grown.cells_ + nj] = counts_[i * cells_ + j];
+    }
+  }
+  grown.observed_ = observed_;
+
+  // Backfill evidence for the new columns of previously-observed rows.
+  for (std::size_t i = 0; i < old_cells; ++i) {
+    const std::size_t ni = Grid2D::RemapIndex(i, old_cols, ext);
+    // Sparse (destination, count) list of this row's history.
+    std::vector<std::pair<std::size_t, double>> dests;
+    for (std::size_t j = 0; j < old_cells; ++j) {
+      const std::uint32_t c = counts_[i * cells_ + j];
+      if (c > 0) {
+        dests.emplace_back(Grid2D::RemapIndex(j, old_cols, ext),
+                           static_cast<double>(c));
+      }
+    }
+    if (dests.empty()) continue;
+    for (std::size_t nj = 0; nj < grown.cells_; ++nj) {
+      if (is_old[nj]) continue;
+      double evidence = 0.0;
+      for (const auto& [dest, count] : dests) {
+        const auto [dx, dy] = Deltas(new_grid, dest, nj);
+        evidence += count * kernel.LogWeight(dx, dy);
+      }
+      grown.evidence_[ni * grown.cells_ + nj] =
+          likelihood_weight * evidence;
+    }
+  }
+  *this = std::move(grown);
+}
+
+void TransitionMatrix::RestoreState(std::vector<double> evidence,
+                                    std::vector<std::uint32_t> counts,
+                                    std::uint64_t observed) {
+  if (evidence.size() != cells_ * cells_ || counts.size() != cells_ * cells_) {
+    throw std::invalid_argument(
+        "TransitionMatrix::RestoreState: size mismatch with current grid");
+  }
+  evidence_ = std::move(evidence);
+  counts_ = std::move(counts);
+  observed_ = observed;
+}
+
+std::vector<std::uint64_t> TransitionDistanceHistogram(
+    const TransitionMatrix& matrix, const Grid2D& grid) {
+  const std::size_t cells = matrix.CellCount();
+  const std::size_t max_d =
+      std::max(grid.Rows(), grid.Cols());
+  std::vector<std::uint64_t> hist(max_d, 0);
+  for (std::size_t i = 0; i < cells; ++i) {
+    for (std::size_t j = 0; j < cells; ++j) {
+      const std::uint64_t c = matrix.CountOf(i, j);
+      if (c == 0) continue;
+      const CellCoord ca = grid.CoordOf(i);
+      const CellCoord cb = grid.CoordOf(j);
+      const auto d = static_cast<std::size_t>(
+          std::max(std::abs(ca.i1 - cb.i1), std::abs(ca.i2 - cb.i2)));
+      if (d >= hist.size()) hist.resize(d + 1, 0);
+      hist[d] += c;
+    }
+  }
+  return hist;
+}
+
+}  // namespace pmcorr

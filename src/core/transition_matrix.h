@@ -1,0 +1,112 @@
+// The transition probability matrix V (Sections 3 and 4.2).
+//
+// Row i of V is a discrete distribution P(c_i -> c_j) over all s cells.
+// The posterior of Eq. (1) factors as prior x likelihood; we store the
+// two factors separately in log space:
+//
+//   log V_ij  ∝  prior_logw[i][j] + evidence[i][j]
+//
+// where prior_logw is the kernel-shaped prior (Section 4.2 "Prior
+// Distribution") and evidence accumulates the Eq. (2) likelihood terms —
+// the additive log-space updates the paper describes. Keeping the factors
+// apart has two benefits: exponential forgetting shrinks *evidence*
+// toward zero (i.e. the posterior decays toward the prior, not toward a
+// uniform distribution), and grid extensions can rebuild the prior for
+// the grown grid while merely remapping the evidence.
+//
+// Alongside the posterior we keep raw empirical transition counts; they
+// power the locality statistics (Section 4.2's 701/412/280 analysis) and
+// the Figure 9/10 prior-vs-posterior demonstration.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "grid/grid.h"
+#include "grid/kernels.h"
+
+namespace pmcorr {
+
+class TransitionMatrix {
+ public:
+  TransitionMatrix() = default;
+
+  /// Builds the prior V for `grid`: row i is the normalized kernel
+  /// centered at cell i; evidence starts at zero.
+  static TransitionMatrix Prior(const Grid2D& grid, const DecayKernel& kernel);
+
+  std::size_t CellCount() const { return cells_; }
+
+  /// Normalized P(c_from -> c_to) under the current posterior.
+  double Probability(std::size_t from, std::size_t to) const;
+
+  /// The full normalized row distribution of `from`.
+  std::vector<double> RowDistribution(std::size_t from) const;
+
+  /// Applies one observed transition from `from` into `observed` (Eq. 2):
+  /// first scales row `from`'s accumulated evidence by `forgetting`, then
+  /// adds weight * LogWeight(d(observed, c_j)) to every entry.
+  void ObserveTransition(std::size_t from, std::size_t observed,
+                         const Grid2D& grid, const DecayKernel& kernel,
+                         double weight = 1.0, double forgetting = 1.0);
+
+  /// The paper's ranking function π over row `from`: rank 1 is the most
+  /// probable destination. Ties break toward the lower cell index, making
+  /// ranks deterministic. Returns a 1-based rank in [1, s].
+  std::size_t RankOf(std::size_t from, std::size_t to) const;
+
+  /// Cell index with the highest probability in row `from`.
+  std::size_t ArgMax(std::size_t from) const;
+
+  /// Total observed (empirical) transitions recorded.
+  std::uint64_t ObservedCount() const { return observed_; }
+
+  /// Raw empirical count for (from, to).
+  std::uint64_t CountOf(std::size_t from, std::size_t to) const;
+
+  /// Grows the matrix after a grid extension: the prior is rebuilt for
+  /// `new_grid`, and evidence/counts move to their remapped indices. For
+  /// an existing row, a brand-new column cannot start at zero evidence —
+  /// accumulated evidence is negative, so a zero entry would instantly
+  /// make the new (never-visited) cell the row's most probable
+  /// destination. Instead the new column's evidence is reconstructed
+  /// from the row's empirical counts, i.e. what Eq. (2) would have
+  /// accumulated had the cell existed all along (exact for
+  /// forgetting == 1, a close approximation otherwise).
+  /// `new_grid` is the grid *after* the extension, `old_cols` the column
+  /// count before it and `likelihood_weight` the Eq. (2) scale in use.
+  void ApplyExtension(const GridExtension& ext, std::size_t old_cols,
+                      const Grid2D& new_grid, const DecayKernel& kernel,
+                      double likelihood_weight = 1.0);
+
+  /// Accumulated evidence (row-major, s*s) — exposed for serialization.
+  const std::vector<double>& Evidence() const { return evidence_; }
+  /// Empirical counts (row-major, s*s) — exposed for serialization.
+  const std::vector<std::uint32_t>& Counts() const { return counts_; }
+  /// Restores evidence/counts saved earlier; the prior must already have
+  /// been rebuilt via Prior() on the same grid.
+  void RestoreState(std::vector<double> evidence,
+                    std::vector<std::uint32_t> counts,
+                    std::uint64_t observed);
+
+ private:
+  double PosteriorLogW(std::size_t from, std::size_t to) const {
+    return prior_logw_[from * cells_ + to] + evidence_[from * cells_ + to];
+  }
+
+  std::size_t cells_ = 0;
+  std::vector<double> prior_logw_;     // s*s kernel log weights
+  std::vector<double> evidence_;       // s*s accumulated log likelihood
+  std::vector<std::uint32_t> counts_;  // s*s empirical transition counts
+  std::uint64_t observed_ = 0;
+};
+
+/// Locality histogram of observed transitions: entry d is the number of
+/// transitions whose source/destination Chebyshev distance equals d
+/// (entry 0 = "stayed in the same cell"). Reproduces Section 4.2's
+/// 701-transition analysis.
+std::vector<std::uint64_t> TransitionDistanceHistogram(
+    const TransitionMatrix& matrix, const Grid2D& grid);
+
+}  // namespace pmcorr

@@ -1,0 +1,72 @@
+#include "engine/assembler.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pmcorr {
+
+RowAssembler::RowAssembler(AssemblerConfig config, RowCallback on_row)
+    : config_(config), on_row_(std::move(on_row)) {
+  assert(config_.period > 0);
+  assert(config_.measurement_count > 0);
+  assert(config_.max_open_slots > 0);
+}
+
+std::int64_t RowAssembler::SlotOf(TimePoint tp) const {
+  const Duration offset = tp - config_.start;
+  std::int64_t slot = offset / config_.period;
+  if (offset < 0 && offset % config_.period != 0) --slot;
+  return slot;
+}
+
+void RowAssembler::EmitThrough(std::int64_t slot) {
+  while (!slots_.empty() && slots_.begin()->first <= slot) {
+    const auto it = slots_.begin();
+    on_row_(it->second);
+    last_emitted_ = it->first;
+    any_emitted_ = true;
+    slots_.erase(it);
+  }
+}
+
+void RowAssembler::Offer(MeasurementId id, TimePoint tp, double value) {
+  assert(id.valid());
+  assert(static_cast<std::size_t>(id.value) < config_.measurement_count);
+
+  const std::int64_t slot = SlotOf(tp);
+  if (any_emitted_ && slot <= last_emitted_) {
+    ++late_drops_;  // its row already shipped
+    return;
+  }
+
+  auto [it, inserted] = slots_.try_emplace(slot);
+  if (inserted) {
+    it->second.time = config_.start + slot * config_.period;
+    it->second.values.assign(config_.measurement_count,
+                             std::numeric_limits<double>::quiet_NaN());
+  }
+  double& cell = it->second.values[static_cast<std::size_t>(id.value)];
+  if (std::isnan(cell)) ++it->second.filled;
+  cell = value;
+
+  // A complete newest slot ships immediately (forcing any older,
+  // still-incomplete slots out first so rows stay in time order); and
+  // the open-slot window is bounded regardless.
+  const std::int64_t newest = slots_.rbegin()->first;
+  if (it->first == newest && it->second.filled == config_.measurement_count) {
+    EmitThrough(newest);
+    return;
+  }
+  while (!slots_.empty() &&
+         newest - slots_.begin()->first >=
+             static_cast<std::int64_t>(config_.max_open_slots)) {
+    EmitThrough(slots_.begin()->first);
+  }
+}
+
+void RowAssembler::Flush() {
+  EmitThrough(std::numeric_limits<std::int64_t>::max() - 1);
+}
+
+}  // namespace pmcorr

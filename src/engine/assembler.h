@@ -1,0 +1,75 @@
+// RowAssembler: the shim between a real collector and the engine.
+//
+// SystemMonitor::Step wants one aligned row (all measurements, one
+// timestamp). Real collectors deliver single observations, out of order
+// within a sampling period, and sometimes not at all. The assembler
+// snaps events onto the sampling grid, fills what arrives, and emits a
+// row when its slot is complete — or when a newer slot forces it out
+// (late/absent observations become NaN, which the models treat as
+// missing).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace pmcorr {
+
+/// Assembler configuration.
+struct AssemblerConfig {
+  /// The sampling grid (slot s covers [start + s*period, ... + period)).
+  TimePoint start = 0;
+  Duration period = kPaperSamplePeriod;
+  /// Measurements per row.
+  std::size_t measurement_count = 0;
+  /// A slot is flushed (incomplete values as NaN) once an event arrives
+  /// for a slot at least this many periods newer.
+  std::size_t max_open_slots = 2;
+};
+
+/// One completed row.
+struct AssembledRow {
+  TimePoint time = 0;       // slot start
+  std::vector<double> values;  // NaN where nothing arrived
+  std::size_t filled = 0;   // observations actually received
+};
+
+class RowAssembler {
+ public:
+  using RowCallback = std::function<void(const AssembledRow&)>;
+
+  /// `on_row` fires once per flushed slot, in time order.
+  RowAssembler(AssemblerConfig config, RowCallback on_row);
+
+  /// Feeds one observation. Events older than the oldest open slot are
+  /// counted as late and dropped (the row already shipped). Multiple
+  /// events for the same (slot, measurement) keep the latest value.
+  void Offer(MeasurementId id, TimePoint tp, double value);
+
+  /// Flushes every open slot (end of stream / shutdown).
+  void Flush();
+
+  /// Observations that arrived after their row had shipped.
+  std::size_t LateDrops() const { return late_drops_; }
+
+  /// Currently open (partially filled) slots.
+  std::size_t OpenSlots() const { return slots_.size(); }
+
+ private:
+  std::int64_t SlotOf(TimePoint tp) const;
+  void EmitThrough(std::int64_t slot);
+
+  AssemblerConfig config_;
+  RowCallback on_row_;
+  /// slot index -> partial row.
+  std::map<std::int64_t, AssembledRow> slots_;
+  std::int64_t last_emitted_ = -1;
+  bool any_emitted_ = false;
+  std::size_t late_drops_ = 0;
+};
+
+}  // namespace pmcorr

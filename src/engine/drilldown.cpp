@@ -1,0 +1,139 @@
+#include "engine/drilldown.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "core/fitness.h"
+
+namespace pmcorr {
+namespace {
+
+std::string RenderRanges(const PairModel& model, double x, double y) {
+  const auto cell = model.Grid().CellOf({x, y});
+  if (!cell) return "outside the learned grid";
+  const Interval d1 = model.Grid().CellIntervalDim1(*cell);
+  const Interval d2 = model.Grid().CellIntervalDim2(*cell);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%.4g,%.4g) x [%.4g,%.4g)", d1.lo, d1.hi,
+                d2.lo, d2.hi);
+  return buf;
+}
+
+}  // namespace
+
+std::string DrilldownReport::ToString() const {
+  std::ostringstream out;
+  out << "incident drill-down (samples " << first_sample << ".."
+      << last_sample << ", mean system Q "
+      << (mean_system_score < 0 ? std::string("n/a")
+                                : std::to_string(mean_system_score).substr(0, 6))
+      << "):\n";
+  for (const DrilldownMeasurement& m : measurements) {
+    out << "  measurement " << m.name << " (machine " << m.machine.value
+        << "), mean Q^a " << std::to_string(m.mean_score).substr(0, 6)
+        << "\n";
+    for (const DrilldownLink& link : m.links) {
+      out << "    link " << link.description << ": mean Q^{a,b} "
+          << std::to_string(link.mean_fitness).substr(0, 6)
+          << ", worst cell " << link.worst_ranges << "\n";
+    }
+  }
+  return out.str();
+}
+
+DrilldownReport BuildDrilldown(const SystemMonitor& monitor,
+                               const std::vector<SystemSnapshot>& snapshots,
+                               const MeasurementFrame& frame,
+                               std::size_t first_sample,
+                               std::size_t last_sample,
+                               const DrilldownConfig& config) {
+  DrilldownReport report;
+  if (snapshots.empty()) return report;
+  first_sample = std::min(first_sample, snapshots.size() - 1);
+  last_sample = std::clamp(last_sample, first_sample, snapshots.size() - 1);
+  report.first_sample = first_sample;
+  report.last_sample = last_sample;
+
+  // Window aggregates.
+  const std::size_t l = monitor.MeasurementCount();
+  std::vector<ScoreAverager> measurement_avg(l);
+  std::vector<ScoreAverager> pair_avg(monitor.Graph().PairCount());
+  ScoreAverager system_avg;
+  for (std::size_t t = first_sample; t <= last_sample; ++t) {
+    const SystemSnapshot& snap = snapshots[t];
+    system_avg.Add(snap.system_score);
+    for (std::size_t a = 0; a < l; ++a) {
+      measurement_avg[a].Add(snap.measurement_scores[a]);
+    }
+    for (std::size_t p = 0; p < pair_avg.size(); ++p) {
+      pair_avg[p].Add(snap.pair_scores[p]);
+    }
+  }
+  report.mean_system_score = system_avg.Count() ? system_avg.Mean() : -1.0;
+
+  // Worst measurements first.
+  std::vector<std::size_t> order;
+  for (std::size_t a = 0; a < l; ++a) {
+    if (measurement_avg[a].Count() > 0) order.push_back(a);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return measurement_avg[x].Mean() < measurement_avg[y].Mean();
+  });
+  if (order.size() > config.max_measurements) {
+    order.resize(config.max_measurements);
+  }
+
+  for (std::size_t a : order) {
+    DrilldownMeasurement m;
+    m.id = MeasurementId(static_cast<std::int32_t>(a));
+    m.name = monitor.Infos()[a].name;
+    m.machine = monitor.Infos()[a].machine;
+    m.mean_score = measurement_avg[a].Mean();
+
+    std::vector<std::size_t> links(monitor.Graph().PairsOf(m.id).begin(),
+                                   monitor.Graph().PairsOf(m.id).end());
+    std::sort(links.begin(), links.end(), [&](std::size_t x, std::size_t y) {
+      const double mx =
+          pair_avg[x].Count() ? pair_avg[x].Mean() : 2.0;  // unscored last
+      const double my = pair_avg[y].Count() ? pair_avg[y].Mean() : 2.0;
+      return mx < my;
+    });
+    if (links.size() > config.max_links) links.resize(config.max_links);
+
+    for (std::size_t p : links) {
+      if (pair_avg[p].Count() == 0) continue;
+      DrilldownLink link;
+      link.pair_index = p;
+      const PairId& pair = monitor.Graph().Pair(p);
+      link.description =
+          monitor.Infos()[static_cast<std::size_t>(pair.a.value)].name +
+          "  x  " +
+          monitor.Infos()[static_cast<std::size_t>(pair.b.value)].name;
+      link.mean_fitness = pair_avg[p].Mean();
+
+      // The pair's worst scored sample in the window; its cell ranges
+      // are the "problematic measurement ranges" the paper hands to the
+      // debugging engineer.
+      std::size_t worst_t = first_sample;
+      double worst = 2.0;
+      for (std::size_t t = first_sample; t <= last_sample; ++t) {
+        const auto& s = snapshots[t].pair_scores[p];
+        if (s && *s < worst) {
+          worst = *s;
+          worst_t = t;
+        }
+      }
+      if (worst <= 1.0 && worst_t < frame.SampleCount()) {
+        link.worst_ranges = RenderRanges(monitor.Model(p),
+                                         frame.Value(pair.a, worst_t),
+                                         frame.Value(pair.b, worst_t));
+      }
+      m.links.push_back(std::move(link));
+    }
+    report.measurements.push_back(std::move(m));
+  }
+  return report;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,68 @@
+// Incident drill-down reports: the operator-facing artifact of the
+// paper's three-level hierarchy (Section 5's "the administrators can
+// drill down to Q^a or even Q^{a,b} to locate the specific components").
+//
+// Given the engine's snapshots for an incident window, the report names
+// the worst machines, the worst measurements on them, and the broken
+// pair links with the value ranges involved — everything a ticket needs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/monitor.h"
+
+namespace pmcorr {
+
+/// One suspicious pair link inside the incident.
+struct DrilldownLink {
+  std::size_t pair_index = 0;
+  std::string description;  // "name_a x name_b"
+  double mean_fitness = 0.0;
+  /// Cell ranges of the pair's worst observation, rendered as
+  /// "[lo,hi) x [lo,hi)" — the "problematic measurement ranges" the
+  /// paper highlights for human debugging. Empty if never scorable.
+  std::string worst_ranges;
+};
+
+/// One suspicious measurement.
+struct DrilldownMeasurement {
+  MeasurementId id;
+  std::string name;
+  MachineId machine;
+  double mean_score = 0.0;
+  std::vector<DrilldownLink> links;  // worst links first
+};
+
+/// The report: worst measurements first.
+struct DrilldownReport {
+  std::size_t first_sample = 0;
+  std::size_t last_sample = 0;
+  double mean_system_score = 0.0;
+  std::vector<DrilldownMeasurement> measurements;
+
+  /// Plain-text rendering for logs/tickets.
+  std::string ToString() const;
+};
+
+/// Options.
+struct DrilldownConfig {
+  /// Measurements to include (worst first).
+  std::size_t max_measurements = 3;
+  /// Links per measurement (worst first).
+  std::size_t max_links = 3;
+};
+
+/// Builds the report from the monitor (for its graph/infos/models), the
+/// snapshots of one Run(), and the frame that produced them (sample t of
+/// `frame` must correspond to snapshots[t]). The incident window is
+/// [first_sample, last_sample], indices into `snapshots`.
+DrilldownReport BuildDrilldown(const SystemMonitor& monitor,
+                               const std::vector<SystemSnapshot>& snapshots,
+                               const MeasurementFrame& frame,
+                               std::size_t first_sample,
+                               std::size_t last_sample,
+                               const DrilldownConfig& config = {});
+
+}  // namespace pmcorr

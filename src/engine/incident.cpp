@@ -1,0 +1,70 @@
+#include "engine/incident.h"
+
+#include <algorithm>
+
+namespace pmcorr {
+
+IncidentTracker::IncidentTracker(IncidentConfig config) : config_(config) {}
+
+const Incident* IncidentTracker::Observe(TimePoint time, bool alarming,
+                                         double score) {
+  // Close the open incident if it has been quiet long enough.
+  if (has_open_ &&
+      time - incidents_.back().last_alarm > config_.merge_gap) {
+    Incident& open = incidents_.back();
+    open.end = open.last_alarm + config_.merge_gap;
+    open.open = false;
+    has_open_ = false;
+    last_close_ = open.end;
+    has_closed_any_ = true;
+  }
+
+  if (!alarming) return nullptr;
+
+  if (has_open_) {
+    Incident& open = incidents_.back();
+    open.last_alarm = time;
+    ++open.alarm_count;
+    open.min_score = std::min(open.min_score, score);
+    return nullptr;
+  }
+
+  // Cooldown: an alarm shortly after a close re-opens the last incident.
+  if (has_closed_any_ && !incidents_.empty() &&
+      time - last_close_ <= config_.cooldown) {
+    Incident& last = incidents_.back();
+    last.open = true;
+    last.end = 0;
+    last.last_alarm = time;
+    ++last.alarm_count;
+    last.min_score = std::min(last.min_score, score);
+    has_open_ = true;
+    return nullptr;
+  }
+
+  Incident incident;
+  incident.start = time;
+  incident.last_alarm = time;
+  incident.alarm_count = 1;
+  incident.min_score = score;
+  incidents_.push_back(incident);
+  has_open_ = true;
+  return &incidents_.back();
+}
+
+void IncidentTracker::Flush(TimePoint now) {
+  if (!has_open_) return;
+  Incident& open = incidents_.back();
+  open.end = std::max(now, open.last_alarm + 1);
+  open.open = false;
+  has_open_ = false;
+  last_close_ = open.end;
+  has_closed_any_ = true;
+}
+
+std::optional<Incident> IncidentTracker::Open() const {
+  if (!has_open_) return std::nullopt;
+  return incidents_.back();
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,68 @@
+// Streaming incident tracking: turning raw per-sample alarms into
+// operator-facing incidents.
+//
+// A single fault typically fires many consecutive (or near-consecutive)
+// pair alarms; paging once per sample is noise. IncidentTracker groups
+// alarms separated by at most `merge_gap` into one incident, closes the
+// incident after a quiet period, and enforces a per-incident cooldown so
+// flapping faults do not re-page immediately.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pmcorr {
+
+/// One grouped anomaly episode.
+struct Incident {
+  TimePoint start = 0;
+  TimePoint last_alarm = 0;
+  /// Half-open end: set when the incident closes (quiet for merge_gap).
+  TimePoint end = 0;
+  std::size_t alarm_count = 0;
+  double min_score = 1.0;
+  bool open = true;
+};
+
+/// Tracker configuration.
+struct IncidentConfig {
+  /// Alarms at most this far apart belong to the same incident; the
+  /// incident closes after this much quiet time.
+  Duration merge_gap = 30 * kMinute;
+  /// After an incident closes, new alarms within the cooldown re-open it
+  /// instead of starting (and paging for) a fresh incident.
+  Duration cooldown = 15 * kMinute;
+};
+
+/// Feed Observe() once per processed sample, in time order.
+class IncidentTracker {
+ public:
+  explicit IncidentTracker(IncidentConfig config = {});
+
+  /// Records one sample. `alarming` marks the sample as anomalous;
+  /// `score` is its fitness (used for min_score bookkeeping). Returns a
+  /// pointer to a newly *opened* incident when this alarm started one
+  /// (the "page the operator" moment), nullptr otherwise.
+  const Incident* Observe(TimePoint time, bool alarming, double score);
+
+  /// Closes any open incident (end of stream).
+  void Flush(TimePoint now);
+
+  /// All incidents, oldest first (the last may still be open).
+  const std::vector<Incident>& Incidents() const { return incidents_; }
+
+  /// The currently open incident, if any.
+  std::optional<Incident> Open() const;
+
+ private:
+  IncidentConfig config_;
+  std::vector<Incident> incidents_;
+  bool has_open_ = false;
+  TimePoint last_close_ = 0;
+  bool has_closed_any_ = false;
+};
+
+}  // namespace pmcorr

@@ -1,0 +1,161 @@
+#include "engine/measurement_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pmcorr {
+
+MeasurementGraph MeasurementGraph::FullMesh(std::size_t measurement_count) {
+  std::vector<PairId> pairs;
+  pairs.reserve(measurement_count * (measurement_count - 1) / 2);
+  for (std::size_t a = 0; a < measurement_count; ++a) {
+    for (std::size_t b = a + 1; b < measurement_count; ++b) {
+      pairs.emplace_back(MeasurementId(static_cast<std::int32_t>(a)),
+                         MeasurementId(static_cast<std::int32_t>(b)));
+    }
+  }
+  return FromPairs(measurement_count, std::move(pairs));
+}
+
+MeasurementGraph MeasurementGraph::FromPairs(std::size_t measurement_count,
+                                             std::vector<PairId> pairs) {
+  std::set<PairId> seen;
+  for (const PairId& p : pairs) {
+    if (!p.valid()) {
+      throw std::invalid_argument("MeasurementGraph: invalid pair");
+    }
+    if (static_cast<std::size_t>(p.b.value) >= measurement_count) {
+      throw std::invalid_argument("MeasurementGraph: pair out of range");
+    }
+    if (!seen.insert(p).second) {
+      throw std::invalid_argument("MeasurementGraph: duplicate pair");
+    }
+  }
+  MeasurementGraph graph;
+  graph.pairs_ = std::move(pairs);
+  graph.pairs_of_.resize(measurement_count);
+  graph.Index();
+  return graph;
+}
+
+MeasurementGraph MeasurementGraph::Neighborhood(const MeasurementFrame& frame,
+                                                std::size_t remote_partners,
+                                                std::uint64_t seed) {
+  const std::size_t l = frame.MeasurementCount();
+  std::set<PairId> edges;
+
+  // Machine-local cliques: correlations "among measurements from the same
+  // machine".
+  for (MachineId machine : frame.Machines()) {
+    const auto local = frame.MeasurementsOn(machine);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      for (std::size_t j = i + 1; j < local.size(); ++j) {
+        edges.insert(PairId(local[i], local[j]));
+      }
+    }
+  }
+
+  // Cross-machine partners: correlations "across different machines,
+  // because the whole system is usually affected by the number of user
+  // requests".
+  Rng rng(CombineSeed(seed, 0x96a9));
+  for (std::size_t a = 0; a < l; ++a) {
+    const MachineId home = frame.Info(MeasurementId(
+        static_cast<std::int32_t>(a))).machine;
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < remote_partners && attempts < 40 * (remote_partners + 1)) {
+      ++attempts;
+      const auto b = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(l) - 1));
+      if (b == a) continue;
+      const MeasurementId mb(static_cast<std::int32_t>(b));
+      if (frame.Info(mb).machine == home) continue;
+      if (edges.insert(PairId(MeasurementId(static_cast<std::int32_t>(a)), mb))
+              .second) {
+        ++added;
+      }
+    }
+  }
+
+  MeasurementGraph graph;
+  graph.pairs_.assign(edges.begin(), edges.end());
+  graph.pairs_of_.resize(l);
+  graph.Index();
+  return graph;
+}
+
+MeasurementGraph MeasurementGraph::ByAssociation(const MeasurementFrame& frame,
+                                                 double min_abs_spearman,
+                                                 std::size_t max_partners) {
+  const std::size_t l = frame.MeasurementCount();
+  if (l < 2) {
+    throw std::invalid_argument(
+        "MeasurementGraph::ByAssociation: need at least two measurements");
+  }
+  max_partners = std::max<std::size_t>(1, max_partners);
+
+  // Pairwise |Spearman| (symmetric; nullopt-safe: degenerate pairs get 0).
+  std::vector<double> assoc(l * l, 0.0);
+  for (std::size_t a = 0; a < l; ++a) {
+    for (std::size_t b = a + 1; b < l; ++b) {
+      const auto rho = SpearmanCorrelation(
+          frame.Series(MeasurementId(static_cast<std::int32_t>(a))).Values(),
+          frame.Series(MeasurementId(static_cast<std::int32_t>(b))).Values());
+      const double strength = rho ? std::fabs(*rho) : 0.0;
+      assoc[a * l + b] = strength;
+      assoc[b * l + a] = strength;
+    }
+  }
+
+  std::set<PairId> edges;
+  for (std::size_t a = 0; a < l; ++a) {
+    // Partners sorted by strength descending, id ascending on ties.
+    std::vector<std::size_t> order;
+    order.reserve(l - 1);
+    for (std::size_t b = 0; b < l; ++b) {
+      if (b != a) order.push_back(b);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      if (assoc[a * l + x] != assoc[a * l + y]) {
+        return assoc[a * l + x] > assoc[a * l + y];
+      }
+      return x < y;
+    });
+    std::size_t added = 0;
+    for (std::size_t b : order) {
+      if (added >= max_partners) break;
+      // Always keep the single best partner so no node is isolated.
+      if (added > 0 && assoc[a * l + b] < min_abs_spearman) break;
+      edges.insert(PairId(MeasurementId(static_cast<std::int32_t>(a)),
+                          MeasurementId(static_cast<std::int32_t>(b))));
+      ++added;
+    }
+  }
+
+  MeasurementGraph graph;
+  graph.pairs_.assign(edges.begin(), edges.end());
+  graph.pairs_of_.resize(l);
+  graph.Index();
+  return graph;
+}
+
+std::span<const std::size_t> MeasurementGraph::PairsOf(MeasurementId a) const {
+  return pairs_of_.at(static_cast<std::size_t>(a.value));
+}
+
+void MeasurementGraph::Index() {
+  for (auto& v : pairs_of_) v.clear();
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    pairs_of_[static_cast<std::size_t>(pairs_[i].a.value)].push_back(i);
+    pairs_of_[static_cast<std::size_t>(pairs_[i].b.value)].push_back(i);
+  }
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,68 @@
+// The pairing structure over measurements — Figure 2(a)'s correlation
+// graph: nodes are measurements, edges are the pairs for which a model
+// M^{a,b} is maintained.
+//
+// The paper builds all l(l-1)/2 models; for large l that is memory-heavy
+// (each model carries an s x s matrix), so the graph also offers a
+// neighborhood builder: every measurement is paired with its machine
+// peers plus k randomly chosen remote partners — preserving both the
+// intra-machine and cross-machine correlations the paper highlights while
+// keeping the model count linear in l.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "timeseries/frame.h"
+
+namespace pmcorr {
+
+class MeasurementGraph {
+ public:
+  MeasurementGraph() = default;
+
+  /// All l(l-1)/2 pairs — the paper's full construction.
+  static MeasurementGraph FullMesh(std::size_t measurement_count);
+
+  /// Builds an explicit pair list (duplicates and self-pairs rejected).
+  static MeasurementGraph FromPairs(std::size_t measurement_count,
+                                    std::vector<PairId> pairs);
+
+  /// Machine-local cliques plus `remote_partners` random cross-machine
+  /// edges per measurement; deterministic in `seed`.
+  static MeasurementGraph Neighborhood(const MeasurementFrame& frame,
+                                       std::size_t remote_partners,
+                                       std::uint64_t seed);
+
+  /// Data-driven pairing: for each measurement, its `max_partners` most
+  /// strongly associated peers by |Spearman| over the history frame,
+  /// keeping only associations at or above `min_abs_spearman`. A
+  /// measurement whose best association falls below the bar still gets
+  /// its single best partner (no isolated nodes — every node needs at
+  /// least one link for Q^a to exist). Deterministic; ties break toward
+  /// lower measurement ids. This answers the deployment question the
+  /// paper leaves open: *which* of the l(l-1)/2 pairs to watch.
+  static MeasurementGraph ByAssociation(const MeasurementFrame& frame,
+                                        double min_abs_spearman = 0.6,
+                                        std::size_t max_partners = 3);
+
+  std::size_t MeasurementCount() const { return pairs_of_.size(); }
+  std::size_t PairCount() const { return pairs_.size(); }
+  const std::vector<PairId>& Pairs() const { return pairs_; }
+  const PairId& Pair(std::size_t index) const { return pairs_.at(index); }
+
+  /// Indices (into Pairs()) of every pair touching measurement `a` — the
+  /// "l-1 links leading to one node" of the paper's Q^a definition.
+  std::span<const std::size_t> PairsOf(MeasurementId a) const;
+
+ private:
+  void Index();
+
+  std::vector<PairId> pairs_;
+  std::vector<std::vector<std::size_t>> pairs_of_;
+};
+
+}  // namespace pmcorr

@@ -1,0 +1,150 @@
+#include "engine/monitor.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pmcorr {
+
+SystemMonitor::SystemMonitor(const MeasurementFrame& history,
+                             MeasurementGraph graph, MonitorConfig config)
+    : config_(config),
+      graph_(std::move(graph)),
+      infos_(history.Infos()),
+      pool_(config.threads) {
+  if (graph_.MeasurementCount() != history.MeasurementCount()) {
+    throw std::invalid_argument(
+        "SystemMonitor: graph and history measurement counts differ");
+  }
+  if (history.SampleCount() < 2) {
+    throw std::invalid_argument(
+        "SystemMonitor: history needs at least two samples");
+  }
+
+  models_.resize(graph_.PairCount());
+  measurement_avg_.resize(infos_.size());
+
+  pool_.ParallelFor(graph_.PairCount(), [&](std::size_t i) {
+    const PairId& pair = graph_.Pair(i);
+    models_[i] = PairModel::Learn(history.Series(pair.a).Values(),
+                                  history.Series(pair.b).Values(),
+                                  config_.model);
+  });
+}
+
+SystemMonitor::SystemMonitor(MonitorConfig config, MeasurementGraph graph,
+                             std::vector<MeasurementInfo> infos,
+                             std::vector<PairModel> models,
+                             std::vector<ScoreAverager> measurement_averages,
+                             ScoreAverager system_average, std::size_t steps)
+    : config_(config),
+      graph_(std::move(graph)),
+      infos_(std::move(infos)),
+      models_(std::move(models)),
+      pool_(config.threads),
+      measurement_avg_(std::move(measurement_averages)),
+      system_avg_(system_average),
+      steps_(steps) {
+  if (models_.size() != graph_.PairCount() ||
+      graph_.MeasurementCount() != infos_.size()) {
+    throw std::invalid_argument(
+        "SystemMonitor: checkpoint parts are inconsistent");
+  }
+  measurement_avg_.resize(infos_.size());
+}
+
+SystemSnapshot SystemMonitor::Step(std::span<const double> values,
+                                   TimePoint tp) {
+  if (values.size() != infos_.size()) {
+    throw std::invalid_argument("SystemMonitor::Step: value count mismatch");
+  }
+
+  SystemSnapshot snap;
+  snap.sample = steps_;
+  snap.time = tp;
+  snap.pair_scores.resize(graph_.PairCount());
+
+  std::vector<StepOutcome> outcomes(graph_.PairCount());
+  pool_.ParallelFor(graph_.PairCount(), [&](std::size_t i) {
+    const PairId& pair = graph_.Pair(i);
+    outcomes[i] = models_[i].Step(
+        values[static_cast<std::size_t>(pair.a.value)],
+        values[static_cast<std::size_t>(pair.b.value)]);
+  });
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const StepOutcome& out = outcomes[i];
+    if (out.has_score) snap.pair_scores[i] = out.fitness;
+    if (out.alarm) {
+      snap.alarmed_pairs.push_back(i);
+      alarm_log_.Record({tp, i, out.fitness, out.outlier});
+    }
+    if (out.outlier) ++snap.outlier_pairs;
+    if (out.extended_grid) ++snap.extended_pairs;
+  }
+
+  // Level 2: Q^a = mean of the engaged pair scores on a's links.
+  snap.measurement_scores.resize(infos_.size());
+  for (std::size_t a = 0; a < infos_.size(); ++a) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t pi :
+         graph_.PairsOf(MeasurementId(static_cast<std::int32_t>(a)))) {
+      if (snap.pair_scores[pi]) {
+        sum += *snap.pair_scores[pi];
+        ++n;
+      }
+    }
+    if (n > 0) {
+      snap.measurement_scores[a] = sum / static_cast<double>(n);
+      measurement_avg_[a].Add(*snap.measurement_scores[a]);
+    }
+  }
+
+  // Level 3: Q = mean of engaged measurement scores.
+  snap.system_score = AggregateScores(snap.measurement_scores);
+  system_avg_.Add(snap.system_score);
+
+  ++steps_;
+  return snap;
+}
+
+std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
+  if (test.MeasurementCount() != infos_.size()) {
+    throw std::invalid_argument(
+        "SystemMonitor::Run: test frame measurement count mismatch");
+  }
+  std::vector<SystemSnapshot> snapshots;
+  snapshots.reserve(test.SampleCount());
+  std::vector<double> values(infos_.size());
+  for (std::size_t t = 0; t < test.SampleCount(); ++t) {
+    for (std::size_t a = 0; a < infos_.size(); ++a) {
+      values[a] = test.Value(MeasurementId(static_cast<std::int32_t>(a)), t);
+    }
+    snapshots.push_back(Step(values, test.TimeAt(t)));
+  }
+  return snapshots;
+}
+
+void SystemMonitor::ResetSequences() {
+  for (auto& model : models_) model.ResetSequence();
+}
+
+void SystemMonitor::CalibrateThresholds(const MeasurementFrame& holdout,
+                                        double target_false_positive_rate) {
+  if (holdout.MeasurementCount() != infos_.size()) {
+    throw std::invalid_argument(
+        "SystemMonitor::CalibrateThresholds: holdout measurement count"
+        " mismatch");
+  }
+  pool_.ParallelFor(models_.size(), [&](std::size_t i) {
+    const PairId& pair = graph_.Pair(i);
+    const ThresholdCalibration calibration = CalibrateOnHoldout(
+        models_[i], holdout.Series(pair.a).Values(),
+        holdout.Series(pair.b).Values(), target_false_positive_rate);
+    models_[i].SetAlarmThresholds(calibration.fitness_threshold,
+                                  calibration.delta);
+    models_[i].ResetSequence();
+  });
+}
+
+}  // namespace pmcorr

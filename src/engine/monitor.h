@@ -1,0 +1,130 @@
+// SystemMonitor — the paper's full framework (Figure 6) over a whole
+// distributed system: one PairModel per graph edge, driven sample by
+// sample, with the three-level fitness aggregation of Section 5
+// (Q^{a,b} per pair -> Q^a per measurement -> Q for the system).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/config.h"
+#include "engine/alarm.h"
+#include "core/fitness.h"
+#include "core/model.h"
+#include "engine/measurement_graph.h"
+#include "engine/thread_pool.h"
+#include "timeseries/frame.h"
+
+namespace pmcorr {
+
+/// Engine configuration.
+struct MonitorConfig {
+  /// Shared configuration of every pair model.
+  ModelConfig model;
+  /// Worker threads for initialization and per-sample stepping
+  /// (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// The engine's view of one processed sample.
+struct SystemSnapshot {
+  std::size_t sample = 0;
+  TimePoint time = 0;
+
+  /// Q^{a,b} per graph pair; disengaged when the pair had no scorable
+  /// transition (first sample, or source cell unknown after an outlier).
+  std::vector<std::optional<double>> pair_scores;
+
+  /// Q^a per measurement (mean over its engaged pair scores).
+  std::vector<std::optional<double>> measurement_scores;
+
+  /// Q for the entire system (mean over engaged measurement scores).
+  std::optional<double> system_score;
+
+  /// Pair indices that alarmed at this sample.
+  std::vector<std::size_t> alarmed_pairs;
+
+  /// Pairs whose observation fell outside the grid beyond the extension
+  /// margin / pairs that grew their grid at this sample.
+  std::size_t outlier_pairs = 0;
+  std::size_t extended_pairs = 0;
+};
+
+class SystemMonitor {
+ public:
+  /// Learns one PairModel per graph edge from the history frame (the
+  /// models' initialization data) in parallel.
+  SystemMonitor(const MeasurementFrame& history, MeasurementGraph graph,
+                MonitorConfig config);
+
+  /// Restores a monitor from checkpointed parts (see io/monitor_io.h):
+  /// pre-built pair models (one per graph edge, same order) plus the
+  /// lifetime aggregates. Used for restart-without-relearning.
+  SystemMonitor(MonitorConfig config, MeasurementGraph graph,
+                std::vector<MeasurementInfo> infos,
+                std::vector<PairModel> models,
+                std::vector<ScoreAverager> measurement_averages,
+                ScoreAverager system_average, std::size_t steps);
+
+  /// Feeds one aligned sample (values[i] = measurement i) and returns the
+  /// snapshot; `tp` is the sample's timestamp.
+  SystemSnapshot Step(std::span<const double> values, TimePoint tp);
+
+  /// Feeds an entire test frame (its measurements must line up with the
+  /// history frame) and returns one snapshot per sample.
+  std::vector<SystemSnapshot> Run(const MeasurementFrame& test);
+
+  /// Forgets the per-pair previous cells (call between discontiguous
+  /// segments, e.g. train -> test gaps).
+  void ResetSequences();
+
+  /// Per-pair alarm calibration: replays a clean holdout frame through a
+  /// frozen copy of each pair model and arms that pair's fitness/delta
+  /// bounds at the `target_false_positive_rate` quantile of its own
+  /// scores (each pair has its own predictability, so one global bound
+  /// over- or under-alarms; see core/calibration.h). Runs in parallel;
+  /// leaves the per-pair sequences reset.
+  void CalibrateThresholds(const MeasurementFrame& holdout,
+                           double target_false_positive_rate);
+
+  const MeasurementGraph& Graph() const { return graph_; }
+  std::size_t MeasurementCount() const { return infos_.size(); }
+  const std::vector<MeasurementInfo>& Infos() const { return infos_; }
+  const PairModel& Model(std::size_t pair_index) const {
+    return models_.at(pair_index);
+  }
+
+  /// Lifetime mean of Q^a per measurement (over engaged samples) — feeds
+  /// the per-machine localization of Figure 14.
+  const std::vector<ScoreAverager>& MeasurementAverages() const {
+    return measurement_avg_;
+  }
+
+  /// Lifetime mean of the system score Q — the "average fitness score" of
+  /// Figure 13(a).
+  const ScoreAverager& SystemAverage() const { return system_avg_; }
+
+  /// Samples processed so far.
+  std::size_t StepCount() const { return steps_; }
+
+  /// Every pair alarm raised so far (time, pair index, fitness,
+  /// outlier flag) — feeds drill-down and noisy-pair reports.
+  const AlarmLog& Alarms() const { return alarm_log_; }
+
+ private:
+  MonitorConfig config_;
+  MeasurementGraph graph_;
+  std::vector<MeasurementInfo> infos_;
+  std::vector<PairModel> models_;
+  ThreadPool pool_;
+
+  std::vector<ScoreAverager> measurement_avg_;
+  ScoreAverager system_avg_;
+  AlarmLog alarm_log_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace pmcorr

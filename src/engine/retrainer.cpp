@@ -1,0 +1,43 @@
+#include "engine/retrainer.h"
+
+#include <vector>
+
+namespace pmcorr {
+
+RollingPairRetrainer::RollingPairRetrainer(
+    std::span<const double> x, std::span<const double> y,
+    const ModelConfig& model_config, const RetrainerConfig& retrainer_config)
+    : model_config_(model_config),
+      config_(retrainer_config),
+      model_(PairModel::Learn(x, y, model_config)) {
+  const std::size_t keep = std::min(x.size(), config_.window_samples);
+  for (std::size_t i = x.size() - keep; i < x.size(); ++i) {
+    window_x_.push_back(x[i]);
+    window_y_.push_back(y[i]);
+  }
+}
+
+StepOutcome RollingPairRetrainer::Step(double x, double y) {
+  const StepOutcome out = model_.Step(x, y);
+  window_x_.push_back(x);
+  window_y_.push_back(y);
+  while (window_x_.size() > config_.window_samples) {
+    window_x_.pop_front();
+    window_y_.pop_front();
+  }
+  ++since_rebuild_;
+  MaybeRebuild();
+  return out;
+}
+
+void RollingPairRetrainer::MaybeRebuild() {
+  if (since_rebuild_ < config_.interval_samples) return;
+  if (window_x_.size() < config_.min_samples) return;
+  const std::vector<double> xs(window_x_.begin(), window_x_.end());
+  const std::vector<double> ys(window_y_.begin(), window_y_.end());
+  model_ = PairModel::Learn(xs, ys, model_config_);
+  since_rebuild_ = 0;
+  ++rebuilds_;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,64 @@
+// Rolling re-initialization: operationalizing the paper's "initialize
+// the model from a snapshot of history data, e.g., collected from last
+// month".
+//
+// Online updating (Section 4) adapts the matrix within a fixed-ish grid;
+// over weeks, the grid itself should be relearned from a sliding window
+// so stale intervals disappear and the discretization tracks the current
+// value distribution (the paper never deletes cells online — rebuilds
+// are the offline counterpart). RollingPairRetrainer owns a PairModel,
+// buffers the most recent window of samples, and rebuilds the model on a
+// fixed cadence.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/time.h"
+#include "core/model.h"
+
+namespace pmcorr {
+
+/// Rebuild policy.
+struct RetrainerConfig {
+  /// Sliding-window length the rebuild learns from.
+  std::size_t window_samples = 15 * static_cast<std::size_t>(kSamplesPerDay);
+  /// Rebuild every this many processed samples.
+  std::size_t interval_samples = static_cast<std::size_t>(kSamplesPerDay);
+  /// Never rebuild from fewer buffered samples than this.
+  std::size_t min_samples = static_cast<std::size_t>(kSamplesPerDay) / 2;
+};
+
+class RollingPairRetrainer {
+ public:
+  /// Learns the initial model from (x, y) and seeds the window with it.
+  RollingPairRetrainer(std::span<const double> x, std::span<const double> y,
+                       const ModelConfig& model_config,
+                       const RetrainerConfig& retrainer_config = {});
+
+  /// Forwards to the current model, buffers the sample, and rebuilds the
+  /// model from the window when the cadence fires. Missing (non-finite)
+  /// samples are buffered too — they re-break the sequence on replay.
+  StepOutcome Step(double x, double y);
+
+  const PairModel& Model() const { return model_; }
+
+  /// Completed rebuilds so far.
+  std::size_t Rebuilds() const { return rebuilds_; }
+
+  /// Samples currently in the sliding window.
+  std::size_t WindowSize() const { return window_x_.size(); }
+
+ private:
+  void MaybeRebuild();
+
+  ModelConfig model_config_;
+  RetrainerConfig config_;
+  PairModel model_;
+  std::deque<double> window_x_;
+  std::deque<double> window_y_;
+  std::size_t since_rebuild_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace pmcorr

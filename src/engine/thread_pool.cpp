@@ -1,0 +1,79 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pmcorr {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t threads = workers_.size();
+  if (count <= 2 || threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t chunks = std::min(count, threads * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+  // Count the chunks before scheduling anything: a task that finishes
+  // before the counter is primed must not underflow it.
+  const std::size_t scheduled = (count + chunk_size - 1) / chunk_size;
+  std::atomic<std::size_t> remaining{scheduled};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t begin = 0; begin < count; begin += chunk_size) {
+    const std::size_t end = std::min(begin + chunk_size, count);
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> done_lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> done_lock(done_mutex);
+  done_cv.wait(done_lock, [&] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,47 @@
+// A small fixed-size worker pool with a ParallelFor primitive.
+//
+// The monitoring engine runs hundreds of independent pair models; both
+// model initialization and each online step parallelize trivially across
+// pairs (each model owns disjoint state). Work is handed out in
+// contiguous index chunks; results are deterministic because tasks never
+// share mutable state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pmcorr {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t ThreadCount() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, count), distributing contiguous chunks
+  /// across the pool, and returns when all calls completed. fn must not
+  /// throw. Falls back to inline execution for tiny counts.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace pmcorr

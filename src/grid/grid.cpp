@@ -1,0 +1,115 @@
+#include "grid/grid.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pmcorr {
+
+Grid2D::Grid2D(IntervalList dim1, IntervalList dim2)
+    : dim1_(std::move(dim1)),
+      dim2_(std::move(dim2)),
+      r_avg1_(dim1_.AverageWidth()),
+      r_avg2_(dim2_.AverageWidth()) {
+  assert(!dim1_.Empty() && !dim2_.Empty());
+}
+
+Grid2D::Grid2D(IntervalList dim1, IntervalList dim2, double r_avg1,
+               double r_avg2)
+    : dim1_(std::move(dim1)),
+      dim2_(std::move(dim2)),
+      r_avg1_(r_avg1),
+      r_avg2_(r_avg2) {
+  assert(!dim1_.Empty() && !dim2_.Empty());
+  assert(r_avg1_ > 0.0 && r_avg2_ > 0.0);
+}
+
+std::optional<std::size_t> Grid2D::CellOf(Point2 p) const {
+  const std::size_t i1 = dim1_.IndexOf(p.x);
+  if (i1 == IntervalList::npos) return std::nullopt;
+  const std::size_t i2 = dim2_.IndexOf(p.y);
+  if (i2 == IntervalList::npos) return std::nullopt;
+  return i1 * Cols() + i2;
+}
+
+CellCoord Grid2D::CoordOf(std::size_t index) const {
+  assert(index < CellCount());
+  return CellCoord{static_cast<int>(index / Cols()),
+                   static_cast<int>(index % Cols())};
+}
+
+std::size_t Grid2D::IndexOf(CellCoord coord) const {
+  assert(coord.i1 >= 0 && static_cast<std::size_t>(coord.i1) < Rows());
+  assert(coord.i2 >= 0 && static_cast<std::size_t>(coord.i2) < Cols());
+  return static_cast<std::size_t>(coord.i1) * Cols() +
+         static_cast<std::size_t>(coord.i2);
+}
+
+Interval Grid2D::CellIntervalDim1(std::size_t index) const {
+  return dim1_.At(static_cast<std::size_t>(CoordOf(index).i1));
+}
+
+Interval Grid2D::CellIntervalDim2(std::size_t index) const {
+  return dim2_.At(static_cast<std::size_t>(CoordOf(index).i2));
+}
+
+bool Grid2D::WithinExtensionMargin(Point2 p, double lambda1,
+                                   double lambda2) const {
+  const double margin1 = lambda1 * r_avg1_;
+  const double margin2 = lambda2 * r_avg2_;
+  if (p.x < dim1_.Lo() - margin1 || p.x >= dim1_.Hi() + margin1) return false;
+  if (p.y < dim2_.Lo() - margin2 || p.y >= dim2_.Hi() + margin2) return false;
+  return true;
+}
+
+std::optional<GridExtension> Grid2D::ExtendToInclude(Point2 p, double lambda1,
+                                                     double lambda2) {
+  if (!WithinExtensionMargin(p, lambda1, lambda2)) return std::nullopt;
+
+  GridExtension ext;
+  // Intervals needed below the lower bound: gap > 0, half-open intervals
+  // include their lower edge, so ceil covers the point exactly.
+  auto needed_below = [](double gap, double width) {
+    return static_cast<std::size_t>(std::ceil(gap / width));
+  };
+  // Above the upper bound the gap may be 0 (p on the old edge) and the
+  // covering interval must extend strictly past p: floor + 1.
+  auto needed_above = [](double gap, double width) {
+    return static_cast<std::size_t>(std::floor(gap / width)) + 1;
+  };
+
+  if (p.x < dim1_.Lo()) {
+    ext.dim1_below = needed_below(dim1_.Lo() - p.x, r_avg1_);
+    dim1_.ExtendBelow(ext.dim1_below, r_avg1_);
+  } else if (p.x >= dim1_.Hi()) {
+    ext.dim1_above = needed_above(p.x - dim1_.Hi(), r_avg1_);
+    dim1_.ExtendAbove(ext.dim1_above, r_avg1_);
+  }
+  if (p.y < dim2_.Lo()) {
+    ext.dim2_below = needed_below(dim2_.Lo() - p.y, r_avg2_);
+    dim2_.ExtendBelow(ext.dim2_below, r_avg2_);
+  } else if (p.y >= dim2_.Hi()) {
+    ext.dim2_above = needed_above(p.y - dim2_.Hi(), r_avg2_);
+    dim2_.ExtendAbove(ext.dim2_above, r_avg2_);
+  }
+  assert(CellOf(p).has_value());
+  return ext;
+}
+
+std::size_t Grid2D::RemapIndex(std::size_t old_index, std::size_t old_cols,
+                               const GridExtension& ext) {
+  const std::size_t old_row = old_index / old_cols;
+  const std::size_t old_col = old_index % old_cols;
+  const std::size_t new_cols = old_cols + ext.dim2_below + ext.dim2_above;
+  return (old_row + ext.dim1_below) * new_cols + (old_col + ext.dim2_below);
+}
+
+std::string Grid2D::Describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%zux%zu grid over [%g,%g) x [%g,%g)",
+                Rows(), Cols(), dim1_.Lo(), dim1_.Hi(), dim2_.Lo(),
+                dim2_.Hi());
+  return buf;
+}
+
+}  // namespace pmcorr

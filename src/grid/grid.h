@@ -1,0 +1,110 @@
+// Grid2D — the grid structure G = {c_1, ..., c_s} of the paper: the
+// cross product of one IntervalList per dimension, with online boundary
+// extension (Section 4.1 "Update").
+//
+// Cells are indexed row-major: cell(i1, i2) = i1 * s2 + i2, matching the
+// paper's Figure 3 layout (c1..c3 on the first row of a 3x3 grid).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "grid/interval.h"
+
+namespace pmcorr {
+
+/// A 2-D point (one sample of a measurement pair).
+struct Point2 {
+  double x = 0.0;  // dimension 1 (measurement a)
+  double y = 0.0;  // dimension 2 (measurement b)
+};
+
+/// Grid coordinates of a cell.
+struct CellCoord {
+  int i1 = 0;  // interval index along dimension 1
+  int i2 = 0;  // interval index along dimension 2
+
+  friend constexpr bool operator==(CellCoord, CellCoord) = default;
+};
+
+/// Result of a boundary extension: how many intervals were prepended /
+/// appended on each dimension. Consumers (the transition matrix) use it
+/// to remap old cell indices into the grown grid.
+struct GridExtension {
+  std::size_t dim1_below = 0;
+  std::size_t dim1_above = 0;
+  std::size_t dim2_below = 0;
+  std::size_t dim2_above = 0;
+
+  bool Empty() const {
+    return dim1_below + dim1_above + dim2_below + dim2_above == 0;
+  }
+};
+
+/// The rectangular grid over S = A^1 x A^2.
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(IntervalList dim1, IntervalList dim2);
+
+  /// Deserialization constructor: restores a grid whose r_avg was fixed
+  /// at an earlier initialization (extensions do not change r_avg, so a
+  /// reloaded grid must not recompute it from the current intervals).
+  Grid2D(IntervalList dim1, IntervalList dim2, double r_avg1, double r_avg2);
+
+  std::size_t Rows() const { return dim1_.Size(); }     // s1
+  std::size_t Cols() const { return dim2_.Size(); }     // s2
+  std::size_t CellCount() const { return Rows() * Cols(); }  // s
+
+  const IntervalList& Dim1() const { return dim1_; }
+  const IntervalList& Dim2() const { return dim2_; }
+
+  /// Index of the cell containing `p`, or nullopt when p is outside the
+  /// grid boundary.
+  std::optional<std::size_t> CellOf(Point2 p) const;
+
+  /// Grid coordinates of cell `index`.
+  CellCoord CoordOf(std::size_t index) const;
+
+  /// Inverse of CoordOf.
+  std::size_t IndexOf(CellCoord coord) const;
+
+  /// The rectangle [lo,hi) x [lo,hi) of cell `index` as two intervals.
+  Interval CellIntervalDim1(std::size_t index) const;
+  Interval CellIntervalDim2(std::size_t index) const;
+
+  /// r_avg per dimension — fixed at construction (the paper computes the
+  /// average interval size offline during initialization and uses it for
+  /// all later extension decisions).
+  double InitialAvgWidthDim1() const { return r_avg1_; }
+  double InitialAvgWidthDim2() const { return r_avg2_; }
+
+  /// True when `p` lies outside the grid but within lambda * r_avg of the
+  /// boundary on every violated dimension — the paper's signal of gradual
+  /// distribution evolution (as opposed to an outlier).
+  bool WithinExtensionMargin(Point2 p, double lambda1, double lambda2) const;
+
+  /// Grows the boundary with intervals of width r_avg until `p` is
+  /// contained, provided WithinExtensionMargin holds. Returns the applied
+  /// extension (Empty() when already contained), or nullopt when p is too
+  /// far outside (an outlier; the grid is left unchanged).
+  std::optional<GridExtension> ExtendToInclude(Point2 p, double lambda1,
+                                               double lambda2);
+
+  /// Remaps a cell index from before an extension to the grown grid.
+  /// `old_cols` is the column count before the extension.
+  static std::size_t RemapIndex(std::size_t old_index, std::size_t old_cols,
+                                const GridExtension& ext);
+
+  /// "s1 x s2 grid over [l1,u1) x [l2,u2)".
+  std::string Describe() const;
+
+ private:
+  IntervalList dim1_;
+  IntervalList dim2_;
+  double r_avg1_ = 0.0;
+  double r_avg2_ = 0.0;
+};
+
+}  // namespace pmcorr

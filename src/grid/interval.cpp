@@ -1,0 +1,93 @@
+#include "grid/interval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace pmcorr {
+
+IntervalList::IntervalList(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  assert(!intervals_.empty());
+#ifndef NDEBUG
+  for (std::size_t i = 0; i + 1 < intervals_.size(); ++i) {
+    assert(intervals_[i].hi == intervals_[i + 1].lo);
+    assert(intervals_[i].Width() > 0.0);
+  }
+  assert(intervals_.back().Width() > 0.0);
+#endif
+}
+
+IntervalList IntervalList::Uniform(double lo, double hi, std::size_t count) {
+  assert(count > 0 && hi > lo);
+  std::vector<Interval> out;
+  out.reserve(count);
+  const double width = (hi - lo) / static_cast<double>(count);
+  double edge = lo;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double next = i + 1 == count ? hi : lo + width * static_cast<double>(i + 1);
+    out.push_back({edge, next});
+    edge = next;
+  }
+  return IntervalList(std::move(out));
+}
+
+double IntervalList::Lo() const {
+  assert(!intervals_.empty());
+  return intervals_.front().lo;
+}
+
+double IntervalList::Hi() const {
+  assert(!intervals_.empty());
+  return intervals_.back().hi;
+}
+
+std::size_t IntervalList::IndexOf(double x) const {
+  if (intervals_.empty() || x < Lo() || x >= Hi()) return npos;
+  // Binary search over the shared edges.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](double value, const Interval& iv) { return value < iv.hi; });
+  assert(it != intervals_.end());
+  assert(it->Contains(x));
+  return static_cast<std::size_t>(it - intervals_.begin());
+}
+
+double IntervalList::AverageWidth() const {
+  if (intervals_.empty()) return 0.0;
+  return (Hi() - Lo()) / static_cast<double>(intervals_.size());
+}
+
+void IntervalList::ExtendBelow(std::size_t count, double width) {
+  assert(width > 0.0);
+  std::vector<Interval> prefix;
+  prefix.reserve(count);
+  double hi = Lo();
+  for (std::size_t i = 0; i < count; ++i) {
+    prefix.push_back({hi - width, hi});
+    hi -= width;
+  }
+  std::reverse(prefix.begin(), prefix.end());
+  intervals_.insert(intervals_.begin(), prefix.begin(), prefix.end());
+}
+
+void IntervalList::ExtendAbove(std::size_t count, double width) {
+  assert(width > 0.0);
+  double lo = Hi();
+  for (std::size_t i = 0; i < count; ++i) {
+    intervals_.push_back({lo, lo + width});
+    lo += width;
+  }
+}
+
+std::string IntervalList::ToString() const {
+  std::string out;
+  for (const Interval& iv : intervals_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%g,%g)", iv.lo, iv.hi);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,70 @@
+// Half-open numeric intervals — the building block of the grid structure.
+//
+// Per the paper (Section 3), each dimension A^a is discretized into
+// intervals v^a = [l^a, u^a); a grid cell is the intersection of one
+// interval from each dimension.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pmcorr {
+
+/// Half-open interval [lo, hi).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  constexpr double Width() const { return hi - lo; }
+  constexpr bool Contains(double x) const { return lo <= x && x < hi; }
+  constexpr double Center() const { return (lo + hi) / 2.0; }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// An ordered, contiguous list of intervals covering [front().lo,
+/// back().hi). Provides the per-dimension operations the grid needs:
+/// point location and boundary extension.
+class IntervalList {
+ public:
+  IntervalList() = default;
+
+  /// Takes ownership of `intervals`, which must be non-empty, sorted and
+  /// contiguous (interval[i].hi == interval[i+1].lo); validated in debug.
+  explicit IntervalList(std::vector<Interval> intervals);
+
+  /// Builds `count` equal-width intervals over [lo, hi).
+  static IntervalList Uniform(double lo, double hi, std::size_t count);
+
+  std::size_t Size() const { return intervals_.size(); }
+  bool Empty() const { return intervals_.empty(); }
+  const Interval& At(std::size_t i) const { return intervals_.at(i); }
+  const std::vector<Interval>& Intervals() const { return intervals_; }
+
+  double Lo() const;
+  double Hi() const;
+
+  /// Index of the interval containing x, or npos when outside [Lo, Hi).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t IndexOf(double x) const;
+
+  /// Mean interval width (the paper's r_avg, computed at initialization).
+  double AverageWidth() const;
+
+  /// Extends the list with `count` new intervals of width `width` below
+  /// Lo() (new indices 0..count-1; existing indices shift up by count).
+  void ExtendBelow(std::size_t count, double width);
+
+  /// Extends the list with `count` new intervals of width `width` above
+  /// Hi() (existing indices unchanged).
+  void ExtendAbove(std::size_t count, double width);
+
+  /// Renders "[lo1,hi1)[lo2,hi2)..." for debugging/reports.
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace pmcorr

@@ -1,0 +1,76 @@
+#include "grid/kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace pmcorr {
+
+double CellDistance(int dx, int dy, CellMetric metric) {
+  dx = std::abs(dx);
+  dy = std::abs(dy);
+  switch (metric) {
+    case CellMetric::kChebyshev:
+      return static_cast<double>(std::max(dx, dy));
+    case CellMetric::kManhattan:
+      return static_cast<double>(dx + dy);
+    case CellMetric::kEuclidean:
+      return std::sqrt(static_cast<double>(dx) * dx +
+                       static_cast<double>(dy) * dy);
+  }
+  return 0.0;
+}
+
+ExponentialKernel::ExponentialKernel(double w, CellMetric metric)
+    : w_(w), metric_(metric) {
+  assert(w_ > 1.0);
+}
+
+double ExponentialKernel::Weight(int dx, int dy) const {
+  return std::exp(LogWeight(dx, dy));
+}
+
+double ExponentialKernel::LogWeight(int dx, int dy) const {
+  return -CellDistance(dx, dy, metric_) * std::log(w_);
+}
+
+std::string ExponentialKernel::Describe() const {
+  const char* metric = metric_ == CellMetric::kChebyshev   ? "chebyshev"
+                       : metric_ == CellMetric::kManhattan ? "manhattan"
+                                                           : "euclidean";
+  return "exponential(w=" + FormatDouble(w_, 3) + ", metric=" + metric + ")";
+}
+
+namespace {
+constexpr double Triangular(int d) {
+  return static_cast<double>(d) * (static_cast<double>(d) + 1.0) / 2.0;
+}
+}  // namespace
+
+double TriangularKernel::Weight(int dx, int dy) const {
+  dx = std::abs(dx);
+  dy = std::abs(dy);
+  return 1.0 / (1.0 + (Triangular(dx) + Triangular(dy)) / 2.0);
+}
+
+double TriangularKernel::LogWeight(int dx, int dy) const {
+  return std::log(Weight(dx, dy));
+}
+
+std::string TriangularKernel::Describe() const {
+  return "triangular(figure-5 exact)";
+}
+
+std::unique_ptr<DecayKernel> MakeKernel(const KernelConfig& config) {
+  switch (config.type) {
+    case KernelConfig::Type::kTriangular:
+      return std::make_unique<TriangularKernel>();
+    case KernelConfig::Type::kExponential:
+      return std::make_unique<ExponentialKernel>(config.w, config.metric);
+  }
+  return std::make_unique<TriangularKernel>();
+}
+
+}  // namespace pmcorr

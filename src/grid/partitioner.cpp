@@ -1,0 +1,142 @@
+#include "grid/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace pmcorr {
+namespace {
+
+// An interval under construction: a run of fine units plus its data count.
+struct Segment {
+  std::size_t first_unit;
+  std::size_t last_unit;  // inclusive
+  double count = 0.0;
+
+  std::size_t Units() const { return last_unit - first_unit + 1; }
+  double Density() const { return count / static_cast<double>(Units()); }
+};
+
+bool SimilarCounts(double a, double b, double similarity) {
+  const double hi = std::max({a, b, 1.0});
+  return std::fabs(a - b) <= similarity * hi;
+}
+
+// Greedy left-to-right merge of fine units into segments.
+std::vector<Segment> MergeUnits(const std::vector<std::size_t>& counts,
+                                double sparse_threshold, double similarity) {
+  std::vector<Segment> segments;
+  for (std::size_t u = 0; u < counts.size(); ++u) {
+    const double c = static_cast<double>(counts[u]);
+    if (!segments.empty()) {
+      Segment& prev = segments.back();
+      const double prev_density = prev.Density();
+      const bool both_sparse =
+          prev_density < sparse_threshold && c < sparse_threshold;
+      if (both_sparse || SimilarCounts(prev_density, c, similarity)) {
+        prev.last_unit = u;
+        prev.count += c;
+        continue;
+      }
+    }
+    segments.push_back({u, u, c});
+  }
+  return segments;
+}
+
+// Merges the adjacent segment pair with the most similar densities until
+// the count cap holds.
+void EnforceMaxSegments(std::vector<Segment>& segments, std::size_t cap) {
+  while (segments.size() > cap) {
+    std::size_t best = 0;
+    double best_gap = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+      const double gap =
+          std::fabs(segments[i].Density() - segments[i + 1].Density());
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    segments[best].last_unit = segments[best + 1].last_unit;
+    segments[best].count += segments[best + 1].count;
+    segments.erase(segments.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+}
+
+}  // namespace
+
+IntervalList PartitionDimension(std::span<const double> values,
+                                const PartitionerConfig& config) {
+  assert(!values.empty());
+  assert(config.units >= 2);
+
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  if (hi <= lo) {
+    // Degenerate (constant) dimension: one symmetric band around the value.
+    const double pad = std::max(std::fabs(lo) * 0.05, 0.5);
+    return IntervalList::Uniform(lo - pad, lo + pad,
+                                 std::max<std::size_t>(config.min_intervals, 1));
+  }
+  hi += (hi - lo) * std::max(config.pad_fraction, 1e-12);
+
+  // Fine-grained unit histogram.
+  Histogram hist(lo, hi, config.units);
+  hist.AddAll(values);
+
+  // Uniform fallback: "if the data are equal-distributed ... simply divide
+  // the dimension into equal-sized intervals".
+  RunningStats unit_stats;
+  for (std::size_t u = 0; u < hist.BinCount(); ++u) {
+    unit_stats.Add(static_cast<double>(hist.CountAt(u)));
+  }
+  const double rel_stddev =
+      unit_stats.Mean() > 0.0 ? unit_stats.StdDev() / unit_stats.Mean() : 0.0;
+  if (rel_stddev < config.uniformity_threshold) {
+    return IntervalList::Uniform(lo, hi, std::max<std::size_t>(
+                                             config.uniform_intervals, 1));
+  }
+
+  const double expected =
+      static_cast<double>(values.size()) / static_cast<double>(config.units);
+  const double sparse_threshold = config.density_fraction * expected;
+
+  std::vector<Segment> segments =
+      MergeUnits(hist.Counts(), sparse_threshold, config.merge_similarity);
+  EnforceMaxSegments(segments, std::max<std::size_t>(config.max_intervals, 1));
+
+  // If merging collapsed too far, split the widest segments.
+  while (segments.size() < config.min_intervals) {
+    std::size_t widest = 0;
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+      if (segments[i].Units() > segments[widest].Units()) widest = i;
+    }
+    Segment& seg = segments[widest];
+    if (seg.Units() < 2) break;  // cannot split further
+    const std::size_t mid = seg.first_unit + seg.Units() / 2;
+    Segment right{mid, seg.last_unit, seg.count / 2.0};
+    seg.last_unit = mid - 1;
+    seg.count /= 2.0;
+    segments.insert(segments.begin() + static_cast<std::ptrdiff_t>(widest) + 1,
+                    right);
+  }
+
+  std::vector<Interval> intervals;
+  intervals.reserve(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const double left =
+        i == 0 ? lo : hist.BinLower(segments[i].first_unit);
+    const double right =
+        i + 1 == segments.size() ? hi : hist.BinLower(segments[i].last_unit + 1);
+    intervals.push_back({left, right});
+  }
+  return IntervalList(std::move(intervals));
+}
+
+}  // namespace pmcorr

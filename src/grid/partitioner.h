@@ -1,0 +1,56 @@
+// MAFIA-inspired adaptive discretization of one dimension (Section 4.1).
+//
+// The paper's recipe: split [l, u) into many small equal-sized *units*
+// (unit length z much smaller than the final interval size), histogram the
+// data, then merge adjacent units whose counts are similar with respect to
+// a threshold, or which are both below a density threshold. Dense regions
+// thus get more, narrower intervals; near-uniform dimensions fall back to
+// plain equal-width partitioning.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "grid/interval.h"
+
+namespace pmcorr {
+
+/// Tuning knobs of the adaptive partitioner.
+struct PartitionerConfig {
+  /// Number of fine histogram units per dimension (the unit length z is
+  /// (u-l)/units). Must be >= 2.
+  std::size_t units = 60;
+
+  /// Adjacent units merge when |count_i - count_j| <=
+  /// merge_similarity * max(count_i, count_j); i.e. relative difference
+  /// below the threshold means "similar density".
+  double merge_similarity = 0.35;
+
+  /// Units whose count is below density_fraction * (n / units) — i.e.
+  /// this fraction of the uniform expectation — are "sparse"; two
+  /// adjacent sparse units always merge.
+  double density_fraction = 0.4;
+
+  /// If the relative standard deviation of unit counts is below this, the
+  /// data are treated as equal-distributed and the dimension is split
+  /// into `uniform_intervals` equal-width intervals instead.
+  double uniformity_threshold = 0.15;
+  std::size_t uniform_intervals = 10;
+
+  /// Bounds on the resulting interval count. When merging yields more
+  /// than max_intervals, the most-similar adjacent intervals keep merging
+  /// until the cap holds. min_intervals splits the widest intervals.
+  std::size_t min_intervals = 2;
+  std::size_t max_intervals = 24;
+
+  /// The upper bound u is padded by this fraction of the data range so
+  /// the maximum observed value lies strictly inside [l, u).
+  double pad_fraction = 1e-6;
+};
+
+/// Discretizes one dimension to fit `values` (non-empty). Returns a
+/// contiguous IntervalList covering all the data.
+IntervalList PartitionDimension(std::span<const double> values,
+                                const PartitionerConfig& config);
+
+}  // namespace pmcorr

@@ -1,0 +1,123 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace pmcorr {
+namespace {
+
+MetricKind KindFromName(const std::string& name) {
+  for (int k = 0;; ++k) {
+    const auto kind = static_cast<MetricKind>(k);
+    const std::string kind_name = MetricKindName(kind);
+    if (kind_name == "UnknownMetric") break;
+    if (kind_name == name) return kind;
+  }
+  throw std::runtime_error("ReadFrameCsv: unknown metric kind '" + name + "'");
+}
+
+}  // namespace
+
+void WriteFrameCsv(const MeasurementFrame& frame, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("WriteFrameCsv: cannot open " + path);
+
+  out << "# pmcorr-trace v1 start=" << frame.StartTime()
+      << " period=" << frame.Period() << "\n";
+  for (const auto& info : frame.Infos()) {
+    out << "# measurement," << info.machine.value << ","
+        << MetricKindName(info.kind) << "," << info.name << "\n";
+  }
+  out << "time";
+  for (const auto& info : frame.Infos()) out << "," << info.name;
+  out << "\n";
+
+  char buf[40];
+  for (std::size_t t = 0; t < frame.SampleCount(); ++t) {
+    out << frame.TimeAt(t);
+    for (const auto& info : frame.Infos()) {
+      std::snprintf(buf, sizeof(buf), "%.17g", frame.Value(info.id, t));
+      out << "," << buf;
+    }
+    out << "\n";
+  }
+  if (!out) throw std::runtime_error("WriteFrameCsv: write failed: " + path);
+}
+
+MeasurementFrame ReadFrameCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ReadFrameCsv: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line) || !StartsWith(line, "# pmcorr-trace v1")) {
+    throw std::runtime_error("ReadFrameCsv: missing trace header in " + path);
+  }
+  long long start = 0, period = 0;
+  {
+    const auto fields = Split(line, ' ');
+    for (const auto& f : fields) {
+      if (StartsWith(f, "start=")) {
+        if (!ParseInt64(f.substr(6), &start)) {
+          throw std::runtime_error("ReadFrameCsv: bad start field");
+        }
+      } else if (StartsWith(f, "period=")) {
+        if (!ParseInt64(f.substr(7), &period)) {
+          throw std::runtime_error("ReadFrameCsv: bad period field");
+        }
+      }
+    }
+  }
+  if (period <= 0) throw std::runtime_error("ReadFrameCsv: bad period");
+
+  std::vector<MeasurementInfo> infos;
+  while (std::getline(in, line)) {
+    if (StartsWith(line, "# measurement,")) {
+      const auto fields = Split(line.substr(2), ',');
+      if (fields.size() != 4) {
+        throw std::runtime_error("ReadFrameCsv: bad measurement line");
+      }
+      long long machine = 0;
+      if (!ParseInt64(fields[1], &machine)) {
+        throw std::runtime_error("ReadFrameCsv: bad machine id");
+      }
+      MeasurementInfo info;
+      info.machine = MachineId(static_cast<std::int32_t>(machine));
+      info.kind = KindFromName(fields[2]);
+      info.name = fields[3];
+      infos.push_back(std::move(info));
+    } else {
+      break;  // the header row ("time,...")
+    }
+  }
+  if (!StartsWith(line, "time")) {
+    throw std::runtime_error("ReadFrameCsv: missing column header");
+  }
+
+  std::vector<std::vector<double>> columns(infos.size());
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, ',');
+    if (fields.size() != infos.size() + 1) {
+      throw std::runtime_error("ReadFrameCsv: row width mismatch");
+    }
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      double v = 0.0;
+      if (!ParseDouble(fields[i + 1], &v)) {
+        throw std::runtime_error("ReadFrameCsv: bad value '" + fields[i + 1] +
+                                 "'");
+      }
+      columns[i].push_back(v);
+    }
+  }
+
+  MeasurementFrame frame(start, period);
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    frame.Add(infos[i], TimeSeries(start, period, std::move(columns[i])));
+  }
+  return frame;
+}
+
+}  // namespace pmcorr

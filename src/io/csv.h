@@ -1,0 +1,25 @@
+// Trace persistence: MeasurementFrame <-> CSV.
+//
+// Format (one file per frame):
+//   # pmcorr-trace v1 start=<unix-seconds> period=<seconds>
+//   # measurement,<machine-id>,<kind-name>,<display-name>   (one per column)
+//   time,<display-name-1>,<display-name-2>,...
+//   <unix-seconds>,<v1>,<v2>,...
+//
+// Values round-trip through "%.17g" so reloads are bit-exact.
+#pragma once
+
+#include <string>
+
+#include "timeseries/frame.h"
+
+namespace pmcorr {
+
+/// Writes the frame; throws std::runtime_error on I/O failure.
+void WriteFrameCsv(const MeasurementFrame& frame, const std::string& path);
+
+/// Reads a frame written by WriteFrameCsv; throws std::runtime_error on
+/// malformed input or I/O failure.
+MeasurementFrame ReadFrameCsv(const std::string& path);
+
+}  // namespace pmcorr

@@ -1,0 +1,68 @@
+#include "io/jsonl.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace pmcorr {
+namespace {
+
+// JSON number or null (JSON has no NaN/Inf).
+std::string NumOrNull(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void WriteSnapshotsJsonl(const std::vector<SystemSnapshot>& snapshots,
+                         std::ostream& out) {
+  for (const SystemSnapshot& snap : snapshots) {
+    double worst = std::nan("");
+    for (const auto& qa : snap.measurement_scores) {
+      if (qa && (!std::isfinite(worst) || *qa < worst)) worst = *qa;
+    }
+    out << "{\"t\":" << snap.time << ",\"q\":"
+        << (snap.system_score ? NumOrNull(*snap.system_score) : "null")
+        << ",\"alarmed_pairs\":" << snap.alarmed_pairs.size()
+        << ",\"outlier_pairs\":" << snap.outlier_pairs
+        << ",\"worst_qa\":" << NumOrNull(worst) << "}\n";
+  }
+}
+
+void WriteIncidentsJsonl(const std::vector<Incident>& incidents,
+                         std::ostream& out) {
+  for (const Incident& incident : incidents) {
+    out << "{\"start\":" << incident.start << ",\"end\":" << incident.end
+        << ",\"alarms\":" << incident.alarm_count
+        << ",\"min_score\":" << NumOrNull(incident.min_score)
+        << ",\"open\":" << (incident.open ? "true" : "false") << "}\n";
+  }
+}
+
+}  // namespace pmcorr

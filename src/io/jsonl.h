@@ -1,0 +1,31 @@
+// JSON-lines export of monitoring results — the integration surface for
+// dashboards and log pipelines (one self-describing JSON object per
+// line; no external JSON dependency, we emit a small fixed schema).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/incident.h"
+#include "engine/monitor.h"
+
+namespace pmcorr {
+
+/// Writes one line per snapshot:
+///   {"t":<unix>,"q":<system score|null>,"alarmed_pairs":<n>,
+///    "outlier_pairs":<n>,"worst_qa":<min measurement score|null>}
+void WriteSnapshotsJsonl(const std::vector<SystemSnapshot>& snapshots,
+                         std::ostream& out);
+
+/// Writes one line per incident:
+///   {"start":<unix>,"end":<unix>,"alarms":<n>,"min_score":<q>,
+///    "open":<bool>}
+void WriteIncidentsJsonl(const std::vector<Incident>& incidents,
+                         std::ostream& out);
+
+/// Escapes a string for inclusion in a JSON value (quotes, backslashes,
+/// control characters).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace pmcorr

@@ -1,0 +1,176 @@
+#include "io/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pmcorr {
+namespace {
+
+constexpr const char* kMagic = "pmcorr-model v1";
+
+void WriteDouble(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+void WriteIntervals(std::ostream& out, const char* tag,
+                    const IntervalList& list) {
+  out << tag << " " << list.Size();
+  for (std::size_t i = 0; i < list.Size(); ++i) {
+    out << " ";
+    WriteDouble(out, list.At(i).lo);
+  }
+  out << " ";
+  WriteDouble(out, list.At(list.Size() - 1).hi);
+  out << "\n";
+}
+
+IntervalList ReadIntervals(std::istream& in, const std::string& expect_tag) {
+  std::string tag;
+  std::size_t n = 0;
+  if (!(in >> tag >> n) || tag != expect_tag || n == 0) {
+    throw std::runtime_error("LoadPairModel: bad interval section '" +
+                             expect_tag + "'");
+  }
+  std::vector<double> edges(n + 1);
+  for (double& e : edges) {
+    if (!(in >> e)) {
+      throw std::runtime_error("LoadPairModel: truncated interval edges");
+    }
+  }
+  std::vector<Interval> intervals;
+  intervals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (edges[i + 1] <= edges[i]) {
+      throw std::runtime_error("LoadPairModel: non-increasing edges");
+    }
+    intervals.push_back({edges[i], edges[i + 1]});
+  }
+  return IntervalList(std::move(intervals));
+}
+
+}  // namespace
+
+void SavePairModel(const PairModel& model, std::ostream& out) {
+  const ModelConfig& c = model.Config();
+  out << kMagic << "\n";
+  out << "kernel " << static_cast<int>(c.kernel.type) << " ";
+  WriteDouble(out, c.kernel.w);
+  out << " " << static_cast<int>(c.kernel.metric) << "\n";
+  out << "params ";
+  WriteDouble(out, c.lambda1);
+  out << " ";
+  WriteDouble(out, c.lambda2);
+  out << " ";
+  WriteDouble(out, c.delta);
+  out << " ";
+  WriteDouble(out, c.fitness_alarm_threshold);
+  out << " ";
+  WriteDouble(out, c.forgetting);
+  out << " ";
+  WriteDouble(out, c.likelihood_weight);
+  out << " " << (c.adaptive ? 1 : 0) << "\n";
+  out << "ravg ";
+  WriteDouble(out, model.Grid().InitialAvgWidthDim1());
+  out << " ";
+  WriteDouble(out, model.Grid().InitialAvgWidthDim2());
+  out << "\n";
+  WriteIntervals(out, "dim1", model.Grid().Dim1());
+  WriteIntervals(out, "dim2", model.Grid().Dim2());
+
+  const TransitionMatrix& m = model.Matrix();
+  out << "matrix " << m.CellCount() << " " << m.ObservedCount() << "\n";
+  out << "evidence";
+  for (double e : m.Evidence()) {
+    out << " ";
+    WriteDouble(out, e);
+  }
+  out << "\n";
+  out << "counts";
+  for (std::uint32_t v : m.Counts()) out << " " << v;
+  out << "\n";
+  if (!out) throw std::runtime_error("SavePairModel: write failed");
+}
+
+void SavePairModel(const PairModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SavePairModel: cannot open " + path);
+  SavePairModel(model, out);
+}
+
+PairModel LoadPairModel(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("LoadPairModel: bad magic");
+  }
+
+  ModelConfig config;
+  std::string tag;
+  int kernel_type = 0, metric = 0, adaptive = 1;
+  if (!(in >> tag >> kernel_type >> config.kernel.w >> metric) ||
+      tag != "kernel") {
+    throw std::runtime_error("LoadPairModel: bad kernel line");
+  }
+  config.kernel.type = static_cast<KernelConfig::Type>(kernel_type);
+  config.kernel.metric = static_cast<CellMetric>(metric);
+
+  if (!(in >> tag >> config.lambda1 >> config.lambda2 >> config.delta >>
+        config.fitness_alarm_threshold >> config.forgetting >>
+        config.likelihood_weight >> adaptive) ||
+      tag != "params") {
+    throw std::runtime_error("LoadPairModel: bad params line");
+  }
+  config.adaptive = adaptive != 0;
+
+  double r1 = 0.0, r2 = 0.0;
+  if (!(in >> tag >> r1 >> r2) || tag != "ravg" || r1 <= 0.0 || r2 <= 0.0) {
+    throw std::runtime_error("LoadPairModel: bad ravg line");
+  }
+
+  IntervalList dim1 = ReadIntervals(in, "dim1");
+  IntervalList dim2 = ReadIntervals(in, "dim2");
+  Grid2D grid(std::move(dim1), std::move(dim2), r1, r2);
+
+  std::size_t cells = 0;
+  std::uint64_t observed = 0;
+  if (!(in >> tag >> cells >> observed) || tag != "matrix" ||
+      cells != grid.CellCount()) {
+    throw std::runtime_error("LoadPairModel: bad matrix line");
+  }
+
+  const auto kernel = MakeKernel(config.kernel);
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, *kernel);
+
+  std::vector<double> evidence(cells * cells);
+  if (!(in >> tag) || tag != "evidence") {
+    throw std::runtime_error("LoadPairModel: missing evidence");
+  }
+  for (double& e : evidence) {
+    if (!(in >> e)) {
+      throw std::runtime_error("LoadPairModel: truncated evidence");
+    }
+  }
+  std::vector<std::uint32_t> counts(cells * cells);
+  if (!(in >> tag) || tag != "counts") {
+    throw std::runtime_error("LoadPairModel: missing counts");
+  }
+  for (std::uint32_t& v : counts) {
+    if (!(in >> v)) {
+      throw std::runtime_error("LoadPairModel: truncated counts");
+    }
+  }
+  matrix.RestoreState(std::move(evidence), std::move(counts), observed);
+
+  return PairModel::FromParts(config, std::move(grid), std::move(matrix));
+}
+
+PairModel LoadPairModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("LoadPairModel: cannot open " + path);
+  return LoadPairModel(in);
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,27 @@
+// PairModel persistence.
+//
+// A deployed monitor should survive restarts without relearning from
+// history, so the full model state round-trips: config, both interval
+// lists (with their initialization-time r_avg), the accumulated evidence,
+// and the empirical counts. Text-based, versioned, bit-exact doubles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/model.h"
+
+namespace pmcorr {
+
+/// Serializes the model; throws std::runtime_error on I/O failure.
+void SavePairModel(const PairModel& model, std::ostream& out);
+void SavePairModel(const PairModel& model, const std::string& path);
+
+/// Restores a model saved by SavePairModel; throws std::runtime_error on
+/// malformed input. The restored model continues exactly where the saved
+/// one stopped (same grid, posterior, counts; the transition sequence
+/// restarts, as after ResetSequence()).
+PairModel LoadPairModel(std::istream& in);
+PairModel LoadPairModel(const std::string& path);
+
+}  // namespace pmcorr

@@ -1,0 +1,144 @@
+#include "io/monitor_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/model_io.h"
+
+namespace pmcorr {
+namespace {
+
+constexpr const char* kMagic = "pmcorr-monitor v1";
+
+void WriteDouble(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void SaveSystemMonitor(const SystemMonitor& monitor, std::ostream& out) {
+  out << kMagic << "\n";
+  out << "measurements " << monitor.MeasurementCount() << "\n";
+  for (const MeasurementInfo& info : monitor.Infos()) {
+    // Display names may contain spaces in user data; ours use '@' form.
+    out << "m " << info.machine.value << " " << static_cast<int>(info.kind)
+        << " " << info.name << "\n";
+  }
+  out << "pairs " << monitor.Graph().PairCount() << "\n";
+  for (const PairId& pair : monitor.Graph().Pairs()) {
+    out << "p " << pair.a.value << " " << pair.b.value << "\n";
+  }
+  out << "aggregates " << monitor.StepCount() << " ";
+  WriteDouble(out, monitor.SystemAverage().Sum());
+  out << " " << monitor.SystemAverage().Count() << "\n";
+  for (const ScoreAverager& avg : monitor.MeasurementAverages()) {
+    out << "a ";
+    WriteDouble(out, avg.Sum());
+    out << " " << avg.Count() << "\n";
+  }
+  for (std::size_t i = 0; i < monitor.Graph().PairCount(); ++i) {
+    SavePairModel(monitor.Model(i), out);
+  }
+  if (!out) throw std::runtime_error("SaveSystemMonitor: write failed");
+}
+
+void SaveSystemMonitor(const SystemMonitor& monitor,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("SaveSystemMonitor: cannot open " + path);
+  }
+  SaveSystemMonitor(monitor, out);
+}
+
+std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
+                                                 std::size_t threads) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("LoadSystemMonitor: bad magic");
+  }
+
+  std::string tag;
+  std::size_t measurement_count = 0;
+  if (!(in >> tag >> measurement_count) || tag != "measurements") {
+    throw std::runtime_error("LoadSystemMonitor: bad measurements header");
+  }
+  std::vector<MeasurementInfo> infos;
+  infos.reserve(measurement_count);
+  for (std::size_t i = 0; i < measurement_count; ++i) {
+    int machine = 0, kind = 0;
+    std::string name;
+    if (!(in >> tag >> machine >> kind >> name) || tag != "m") {
+      throw std::runtime_error("LoadSystemMonitor: bad measurement line");
+    }
+    MeasurementInfo info;
+    info.id = MeasurementId(static_cast<std::int32_t>(i));
+    info.machine = MachineId(machine);
+    info.kind = static_cast<MetricKind>(kind);
+    info.name = std::move(name);
+    infos.push_back(std::move(info));
+  }
+
+  std::size_t pair_count = 0;
+  if (!(in >> tag >> pair_count) || tag != "pairs") {
+    throw std::runtime_error("LoadSystemMonitor: bad pairs header");
+  }
+  std::vector<PairId> pairs;
+  pairs.reserve(pair_count);
+  for (std::size_t i = 0; i < pair_count; ++i) {
+    int a = 0, b = 0;
+    if (!(in >> tag >> a >> b) || tag != "p") {
+      throw std::runtime_error("LoadSystemMonitor: bad pair line");
+    }
+    pairs.emplace_back(MeasurementId(a), MeasurementId(b));
+  }
+
+  std::size_t steps = 0;
+  double system_sum = 0.0;
+  std::size_t system_count = 0;
+  if (!(in >> tag >> steps >> system_sum >> system_count) ||
+      tag != "aggregates") {
+    throw std::runtime_error("LoadSystemMonitor: bad aggregates line");
+  }
+  std::vector<ScoreAverager> measurement_avgs;
+  measurement_avgs.reserve(measurement_count);
+  for (std::size_t i = 0; i < measurement_count; ++i) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    if (!(in >> tag >> sum >> count) || tag != "a") {
+      throw std::runtime_error("LoadSystemMonitor: bad averager line");
+    }
+    measurement_avgs.push_back(ScoreAverager::FromState(sum, count));
+  }
+  in >> std::ws;  // move to the first model's magic line
+
+  std::vector<PairModel> models;
+  models.reserve(pair_count);
+  for (std::size_t i = 0; i < pair_count; ++i) {
+    models.push_back(LoadPairModel(in));
+    in >> std::ws;
+  }
+
+  MonitorConfig config;
+  config.threads = threads;
+  if (!models.empty()) config.model = models.front().Config();
+
+  return std::make_unique<SystemMonitor>(
+      config, MeasurementGraph::FromPairs(measurement_count, std::move(pairs)),
+      std::move(infos), std::move(models), std::move(measurement_avgs),
+      ScoreAverager::FromState(system_sum, system_count), steps);
+}
+
+std::unique_ptr<SystemMonitor> LoadSystemMonitor(const std::string& path,
+                                                 std::size_t threads) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("LoadSystemMonitor: cannot open " + path);
+  }
+  return LoadSystemMonitor(in, threads);
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,30 @@
+// SystemMonitor checkpointing: persist and restore a whole fleet of pair
+// models plus the lifetime score aggregates, so a monitoring agent can
+// restart without relearning from history (the paper's models take
+// seconds to learn per pair; a production fleet carries hundreds).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "engine/monitor.h"
+
+namespace pmcorr {
+
+/// Serializes the monitor: measurement infos, graph edges, per-pair
+/// models (via the PairModel format of model_io), and the lifetime
+/// aggregates. Throws std::runtime_error on I/O failure.
+void SaveSystemMonitor(const SystemMonitor& monitor, std::ostream& out);
+void SaveSystemMonitor(const SystemMonitor& monitor, const std::string& path);
+
+/// Restores a monitor saved by SaveSystemMonitor. Worker-thread count is
+/// taken from `threads` (0 = hardware concurrency) since it is a property
+/// of the host, not of the model state. Throws std::runtime_error on
+/// malformed input.
+std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
+                                                 std::size_t threads = 0);
+std::unique_ptr<SystemMonitor> LoadSystemMonitor(const std::string& path,
+                                                 std::size_t threads = 0);
+
+}  // namespace pmcorr

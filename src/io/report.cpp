@@ -1,0 +1,31 @@
+#include "io/report.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace pmcorr {
+
+MarkdownReport::MarkdownReport(std::string title) {
+  text_ = "# " + std::move(title) + "\n";
+}
+
+void MarkdownReport::Section(const std::string& heading) {
+  text_ += "\n## " + heading + "\n\n";
+}
+
+void MarkdownReport::Paragraph(const std::string& text) {
+  text_ += text + "\n\n";
+}
+
+void MarkdownReport::Table(const TextTable& table) {
+  text_ += "```\n" + table.ToString() + "```\n\n";
+}
+
+void MarkdownReport::Write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("MarkdownReport: cannot open " + path);
+  out << text_;
+  if (!out) throw std::runtime_error("MarkdownReport: write failed: " + path);
+}
+
+}  // namespace pmcorr

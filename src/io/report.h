@@ -1,0 +1,36 @@
+// Experiment report helpers: write benchmark tables to markdown files so
+// EXPERIMENTS.md entries can be regenerated mechanically.
+#pragma once
+
+#include <string>
+
+#include "common/table.h"
+
+namespace pmcorr {
+
+/// Accumulates markdown sections and tables, then writes one file.
+class MarkdownReport {
+ public:
+  explicit MarkdownReport(std::string title);
+
+  /// Starts a "## heading" section.
+  void Section(const std::string& heading);
+
+  /// Adds a free paragraph.
+  void Paragraph(const std::string& text);
+
+  /// Adds a table (rendered as a fenced code block to preserve
+  /// alignment exactly as the bench printed it).
+  void Table(const TextTable& table);
+
+  /// The assembled markdown.
+  const std::string& Text() const { return text_; }
+
+  /// Writes to `path`; throws std::runtime_error on failure.
+  void Write(const std::string& path) const;
+
+ private:
+  std::string text_;
+};
+
+}  // namespace pmcorr

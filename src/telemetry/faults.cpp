@@ -1,0 +1,93 @@
+#include "telemetry/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pmcorr {
+
+std::string FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kCorrelationBreak: return "correlation-break";
+    case FaultType::kAnomalousJump:    return "anomalous-jump";
+    case FaultType::kLevelShift:       return "level-shift";
+    case FaultType::kStuckValue:       return "stuck-value";
+    case FaultType::kNoiseStorm:       return "noise-storm";
+    case FaultType::kDropout:          return "dropout";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::vector<FaultEvent> events,
+                             std::uint64_t seed)
+    : events_(std::move(events)), rng_(CombineSeed(seed, 0xfa0117)) {}
+
+bool FaultInjector::AnyActive(MachineId machine, MetricKind kind,
+                              TimePoint tp) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [&](const FaultEvent& e) {
+                       return e.Affects(machine, kind, tp);
+                     });
+}
+
+double FaultInjector::Apply(MachineId machine, MetricKind kind,
+                            std::size_t measurement, TimePoint tp,
+                            double clean_value, double typical_range,
+                            double& noise_sigma_scale) {
+  if (measurement >= state_.size()) state_.resize(measurement + 1);
+  WalkState& st = state_[measurement];
+
+  const FaultEvent* active = nullptr;
+  for (const FaultEvent& e : events_) {
+    if (e.Affects(machine, kind, tp)) {
+      active = &e;
+      break;
+    }
+  }
+  if (active == nullptr) {
+    st.active = false;
+    st.stuck_set = false;
+    return clean_value;
+  }
+
+  switch (active->type) {
+    case FaultType::kCorrelationBreak: {
+      if (!st.active) {
+        st.active = true;
+        st.value = clean_value;
+      }
+      // Fast random walk with occasional re-jumps, clamped to a plausible
+      // band: values stay in range (no per-metric threshold fires), but
+      // the link to the workload is gone and successive samples jump
+      // across grid cells — the transition-level signature the model
+      // keys on.
+      if (rng_.Bernoulli(0.08)) {
+        st.value = clean_value + rng_.Uniform(-2.0, 2.0) * typical_range;
+      } else {
+        st.value += rng_.Normal(0.0, 0.35 * typical_range);
+      }
+      st.value = std::clamp(st.value, clean_value - 2.0 * typical_range,
+                            clean_value + 2.0 * typical_range);
+      return std::max(0.0, st.value);
+    }
+    case FaultType::kAnomalousJump:
+      return clean_value + active->magnitude * typical_range;
+    case FaultType::kLevelShift:
+      return clean_value * (1.0 + active->magnitude);
+    case FaultType::kStuckValue: {
+      if (!st.stuck_set) {
+        st.stuck = clean_value;
+        st.stuck_set = true;
+      }
+      return st.stuck;
+    }
+    case FaultType::kNoiseStorm:
+      noise_sigma_scale = std::max(noise_sigma_scale, active->magnitude);
+      return clean_value;
+    case FaultType::kDropout:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+  return clean_value;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,102 @@
+// Ground-truth fault injection.
+//
+// The paper evaluates against problems "identified by the system
+// administrators" in proprietary traces; our substitute injects faults
+// with exact windows and targets so detection (Figure 12) and
+// localization (Figure 14) can be checked against known truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace pmcorr {
+
+/// What goes wrong during a fault window.
+enum class FaultType : std::uint8_t {
+  /// The metric decouples from the workload and wanders independently —
+  /// values stay in plausible ranges but the *correlation* breaks (the
+  /// paper's "real problem" signature: values normal, links broken).
+  kCorrelationBreak,
+
+  /// A sudden jump far outside the recent operating region — the Group B
+  /// event the paper narrates (a jump into a distant grid cell).
+  kAnomalousJump,
+
+  /// Persistent multiplicative shift for the duration of the window.
+  kLevelShift,
+
+  /// The metric freezes at its window-entry value (agent/driver hang).
+  kStuckValue,
+
+  /// Noise variance inflates tenfold (flaky hardware, retry storms).
+  kNoiseStorm,
+
+  /// The collector stops reporting: samples in the window are NaN
+  /// (exercises the engine's missing-data path).
+  kDropout,
+};
+
+std::string FaultTypeName(FaultType type);
+
+/// One injected problem: which machine, when, what kind, how strong.
+struct FaultEvent {
+  MachineId machine;
+  TimePoint start = 0;
+  TimePoint end = 0;  // half-open [start, end)
+  FaultType type = FaultType::kCorrelationBreak;
+
+  /// Interpretation depends on type: jump/level-shift magnitude as a
+  /// multiple of the metric's typical dynamic range; noise multiplier for
+  /// kNoiseStorm. Unused by kStuckValue.
+  double magnitude = 1.0;
+
+  /// When set, only metrics of this kind on the machine are affected;
+  /// otherwise every metric on the machine is.
+  std::optional<MetricKind> metric_filter;
+
+  bool Active(TimePoint tp) const { return start <= tp && tp < end; }
+  bool Affects(MachineId m, MetricKind kind, TimePoint tp) const {
+    return machine == m && Active(tp) &&
+           (!metric_filter || *metric_filter == kind);
+  }
+};
+
+/// Per-metric mutable state the injector keeps while a trace is being
+/// generated (stuck values, random-walk state for correlation breaks).
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::vector<FaultEvent> events, std::uint64_t seed);
+
+  const std::vector<FaultEvent>& Events() const { return events_; }
+
+  /// Transforms a clean metric value. Called once per (measurement,
+  /// sample) in time order. `typical_range` scales jump magnitudes;
+  /// `noise_sigma` lets kNoiseStorm inflate it (returned by reference).
+  double Apply(MachineId machine, MetricKind kind, std::size_t measurement,
+               TimePoint tp, double clean_value, double typical_range,
+               double& noise_sigma_scale);
+
+  /// True if any event affects the (machine, kind) pair at `tp`.
+  bool AnyActive(MachineId machine, MetricKind kind, TimePoint tp) const;
+
+ private:
+  struct WalkState {
+    bool active = false;
+    double value = 0.0;
+    double stuck = 0.0;
+    bool stuck_set = false;
+  };
+
+  std::vector<FaultEvent> events_;
+  Rng rng_;
+  /// Keyed by dense measurement index supplied by the generator.
+  std::vector<WalkState> state_;
+};
+
+}  // namespace pmcorr

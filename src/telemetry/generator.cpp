@@ -1,0 +1,101 @@
+#include "telemetry/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "telemetry/response.h"
+
+namespace pmcorr {
+namespace {
+
+/// Typical dynamic range of a recipe's output over normalized loads in
+/// [0, 1] — used to scale jump/walk fault magnitudes.
+double TypicalRange(const MetricRecipe& recipe) {
+  double lo = recipe.response->Value(0.05);
+  double hi = recipe.response->Value(0.95);
+  if (lo > hi) std::swap(lo, hi);
+  return std::max(hi - lo, 1e-6);
+}
+
+}  // namespace
+
+MeasurementFrame GenerateTrace(const TraceSpec& spec) {
+  WorkloadModel workload(spec.workload, spec.seed, spec.start, spec.samples,
+                         spec.period);
+  FaultInjector injector(spec.faults, CombineSeed(spec.seed, 0x1a41));
+
+  // Average traffic share normalizes machine load so a typical machine
+  // peaks near utilization ~0.75 at the workload's weekday peak.
+  double share_sum = 0.0;
+  for (const auto& m : spec.topology.machines) share_sum += m.traffic_share;
+  const double avg_share =
+      share_sum / std::max<std::size_t>(1, spec.topology.machines.size());
+  const double peak_rate = workload.PeakRate();
+
+  MeasurementFrame frame(spec.start, spec.period);
+  std::size_t measurement_index = 0;
+
+  for (const auto& machine : spec.topology.machines) {
+    Rng machine_rng(CombineSeed(
+        spec.seed, 0x3a0000 + static_cast<std::uint64_t>(machine.id.value)));
+
+    // Machine-level load wiggle, shared by every metric on the machine:
+    // same-machine metrics stay strongly correlated while cross-machine
+    // correlations loosen into the cloudy shapes of Figure 2(c).
+    Rng machine_wiggle_rng = machine_rng.Fork();
+    std::vector<double> machine_u(spec.samples);
+    double machine_ar = 0.0;
+    for (std::size_t t = 0; t < spec.samples; ++t) {
+      const double global_u = workload.RateAt(t) *
+                              (machine.traffic_share / avg_share) /
+                              (peak_rate * 1.25 * machine.capacity_scale);
+      machine_ar = 0.9 * machine_ar + machine_wiggle_rng.Normal(0.0, 0.055);
+      machine_u[t] = std::max(0.0, global_u * std::exp(machine_ar));
+    }
+
+    for (MetricKind kind : MetricsForRole(machine.role)) {
+      Rng recipe_rng = machine_rng.Fork();
+      Rng noise_rng = machine_rng.Fork();
+      Rng local_rng = machine_rng.Fork();
+      const MetricRecipe recipe =
+          MakeRecipe(kind, machine.capacity_scale, recipe_rng);
+      const double range = TypicalRange(recipe);
+
+      std::vector<double> values(spec.samples);
+      double local_ar = 0.0;
+      for (std::size_t t = 0; t < spec.samples; ++t) {
+        const TimePoint tp =
+            spec.start + static_cast<Duration>(t) * spec.period;
+
+        // Per-metric idiosyncratic wiggle on top of the machine load.
+        local_ar = 0.9 * local_ar + local_rng.Normal(0.0, 0.05);
+        const double u = std::max(
+            0.0, machine_u[t] * (1.0 - recipe.local_mix) +
+                     machine_u[t] * recipe.local_mix * std::exp(local_ar));
+
+        double clean = recipe.response->Value(u);
+        double noise_scale = 1.0;
+        clean = injector.Apply(machine.id, kind, measurement_index, tp,
+                               clean, range, noise_scale);
+        NoiseConfig noise = recipe.noise;
+        noise.relative_sigma *= noise_scale;
+        noise.additive_sigma *= noise_scale;
+        double value = ApplyNoise(clean, noise, noise_rng, recipe.floor);
+        if (recipe.ceil > 0.0) value = std::min(value, recipe.ceil);
+        values[t] = value;
+      }
+
+      MeasurementInfo info;
+      info.machine = machine.id;
+      info.kind = kind;
+      info.name = MetricKindName(kind) + "@" + machine.hostname;
+      frame.Add(std::move(info),
+                TimeSeries(spec.start, spec.period, std::move(values)));
+      ++measurement_index;
+    }
+  }
+  return frame;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,36 @@
+// TraceGenerator — turns (topology, workload, faults, seed) into a
+// MeasurementFrame: the synthetic stand-in for the paper's proprietary
+// monitoring data.
+//
+// Generation pipeline, per machine and sample:
+//   global request rate  ->  machine load (traffic share, local AR(1)
+//   wiggle, capacity)    ->  per-metric response function  ->  fault
+//   injection            ->  measurement noise  ->  clamping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/faults.h"
+#include "telemetry/topology.h"
+#include "telemetry/workload.h"
+#include "timeseries/frame.h"
+
+namespace pmcorr {
+
+/// Everything needed to generate one group's trace.
+struct TraceSpec {
+  Topology topology;
+  WorkloadConfig workload;
+  TimePoint start = 0;
+  std::size_t samples = 0;
+  Duration period = kPaperSamplePeriod;
+  std::vector<FaultEvent> faults;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the frame described by `spec`; bit-reproducible for a fixed
+/// spec. Measurement names follow "<MetricKindName>@<hostname>".
+MeasurementFrame GenerateTrace(const TraceSpec& spec);
+
+}  // namespace pmcorr

@@ -1,0 +1,126 @@
+#include "telemetry/queueing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace pmcorr {
+
+MmcQueueSimulator::MmcQueueSimulator(QueueConfig config) : config_(config) {
+  assert(config_.servers > 0);
+  assert(config_.service_rate > 0.0);
+}
+
+QueueSimStats MmcQueueSimulator::Run(double arrival_rate,
+                                     double duration_seconds, Rng& rng) {
+  assert(arrival_rate >= 0.0);
+  assert(duration_seconds > 0.0);
+
+  const double end = now_ + duration_seconds;
+  const double mu = config_.service_rate;
+  const std::size_t c = config_.servers;
+
+  QueueSimStats stats;
+  std::vector<double> responses;
+  std::vector<double> waits;
+  double busy_area = 0.0;       // integral of busy servers over time
+  double in_system_area = 0.0;  // integral of requests in system
+
+  while (now_ < end) {
+    const std::size_t busy = in_service_.size();
+    const double service_flow = static_cast<double>(busy) * mu;
+    const double total_rate = arrival_rate + service_flow;
+
+    double dt;
+    if (total_rate <= 0.0) {
+      // Idle system, no arrivals: fast-forward.
+      dt = end - now_;
+      busy_area += static_cast<double>(busy) * dt;
+      in_system_area += static_cast<double>(InSystem()) * dt;
+      now_ = end;
+      break;
+    }
+    dt = rng.Exponential(total_rate);
+    if (now_ + dt > end) {
+      const double tail = end - now_;
+      busy_area += static_cast<double>(busy) * tail;
+      in_system_area += static_cast<double>(InSystem()) * tail;
+      now_ = end;
+      break;
+    }
+    busy_area += static_cast<double>(busy) * dt;
+    in_system_area += static_cast<double>(InSystem()) * dt;
+    now_ += dt;
+    const bool is_arrival = rng.Uniform() * total_rate < arrival_rate;
+
+    if (is_arrival) {
+      ++stats.arrivals;
+      if (config_.capacity > 0 && InSystem() >= config_.capacity) {
+        ++stats.dropped;
+        continue;
+      }
+      if (in_service_.size() < c) {
+        in_service_.push_back(now_);   // starts service immediately
+        waits.push_back(0.0);
+      } else {
+        waiting_.push_back(now_);
+      }
+    } else {
+      // A service completion: exponential services are exchangeable, so
+      // the finishing request is uniform over the busy servers.
+      assert(!in_service_.empty());
+      const std::size_t slot = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(in_service_.size()) - 1));
+      const double arrival_time = in_service_[slot];
+      in_service_[slot] = in_service_.back();
+      in_service_.pop_back();
+      ++stats.completed;
+      responses.push_back(now_ - arrival_time);
+      if (!waiting_.empty()) {
+        const double queued_arrival = waiting_.front();
+        waiting_.pop_front();
+        waits.push_back(now_ - queued_arrival);
+        in_service_.push_back(queued_arrival);
+      }
+    }
+  }
+
+  if (!responses.empty()) {
+    stats.mean_response = Mean(responses);
+    stats.p95_response = Quantile(responses, 0.95).value_or(0.0);
+  }
+  if (!waits.empty()) stats.mean_wait = Mean(waits);
+  stats.utilization =
+      busy_area / (static_cast<double>(c) * duration_seconds);
+  stats.mean_in_system = in_system_area / duration_seconds;
+  return stats;
+}
+
+double ErlangC(double offered_load, std::size_t servers) {
+  assert(servers > 0);
+  const double a = offered_load;
+  const auto c = static_cast<double>(servers);
+  if (a >= c) return 1.0;
+
+  // Erlang-B by the stable recurrence, then convert to Erlang-C.
+  double b = 1.0;  // B(0, a) = 1
+  for (std::size_t k = 1; k <= servers; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  const double rho = a / c;
+  return b / (1.0 - rho + rho * b);
+}
+
+double MmcMeanResponse(double arrival_rate, double service_rate,
+                       std::size_t servers) {
+  assert(arrival_rate < service_rate * static_cast<double>(servers));
+  const double a = arrival_rate / service_rate;
+  const double pw = ErlangC(a, servers);
+  const double wq =
+      pw / (static_cast<double>(servers) * service_rate - arrival_rate);
+  return wq + 1.0 / service_rate;
+}
+
+}  // namespace pmcorr

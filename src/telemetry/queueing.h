@@ -1,0 +1,90 @@
+// Event-driven M/M/c/K queue simulator.
+//
+// The trace generator's QueueingResponse maps load to response time with
+// the closed-form M/M/1-style curve base/(1-rho). This simulator is the
+// ground truth behind that shortcut: a continuous-time Markov simulation
+// of a c-server queue with Poisson arrivals, exponential service and a
+// finite waiting room. Tests validate the generator's curve (and the
+// Erlang-C formula) against it, which is what makes the synthetic
+// response-time metrics a defensible substitute for the paper's
+// production traces.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pmcorr {
+
+/// Queue parameters.
+struct QueueConfig {
+  /// Parallel servers (c).
+  std::size_t servers = 4;
+  /// Per-server service rate mu (requests/second).
+  double service_rate = 25.0;
+  /// Maximum requests in the system (K, in service + waiting); arrivals
+  /// beyond it are dropped. 0 = effectively unbounded.
+  std::size_t capacity = 10000;
+};
+
+/// Aggregates over one simulated interval.
+struct QueueSimStats {
+  std::size_t arrivals = 0;
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+
+  /// Mean time in system (seconds) over completed requests.
+  double mean_response = 0.0;
+  /// Mean waiting time before service starts (seconds).
+  double mean_wait = 0.0;
+  /// 95th percentile of response times.
+  double p95_response = 0.0;
+  /// Fraction of server-time spent busy.
+  double utilization = 0.0;
+  /// Time-averaged number of requests in the system.
+  double mean_in_system = 0.0;
+  /// Dropped / arrivals.
+  double DropFraction() const {
+    return arrivals ? static_cast<double>(dropped) /
+                          static_cast<double>(arrivals)
+                    : 0.0;
+  }
+};
+
+/// The simulator; state (requests in flight) persists across Run calls,
+/// so piecewise-constant arrival-rate schedules compose naturally.
+class MmcQueueSimulator {
+ public:
+  explicit MmcQueueSimulator(QueueConfig config);
+
+  /// Simulates `duration_seconds` of Poisson arrivals at `arrival_rate`
+  /// (requests/second); returns the interval's aggregates.
+  QueueSimStats Run(double arrival_rate, double duration_seconds, Rng& rng);
+
+  /// Requests currently in the system.
+  std::size_t InSystem() const { return in_service_.size() + waiting_.size(); }
+
+  const QueueConfig& Config() const { return config_; }
+
+ private:
+  QueueConfig config_;
+  double now_ = 0.0;
+  /// Arrival times of requests currently being served (exchangeable
+  /// under exponential service, so completions pick uniformly).
+  std::vector<double> in_service_;
+  /// Arrival times of requests waiting, FIFO.
+  std::deque<double> waiting_;
+};
+
+/// Erlang-C: probability an arrival must wait in an M/M/c queue with
+/// offered load a = lambda/mu and c servers (requires a < c).
+double ErlangC(double offered_load, std::size_t servers);
+
+/// Closed-form M/M/c mean response time (seconds): Erlang-C waiting time
+/// plus one service time. Requires lambda < c * mu.
+double MmcMeanResponse(double arrival_rate, double service_rate,
+                       std::size_t servers);
+
+}  // namespace pmcorr

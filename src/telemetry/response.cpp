@@ -1,0 +1,177 @@
+#include "telemetry/response.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace pmcorr {
+
+LinearResponse::LinearResponse(double offset, double gain)
+    : offset_(offset), gain_(gain) {}
+
+double LinearResponse::Value(double u) const { return offset_ + gain_ * u; }
+
+std::string LinearResponse::Describe() const {
+  return "linear(offset=" + FormatDouble(offset_, 2) +
+         ", gain=" + FormatDouble(gain_, 2) + ")";
+}
+
+SaturatingResponse::SaturatingResponse(double cap, double knee)
+    : cap_(cap), knee_(knee) {
+  assert(knee_ > 0.0);
+}
+
+double SaturatingResponse::Value(double u) const {
+  u = std::max(u, 0.0);
+  return cap_ * u / (u + knee_);
+}
+
+std::string SaturatingResponse::Describe() const {
+  return "saturating(cap=" + FormatDouble(cap_, 2) +
+         ", knee=" + FormatDouble(knee_, 3) + ")";
+}
+
+QueueingResponse::QueueingResponse(double base, double u_max)
+    : base_(base), u_max_(u_max) {
+  assert(u_max_ > 0.0 && u_max_ < 1.0);
+}
+
+double QueueingResponse::Value(double u) const {
+  const double rho = std::clamp(u, 0.0, u_max_);
+  return base_ / (1.0 - rho);
+}
+
+std::string QueueingResponse::Describe() const {
+  return "queueing(base=" + FormatDouble(base_, 2) +
+         ", u_max=" + FormatDouble(u_max_, 2) + ")";
+}
+
+RegimeResponse::RegimeResponse(double threshold, double low_offset,
+                               double low_gain, double high_offset,
+                               double high_gain)
+    : threshold_(threshold),
+      low_offset_(low_offset),
+      low_gain_(low_gain),
+      high_offset_(high_offset),
+      high_gain_(high_gain) {}
+
+double RegimeResponse::Value(double u) const {
+  if (u < threshold_) return low_offset_ + low_gain_ * u;
+  return high_offset_ + high_gain_ * u;
+}
+
+std::string RegimeResponse::Describe() const {
+  return "regime(threshold=" + FormatDouble(threshold_, 3) + ")";
+}
+
+double ApplyNoise(double clean, const NoiseConfig& noise, Rng& rng,
+                  double floor) {
+  double value = clean;
+  if (noise.relative_sigma > 0.0) {
+    value *= rng.LogNormal(0.0, noise.relative_sigma);
+  }
+  if (noise.additive_sigma > 0.0) {
+    value += rng.Normal(0.0, noise.additive_sigma);
+  }
+  return std::max(value, floor);
+}
+
+MetricRecipe MakeRecipe(MetricKind kind, double capacity_scale, Rng& rng) {
+  MetricRecipe recipe;
+  recipe.kind = kind;
+  const double cap = std::max(capacity_scale, 0.2);
+
+  switch (kind) {
+    case MetricKind::kIfInOctetsRate: {
+      // Bytes/s in: essentially proportional to request rate (Fig 2b).
+      const double gain = 1.6e5 * rng.LogNormal(0.0, 0.2);
+      recipe.response = std::make_shared<LinearResponse>(
+          rng.Uniform(500.0, 2500.0), gain);
+      recipe.noise = {0.04, 0.0};
+      recipe.local_mix = 0.12;
+      break;
+    }
+    case MetricKind::kIfOutOctetsRate: {
+      // Responses are larger than requests: higher gain, same shape.
+      const double gain = 4.5e5 * rng.LogNormal(0.0, 0.2);
+      recipe.response = std::make_shared<LinearResponse>(
+          rng.Uniform(1000.0, 5000.0), gain);
+      recipe.noise = {0.04, 0.0};
+      recipe.local_mix = 0.12;
+      break;
+    }
+    case MetricKind::kPortInOctetsRate:
+    case MetricKind::kPortOutOctetsRate: {
+      const double gain = 3.0e5 * rng.LogNormal(0.0, 0.25);
+      recipe.response = std::make_shared<LinearResponse>(
+          rng.Uniform(2000.0, 8000.0), gain);
+      recipe.noise = {0.05, 0.0};
+      recipe.local_mix = 0.1;
+      break;
+    }
+    case MetricKind::kCurrentUtilizationIf:
+    case MetricKind::kCurrentUtilizationPort: {
+      // Percent utilization saturating toward 100 — the bent Fig 2(d)
+      // relationship against the (linear) octet counters. A low knee puts
+      // the operating range deep into the curve so no line explains it.
+      recipe.response = std::make_shared<SaturatingResponse>(
+          100.0, rng.Uniform(0.15, 0.35) * cap);
+      recipe.noise = {0.03, 0.4};
+      recipe.ceil = 100.0;
+      recipe.local_mix = 0.1;
+      break;
+    }
+    case MetricKind::kCpuUtilization: {
+      recipe.response = std::make_shared<SaturatingResponse>(
+          100.0, rng.Uniform(0.25, 0.55) * cap);
+      recipe.noise = {0.05, 1.0};
+      recipe.ceil = 100.0;
+      recipe.local_mix = 0.25;
+      break;
+    }
+    case MetricKind::kMemoryUtilization: {
+      // Memory follows load weakly and in regimes (cache fill levels).
+      recipe.response = std::make_shared<RegimeResponse>(
+          rng.Uniform(0.35, 0.55), 35.0 * rng.LogNormal(0.0, 0.1), 20.0,
+          52.0 * rng.LogNormal(0.0, 0.1), 38.0);
+      recipe.noise = {0.02, 0.8};
+      recipe.ceil = 100.0;
+      recipe.local_mix = 0.35;
+      break;
+    }
+    case MetricKind::kFreeMemory: {
+      recipe.response = std::make_shared<LinearResponse>(
+          8e9 * rng.LogNormal(0.0, 0.15), -3e9);
+      recipe.noise = {0.02, 0.0};
+      recipe.local_mix = 0.3;
+      break;
+    }
+    case MetricKind::kDiskIoThroughput: {
+      recipe.response = std::make_shared<RegimeResponse>(
+          rng.Uniform(0.4, 0.6), rng.Uniform(80.0, 160.0),
+          900.0 * rng.LogNormal(0.0, 0.2), rng.Uniform(300.0, 600.0),
+          1600.0 * rng.LogNormal(0.0, 0.2));
+      recipe.noise = {0.08, 5.0};
+      recipe.local_mix = 0.3;
+      break;
+    }
+    case MetricKind::kResponseTimeMs: {
+      recipe.response = std::make_shared<QueueingResponse>(
+          rng.Uniform(12.0, 35.0), 0.93);
+      recipe.noise = {0.09, 0.5};
+      recipe.local_mix = 0.2;
+      break;
+    }
+    case MetricKind::kRequestRate: {
+      recipe.response = std::make_shared<LinearResponse>(0.0, 1.0);
+      recipe.noise = {0.01, 0.0};
+      recipe.local_mix = 0.0;
+      break;
+    }
+  }
+  return recipe;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,118 @@
+// Response functions: how a metric reacts to offered load.
+//
+// These produce the correlation shapes of the paper's Figure 2:
+//  * linear     — traffic counters (in/out octet rates), Figure 2(b);
+//  * saturating — utilization vs throughput, the bent curve of Fig 2(d);
+//  * queueing   — response time vs load (M/M/1-style blow-up), strongly
+//                 non-linear, Figure 2(c)-like scatter across machines;
+//  * regime     — piecewise behaviour (e.g. cache warm/cold, failover
+//                 paths) producing the "arbitrary shapes" of Fig 2(d).
+//
+// Each machine metric owns a ResponseFn plus a noise model; the shared
+// workload drives them all, which is exactly what makes the pairwise
+// correlations the paper models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pmcorr {
+
+/// Maps normalized load u (0 = idle, ~1 = machine at capacity) to a clean
+/// (noise-free) metric value in natural units.
+class ResponseFn {
+ public:
+  virtual ~ResponseFn() = default;
+  /// Clean metric value at normalized load `u` >= 0.
+  virtual double Value(double u) const = 0;
+  virtual std::string Describe() const = 0;
+};
+
+/// value = offset + gain * u.
+class LinearResponse final : public ResponseFn {
+ public:
+  LinearResponse(double offset, double gain);
+  double Value(double u) const override;
+  std::string Describe() const override;
+
+ private:
+  double offset_;
+  double gain_;
+};
+
+/// value = cap * u / (u + knee): concave saturation toward `cap`
+/// (utilization-style curves; percent metrics use cap = 100).
+class SaturatingResponse final : public ResponseFn {
+ public:
+  SaturatingResponse(double cap, double knee);
+  double Value(double u) const override;
+  std::string Describe() const override;
+
+ private:
+  double cap_;
+  double knee_;
+};
+
+/// value = base / (1 - min(u, u_max)): M/M/1-style latency blow-up.
+class QueueingResponse final : public ResponseFn {
+ public:
+  QueueingResponse(double base, double u_max = 0.93);
+  double Value(double u) const override;
+  std::string Describe() const override;
+
+ private:
+  double base_;
+  double u_max_;
+};
+
+/// Two linear regimes split at `threshold`, continuous at the split only
+/// if the parameters happen to line up — discontinuity is the point: it
+/// yields the multi-cluster "arbitrary shape" scatter of Figure 2(d).
+class RegimeResponse final : public ResponseFn {
+ public:
+  RegimeResponse(double threshold, double low_offset, double low_gain,
+                 double high_offset, double high_gain);
+  double Value(double u) const override;
+  std::string Describe() const override;
+
+ private:
+  double threshold_;
+  double low_offset_, low_gain_;
+  double high_offset_, high_gain_;
+};
+
+/// Multiplicative log-normal + additive Gaussian measurement noise.
+struct NoiseConfig {
+  double relative_sigma = 0.03;  // log-normal sigma on the clean value
+  double additive_sigma = 0.0;   // absolute Gaussian term
+};
+
+/// Applies the noise model; never returns below `floor`.
+double ApplyNoise(double clean, const NoiseConfig& noise, Rng& rng,
+                  double floor = 0.0);
+
+/// The generation recipe for one metric on one machine.
+struct MetricRecipe {
+  MetricKind kind = MetricKind::kCpuUtilization;
+  std::shared_ptr<const ResponseFn> response;
+  NoiseConfig noise;
+  /// Values are clamped to [floor, ceil] after noise (percent metrics cap
+  /// at 100); ceil <= 0 disables the upper clamp.
+  double floor = 0.0;
+  double ceil = -1.0;
+  /// Mixing weight of machine-local load wiggle vs the global workload
+  /// (0 = perfectly global, 1 = fully machine-local).
+  double local_mix = 0.2;
+};
+
+/// Builds the default recipe for `kind` on a machine with the given
+/// capacity scale; `rng` draws the per-machine parameter variation
+/// (gains, knees, regime thresholds) so machines differ but stay stable
+/// for a fixed seed.
+MetricRecipe MakeRecipe(MetricKind kind, double capacity_scale, Rng& rng);
+
+}  // namespace pmcorr

@@ -1,0 +1,161 @@
+#include "telemetry/scenarios.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace pmcorr {
+namespace {
+
+MachineId FirstWithRole(const Topology& topo, MachineRole role) {
+  for (const auto& m : topo.machines) {
+    if (m.role == role) return m.id;
+  }
+  throw std::runtime_error("scenario topology lacks role " +
+                           MachineRoleName(role));
+}
+
+const MachineSpec& SpecOf(const Topology& topo, MachineId id) {
+  return topo.machines.at(static_cast<std::size_t>(id.value));
+}
+
+std::string MeasurementName(const Topology& topo, MachineId id,
+                            MetricKind kind) {
+  return MetricKindName(kind) + "@" + SpecOf(topo, id).hostname;
+}
+
+}  // namespace
+
+TimePoint PaperTestStart() { return ToTimePoint(paper_dates::kTestStart); }
+
+TimePoint PaperTraceStart() { return ToTimePoint(paper_dates::kTraceStart); }
+
+PaperScenario MakeGroupScenario(char group, const ScenarioConfig& config) {
+  if (group != 'A' && group != 'B' && group != 'C') {
+    throw std::invalid_argument("group must be 'A', 'B' or 'C'");
+  }
+
+  PaperScenario scenario;
+  scenario.group = std::string(1, group);
+
+  const std::uint64_t seed =
+      CombineSeed(config.seed, static_cast<std::uint64_t>(group));
+
+  // Each company gets its own workload character ("the monitoring data
+  // from the three information systems have different characteristics and
+  // distributions").
+  WorkloadConfig workload;
+  switch (group) {
+    case 'A':
+      workload.base_rate = 120.0;
+      workload.peak_amplitude = 480.0;
+      workload.weekend_factor = 0.55;
+      workload.noise_sigma = 0.05;
+      workload.peak_time = 14 * kHour + 30 * kMinute;
+      break;
+    case 'B':
+      workload.base_rate = 210.0;
+      workload.peak_amplitude = 760.0;
+      workload.weekend_factor = 0.48;
+      workload.noise_sigma = 0.06;
+      workload.peak_time = 15 * kHour;
+      workload.floods_per_day = 0.5;
+      break;
+    case 'C':
+      workload.base_rate = 90.0;
+      workload.peak_amplitude = 340.0;
+      workload.weekend_factor = 0.62;
+      workload.noise_sigma = 0.045;
+      workload.peak_time = 13 * kHour;
+      break;
+  }
+
+  TopologyConfig topo_config;
+  topo_config.machine_count = config.machine_count;
+  Topology topology = MakeTopology(scenario.group, seed, topo_config);
+
+  const MachineId switch_machine =
+      FirstWithRole(topology, MachineRole::kSwitch);
+  const MachineId db_machine = FirstWithRole(topology, MachineRole::kDatabase);
+
+  const TimePoint trace_start = PaperTraceStart();
+  const TimePoint june13 = PaperTestStart();
+
+  // Figure 12's ground-truth problem on the test day: Group A in the
+  // morning, Groups B and C in the afternoon.
+  std::vector<FaultEvent> faults;
+  scenario.problem_machine = switch_machine;
+  switch (group) {
+    case 'A': {
+      scenario.focus_x =
+          MeasurementName(topology, switch_machine,
+                          MetricKind::kCurrentUtilizationPort);
+      scenario.focus_y = MeasurementName(topology, switch_machine,
+                                         MetricKind::kPortOutOctetsRate);
+      scenario.problem_start = june13 + 7 * kHour + 30 * kMinute;
+      scenario.problem_end = june13 + 10 * kHour;
+      faults.push_back({switch_machine, scenario.problem_start,
+                        scenario.problem_end, FaultType::kAnomalousJump, 1.8,
+                        MetricKind::kPortOutOctetsRate});
+      break;
+    }
+    case 'B': {
+      scenario.focus_x = MeasurementName(topology, switch_machine,
+                                         MetricKind::kPortOutOctetsRate);
+      scenario.focus_y = MeasurementName(topology, switch_machine,
+                                         MetricKind::kPortInOctetsRate);
+      // The paper narrates Group B: an anomalous jump around 2pm, a
+      // residual disturbance until 8pm, then recovery.
+      scenario.problem_start = june13 + 14 * kHour;
+      scenario.problem_end = june13 + 20 * kHour;
+      faults.push_back({switch_machine, june13 + 14 * kHour,
+                        june13 + 15 * kHour, FaultType::kAnomalousJump, 2.5,
+                        MetricKind::kPortOutOctetsRate});
+      faults.push_back({switch_machine, june13 + 15 * kHour,
+                        june13 + 20 * kHour, FaultType::kLevelShift, 0.35,
+                        MetricKind::kPortOutOctetsRate});
+      break;
+    }
+    case 'C': {
+      scenario.focus_x = MeasurementName(topology, switch_machine,
+                                         MetricKind::kCurrentUtilizationIf);
+      scenario.focus_y = MeasurementName(topology, switch_machine,
+                                         MetricKind::kPortOutOctetsRate);
+      scenario.problem_start = june13 + 13 * kHour;
+      scenario.problem_end = june13 + 17 * kHour;
+      faults.push_back({switch_machine, scenario.problem_start,
+                        scenario.problem_end, FaultType::kCorrelationBreak,
+                        1.0, MetricKind::kCurrentUtilizationIf});
+      break;
+    }
+  }
+
+  // Figure 14's localization target: one machine with a long-lived
+  // correlation break across the test period (all its metrics drift off
+  // the workload), so its average fitness sinks below the fleet's.
+  scenario.localization_machine = db_machine;
+  if (config.localization_fault) {
+    faults.push_back({db_machine, june13,
+                      june13 + 9 * kDay, FaultType::kCorrelationBreak, 1.0,
+                      std::nullopt});
+  }
+
+  scenario.spec.topology = std::move(topology);
+  scenario.spec.workload = workload;
+  scenario.spec.start = trace_start;
+  scenario.spec.samples =
+      static_cast<std::size_t>(config.trace_days) *
+      static_cast<std::size_t>(kSamplesPerDay);
+  scenario.spec.period = kPaperSamplePeriod;
+  scenario.spec.faults = std::move(faults);
+  scenario.spec.seed = seed;
+  return scenario;
+}
+
+std::vector<PaperScenario> MakeAllGroupScenarios(const ScenarioConfig& config) {
+  return {MakeGroupScenario('A', config), MakeGroupScenario('B', config),
+          MakeGroupScenario('C', config)};
+}
+
+}  // namespace pmcorr

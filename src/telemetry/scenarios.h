@@ -1,0 +1,60 @@
+// Canned experiment scenarios mirroring the paper's Section 6 setup.
+//
+// Three groups (companies A, B, C), each with ~50 machines, one month of
+// data (May 29 – June 27, 2008) sampled every 6 minutes. Each group gets
+// a distinct workload character and a ground-truth problem on one machine
+// during the June 13 test day: Group A in the morning, Groups B and C in
+// the afternoon — matching Figure 12. A second, longer-lived faulty
+// machine per group supports the localization experiment (Figure 14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/generator.h"
+
+namespace pmcorr {
+
+/// A fully specified group scenario plus its ground truth.
+struct PaperScenario {
+  std::string group;  // "A", "B" or "C"
+  TraceSpec spec;
+
+  /// The measurement pair Figure 12 plots for this group (display names).
+  std::string focus_x;
+  std::string focus_y;
+
+  /// The machine hosting the June 13 problem (Figure 12 ground truth).
+  MachineId problem_machine;
+  /// Problem window on June 13 (trace-local time).
+  TimePoint problem_start = 0;
+  TimePoint problem_end = 0;
+
+  /// The long-fault machine for the localization experiment (Figure 14).
+  MachineId localization_machine;
+};
+
+/// Options for scenario construction.
+struct ScenarioConfig {
+  std::size_t machine_count = 50;
+  int trace_days = 30;          // May 29 .. June 27
+  std::uint64_t seed = 2008;    // base seed; group letter is mixed in
+  /// Include the long fault driving Figure 14 (on by default).
+  bool localization_fault = true;
+};
+
+/// Builds the scenario for `group` in {'A','B','C'}; identical inputs
+/// always produce the identical scenario.
+PaperScenario MakeGroupScenario(char group, const ScenarioConfig& config = {});
+
+/// All three groups.
+std::vector<PaperScenario> MakeAllGroupScenarios(const ScenarioConfig& config = {});
+
+/// Utility: the TimePoint of the paper's test-set start (June 13, 2008).
+TimePoint PaperTestStart();
+
+/// Utility: the TimePoint of the trace start (May 29, 2008).
+TimePoint PaperTraceStart();
+
+}  // namespace pmcorr

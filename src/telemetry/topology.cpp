@@ -1,0 +1,83 @@
+#include "telemetry/topology.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace pmcorr {
+
+std::string MachineRoleName(MachineRole role) {
+  switch (role) {
+    case MachineRole::kWebServer: return "web";
+    case MachineRole::kAppServer: return "app";
+    case MachineRole::kDatabase:  return "db";
+    case MachineRole::kSwitch:    return "switch";
+  }
+  return "unknown";
+}
+
+std::vector<MetricKind> MetricsForRole(MachineRole role) {
+  switch (role) {
+    case MachineRole::kWebServer:
+      return {MetricKind::kIfInOctetsRate, MetricKind::kIfOutOctetsRate,
+              MetricKind::kCpuUtilization};
+    case MachineRole::kAppServer:
+      return {MetricKind::kCpuUtilization, MetricKind::kResponseTimeMs};
+    case MachineRole::kDatabase:
+      return {MetricKind::kDiskIoThroughput, MetricKind::kMemoryUtilization,
+              MetricKind::kCpuUtilization};
+    case MachineRole::kSwitch:
+      return {MetricKind::kPortInOctetsRate, MetricKind::kPortOutOctetsRate,
+              MetricKind::kCurrentUtilizationPort,
+              MetricKind::kCurrentUtilizationIf};
+  }
+  return {};
+}
+
+std::size_t Topology::MeasurementCount() const {
+  std::size_t n = 0;
+  for (const auto& m : machines) n += MetricsForRole(m.role).size();
+  return n;
+}
+
+Topology MakeTopology(const std::string& group_name, std::uint64_t seed,
+                      const TopologyConfig& config) {
+  Rng rng(CombineSeed(seed, 0x70500106));
+  Topology topo;
+  topo.group_name = group_name;
+  topo.machines.reserve(config.machine_count);
+
+  const double total = config.web_fraction + config.app_fraction +
+                       config.db_fraction + config.switch_fraction;
+  const double web_cut = config.web_fraction / total;
+  const double app_cut = web_cut + config.app_fraction / total;
+  const double db_cut = app_cut + config.db_fraction / total;
+
+  for (std::size_t i = 0; i < config.machine_count; ++i) {
+    MachineSpec spec;
+    spec.id = MachineId(static_cast<std::int32_t>(i));
+    // Deterministic striping keeps the role mix exact for any count.
+    const double pos = (static_cast<double>(i) + 0.5) /
+                       static_cast<double>(config.machine_count);
+    if (pos < web_cut) {
+      spec.role = MachineRole::kWebServer;
+    } else if (pos < app_cut) {
+      spec.role = MachineRole::kAppServer;
+    } else if (pos < db_cut) {
+      spec.role = MachineRole::kDatabase;
+    } else {
+      spec.role = MachineRole::kSwitch;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s-%s-%02zu", group_name.c_str(),
+                  MachineRoleName(spec.role).c_str(), i);
+    spec.hostname = buf;
+    spec.capacity_scale = rng.LogNormal(0.0, config.heterogeneity);
+    spec.traffic_share = rng.LogNormal(0.0, config.heterogeneity);
+    topo.machines.push_back(std::move(spec));
+  }
+  return topo;
+}
+
+}  // namespace pmcorr

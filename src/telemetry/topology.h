@@ -1,0 +1,68 @@
+// Simulated datacenter topology.
+//
+// The paper's traces come from three companies, each running an Internet
+// service on 100+ servers with ~3000 monitored measurements; experiments
+// use 100 measurements from ~50 machines per group. We model a group as a
+// set of machines with roles (web / application / database / switch);
+// each role exposes the metric kinds the paper names in its figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pmcorr {
+
+/// What a machine does — determines its metrics and response shapes.
+enum class MachineRole : std::uint8_t {
+  kWebServer,
+  kAppServer,
+  kDatabase,
+  kSwitch,
+};
+
+std::string MachineRoleName(MachineRole role);
+
+/// Metric kinds exposed by a role, in generation order.
+std::vector<MetricKind> MetricsForRole(MachineRole role);
+
+/// Static description of one machine in a group.
+struct MachineSpec {
+  MachineId id;
+  std::string hostname;
+  MachineRole role = MachineRole::kWebServer;
+  /// Relative capacity: utilization at a given load scales by 1/capacity.
+  double capacity_scale = 1.0;
+  /// Relative share of the group's request traffic routed here.
+  double traffic_share = 1.0;
+};
+
+/// One company's infrastructure.
+struct Topology {
+  std::string group_name;
+  std::vector<MachineSpec> machines;
+
+  /// Total measurements the topology generates (sum of role metrics).
+  std::size_t MeasurementCount() const;
+};
+
+/// Options for the deterministic topology builder.
+struct TopologyConfig {
+  std::size_t machine_count = 50;
+  /// Role mix fractions (normalized internally): web, app, db, switch.
+  double web_fraction = 0.4;
+  double app_fraction = 0.3;
+  double db_fraction = 0.15;
+  double switch_fraction = 0.15;
+  /// Log-normal sigma of per-machine capacity / traffic-share variation.
+  double heterogeneity = 0.25;
+};
+
+/// Builds a group topology with `config.machine_count` machines; the same
+/// (name, seed, config) always yields the same topology.
+Topology MakeTopology(const std::string& group_name, std::uint64_t seed,
+                      const TopologyConfig& config = {});
+
+}  // namespace pmcorr

@@ -1,0 +1,82 @@
+#include "telemetry/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pmcorr {
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+double WorkloadModel::SeasonalShape(TimePoint tp,
+                                    const WorkloadConfig& config) {
+  const double day_phase =
+      kTwoPi *
+      (static_cast<double>(SecondsIntoDay(tp) - config.peak_time)) /
+      static_cast<double>(kDay);
+  // von-Mises-style bump: 1 at the peak instant, ~0 in the trough.
+  const double diurnal = std::exp(config.peak_sharpness *
+                                  (std::cos(day_phase) - 1.0));
+  const double weekly = IsWeekend(tp) ? config.weekend_factor : 1.0;
+  return diurnal * weekly;
+}
+
+WorkloadModel::WorkloadModel(const WorkloadConfig& config, std::uint64_t seed,
+                             TimePoint start, std::size_t samples,
+                             Duration period)
+    : config_(config), start_(start), period_(period) {
+  assert(period > 0);
+  rates_.resize(samples);
+  flood_.assign(samples, 0);
+
+  Rng rng(CombineSeed(seed, 0x308c10ad));
+
+  // Pre-draw flood windows: a Poisson-ish process realized as a per-sample
+  // Bernoulli start probability.
+  const double samples_per_day =
+      static_cast<double>(kDay) / static_cast<double>(period);
+  const double start_prob = config.floods_per_day / samples_per_day;
+  const auto flood_len = static_cast<std::size_t>(
+      std::max<Duration>(1, config.flood_duration / period));
+  std::vector<double> flood_boost(samples, 0.0);
+  for (std::size_t i = 0; i < samples; ++i) {
+    if (!rng.Bernoulli(start_prob)) continue;
+    const double magnitude =
+        std::max(1.05, rng.Normal(config.flood_magnitude,
+                                  0.15 * config.flood_magnitude));
+    for (std::size_t j = i; j < std::min(i + flood_len, samples); ++j) {
+      // Raised-cosine envelope so floods ramp in and out smoothly.
+      const double pos = static_cast<double>(j - i) /
+                         static_cast<double>(flood_len);
+      const double envelope = 0.5 * (1.0 - std::cos(kTwoPi * pos));
+      flood_boost[j] =
+          std::max(flood_boost[j], (magnitude - 1.0) * envelope);
+      flood_[j] = 1;
+    }
+  }
+
+  double ar_state = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const TimePoint tp = start_ + static_cast<Duration>(i) * period_;
+    const double season = SeasonalShape(tp, config_);
+    const double drift =
+        1.0 + config_.drift_fraction *
+                  (static_cast<double>(i) /
+                   std::max<double>(1.0, static_cast<double>(samples - 1)));
+    ar_state = config_.noise_ar * ar_state +
+               rng.Normal(0.0, config_.noise_sigma);
+    const double noise = std::exp(ar_state);
+    const double clean =
+        (config_.base_rate + config_.peak_amplitude * season) * drift;
+    rates_[i] = std::max(1.0, clean * noise * (1.0 + flood_boost[i]));
+  }
+}
+
+double WorkloadModel::PeakRate() const {
+  return config_.base_rate + config_.peak_amplitude;
+}
+
+}  // namespace pmcorr

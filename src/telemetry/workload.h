@@ -1,0 +1,92 @@
+// The workload driver — the hidden common factor behind measurement
+// correlations.
+//
+// The paper's premise is that "some outside factors, such as work loads
+// and number of user requests, may affect [measurements] simultaneously".
+// WorkloadModel synthesizes that factor: a deterministic request-rate
+// series with a diurnal peak, a weekend dip (Figure 15's periodic
+// pattern), slow drift (exercising online grid extension), AR(1) noise,
+// and occasional legitimate request floods — the "many measurements rise
+// together but correlations hold" scenario of Figure 1 that single-metric
+// detectors misread as anomalies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pmcorr {
+
+/// Tuning knobs of the workload driver.
+struct WorkloadConfig {
+  /// Requests/s in the overnight trough.
+  double base_rate = 120.0;
+
+  /// Extra requests/s at the daily peak.
+  double peak_amplitude = 480.0;
+
+  /// Sharpness of the daily peak (von-Mises-style concentration).
+  double peak_sharpness = 1.6;
+
+  /// Seconds into the day of the busiest instant (default 14:30 — the
+  /// paper's ground-truth problems cluster in business hours).
+  Duration peak_time = 14 * kHour + 30 * kMinute;
+
+  /// Multiplier applied on Saturdays/Sundays (< 1: quieter weekends).
+  double weekend_factor = 0.55;
+
+  /// Linear drift of the base level over the whole horizon, as a
+  /// fraction of base_rate (0.25 = +25% by the end). Drives the gradual
+  /// distribution evolution of Section 4.1.
+  double drift_fraction = 0.15;
+
+  /// AR(1) coefficient and innovation sigma (relative) of the noise.
+  double noise_ar = 0.85;
+  double noise_sigma = 0.05;
+
+  /// Expected number of legitimate request floods per day.
+  double floods_per_day = 0.35;
+  /// Flood peak multiplier on the current rate.
+  double flood_magnitude = 1.9;
+  /// Flood duration.
+  Duration flood_duration = 90 * kMinute;
+};
+
+/// Precomputed request-rate series over a uniform grid.
+class WorkloadModel {
+ public:
+  /// Builds the series for `samples` points starting at `start`, one per
+  /// `period`. The same (config, seed, grid) is bit-reproducible.
+  WorkloadModel(const WorkloadConfig& config, std::uint64_t seed,
+                TimePoint start, std::size_t samples,
+                Duration period = kPaperSamplePeriod);
+
+  std::size_t SampleCount() const { return rates_.size(); }
+  TimePoint Start() const { return start_; }
+  Duration Period() const { return period_; }
+
+  /// Request rate at sample `i` (requests/s, always positive).
+  double RateAt(std::size_t i) const { return rates_.at(i); }
+  const std::vector<double>& Rates() const { return rates_; }
+
+  /// True when sample `i` falls inside a legitimate flood burst.
+  bool InFlood(std::size_t i) const { return flood_.at(i); }
+
+  /// The deterministic seasonal shape in [0, 1] (diurnal x weekly), with
+  /// no noise/drift/floods — exposed for tests and plots.
+  static double SeasonalShape(TimePoint tp, const WorkloadConfig& config);
+
+  /// A scale useful for normalizing: the rate at the deterministic
+  /// weekday peak (base + amplitude), before noise.
+  double PeakRate() const;
+
+ private:
+  WorkloadConfig config_;
+  TimePoint start_;
+  Duration period_;
+  std::vector<double> rates_;
+  std::vector<char> flood_;
+};
+
+}  // namespace pmcorr

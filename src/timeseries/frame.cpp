@@ -1,0 +1,96 @@
+#include "timeseries/frame.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pmcorr {
+
+MeasurementFrame::MeasurementFrame(TimePoint start, Duration period)
+    : start_(start), period_(period) {
+  assert(period_ > 0);
+}
+
+MeasurementId MeasurementFrame::Add(MeasurementInfo info, TimeSeries series) {
+  if (series.Period() != period_ || series.Start() != start_) {
+    throw std::invalid_argument(
+        "MeasurementFrame::Add: series grid does not match frame grid");
+  }
+  if (!series_.empty() && series.Size() != series_.front().Size()) {
+    throw std::invalid_argument(
+        "MeasurementFrame::Add: series length does not match frame length");
+  }
+  const MeasurementId id(static_cast<std::int32_t>(series_.size()));
+  info.id = id;
+  infos_.push_back(std::move(info));
+  series_.push_back(std::move(series));
+  return id;
+}
+
+std::size_t MeasurementFrame::SampleCount() const {
+  return series_.empty() ? 0 : series_.front().Size();
+}
+
+TimePoint MeasurementFrame::TimeAt(std::size_t sample) const {
+  return start_ + static_cast<Duration>(sample) * period_;
+}
+
+const MeasurementInfo& MeasurementFrame::Info(MeasurementId id) const {
+  return infos_.at(static_cast<std::size_t>(id.value));
+}
+
+const TimeSeries& MeasurementFrame::Series(MeasurementId id) const {
+  return series_.at(static_cast<std::size_t>(id.value));
+}
+
+double MeasurementFrame::Value(MeasurementId id, std::size_t sample) const {
+  return Series(id).At(sample);
+}
+
+std::vector<MeasurementId> MeasurementFrame::MeasurementsOn(
+    MachineId machine) const {
+  std::vector<MeasurementId> out;
+  for (const auto& info : infos_) {
+    if (info.machine == machine) out.push_back(info.id);
+  }
+  return out;
+}
+
+std::vector<MachineId> MeasurementFrame::Machines() const {
+  std::vector<MachineId> out;
+  for (const auto& info : infos_) out.push_back(info.machine);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<MeasurementId> MeasurementFrame::FindByName(
+    const std::string& name) const {
+  for (const auto& info : infos_) {
+    if (info.name == name) return info.id;
+  }
+  return std::nullopt;
+}
+
+MeasurementFrame MeasurementFrame::SliceByTime(TimePoint from,
+                                               TimePoint to) const {
+  MeasurementFrame out;
+  out.period_ = period_;
+  out.infos_ = infos_;
+  out.series_.reserve(series_.size());
+  for (const auto& s : series_) out.series_.push_back(s.SliceByTime(from, to));
+  out.start_ = out.series_.empty() ? from : out.series_.front().Start();
+  return out;
+}
+
+MeasurementFrame MeasurementFrame::SelectMeasurements(
+    const std::vector<MeasurementId>& ids) const {
+  MeasurementFrame out(start_, period_);
+  for (MeasurementId id : ids) {
+    MeasurementInfo info = Info(id);
+    out.Add(std::move(info), Series(id));
+  }
+  return out;
+}
+
+}  // namespace pmcorr

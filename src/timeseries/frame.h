@@ -1,0 +1,79 @@
+// MeasurementFrame — the "monitoring data" of the paper: a set of
+// measurements (metric × machine) sampled on a shared uniform time grid.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "timeseries/series.h"
+
+namespace pmcorr {
+
+/// Static description of one measurement: which machine, which metric,
+/// and the display name ("CurrentUtilization_PORT@hostA-03").
+struct MeasurementInfo {
+  MeasurementId id;
+  MachineId machine;
+  MetricKind kind = MetricKind::kCpuUtilization;
+  std::string name;
+};
+
+/// An aligned collection of measurements. All series share the frame's
+/// start time, period and length, so sample index i addresses the same
+/// instant in every measurement.
+class MeasurementFrame {
+ public:
+  MeasurementFrame() = default;
+
+  /// Creates an empty frame on the given time grid.
+  MeasurementFrame(TimePoint start, Duration period);
+
+  /// Adds a measurement; its series must match the frame grid and the
+  /// length of previously added series (the first series fixes the
+  /// length). Returns the assigned dense id.
+  MeasurementId Add(MeasurementInfo info, TimeSeries series);
+
+  std::size_t MeasurementCount() const { return series_.size(); }
+  std::size_t SampleCount() const;
+  TimePoint StartTime() const { return start_; }
+  Duration Period() const { return period_; }
+  TimePoint TimeAt(std::size_t sample) const;
+
+  const MeasurementInfo& Info(MeasurementId id) const;
+  const TimeSeries& Series(MeasurementId id) const;
+
+  /// All measurement descriptors, indexed by id.
+  const std::vector<MeasurementInfo>& Infos() const { return infos_; }
+
+  /// Value of measurement `id` at sample index `sample`.
+  double Value(MeasurementId id, std::size_t sample) const;
+
+  /// Ids of all measurements hosted on `machine`.
+  std::vector<MeasurementId> MeasurementsOn(MachineId machine) const;
+
+  /// Distinct machines present in the frame, ascending.
+  std::vector<MachineId> Machines() const;
+
+  /// Looks up a measurement by display name.
+  std::optional<MeasurementId> FindByName(const std::string& name) const;
+
+  /// Sub-frame restricted to samples with timestamps in [from, to).
+  MeasurementFrame SliceByTime(TimePoint from, TimePoint to) const;
+
+  /// Sub-frame restricted to the given measurements (ids are re-assigned
+  /// densely in the order given).
+  MeasurementFrame SelectMeasurements(
+      const std::vector<MeasurementId>& ids) const;
+
+ private:
+  TimePoint start_ = 0;
+  Duration period_ = kPaperSamplePeriod;
+  std::vector<MeasurementInfo> infos_;
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace pmcorr

@@ -1,0 +1,107 @@
+#include "timeseries/resample.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pmcorr {
+
+TimeSeries Regularize(std::vector<RawSample> raw, TimePoint start,
+                      Duration period, std::size_t count, GapFill fill) {
+  assert(period > 0);
+  std::sort(raw.begin(), raw.end(),
+            [](const RawSample& a, const RawSample& b) { return a.time < b.time; });
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sums(count, 0.0);
+  std::vector<std::size_t> counts(count, 0);
+  for (const RawSample& s : raw) {
+    if (s.time < start) continue;
+    const auto slot = static_cast<std::size_t>((s.time - start) / period);
+    if (slot >= count) continue;
+    sums[slot] += s.value;
+    ++counts[slot];
+  }
+
+  std::vector<double> values(count, nan);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (counts[i] > 0) values[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+
+  if (fill != GapFill::kNan) {
+    TimeSeries tmp(start, period, std::move(values));
+    if (fill == GapFill::kInterpolate) {
+      RepairNans(tmp);
+    } else {  // kHold
+      double last = nan;
+      bool seeded = false;
+      auto& vals = tmp.MutableValues();
+      for (double& v : vals) {
+        if (std::isnan(v)) {
+          if (seeded) v = last;
+        } else {
+          last = v;
+          seeded = true;
+        }
+      }
+      // Leading gap: backfill from the first finite value.
+      for (std::size_t i = vals.size(); i-- > 0;) {
+        if (std::isnan(vals[i]) && i + 1 < vals.size()) vals[i] = vals[i + 1];
+      }
+    }
+    return tmp;
+  }
+  return TimeSeries(start, period, std::move(values));
+}
+
+TimeSeries Downsample(const TimeSeries& series, std::size_t factor) {
+  assert(factor > 0);
+  if (factor == 1 || series.Empty()) return series;
+  std::vector<double> out;
+  out.reserve(series.Size() / factor + 1);
+  std::size_t i = 0;
+  while (i < series.Size()) {
+    const std::size_t end = std::min(i + factor, series.Size());
+    double sum = 0.0;
+    for (std::size_t j = i; j < end; ++j) sum += series.At(j);
+    out.push_back(sum / static_cast<double>(end - i));
+    i = end;
+  }
+  return TimeSeries(series.Start(),
+                    series.Period() * static_cast<Duration>(factor),
+                    std::move(out));
+}
+
+std::size_t RepairNans(TimeSeries& series) {
+  auto& vals = series.MutableValues();
+  const std::size_t n = vals.size();
+  std::size_t repaired = 0;
+
+  // Find indices of finite values.
+  std::vector<std::size_t> finite;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isnan(vals[i])) finite.push_back(i);
+  }
+  if (finite.empty()) return 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isnan(vals[i])) continue;
+    // Nearest finite neighbors.
+    auto next = std::lower_bound(finite.begin(), finite.end(), i);
+    if (next == finite.begin()) {
+      vals[i] = vals[finite.front()];
+    } else if (next == finite.end()) {
+      vals[i] = vals[finite.back()];
+    } else {
+      const std::size_t hi = *next;
+      const std::size_t lo = *(next - 1);
+      const double frac = static_cast<double>(i - lo) / static_cast<double>(hi - lo);
+      vals[i] = vals[lo] * (1.0 - frac) + vals[hi] * frac;
+    }
+    ++repaired;
+  }
+  return repaired;
+}
+
+}  // namespace pmcorr

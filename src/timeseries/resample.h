@@ -1,0 +1,47 @@
+// Resampling and gap handling for raw traces.
+//
+// Real monitoring feeds arrive with jitter and occasional gaps; the
+// paper's method assumes a clean uniform grid. These helpers normalize a
+// raw (timestamp, value) stream onto a uniform grid and repair small gaps.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "timeseries/series.h"
+
+namespace pmcorr {
+
+/// One raw observation from a collector.
+struct RawSample {
+  TimePoint time = 0;
+  double value = 0.0;
+};
+
+/// How to fill grid slots with no covering raw sample.
+enum class GapFill {
+  kHold,         // repeat the previous value (collector-style)
+  kInterpolate,  // linear interpolation between neighbors
+  kNan,          // leave NaN; caller must handle
+};
+
+/// Snaps a raw stream (sorted or unsorted) onto a uniform grid
+/// [start, start + count*period). Each grid slot takes the mean of raw
+/// samples falling in its period; empty slots are filled per `fill`.
+/// Leading unfillable slots fall back to the first known value (or NaN
+/// for GapFill::kNan).
+TimeSeries Regularize(std::vector<RawSample> raw, TimePoint start,
+                      Duration period, std::size_t count, GapFill fill);
+
+/// Downsamples by an integer factor, averaging each block of `factor`
+/// samples; a final partial block is averaged over its actual size.
+TimeSeries Downsample(const TimeSeries& series, std::size_t factor);
+
+/// Replaces NaN runs by linear interpolation between the nearest finite
+/// neighbors (edges take the nearest finite value). Returns the number of
+/// samples repaired; series with no finite values are left unchanged.
+std::size_t RepairNans(TimeSeries& series);
+
+}  // namespace pmcorr

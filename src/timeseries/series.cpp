@@ -1,0 +1,49 @@
+#include "timeseries/series.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmcorr {
+
+TimeSeries::TimeSeries(TimePoint start, Duration period,
+                       std::vector<double> values)
+    : start_(start), period_(period), values_(std::move(values)) {
+  assert(period_ > 0);
+}
+
+TimePoint TimeSeries::TimeAt(std::size_t index) const {
+  return start_ + static_cast<Duration>(index) * period_;
+}
+
+TimePoint TimeSeries::End() const { return TimeAt(values_.size()); }
+
+double TimeSeries::At(std::size_t index) const {
+  assert(index < values_.size());
+  return values_[index];
+}
+
+std::size_t TimeSeries::IndexAtOrAfter(TimePoint tp) const {
+  if (tp <= start_) return 0;
+  const Duration offset = tp - start_;
+  std::size_t index = static_cast<std::size_t>(offset / period_);
+  if (offset % period_ != 0) ++index;
+  return std::min(index, values_.size());
+}
+
+void TimeSeries::Append(double value) { values_.push_back(value); }
+
+TimeSeries TimeSeries::SliceByIndex(std::size_t from, std::size_t to) const {
+  from = std::min(from, values_.size());
+  to = std::clamp(to, from, values_.size());
+  return TimeSeries(TimeAt(from), period_,
+                    std::vector<double>(values_.begin() + static_cast<std::ptrdiff_t>(from),
+                                        values_.begin() + static_cast<std::ptrdiff_t>(to)));
+}
+
+TimeSeries TimeSeries::SliceByTime(TimePoint from, TimePoint to) const {
+  const std::size_t i = IndexAtOrAfter(from);
+  const std::size_t j = IndexAtOrAfter(to);
+  return SliceByIndex(i, j);
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,77 @@
+#include "timeseries/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/stats.h"
+
+namespace pmcorr {
+
+std::vector<SeriesSummary> Summarize(const MeasurementFrame& frame) {
+  std::vector<SeriesSummary> out;
+  out.reserve(frame.MeasurementCount());
+  for (const auto& info : frame.Infos()) {
+    RunningStats stats;
+    for (double v : frame.Series(info.id).Values()) stats.Add(v);
+    SeriesSummary s;
+    s.id = info.id;
+    s.mean = stats.Mean();
+    s.stddev = stats.StdDev();
+    s.min = stats.Min();
+    s.max = stats.Max();
+    s.cv = s.mean != 0.0 ? s.stddev / std::fabs(s.mean) : 0.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<LinearRelation> FindLinearRelations(const MeasurementFrame& frame,
+                                                double r2_threshold) {
+  std::vector<LinearRelation> out;
+  const auto n = static_cast<std::int32_t>(frame.MeasurementCount());
+  for (std::int32_t a = 0; a < n; ++a) {
+    for (std::int32_t b = a + 1; b < n; ++b) {
+      const auto fit = FitLinear(frame.Series(MeasurementId(a)).Values(),
+                                 frame.Series(MeasurementId(b)).Values());
+      if (fit && fit->r_squared >= r2_threshold) {
+        out.push_back({PairId(MeasurementId(a), MeasurementId(b)),
+                       fit->r_squared});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<MeasurementId> SelectMeasurements(
+    const MeasurementFrame& frame, const SelectionCriteria& criteria) {
+  std::vector<MeasurementId> kept;
+  if (frame.Period() > criteria.max_period) return kept;  // criterion (1)
+
+  // Criterion (2): exclude measurements in any strongly linear pair.
+  std::unordered_set<MeasurementId> linear;
+  for (const auto& rel :
+       FindLinearRelations(frame, criteria.linear_r2_threshold)) {
+    linear.insert(rel.pair.a);
+    linear.insert(rel.pair.b);
+  }
+
+  // Criterion (3): high variance, ranked by CV.
+  std::vector<SeriesSummary> summaries = Summarize(frame);
+  std::sort(summaries.begin(), summaries.end(),
+            [](const SeriesSummary& x, const SeriesSummary& y) {
+              return x.cv > y.cv;
+            });
+  for (const auto& s : summaries) {
+    if (s.cv < criteria.min_cv) continue;
+    if (linear.contains(s.id)) continue;
+    kept.push_back(s.id);
+    if (criteria.max_measurements != 0 &&
+        kept.size() >= criteria.max_measurements) {
+      break;
+    }
+  }
+  return kept;
+}
+
+}  // namespace pmcorr

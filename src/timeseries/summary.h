@@ -1,0 +1,64 @@
+// Per-measurement summaries and the paper's measurement-selection rules.
+//
+// Section 6 of the paper selects 100 of ~3000 measurements per group with
+// three criteria: (1) sampling rate at least every 6 minutes, (2) no
+// linear relationship with any other measurement (the hard cases), and
+// (3) high variance over the monitoring period. This module implements
+// that scan so the experiment harness can apply the same filter to
+// synthetic traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "timeseries/frame.h"
+
+namespace pmcorr {
+
+/// Summary statistics for one measurement over a frame.
+struct SeriesSummary {
+  MeasurementId id;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Coefficient of variation (stddev / |mean|), 0 when mean == 0.
+  double cv = 0.0;
+};
+
+/// Computes summaries for every measurement in the frame.
+std::vector<SeriesSummary> Summarize(const MeasurementFrame& frame);
+
+/// A detected (near-)linear relationship between two measurements.
+struct LinearRelation {
+  PairId pair;
+  double r_squared = 0.0;
+};
+
+/// Scans all measurement pairs and reports those whose least-squares fit
+/// reaches `r2_threshold` (default mirrors "linear relationship" in the
+/// paper's selection criteria; ~0.95 marks strongly linear pairs).
+std::vector<LinearRelation> FindLinearRelations(const MeasurementFrame& frame,
+                                                double r2_threshold = 0.95);
+
+/// Parameters of the paper's measurement-selection filter.
+struct SelectionCriteria {
+  /// Maximum allowed sampling period (paper: every 6 minutes).
+  Duration max_period = kPaperSamplePeriod;
+  /// Pairs at or above this R^2 count as linear; measurements involved in
+  /// any such pair are excluded ("do not have any linear relationships").
+  double linear_r2_threshold = 0.95;
+  /// Minimum coefficient of variation ("high variance").
+  double min_cv = 0.05;
+  /// Cap on how many measurements to keep (paper: 100 per group);
+  /// 0 = no cap. Kept measurements are those with the highest CV.
+  std::size_t max_measurements = 100;
+};
+
+/// Applies the selection filter and returns the kept measurement ids in
+/// descending-variance order (capped per `criteria.max_measurements`).
+std::vector<MeasurementId> SelectMeasurements(const MeasurementFrame& frame,
+                                              const SelectionCriteria& criteria);
+
+}  // namespace pmcorr

@@ -1,0 +1,111 @@
+// Tests for the collector-to-engine row assembler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "engine/assembler.h"
+
+namespace pmcorr {
+namespace {
+
+class AssemblerTest : public ::testing::Test {
+ protected:
+  RowAssembler Make(std::size_t measurements = 3,
+                    std::size_t max_open = 2) {
+    AssemblerConfig config;
+    config.start = 1000;
+    config.period = 60;
+    config.measurement_count = measurements;
+    config.max_open_slots = max_open;
+    return RowAssembler(config,
+                        [this](const AssembledRow& row) {
+                          rows_.push_back(row);
+                        });
+  }
+  std::vector<AssembledRow> rows_;
+};
+
+TEST_F(AssemblerTest, CompleteSlotShipsImmediately) {
+  RowAssembler assembler = Make();
+  assembler.Offer(MeasurementId(0), 1000, 1.0);
+  assembler.Offer(MeasurementId(2), 1030, 3.0);  // same slot, jittered
+  EXPECT_TRUE(rows_.empty());
+  assembler.Offer(MeasurementId(1), 1059, 2.0);
+  ASSERT_EQ(rows_.size(), 1u);
+  EXPECT_EQ(rows_[0].time, 1000);
+  EXPECT_EQ(rows_[0].filled, 3u);
+  EXPECT_DOUBLE_EQ(rows_[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(rows_[0].values[1], 2.0);
+  EXPECT_DOUBLE_EQ(rows_[0].values[2], 3.0);
+}
+
+TEST_F(AssemblerTest, IncompleteSlotFlushedWithNansWhenWindowMovesOn) {
+  RowAssembler assembler = Make(3, 2);
+  assembler.Offer(MeasurementId(0), 1000, 1.0);   // slot 0, incomplete
+  assembler.Offer(MeasurementId(0), 1060, 1.1);   // slot 1
+  EXPECT_TRUE(rows_.empty());                     // window still open
+  assembler.Offer(MeasurementId(0), 1120, 1.2);   // slot 2 -> evict slot 0
+  ASSERT_EQ(rows_.size(), 1u);
+  EXPECT_EQ(rows_[0].time, 1000);
+  EXPECT_EQ(rows_[0].filled, 1u);
+  EXPECT_TRUE(std::isnan(rows_[0].values[1]));
+  EXPECT_TRUE(std::isnan(rows_[0].values[2]));
+}
+
+TEST_F(AssemblerTest, LateEventsAreDroppedAndCounted) {
+  RowAssembler assembler = Make();
+  assembler.Offer(MeasurementId(0), 1000, 1.0);
+  assembler.Offer(MeasurementId(1), 1000, 2.0);
+  assembler.Offer(MeasurementId(2), 1000, 3.0);  // slot 0 shipped
+  ASSERT_EQ(rows_.size(), 1u);
+  assembler.Offer(MeasurementId(1), 1010, 9.0);  // straggler for slot 0
+  EXPECT_EQ(assembler.LateDrops(), 1u);
+  EXPECT_EQ(rows_.size(), 1u);  // nothing re-shipped
+}
+
+TEST_F(AssemblerTest, DuplicateObservationKeepsLatest) {
+  RowAssembler assembler = Make();
+  assembler.Offer(MeasurementId(0), 1000, 1.0);
+  assembler.Offer(MeasurementId(0), 1030, 1.5);  // revised reading
+  assembler.Offer(MeasurementId(1), 1000, 2.0);
+  assembler.Offer(MeasurementId(2), 1000, 3.0);
+  ASSERT_EQ(rows_.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows_[0].values[0], 1.5);
+  EXPECT_EQ(rows_[0].filled, 3u);
+}
+
+TEST_F(AssemblerTest, OutOfOrderSlotsEmitInTimeOrder) {
+  RowAssembler assembler = Make(2, 3);
+  assembler.Offer(MeasurementId(0), 1060, 10.0);  // slot 1 first
+  assembler.Offer(MeasurementId(0), 1000, 1.0);   // then slot 0
+  // Completing slot 1 forces slot 0 out first.
+  assembler.Offer(MeasurementId(1), 1060, 20.0);
+  ASSERT_EQ(rows_.size(), 2u);
+  EXPECT_EQ(rows_[0].time, 1000);
+  EXPECT_EQ(rows_[1].time, 1060);
+}
+
+TEST_F(AssemblerTest, FlushShipsEverythingOpen) {
+  RowAssembler assembler = Make(3, 5);
+  assembler.Offer(MeasurementId(0), 1000, 1.0);
+  assembler.Offer(MeasurementId(1), 1060, 2.0);
+  EXPECT_EQ(assembler.OpenSlots(), 2u);
+  assembler.Flush();
+  EXPECT_EQ(rows_.size(), 2u);
+  EXPECT_EQ(assembler.OpenSlots(), 0u);
+  assembler.Flush();  // idempotent
+  EXPECT_EQ(rows_.size(), 2u);
+}
+
+TEST_F(AssemblerTest, EventsBeforeGridStartLandInNegativeSlots) {
+  RowAssembler assembler = Make(1, 2);
+  assembler.Offer(MeasurementId(0), 940, 0.5);  // slot -1
+  assembler.Offer(MeasurementId(0), 1000, 1.0);
+  ASSERT_EQ(rows_.size(), 2u);  // both complete (1 measurement)
+  EXPECT_EQ(rows_[0].time, 940);
+  EXPECT_EQ(rows_[1].time, 1000);
+}
+
+}  // namespace
+}  // namespace pmcorr

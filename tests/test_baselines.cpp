@@ -1,0 +1,236 @@
+// Tests for the baseline detectors, including the paper's motivating
+// failure modes (non-linear pairs break linear invariants; floods fool
+// per-metric thresholds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/ewma.h"
+#include "baselines/gmm.h"
+#include "baselines/linear_invariant.h"
+#include "baselines/zscore.h"
+#include "common/rng.h"
+
+namespace pmcorr {
+namespace {
+
+void LinearPair(std::size_t n, std::vector<double>* xs,
+                std::vector<double>* ys, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  xs->resize(n);
+  ys->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*xs)[i] = rng.Uniform(0.0, 100.0);
+    (*ys)[i] = 2.0 * (*xs)[i] + 10.0 + rng.Normal(0.0, 1.0);
+  }
+}
+
+void SaturatingPair(std::size_t n, std::vector<double>* xs,
+                    std::vector<double>* ys, std::uint64_t seed = 2) {
+  Rng rng(seed);
+  xs->resize(n);
+  ys->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*xs)[i] = rng.Uniform(0.0, 300.0);
+    (*ys)[i] = 100.0 * (*xs)[i] / ((*xs)[i] + 30.0) + rng.Normal(0.0, 0.5);
+  }
+}
+
+TEST(LinearInvariant, LearnsLinearPair) {
+  std::vector<double> xs, ys;
+  LinearPair(800, &xs, &ys);
+  const auto inv = LinearInvariant::Learn(xs, ys);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_NEAR(inv->Slope(), 2.0, 0.05);
+  EXPECT_NEAR(inv->Intercept(), 10.0, 2.0);
+  EXPECT_GT(inv->RSquared(), 0.99);
+}
+
+TEST(LinearInvariant, NormalPointsScoreHighBrokenPointsAlarm) {
+  std::vector<double> xs, ys;
+  LinearPair(800, &xs, &ys);
+  const auto inv = LinearInvariant::Learn(xs, ys);
+  ASSERT_TRUE(inv.has_value());
+  const auto good = inv->Evaluate(50.0, 110.5);
+  EXPECT_FALSE(good.alarm);
+  EXPECT_GT(good.score, 0.7);
+  const auto bad = inv->Evaluate(50.0, 150.0);  // 40 off the line
+  EXPECT_TRUE(bad.alarm);
+  EXPECT_DOUBLE_EQ(bad.score, 0.0);
+}
+
+TEST(LinearInvariant, RefusesNonlinearPair) {
+  // The paper's point: strongly saturating pairs hold no linear
+  // invariant at a strict R^2 bar.
+  std::vector<double> xs, ys;
+  SaturatingPair(800, &xs, &ys);
+  LinearInvariantConfig config;
+  config.min_r_squared = 0.97;
+  EXPECT_FALSE(LinearInvariant::Learn(xs, ys, config).has_value());
+}
+
+TEST(LinearInvariant, RefusesConstantX) {
+  const std::vector<double> xs(10, 5.0);
+  const std::vector<double> ys = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_FALSE(LinearInvariant::Learn(xs, ys).has_value());
+}
+
+TEST(Gmm, FitsTwoWellSeparatedClusters) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 600; ++i) {
+    if (i % 2 == 0) {
+      xs.push_back(rng.Normal(0.0, 1.0));
+      ys.push_back(rng.Normal(0.0, 1.0));
+    } else {
+      xs.push_back(rng.Normal(20.0, 1.0));
+      ys.push_back(rng.Normal(20.0, 1.0));
+    }
+  }
+  GmmConfig config;
+  config.components = 2;
+  const auto model = GaussianMixtureModel::Fit(xs, ys, config);
+  ASSERT_EQ(model.Components().size(), 2u);
+  // One mean near (0,0), the other near (20,20).
+  const auto& c0 = model.Components()[0];
+  const auto& c1 = model.Components()[1];
+  const double lo_mean = std::min(c0.mean_x, c1.mean_x);
+  const double hi_mean = std::max(c0.mean_x, c1.mean_x);
+  EXPECT_NEAR(lo_mean, 0.0, 1.0);
+  EXPECT_NEAR(hi_mean, 20.0, 1.0);
+  EXPECT_NEAR(c0.weight + c1.weight, 1.0, 1e-6);
+}
+
+TEST(Gmm, ClusterInteriorNormalFarPointAnomalous) {
+  Rng rng(7);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng.Normal(10.0, 2.0));
+    ys.push_back(rng.Normal(-5.0, 1.0));
+  }
+  const auto model = GaussianMixtureModel::Fit(xs, ys, {});
+  EXPECT_FALSE(model.IsAnomaly(10.0, -5.0));
+  EXPECT_GT(model.Score(10.0, -5.0), 0.5);
+  EXPECT_TRUE(model.IsAnomaly(100.0, 100.0));
+  EXPECT_DOUBLE_EQ(model.Score(100.0, 100.0), 0.0);
+}
+
+TEST(Gmm, MahalanobisAndDensityConsistent) {
+  GaussianComponent comp;
+  comp.mean_x = 1.0;
+  comp.mean_y = 2.0;
+  comp.cov_xx = 4.0;
+  comp.cov_yy = 1.0;
+  comp.cov_xy = 0.0;
+  EXPECT_DOUBLE_EQ(comp.Mahalanobis2(1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(comp.Mahalanobis2(3.0, 2.0), 1.0);   // 2 sigma in x
+  EXPECT_DOUBLE_EQ(comp.Mahalanobis2(1.0, 3.0), 1.0);   // 1 sigma in y
+  EXPECT_GT(comp.LogDensity(1.0, 2.0), comp.LogDensity(3.0, 3.0));
+}
+
+TEST(Gmm, DeterministicForSeed) {
+  Rng rng(9);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(rng.Normal(0.0, 1.0));
+    ys.push_back(rng.Normal(0.0, 1.0));
+  }
+  const auto a = GaussianMixtureModel::Fit(xs, ys, {});
+  const auto b = GaussianMixtureModel::Fit(xs, ys, {});
+  EXPECT_DOUBLE_EQ(a.LogDensity(0.3, -0.2), b.LogDensity(0.3, -0.2));
+}
+
+TEST(ZScore, LearnsMomentsAndAlarms) {
+  Rng rng(11);
+  std::vector<double> history(2000);
+  for (double& v : history) v = rng.Normal(50.0, 5.0);
+  const auto det = ZScoreDetector::Learn(history, 3.0);
+  EXPECT_NEAR(det.Mean(), 50.0, 0.5);
+  EXPECT_NEAR(det.Sigma(), 5.0, 0.3);
+  EXPECT_FALSE(det.Alarm(55.0));
+  EXPECT_TRUE(det.Alarm(80.0));
+  EXPECT_TRUE(det.Alarm(20.0));
+  EXPECT_NEAR(det.Z(55.0), 1.0, 0.15);
+}
+
+TEST(ZScore, ConstantHistoryDoesNotDivideByZero) {
+  const std::vector<double> history(10, 5.0);
+  const auto det = ZScoreDetector::Learn(history);
+  EXPECT_TRUE(det.Alarm(6.0));  // any deviation is infinite sigmas
+  EXPECT_FALSE(det.Alarm(5.0));
+}
+
+TEST(Ewma, InControlDataRarelyAlarms) {
+  Rng rng(31);
+  std::vector<double> history(3000);
+  for (double& v : history) v = rng.Normal(100.0, 8.0);
+  auto det = EwmaDetector::Learn(history);
+  EXPECT_NEAR(det.Mean(), 100.0, 0.5);
+  int alarms = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (det.Observe(rng.Normal(100.0, 8.0)).alarm) ++alarms;
+  }
+  EXPECT_LT(alarms, 40);  // ~3-sigma chart: rare false alarms
+}
+
+TEST(Ewma, CatchesSmallPersistentShift) {
+  // A +1-sigma persistent shift is hard for a 3-sigma z-score but easy
+  // for an EWMA chart.
+  Rng rng(33);
+  std::vector<double> history(3000);
+  for (double& v : history) v = rng.Normal(50.0, 4.0);
+  auto ewma = EwmaDetector::Learn(history);
+  const auto z = ZScoreDetector::Learn(history, 3.0);
+
+  int ewma_first = -1, z_alarms = 0;
+  for (int i = 0; i < 120; ++i) {
+    const double v = rng.Normal(54.0, 4.0);  // +1 sigma shift
+    if (ewma.Observe(v).alarm && ewma_first < 0) ewma_first = i;
+    if (z.Alarm(v)) ++z_alarms;
+  }
+  EXPECT_GE(ewma_first, 0);    // the chart catches the shift...
+  EXPECT_LT(ewma_first, 60);   // ...reasonably quickly
+  EXPECT_LT(z_alarms, 10);     // the z-score mostly sleeps through it
+}
+
+TEST(Ewma, ResetRestartsTheChart) {
+  Rng rng(35);
+  std::vector<double> history(1000);
+  for (double& v : history) v = rng.Normal(0.0, 1.0);
+  auto det = EwmaDetector::Learn(history);
+  for (int i = 0; i < 50; ++i) det.Observe(5.0);  // drive it far out
+  EXPECT_TRUE(det.Observe(5.0).alarm);
+  det.Reset();
+  EXPECT_FALSE(det.Observe(0.1).alarm);  // back in control
+}
+
+TEST(Ewma, StartupLimitsTighterThanAsymptotic) {
+  Rng rng(37);
+  std::vector<double> history(1000);
+  for (double& v : history) v = rng.Normal(0.0, 1.0);
+  auto det = EwmaDetector::Learn(history);
+  // First observation: sigma_z = sigma*lambda exactly; a value whose
+  // EWMA lands at 3.5 * lambda * sigma must already alarm.
+  const auto eval = det.Observe(3.5);
+  EXPECT_GT(eval.sigmas, 3.0);
+  EXPECT_TRUE(eval.alarm);
+}
+
+TEST(Baselines, FloodFoolsZScoreButNotInvariant) {
+  // A legitimate flood doubles both measurements: the z-score detector
+  // alarms on each metric, the correlation (linear invariant) holds.
+  std::vector<double> xs, ys;
+  LinearPair(1000, &xs, &ys, 13);
+  const auto inv = LinearInvariant::Learn(xs, ys);
+  ASSERT_TRUE(inv.has_value());
+  const auto zx = ZScoreDetector::Learn(xs, 3.0);
+
+  const double flood_x = 250.0;               // far above training range
+  const double flood_y = 2.0 * flood_x + 10.0;  // correlation intact
+  EXPECT_TRUE(zx.Alarm(flood_x));
+  EXPECT_FALSE(inv->Evaluate(flood_x, flood_y).alarm);
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,137 @@
+// Tests for CSV trace round-tripping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "io/csv.h"
+#include "telemetry/generator.h"
+
+namespace pmcorr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string Track(const std::string& path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+MeasurementFrame SmallFrame() {
+  MeasurementFrame frame(ToTimePoint({2008, 5, 29}), kPaperSamplePeriod);
+  MeasurementInfo a;
+  a.machine = MachineId(0);
+  a.kind = MetricKind::kCpuUtilization;
+  a.name = "CpuUtilization@host-0";
+  frame.Add(a, TimeSeries(frame.StartTime(), frame.Period(),
+                          {1.25, 2.5, 3.0000001, 1e-17}));
+  MeasurementInfo b;
+  b.machine = MachineId(7);
+  b.kind = MetricKind::kPortOutOctetsRate;
+  b.name = "IfOutOctetsRate_PORT@sw-7";
+  frame.Add(b, TimeSeries(frame.StartTime(), frame.Period(),
+                          {1e6, 2e6, 3e6, 123456.789}));
+  return frame;
+}
+
+TEST_F(CsvTest, RoundTripIsBitExact) {
+  const std::string path = Track(TempPath("pmcorr_roundtrip.csv"));
+  const MeasurementFrame original = SmallFrame();
+  WriteFrameCsv(original, path);
+  const MeasurementFrame loaded = ReadFrameCsv(path);
+
+  ASSERT_EQ(loaded.MeasurementCount(), original.MeasurementCount());
+  ASSERT_EQ(loaded.SampleCount(), original.SampleCount());
+  EXPECT_EQ(loaded.StartTime(), original.StartTime());
+  EXPECT_EQ(loaded.Period(), original.Period());
+  for (const auto& info : original.Infos()) {
+    const auto& li = loaded.Info(info.id);
+    EXPECT_EQ(li.name, info.name);
+    EXPECT_EQ(li.machine, info.machine);
+    EXPECT_EQ(li.kind, info.kind);
+    for (std::size_t t = 0; t < original.SampleCount(); ++t) {
+      EXPECT_DOUBLE_EQ(loaded.Value(info.id, t), original.Value(info.id, t));
+    }
+  }
+}
+
+TEST_F(CsvTest, GeneratedTraceRoundTrips) {
+  TraceSpec spec;
+  TopologyConfig topo;
+  topo.machine_count = 3;
+  spec.topology = MakeTopology("X", 5, topo);
+  spec.start = ToTimePoint({2008, 5, 29});
+  spec.samples = 48;
+  spec.seed = 5;
+  const MeasurementFrame original = GenerateTrace(spec);
+
+  const std::string path = Track(TempPath("pmcorr_trace.csv"));
+  WriteFrameCsv(original, path);
+  const MeasurementFrame loaded = ReadFrameCsv(path);
+  ASSERT_EQ(loaded.MeasurementCount(), original.MeasurementCount());
+  for (std::size_t t = 0; t < original.SampleCount(); ++t) {
+    EXPECT_DOUBLE_EQ(loaded.Value(MeasurementId(0), t),
+                     original.Value(MeasurementId(0), t));
+  }
+}
+
+TEST_F(CsvTest, NanValuesRoundTrip) {
+  MeasurementFrame frame(0, kPaperSamplePeriod);
+  MeasurementInfo info;
+  info.machine = MachineId(0);
+  info.kind = MetricKind::kCpuUtilization;
+  info.name = "gappy";
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  frame.Add(info, TimeSeries(0, kPaperSamplePeriod, {1.0, nan, 3.0}));
+
+  const std::string path = Track(TempPath("pmcorr_nan.csv"));
+  WriteFrameCsv(frame, path);
+  const MeasurementFrame loaded = ReadFrameCsv(path);
+  ASSERT_EQ(loaded.SampleCount(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.Value(MeasurementId(0), 0), 1.0);
+  EXPECT_TRUE(std::isnan(loaded.Value(MeasurementId(0), 1)));
+  EXPECT_DOUBLE_EQ(loaded.Value(MeasurementId(0), 2), 3.0);
+}
+
+TEST_F(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(ReadFrameCsv("/nonexistent/nowhere.csv"), std::runtime_error);
+}
+
+TEST_F(CsvTest, MalformedHeaderThrows) {
+  const std::string path = Track(TempPath("pmcorr_bad_header.csv"));
+  std::ofstream(path) << "time,x\n0,1\n";
+  EXPECT_THROW(ReadFrameCsv(path), std::runtime_error);
+}
+
+TEST_F(CsvTest, RowWidthMismatchThrows) {
+  const std::string path = Track(TempPath("pmcorr_bad_row.csv"));
+  std::ofstream(path) << "# pmcorr-trace v1 start=0 period=360\n"
+                      << "# measurement,0,CpuUtilization,cpu@a\n"
+                      << "time,cpu@a\n"
+                      << "0,1.0,2.0\n";
+  EXPECT_THROW(ReadFrameCsv(path), std::runtime_error);
+}
+
+TEST_F(CsvTest, BadValueThrows) {
+  const std::string path = Track(TempPath("pmcorr_bad_value.csv"));
+  std::ofstream(path) << "# pmcorr-trace v1 start=0 period=360\n"
+                      << "# measurement,0,CpuUtilization,cpu@a\n"
+                      << "time,cpu@a\n"
+                      << "0,oops\n";
+  EXPECT_THROW(ReadFrameCsv(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pmcorr

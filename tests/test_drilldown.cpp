@@ -1,0 +1,128 @@
+// Tests for the incident drill-down report generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "engine/drilldown.h"
+
+namespace pmcorr {
+namespace {
+
+// 2 machines x 2 metrics; measurement 3 breaks (flapping walk) in the
+// second half of the test window.
+MeasurementFrame SystemFrame(std::size_t samples, std::uint64_t seed,
+                             bool break_m3 = false) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(4, std::vector<double>(samples));
+  Rng walk_rng = rng.Fork();
+  double walk = 70.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double load =
+        60.0 + 35.0 * std::sin(static_cast<double>(i) * 0.03) +
+        rng.Normal(0.0, 1.5);
+    cols[0][i] = load + rng.Normal(0.0, 0.8);
+    cols[1][i] = 100.0 * load / (load + 45.0) + rng.Normal(0.0, 0.4);
+    cols[2][i] = 2.5 * load + 20.0 + rng.Normal(0.0, 2.0);
+    if (break_m3 && i >= samples / 2) {
+      walk += walk_rng.Normal(0.0, 25.0);
+      walk = std::clamp(walk, 20.0, 150.0);
+      cols[3][i] = walk;
+    } else {
+      cols[3][i] = 0.8 * load + 35.0 + rng.Normal(0.0, 1.5);
+    }
+  }
+  MeasurementFrame frame(0, kPaperSamplePeriod);
+  for (int c = 0; c < 4; ++c) {
+    MeasurementInfo info;
+    info.machine = MachineId(c / 2);
+    info.name = "m" + std::to_string(c);
+    frame.Add(info, TimeSeries(0, kPaperSamplePeriod, std::move(cols[c])));
+  }
+  return frame;
+}
+
+TEST(Drilldown, NamesTheBrokenMeasurementFirst) {
+  const MeasurementFrame history = SystemFrame(2000, 3);
+  MonitorConfig config;
+  config.model.partition.units = 40;
+  config.model.partition.max_intervals = 10;
+  config.threads = 2;
+  SystemMonitor monitor(history, MeasurementGraph::FullMesh(4), config);
+
+  const MeasurementFrame test = SystemFrame(400, 5, /*break_m3=*/true);
+  const auto snapshots = monitor.Run(test);
+
+  // Drill into the broken half.
+  const DrilldownReport report =
+      BuildDrilldown(monitor, snapshots, test, 200, 399);
+  ASSERT_FALSE(report.measurements.empty());
+  EXPECT_EQ(report.measurements.front().name, "m3");
+  EXPECT_GT(report.mean_system_score, 0.0);
+
+  // Its links are populated, sorted worst-first, and carry ranges.
+  const auto& worst = report.measurements.front();
+  ASSERT_GE(worst.links.size(), 2u);
+  EXPECT_LE(worst.links[0].mean_fitness, worst.links[1].mean_fitness);
+  EXPECT_FALSE(worst.links[0].worst_ranges.empty());
+  EXPECT_NE(worst.links[0].description.find("m3"), std::string::npos);
+
+  // The rendered text mentions the culprit.
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("m3"), std::string::npos);
+  EXPECT_NE(text.find("link"), std::string::npos);
+}
+
+TEST(Drilldown, CleanWindowScoresHighEverywhere) {
+  const MeasurementFrame history = SystemFrame(1500, 7);
+  MonitorConfig config;
+  config.model.partition.units = 40;
+  config.model.partition.max_intervals = 10;
+  config.threads = 2;
+  SystemMonitor monitor(history, MeasurementGraph::FullMesh(4), config);
+  const MeasurementFrame test = SystemFrame(200, 9);
+  const auto snapshots = monitor.Run(test);
+
+  const DrilldownReport report =
+      BuildDrilldown(monitor, snapshots, test, 10, 199);
+  EXPECT_GT(report.mean_system_score, 0.85);
+  for (const auto& m : report.measurements) {
+    EXPECT_GT(m.mean_score, 0.7);
+  }
+}
+
+TEST(Drilldown, ClampsWindowAndLimits) {
+  const MeasurementFrame history = SystemFrame(800, 11);
+  MonitorConfig config;
+  config.model.partition.units = 30;
+  config.model.partition.max_intervals = 8;
+  config.threads = 1;
+  SystemMonitor monitor(history, MeasurementGraph::FullMesh(4), config);
+  const MeasurementFrame test = SystemFrame(50, 13);
+  const auto snapshots = monitor.Run(test);
+
+  DrilldownConfig drill;
+  drill.max_measurements = 2;
+  drill.max_links = 1;
+  const DrilldownReport report =
+      BuildDrilldown(monitor, snapshots, test, 0, 10000, drill);
+  EXPECT_EQ(report.last_sample, 49u);
+  EXPECT_LE(report.measurements.size(), 2u);
+  for (const auto& m : report.measurements) {
+    EXPECT_LE(m.links.size(), 1u);
+  }
+}
+
+TEST(Drilldown, EmptySnapshotsYieldEmptyReport) {
+  const MeasurementFrame history = SystemFrame(600, 15);
+  MonitorConfig config;
+  config.threads = 1;
+  SystemMonitor monitor(history, MeasurementGraph::FullMesh(4), config);
+  const DrilldownReport report =
+      BuildDrilldown(monitor, {}, history, 0, 10);
+  EXPECT_TRUE(report.measurements.empty());
+}
+
+}  // namespace
+}  // namespace pmcorr

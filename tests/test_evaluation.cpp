@@ -1,0 +1,108 @@
+// Tests for detection-quality evaluation.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "engine/evaluation.h"
+
+namespace pmcorr {
+namespace {
+
+ScoreWindow Alarm(TimePoint start, TimePoint end) {
+  ScoreWindow w;
+  w.start = start;
+  w.end = end;
+  return w;
+}
+
+TEST(EvaluateDetection, PerfectDetection) {
+  const std::vector<LabeledWindow> truth = {{100, 200}, {500, 600}};
+  const std::vector<ScoreWindow> alarms = {Alarm(110, 150), Alarm(505, 520)};
+  const auto outcome = EvaluateDetection(alarms, truth);
+  EXPECT_EQ(outcome.detected, 2u);
+  EXPECT_EQ(outcome.missed, 0u);
+  EXPECT_EQ(outcome.false_alarms, 0u);
+  EXPECT_DOUBLE_EQ(outcome.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(outcome.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(outcome.F1(), 1.0);
+  ASSERT_TRUE(outcome.mean_latency_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*outcome.mean_latency_seconds, (10.0 + 5.0) / 2.0);
+}
+
+TEST(EvaluateDetection, MissAndFalseAlarm) {
+  const std::vector<LabeledWindow> truth = {{100, 200}};
+  const std::vector<ScoreWindow> alarms = {Alarm(700, 710)};
+  const auto outcome = EvaluateDetection(alarms, truth);
+  EXPECT_EQ(outcome.detected, 0u);
+  EXPECT_EQ(outcome.missed, 1u);
+  EXPECT_EQ(outcome.false_alarms, 1u);
+  EXPECT_DOUBLE_EQ(outcome.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.F1(), 0.0);
+  EXPECT_FALSE(outcome.mean_latency_seconds.has_value());
+}
+
+TEST(EvaluateDetection, GraceExtendsMatching) {
+  const std::vector<LabeledWindow> truth = {{100, 200}};
+  const std::vector<ScoreWindow> alarms = {Alarm(210, 220)};
+  EXPECT_EQ(EvaluateDetection(alarms, truth, 0).detected, 0u);
+  const auto with_grace = EvaluateDetection(alarms, truth, 30);
+  EXPECT_EQ(with_grace.detected, 1u);
+  EXPECT_EQ(with_grace.false_alarms, 0u);
+}
+
+TEST(EvaluateDetection, FirstOverlappingAlarmSetsLatency) {
+  const std::vector<LabeledWindow> truth = {{100, 300}};
+  const std::vector<ScoreWindow> alarms = {Alarm(250, 260), Alarm(120, 130)};
+  const auto outcome = EvaluateDetection(alarms, truth);
+  ASSERT_TRUE(outcome.mean_latency_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*outcome.mean_latency_seconds, 20.0);  // earliest alarm
+}
+
+TEST(EvaluateDetection, EmptyTruthAndEmptyAlarms) {
+  const auto neither = EvaluateDetection({}, {});
+  EXPECT_DOUBLE_EQ(neither.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(neither.Recall(), 1.0);
+
+  const auto only_alarms = EvaluateDetection({Alarm(0, 10)}, {});
+  EXPECT_EQ(only_alarms.false_alarms, 1u);
+  EXPECT_DOUBLE_EQ(only_alarms.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(only_alarms.Recall(), 1.0);
+}
+
+TEST(EvaluateDetection, OneAlarmCoveringTwoTruths) {
+  const std::vector<LabeledWindow> truth = {{100, 200}, {150, 400}};
+  const std::vector<ScoreWindow> alarms = {Alarm(160, 180)};
+  const auto outcome = EvaluateDetection(alarms, truth);
+  EXPECT_EQ(outcome.detected, 2u);
+  EXPECT_EQ(outcome.false_alarms, 0u);
+}
+
+TEST(SweepThresholds, MonotoneAlarmCounts) {
+  // Score dips at samples 5-7 (0.3) and 15 (0.6); base 0.95.
+  std::vector<std::optional<double>> scores(20, 0.95);
+  scores[5] = scores[6] = scores[7] = 0.3;
+  scores[15] = 0.6;
+  const std::vector<LabeledWindow> truth = {{5 * 60, 8 * 60}};
+  const std::vector<double> thresholds = {0.2, 0.5, 0.7, 0.99};
+  const auto sweep =
+      SweepThresholds(scores, 0, 60, truth, thresholds);
+  ASSERT_EQ(sweep.size(), 4u);
+  // 0.2: nothing below -> no alarms, miss.
+  EXPECT_EQ(sweep[0].outcome.alarm_windows, 0u);
+  EXPECT_EQ(sweep[0].outcome.detected, 0u);
+  // 0.5: exactly the dip -> perfect.
+  EXPECT_EQ(sweep[1].outcome.alarm_windows, 1u);
+  EXPECT_EQ(sweep[1].outcome.detected, 1u);
+  EXPECT_EQ(sweep[1].outcome.false_alarms, 0u);
+  // 0.7: dip + the 0.6 sample -> one false alarm.
+  EXPECT_EQ(sweep[2].outcome.alarm_windows, 2u);
+  EXPECT_EQ(sweep[2].outcome.false_alarms, 1u);
+  // 0.99: everything alarms as one giant window covering the truth.
+  EXPECT_DOUBLE_EQ(sweep[3].outcome.Recall(), 1.0);
+  EXPECT_EQ(sweep[3].outcome.alarm_windows, 1u);
+}
+
+}  // namespace
+}  // namespace pmcorr

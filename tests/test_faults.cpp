@@ -1,0 +1,164 @@
+// Tests for fault injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telemetry/faults.h"
+
+namespace pmcorr {
+namespace {
+
+FaultEvent Event(FaultType type, double magnitude = 1.0,
+                 std::optional<MetricKind> filter = std::nullopt) {
+  FaultEvent e;
+  e.machine = MachineId(3);
+  e.start = 1000;
+  e.end = 2000;
+  e.type = type;
+  e.magnitude = magnitude;
+  e.metric_filter = filter;
+  return e;
+}
+
+TEST(FaultEvent, ActiveWindowIsHalfOpen) {
+  const FaultEvent e = Event(FaultType::kLevelShift);
+  EXPECT_FALSE(e.Active(999));
+  EXPECT_TRUE(e.Active(1000));
+  EXPECT_TRUE(e.Active(1999));
+  EXPECT_FALSE(e.Active(2000));
+}
+
+TEST(FaultEvent, AffectsFiltersMachineAndMetric) {
+  const FaultEvent e =
+      Event(FaultType::kLevelShift, 1.0, MetricKind::kCpuUtilization);
+  EXPECT_TRUE(e.Affects(MachineId(3), MetricKind::kCpuUtilization, 1500));
+  EXPECT_FALSE(e.Affects(MachineId(4), MetricKind::kCpuUtilization, 1500));
+  EXPECT_FALSE(e.Affects(MachineId(3), MetricKind::kFreeMemory, 1500));
+  EXPECT_FALSE(e.Affects(MachineId(3), MetricKind::kCpuUtilization, 2500));
+}
+
+TEST(FaultInjector, NoEventsPassesThrough) {
+  FaultInjector injector({}, 1);
+  double noise = 1.0;
+  EXPECT_DOUBLE_EQ(injector.Apply(MachineId(0), MetricKind::kCpuUtilization,
+                                  0, 1500, 42.0, 10.0, noise),
+                   42.0);
+  EXPECT_DOUBLE_EQ(noise, 1.0);
+}
+
+TEST(FaultInjector, AnomalousJumpAddsScaledOffset) {
+  FaultInjector injector({Event(FaultType::kAnomalousJump, 2.0)}, 1);
+  double noise = 1.0;
+  const double out = injector.Apply(MachineId(3),
+                                    MetricKind::kCpuUtilization, 0, 1500,
+                                    40.0, 10.0, noise);
+  EXPECT_DOUBLE_EQ(out, 60.0);  // 40 + 2.0 * 10
+  // Outside the window: untouched.
+  EXPECT_DOUBLE_EQ(injector.Apply(MachineId(3),
+                                  MetricKind::kCpuUtilization, 0, 2500,
+                                  40.0, 10.0, noise),
+                   40.0);
+}
+
+TEST(FaultInjector, LevelShiftMultiplies) {
+  FaultInjector injector({Event(FaultType::kLevelShift, 0.5)}, 1);
+  double noise = 1.0;
+  EXPECT_DOUBLE_EQ(injector.Apply(MachineId(3),
+                                  MetricKind::kCpuUtilization, 0, 1500,
+                                  40.0, 10.0, noise),
+                   60.0);
+}
+
+TEST(FaultInjector, StuckValueFreezesAtEntry) {
+  FaultInjector injector({Event(FaultType::kStuckValue)}, 1);
+  double noise = 1.0;
+  const double first = injector.Apply(MachineId(3),
+                                      MetricKind::kCpuUtilization, 0, 1500,
+                                      40.0, 10.0, noise);
+  const double second = injector.Apply(MachineId(3),
+                                       MetricKind::kCpuUtilization, 0, 1600,
+                                       55.0, 10.0, noise);
+  EXPECT_DOUBLE_EQ(first, 40.0);
+  EXPECT_DOUBLE_EQ(second, 40.0);
+  // After the window it unfreezes.
+  EXPECT_DOUBLE_EQ(injector.Apply(MachineId(3),
+                                  MetricKind::kCpuUtilization, 0, 2500,
+                                  70.0, 10.0, noise),
+                   70.0);
+}
+
+TEST(FaultInjector, NoiseStormInflatesSigmaOnly) {
+  FaultInjector injector({Event(FaultType::kNoiseStorm, 10.0)}, 1);
+  double noise = 1.0;
+  const double out = injector.Apply(MachineId(3),
+                                    MetricKind::kCpuUtilization, 0, 1500,
+                                    40.0, 10.0, noise);
+  EXPECT_DOUBLE_EQ(out, 40.0);
+  EXPECT_DOUBLE_EQ(noise, 10.0);
+}
+
+TEST(FaultInjector, CorrelationBreakDecouplesButStaysBounded) {
+  FaultInjector injector({Event(FaultType::kCorrelationBreak)}, 7);
+  double noise = 1.0;
+  double prev = 40.0;
+  bool moved = false;
+  for (TimePoint tp = 1000; tp < 2000; tp += 10) {
+    const double out = injector.Apply(MachineId(3),
+                                      MetricKind::kCpuUtilization, 0, tp,
+                                      40.0, 10.0, noise);
+    EXPECT_GE(out, 0.0);
+    EXPECT_LE(out, 40.0 + 2.0 * 10.0 + 1e-9);
+    if (std::fabs(out - prev) > 1e-9 && tp > 1000) moved = true;
+    prev = out;
+  }
+  EXPECT_TRUE(moved);  // it wanders instead of tracking the clean value
+}
+
+TEST(FaultInjector, IndependentStatePerMeasurement) {
+  FaultInjector injector({Event(FaultType::kStuckValue)}, 1);
+  double noise = 1.0;
+  const double m0 = injector.Apply(MachineId(3),
+                                   MetricKind::kCpuUtilization, 0, 1500,
+                                   10.0, 1.0, noise);
+  const double m1 = injector.Apply(MachineId(3),
+                                   MetricKind::kCpuUtilization, 1, 1500,
+                                   20.0, 1.0, noise);
+  EXPECT_DOUBLE_EQ(m0, 10.0);
+  EXPECT_DOUBLE_EQ(m1, 20.0);
+}
+
+TEST(FaultInjector, AnyActiveQuery) {
+  FaultInjector injector(
+      {Event(FaultType::kLevelShift, 1.0, MetricKind::kCpuUtilization)}, 1);
+  EXPECT_TRUE(injector.AnyActive(MachineId(3),
+                                 MetricKind::kCpuUtilization, 1500));
+  EXPECT_FALSE(injector.AnyActive(MachineId(3), MetricKind::kFreeMemory,
+                                  1500));
+  EXPECT_FALSE(injector.AnyActive(MachineId(3),
+                                  MetricKind::kCpuUtilization, 2500));
+}
+
+TEST(FaultInjector, DropoutEmitsNan) {
+  FaultInjector injector({Event(FaultType::kDropout)}, 1);
+  double noise = 1.0;
+  EXPECT_TRUE(std::isnan(injector.Apply(MachineId(3),
+                                        MetricKind::kCpuUtilization, 0,
+                                        1500, 40.0, 10.0, noise)));
+  // Outside the window the collector reports again.
+  EXPECT_DOUBLE_EQ(injector.Apply(MachineId(3),
+                                  MetricKind::kCpuUtilization, 0, 2500,
+                                  40.0, 10.0, noise),
+                   40.0);
+}
+
+TEST(FaultTypeName, AllNamed) {
+  EXPECT_EQ(FaultTypeName(FaultType::kCorrelationBreak), "correlation-break");
+  EXPECT_EQ(FaultTypeName(FaultType::kAnomalousJump), "anomalous-jump");
+  EXPECT_EQ(FaultTypeName(FaultType::kLevelShift), "level-shift");
+  EXPECT_EQ(FaultTypeName(FaultType::kStuckValue), "stuck-value");
+  EXPECT_EQ(FaultTypeName(FaultType::kNoiseStorm), "noise-storm");
+  EXPECT_EQ(FaultTypeName(FaultType::kDropout), "dropout");
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,81 @@
+// Tests for the fitness score (Section 5), pinning the worked example of
+// Figure 11.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/fitness.h"
+
+namespace pmcorr {
+namespace {
+
+TEST(RankFitness, Figure11WorkedExample) {
+  // Figure 11: probabilities over 6 cells ->
+  // ranks {c1:5, c2:2, c3:3, c4:1, c5:4, c6:6} ->
+  // scores {0.3333, 0.8333, 0.6667, 1.0000, 0.5000, 0.1667}.
+  const std::vector<double> probs = {0.1116, 0.2422, 0.2095,
+                                     0.2538, 0.1734, 0.0094};
+  const std::vector<std::size_t> expected_ranks = {5, 2, 3, 1, 4, 6};
+  const std::vector<double> expected_scores = {0.3333, 0.8333, 0.6667,
+                                               1.0000, 0.5000, 0.1667};
+  for (std::size_t j = 0; j < probs.size(); ++j) {
+    std::size_t rank = 1;
+    for (double p : probs) {
+      if (p > probs[j]) ++rank;
+    }
+    EXPECT_EQ(rank, expected_ranks[j]);
+    EXPECT_NEAR(RankFitness(rank, probs.size()), expected_scores[j], 5e-5);
+  }
+}
+
+TEST(RankFitness, Boundaries) {
+  EXPECT_DOUBLE_EQ(RankFitness(1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(RankFitness(10, 10), 0.1);
+  EXPECT_DOUBLE_EQ(RankFitness(1, 1), 1.0);
+}
+
+TEST(RankFitness, MonotoneDecreasingInRank) {
+  for (std::size_t s : {2u, 5u, 100u}) {
+    for (std::size_t r = 1; r < s; ++r) {
+      EXPECT_GT(RankFitness(r, s), RankFitness(r + 1, s));
+    }
+  }
+}
+
+TEST(AggregateScores, SkipsDisengaged) {
+  const std::vector<std::optional<double>> scores = {0.5, std::nullopt, 1.0};
+  const auto q = AggregateScores(scores);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_DOUBLE_EQ(*q, 0.75);
+}
+
+TEST(AggregateScores, AllDisengagedIsNullopt) {
+  const std::vector<std::optional<double>> scores = {std::nullopt,
+                                                     std::nullopt};
+  EXPECT_FALSE(AggregateScores(scores).has_value());
+  EXPECT_FALSE(AggregateScores(std::span<const std::optional<double>>{})
+                   .has_value());
+}
+
+TEST(AggregateScores, DenseOverload) {
+  const std::vector<double> scores = {0.2, 0.4, 0.6};
+  EXPECT_NEAR(AggregateScores(scores), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(AggregateScores(std::span<const double>{}), 0.0);
+}
+
+TEST(ScoreAverager, TracksMean) {
+  ScoreAverager avg;
+  EXPECT_EQ(avg.Count(), 0u);
+  EXPECT_DOUBLE_EQ(avg.Mean(), 0.0);
+  avg.Add(1.0);
+  avg.Add(0.5);
+  avg.Add(std::optional<double>{});      // ignored
+  avg.Add(std::optional<double>{0.0});   // counted
+  EXPECT_EQ(avg.Count(), 3u);
+  EXPECT_DOUBLE_EQ(avg.Mean(), 0.5);
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,209 @@
+// Tests for topology, response functions and the trace generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "telemetry/generator.h"
+#include "telemetry/response.h"
+
+namespace pmcorr {
+namespace {
+
+TraceSpec SmallSpec(std::uint64_t seed = 11) {
+  TraceSpec spec;
+  TopologyConfig topo;
+  topo.machine_count = 8;
+  spec.topology = MakeTopology("T", seed, topo);
+  spec.start = ToTimePoint({2008, 5, 29});
+  spec.samples = 3 * kSamplesPerDay;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Topology, RoleMixAndDeterminism) {
+  TopologyConfig config;
+  config.machine_count = 50;
+  const Topology a = MakeTopology("A", 1, config);
+  const Topology b = MakeTopology("A", 1, config);
+  ASSERT_EQ(a.machines.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.machines[i].hostname, b.machines[i].hostname);
+    EXPECT_EQ(a.machines[i].role, b.machines[i].role);
+    EXPECT_DOUBLE_EQ(a.machines[i].capacity_scale,
+                     b.machines[i].capacity_scale);
+  }
+  // All four roles appear in a 50-machine group.
+  bool web = false, app = false, db = false, sw = false;
+  for (const auto& m : a.machines) {
+    web |= m.role == MachineRole::kWebServer;
+    app |= m.role == MachineRole::kAppServer;
+    db |= m.role == MachineRole::kDatabase;
+    sw |= m.role == MachineRole::kSwitch;
+  }
+  EXPECT_TRUE(web && app && db && sw);
+  EXPECT_GT(a.MeasurementCount(), 100u);
+}
+
+TEST(Responses, Shapes) {
+  const LinearResponse lin(2.0, 10.0);
+  EXPECT_DOUBLE_EQ(lin.Value(0.5), 7.0);
+
+  const SaturatingResponse sat(100.0, 0.5);
+  EXPECT_DOUBLE_EQ(sat.Value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sat.Value(0.5), 50.0);
+  EXPECT_LT(sat.Value(10.0), 100.0);
+  // Concavity: equal load increments give shrinking value increments.
+  EXPECT_GT(sat.Value(0.4) - sat.Value(0.2), sat.Value(0.8) - sat.Value(0.6));
+
+  const QueueingResponse queue(10.0, 0.9);
+  EXPECT_DOUBLE_EQ(queue.Value(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(queue.Value(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(queue.Value(2.0), queue.Value(0.9));  // clamped
+
+  const RegimeResponse regime(0.5, 0.0, 10.0, 50.0, 2.0);
+  EXPECT_DOUBLE_EQ(regime.Value(0.4), 4.0);
+  EXPECT_DOUBLE_EQ(regime.Value(0.6), 51.2);
+}
+
+TEST(Responses, ApplyNoiseRespectsFloor) {
+  Rng rng(5);
+  NoiseConfig noise;
+  noise.relative_sigma = 0.0;
+  noise.additive_sigma = 100.0;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(ApplyNoise(10.0, noise, rng, 0.0), 0.0);
+  }
+}
+
+TEST(Responses, MakeRecipeProducesResponseForEveryKind) {
+  Rng rng(9);
+  for (int k = 0; k < 12; ++k) {
+    const auto kind = static_cast<MetricKind>(k);
+    const MetricRecipe recipe = MakeRecipe(kind, 1.0, rng);
+    ASSERT_NE(recipe.response, nullptr) << MetricKindName(kind);
+    EXPECT_GE(recipe.response->Value(0.5), 0.0 - 1e10);
+  }
+}
+
+TEST(Generator, FrameShapeMatchesSpec) {
+  const TraceSpec spec = SmallSpec();
+  const MeasurementFrame frame = GenerateTrace(spec);
+  EXPECT_EQ(frame.MeasurementCount(), spec.topology.MeasurementCount());
+  EXPECT_EQ(frame.SampleCount(), spec.samples);
+  EXPECT_EQ(frame.StartTime(), spec.start);
+  EXPECT_EQ(frame.Period(), kPaperSamplePeriod);
+}
+
+TEST(Generator, BitReproducible) {
+  const TraceSpec spec = SmallSpec();
+  const MeasurementFrame a = GenerateTrace(spec);
+  const MeasurementFrame b = GenerateTrace(spec);
+  for (const auto& info : a.Infos()) {
+    for (std::size_t t = 0; t < a.SampleCount(); t += 37) {
+      EXPECT_DOUBLE_EQ(a.Value(info.id, t), b.Value(info.id, t));
+    }
+  }
+}
+
+TEST(Generator, PercentMetricsStayInRange) {
+  const MeasurementFrame frame = GenerateTrace(SmallSpec());
+  for (const auto& info : frame.Infos()) {
+    if (info.kind == MetricKind::kCpuUtilization ||
+        info.kind == MetricKind::kCurrentUtilizationPort ||
+        info.kind == MetricKind::kCurrentUtilizationIf ||
+        info.kind == MetricKind::kMemoryUtilization) {
+      for (double v : frame.Series(info.id).Values()) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 100.0);
+      }
+    }
+  }
+}
+
+TEST(Generator, SharedWorkloadInducesCorrelations) {
+  // In/out octet rates on the same web server must correlate strongly
+  // (the Figure 2(b) situation).
+  const MeasurementFrame frame = GenerateTrace(SmallSpec());
+  std::optional<MeasurementId> in_id, out_id;
+  for (const auto& info : frame.Infos()) {
+    if (info.kind == MetricKind::kIfInOctetsRate && !in_id) {
+      in_id = info.id;
+    }
+    if (info.kind == MetricKind::kIfOutOctetsRate && !out_id &&
+        in_id && frame.Info(*in_id).machine == info.machine) {
+      out_id = info.id;
+    }
+  }
+  ASSERT_TRUE(in_id && out_id);
+  const auto r = PearsonCorrelation(frame.Series(*in_id).Values(),
+                                    frame.Series(*out_id).Values());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(*r, 0.9);
+}
+
+TEST(Generator, UtilizationVsThroughputIsNonlinearButMonotone) {
+  // The Figure 2(d) pair: port utilization saturates against the port
+  // octet rate — Spearman high, Pearson visibly lower than Spearman.
+  const MeasurementFrame frame = GenerateTrace(SmallSpec(17));
+  std::optional<MeasurementId> rate_id, util_id;
+  for (const auto& info : frame.Infos()) {
+    if (info.kind == MetricKind::kPortOutOctetsRate && !rate_id) {
+      rate_id = info.id;
+    }
+    if (info.kind == MetricKind::kCurrentUtilizationPort && !util_id &&
+        rate_id && frame.Info(*rate_id).machine == info.machine) {
+      util_id = info.id;
+    }
+  }
+  ASSERT_TRUE(rate_id && util_id);
+  const auto spearman = SpearmanCorrelation(frame.Series(*rate_id).Values(),
+                                            frame.Series(*util_id).Values());
+  ASSERT_TRUE(spearman.has_value());
+  EXPECT_GT(*spearman, 0.8);
+}
+
+TEST(Generator, FaultWindowChangesValues) {
+  TraceSpec spec = SmallSpec();
+  const MeasurementFrame clean = GenerateTrace(spec);
+
+  // Find a machine with a CPU metric and inject a big level shift.
+  MachineId target;
+  for (const auto& info : clean.Infos()) {
+    if (info.kind == MetricKind::kDiskIoThroughput) {
+      target = info.machine;
+      break;
+    }
+  }
+  ASSERT_TRUE(target.valid());
+  FaultEvent e;
+  e.machine = target;
+  e.start = spec.start + kDay;
+  e.end = spec.start + kDay + 6 * kHour;
+  e.type = FaultType::kLevelShift;
+  e.magnitude = 2.0;
+  e.metric_filter = MetricKind::kDiskIoThroughput;
+  spec.faults.push_back(e);
+  const MeasurementFrame faulty = GenerateTrace(spec);
+
+  double max_rel_diff_inside = 0.0;
+  for (const auto& info : clean.Infos()) {
+    if (info.machine != target ||
+        info.kind != MetricKind::kDiskIoThroughput) {
+      continue;
+    }
+    for (std::size_t t = 0; t < clean.SampleCount(); ++t) {
+      const TimePoint tp = clean.TimeAt(t);
+      const double c = clean.Value(info.id, t);
+      const double f = faulty.Value(info.id, t);
+      if (tp >= e.start && tp < e.end) {
+        max_rel_diff_inside =
+            std::max(max_rel_diff_inside, std::fabs(f - c) / (c + 1e-9));
+      }
+    }
+  }
+  EXPECT_GT(max_rel_diff_inside, 1.0);  // ~3x shift inside the window
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,155 @@
+// Tests for MeasurementGraph.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "engine/measurement_graph.h"
+
+namespace pmcorr {
+namespace {
+
+MeasurementFrame TinyFrame(std::size_t machines, std::size_t per_machine) {
+  MeasurementFrame frame(0, kPaperSamplePeriod);
+  for (std::size_t m = 0; m < machines; ++m) {
+    for (std::size_t k = 0; k < per_machine; ++k) {
+      MeasurementInfo info;
+      info.machine = MachineId(static_cast<std::int32_t>(m));
+      info.name = "m" + std::to_string(m) + "k" + std::to_string(k);
+      frame.Add(info, TimeSeries(0, kPaperSamplePeriod, {1.0, 2.0}));
+    }
+  }
+  return frame;
+}
+
+TEST(MeasurementGraph, FullMeshCount) {
+  const MeasurementGraph g = MeasurementGraph::FullMesh(10);
+  EXPECT_EQ(g.PairCount(), 45u);  // l(l-1)/2
+  EXPECT_EQ(g.MeasurementCount(), 10u);
+  // Each measurement touches l-1 pairs.
+  for (std::int32_t a = 0; a < 10; ++a) {
+    EXPECT_EQ(g.PairsOf(MeasurementId(a)).size(), 9u);
+  }
+}
+
+TEST(MeasurementGraph, FromPairsValidates) {
+  std::vector<PairId> ok = {PairId(MeasurementId(0), MeasurementId(1))};
+  EXPECT_NO_THROW(MeasurementGraph::FromPairs(2, ok));
+  std::vector<PairId> dup = {PairId(MeasurementId(0), MeasurementId(1)),
+                             PairId(MeasurementId(1), MeasurementId(0))};
+  EXPECT_THROW(MeasurementGraph::FromPairs(2, dup), std::invalid_argument);
+  std::vector<PairId> range = {PairId(MeasurementId(0), MeasurementId(5))};
+  EXPECT_THROW(MeasurementGraph::FromPairs(2, range), std::invalid_argument);
+  std::vector<PairId> self = {PairId()};
+  EXPECT_THROW(MeasurementGraph::FromPairs(2, self), std::invalid_argument);
+}
+
+TEST(MeasurementGraph, NeighborhoodCoversMachineCliques) {
+  const MeasurementFrame frame = TinyFrame(4, 3);
+  const MeasurementGraph g = MeasurementGraph::Neighborhood(frame, 0, 7);
+  // Every intra-machine pair must exist: 4 machines x C(3,2) = 12 edges.
+  EXPECT_EQ(g.PairCount(), 12u);
+  std::set<PairId> edges(g.Pairs().begin(), g.Pairs().end());
+  EXPECT_TRUE(edges.contains(PairId(MeasurementId(0), MeasurementId(1))));
+  EXPECT_TRUE(edges.contains(PairId(MeasurementId(0), MeasurementId(2))));
+  EXPECT_FALSE(edges.contains(PairId(MeasurementId(0), MeasurementId(3))));
+}
+
+TEST(MeasurementGraph, NeighborhoodAddsRemotePartners) {
+  const MeasurementFrame frame = TinyFrame(5, 2);
+  const MeasurementGraph g = MeasurementGraph::Neighborhood(frame, 2, 7);
+  // Every measurement participates in at least local + some remote edges.
+  for (std::int32_t a = 0; a < 10; ++a) {
+    EXPECT_GE(g.PairsOf(MeasurementId(a)).size(), 2u);
+  }
+  // Some cross-machine edge exists.
+  bool cross = false;
+  for (const PairId& p : g.Pairs()) {
+    if (frame.Info(p.a).machine != frame.Info(p.b).machine) cross = true;
+  }
+  EXPECT_TRUE(cross);
+}
+
+TEST(MeasurementGraph, NeighborhoodDeterministic) {
+  const MeasurementFrame frame = TinyFrame(5, 2);
+  const MeasurementGraph a = MeasurementGraph::Neighborhood(frame, 2, 7);
+  const MeasurementGraph b = MeasurementGraph::Neighborhood(frame, 2, 7);
+  EXPECT_EQ(a.Pairs(), b.Pairs());
+}
+
+MeasurementFrame AssociationFrame() {
+  // m0 and m1 strongly associated; m2 tracks them weakly; m3 independent.
+  Rng rng(55);
+  const std::size_t n = 300;
+  std::vector<std::vector<double>> cols(4, std::vector<double>(n));
+  for (std::size_t t = 0; t < n; ++t) {
+    const double load = 50.0 + 20.0 * std::sin(t * 0.07);
+    cols[0][t] = load + rng.Normal(0.0, 0.5);
+    cols[1][t] = 2.0 * load + rng.Normal(0.0, 0.5);
+    cols[2][t] = load + rng.Normal(0.0, 15.0);
+    cols[3][t] = rng.Normal(100.0, 5.0);
+  }
+  MeasurementFrame frame(0, kPaperSamplePeriod);
+  for (int c = 0; c < 4; ++c) {
+    MeasurementInfo info;
+    info.machine = MachineId(c);
+    info.name = "m" + std::to_string(c);
+    frame.Add(info, TimeSeries(0, kPaperSamplePeriod, std::move(cols[c])));
+  }
+  return frame;
+}
+
+TEST(MeasurementGraph, ByAssociationPicksStrongPartners) {
+  const MeasurementFrame frame = AssociationFrame();
+  const MeasurementGraph g =
+      MeasurementGraph::ByAssociation(frame, 0.8, 2);
+  std::set<PairId> edges(g.Pairs().begin(), g.Pairs().end());
+  // The strongly coupled pair is always selected.
+  EXPECT_TRUE(edges.contains(PairId(MeasurementId(0), MeasurementId(1))));
+  // No node is isolated — even the independent m3 gets its best partner.
+  for (std::int32_t a = 0; a < 4; ++a) {
+    EXPECT_GE(g.PairsOf(MeasurementId(a)).size(), 1u) << "m" << a;
+  }
+}
+
+TEST(MeasurementGraph, ByAssociationRespectsPartnerCap) {
+  const MeasurementFrame frame = AssociationFrame();
+  const MeasurementGraph g =
+      MeasurementGraph::ByAssociation(frame, 0.0, 1);
+  // With a cap of 1 per node, at most l edges can exist (each node
+  // nominates one, nominations can coincide).
+  EXPECT_LE(g.PairCount(), 4u);
+  for (std::int32_t a = 0; a < 4; ++a) {
+    EXPECT_GE(g.PairsOf(MeasurementId(a)).size(), 1u);
+  }
+}
+
+TEST(MeasurementGraph, ByAssociationDeterministic) {
+  const MeasurementFrame frame = AssociationFrame();
+  const MeasurementGraph a = MeasurementGraph::ByAssociation(frame, 0.5, 2);
+  const MeasurementGraph b = MeasurementGraph::ByAssociation(frame, 0.5, 2);
+  EXPECT_EQ(a.Pairs(), b.Pairs());
+}
+
+TEST(MeasurementGraph, ByAssociationRejectsTinyFrames) {
+  MeasurementFrame frame(0, kPaperSamplePeriod);
+  MeasurementInfo info;
+  info.name = "only";
+  frame.Add(info, TimeSeries(0, kPaperSamplePeriod, {1.0, 2.0}));
+  EXPECT_THROW(MeasurementGraph::ByAssociation(frame),
+               std::invalid_argument);
+}
+
+TEST(MeasurementGraph, PairsOfIndexesAreConsistent) {
+  const MeasurementGraph g = MeasurementGraph::FullMesh(6);
+  for (std::int32_t a = 0; a < 6; ++a) {
+    for (std::size_t pi : g.PairsOf(MeasurementId(a))) {
+      const PairId& p = g.Pair(pi);
+      EXPECT_TRUE(p.a == MeasurementId(a) || p.b == MeasurementId(a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,137 @@
+// Tests for Grid2D: cell indexing, containment and online extension.
+#include <gtest/gtest.h>
+
+#include "grid/grid.h"
+
+namespace pmcorr {
+namespace {
+
+Grid2D MakeGrid(std::size_t rows = 3, std::size_t cols = 3) {
+  return Grid2D(IntervalList::Uniform(0.0, 3.0, rows),
+                IntervalList::Uniform(0.0, 30.0, cols));
+}
+
+TEST(Grid2D, RowMajorIndexingMatchesFigure3) {
+  // Figure 3 lays a 3x3 grid out as c1..c3 / c4..c6 / c7..c9 (row-major,
+  // 0-based here).
+  const Grid2D grid = MakeGrid();
+  EXPECT_EQ(grid.CellCount(), 9u);
+  EXPECT_EQ(grid.IndexOf({0, 0}), 0u);
+  EXPECT_EQ(grid.IndexOf({0, 2}), 2u);
+  EXPECT_EQ(grid.IndexOf({1, 1}), 4u);  // c5, the center
+  EXPECT_EQ(grid.IndexOf({2, 2}), 8u);
+  const CellCoord c = grid.CoordOf(5);
+  EXPECT_EQ(c.i1, 1);
+  EXPECT_EQ(c.i2, 2);
+}
+
+TEST(Grid2D, CellOfLocatesPoints) {
+  const Grid2D grid = MakeGrid();
+  EXPECT_EQ(grid.CellOf({0.5, 5.0}), 0u);
+  EXPECT_EQ(grid.CellOf({1.5, 15.0}), 4u);
+  EXPECT_EQ(grid.CellOf({2.999, 29.99}), 8u);
+  EXPECT_FALSE(grid.CellOf({3.0, 15.0}).has_value());   // x on upper edge
+  EXPECT_FALSE(grid.CellOf({-0.1, 15.0}).has_value());
+  EXPECT_FALSE(grid.CellOf({1.5, 30.0}).has_value());
+}
+
+TEST(Grid2D, CellIntervals) {
+  const Grid2D grid = MakeGrid();
+  const Interval d1 = grid.CellIntervalDim1(4);
+  const Interval d2 = grid.CellIntervalDim2(4);
+  EXPECT_DOUBLE_EQ(d1.lo, 1.0);
+  EXPECT_DOUBLE_EQ(d1.hi, 2.0);
+  EXPECT_DOUBLE_EQ(d2.lo, 10.0);
+  EXPECT_DOUBLE_EQ(d2.hi, 20.0);
+}
+
+TEST(Grid2D, WithinExtensionMargin) {
+  const Grid2D grid = MakeGrid();  // r_avg = 1 and 10
+  EXPECT_TRUE(grid.WithinExtensionMargin({3.5, 15.0}, 1.0, 1.0));
+  EXPECT_FALSE(grid.WithinExtensionMargin({4.5, 15.0}, 1.0, 1.0));
+  EXPECT_TRUE(grid.WithinExtensionMargin({4.5, 15.0}, 2.0, 1.0));
+  EXPECT_TRUE(grid.WithinExtensionMargin({-0.5, -5.0}, 1.0, 1.0));
+  EXPECT_FALSE(grid.WithinExtensionMargin({1.5, 70.0}, 3.0, 3.0));
+}
+
+TEST(Grid2D, ExtendAboveAddsIntervalsUntilContained) {
+  Grid2D grid = MakeGrid();
+  const auto ext = grid.ExtendToInclude({4.2, 15.0}, 3.0, 3.0);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_EQ(ext->dim1_above, 2u);  // covers [3,4) and [4,5)
+  EXPECT_EQ(ext->dim1_below + ext->dim2_below + ext->dim2_above, 0u);
+  EXPECT_EQ(grid.Rows(), 5u);
+  ASSERT_TRUE(grid.CellOf({4.2, 15.0}).has_value());
+}
+
+TEST(Grid2D, ExtendExactlyOnOldEdge) {
+  Grid2D grid = MakeGrid();
+  const auto ext = grid.ExtendToInclude({3.0, 15.0}, 1.0, 1.0);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_EQ(ext->dim1_above, 1u);
+  EXPECT_TRUE(grid.CellOf({3.0, 15.0}).has_value());
+}
+
+TEST(Grid2D, ExtendBelowShiftsExistingCells) {
+  Grid2D grid = MakeGrid();
+  const std::size_t old_cols = grid.Cols();
+  const std::size_t old_center = *grid.CellOf({1.5, 15.0});
+  const auto ext = grid.ExtendToInclude({-0.7, 15.0}, 1.0, 1.0);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_EQ(ext->dim1_below, 1u);
+  const std::size_t new_center =
+      Grid2D::RemapIndex(old_center, old_cols, *ext);
+  EXPECT_EQ(grid.CellOf({1.5, 15.0}), new_center);
+}
+
+TEST(Grid2D, ExtendBothDimensionsAtOnce) {
+  Grid2D grid = MakeGrid();
+  const std::size_t old_cols = grid.Cols();
+  const std::size_t old_cell = *grid.CellOf({0.5, 25.0});
+  const auto ext = grid.ExtendToInclude({3.4, 31.0}, 2.0, 2.0);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_GE(ext->dim1_above, 1u);
+  EXPECT_GE(ext->dim2_above, 1u);
+  EXPECT_EQ(grid.CellOf({0.5, 25.0}),
+            Grid2D::RemapIndex(old_cell, old_cols, *ext));
+}
+
+TEST(Grid2D, OutlierRefusedAndGridUnchanged) {
+  Grid2D grid = MakeGrid();
+  const auto ext = grid.ExtendToInclude({100.0, 15.0}, 3.0, 3.0);
+  EXPECT_FALSE(ext.has_value());
+  EXPECT_EQ(grid.Rows(), 3u);
+  EXPECT_EQ(grid.Cols(), 3u);
+}
+
+TEST(Grid2D, AlreadyContainedReturnsEmptyExtension) {
+  Grid2D grid = MakeGrid();
+  const auto ext = grid.ExtendToInclude({1.5, 15.0}, 1.0, 1.0);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_TRUE(ext->Empty());
+  EXPECT_EQ(grid.CellCount(), 9u);
+}
+
+TEST(Grid2D, RAvgFixedAtConstructionTime) {
+  // Extensions use the initialization-time average width (the paper
+  // computes r_avg offline); growing the grid must not change it.
+  Grid2D grid = MakeGrid();
+  const double r1 = grid.InitialAvgWidthDim1();
+  ASSERT_TRUE(grid.ExtendToInclude({3.5, 15.0}, 3.0, 3.0).has_value());
+  EXPECT_DOUBLE_EQ(grid.InitialAvgWidthDim1(), r1);
+}
+
+TEST(Grid2D, RemapIndexIdentityForEmptyExtension) {
+  const GridExtension none;
+  EXPECT_EQ(Grid2D::RemapIndex(7, 3, none), 7u);
+}
+
+TEST(Grid2D, DeserializationCtorPreservesRAvg) {
+  const Grid2D grid(IntervalList::Uniform(0.0, 3.0, 3),
+                    IntervalList::Uniform(0.0, 30.0, 3), 0.5, 7.0);
+  EXPECT_DOUBLE_EQ(grid.InitialAvgWidthDim1(), 0.5);
+  EXPECT_DOUBLE_EQ(grid.InitialAvgWidthDim2(), 7.0);
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,92 @@
+// Tests for the streaming incident tracker.
+#include <gtest/gtest.h>
+
+#include "engine/incident.h"
+
+namespace pmcorr {
+namespace {
+
+IncidentConfig Config() {
+  IncidentConfig config;
+  config.merge_gap = 10 * kMinute;
+  config.cooldown = 5 * kMinute;
+  return config;
+}
+
+TEST(IncidentTracker, OpensOnFirstAlarm) {
+  IncidentTracker tracker(Config());
+  EXPECT_EQ(tracker.Observe(100, false, 1.0), nullptr);
+  const Incident* opened = tracker.Observe(200, true, 0.3);
+  ASSERT_NE(opened, nullptr);
+  EXPECT_EQ(opened->start, 200);
+  EXPECT_EQ(opened->alarm_count, 1u);
+  EXPECT_TRUE(tracker.Open().has_value());
+}
+
+TEST(IncidentTracker, MergesNearbyAlarms) {
+  IncidentTracker tracker(Config());
+  ASSERT_NE(tracker.Observe(0, true, 0.4), nullptr);
+  // 6 minutes later: same incident (gap 10 min).
+  EXPECT_EQ(tracker.Observe(6 * kMinute, true, 0.2), nullptr);
+  EXPECT_EQ(tracker.Observe(12 * kMinute, true, 0.5), nullptr);
+  EXPECT_EQ(tracker.Incidents().size(), 1u);
+  EXPECT_EQ(tracker.Incidents().front().alarm_count, 3u);
+  EXPECT_DOUBLE_EQ(tracker.Incidents().front().min_score, 0.2);
+}
+
+TEST(IncidentTracker, ClosesAfterQuietPeriod) {
+  IncidentTracker tracker(Config());
+  tracker.Observe(0, true, 0.4);
+  // Quiet non-alarming samples past the merge gap close the incident.
+  tracker.Observe(11 * kMinute, false, 0.95);
+  EXPECT_FALSE(tracker.Open().has_value());
+  ASSERT_EQ(tracker.Incidents().size(), 1u);
+  EXPECT_FALSE(tracker.Incidents().front().open);
+  EXPECT_EQ(tracker.Incidents().front().end, 10 * kMinute);
+}
+
+TEST(IncidentTracker, CooldownReopensInsteadOfPaging) {
+  IncidentTracker tracker(Config());
+  tracker.Observe(0, true, 0.4);
+  tracker.Observe(11 * kMinute, false, 0.95);  // closes at 10 min
+  ASSERT_FALSE(tracker.Open().has_value());
+  // Alarm at 13 min: 3 min after close, inside the 5-min cooldown ->
+  // re-opens the same incident, no new page.
+  EXPECT_EQ(tracker.Observe(13 * kMinute, true, 0.1), nullptr);
+  EXPECT_EQ(tracker.Incidents().size(), 1u);
+  EXPECT_TRUE(tracker.Incidents().front().open);
+  EXPECT_DOUBLE_EQ(tracker.Incidents().front().min_score, 0.1);
+}
+
+TEST(IncidentTracker, NewIncidentAfterCooldown) {
+  IncidentTracker tracker(Config());
+  tracker.Observe(0, true, 0.4);
+  tracker.Observe(11 * kMinute, false, 0.95);  // closes at 10 min
+  // 30 minutes later: well past cooldown -> a fresh incident pages.
+  const Incident* opened = tracker.Observe(40 * kMinute, true, 0.3);
+  ASSERT_NE(opened, nullptr);
+  EXPECT_EQ(tracker.Incidents().size(), 2u);
+}
+
+TEST(IncidentTracker, FlushClosesOpenIncident) {
+  IncidentTracker tracker(Config());
+  tracker.Observe(0, true, 0.4);
+  tracker.Flush(2 * kMinute);
+  EXPECT_FALSE(tracker.Open().has_value());
+  ASSERT_EQ(tracker.Incidents().size(), 1u);
+  EXPECT_EQ(tracker.Incidents().front().end, 2 * kMinute);
+  // Flushing with nothing open is a no-op.
+  tracker.Flush(3 * kMinute);
+  EXPECT_EQ(tracker.Incidents().size(), 1u);
+}
+
+TEST(IncidentTracker, NoAlarmsNoIncidents) {
+  IncidentTracker tracker(Config());
+  for (TimePoint t = 0; t < kHour; t += kMinute) {
+    EXPECT_EQ(tracker.Observe(t, false, 0.99), nullptr);
+  }
+  EXPECT_TRUE(tracker.Incidents().empty());
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,202 @@
+// End-to-end integration tests: scenario generation -> training ->
+// online monitoring -> detection & localization, mirroring the paper's
+// experiment pipeline at a reduced scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/alarm.h"
+#include "engine/localizer.h"
+#include "engine/monitor.h"
+#include "telemetry/generator.h"
+#include "telemetry/scenarios.h"
+
+namespace pmcorr {
+namespace {
+
+ScenarioConfig SmallScenario() {
+  ScenarioConfig config;
+  config.machine_count = 10;
+  config.trace_days = 17;  // May 29 .. June 14
+  return config;
+}
+
+MonitorConfig EngineConfig() {
+  MonitorConfig config;
+  config.model.partition.units = 40;
+  config.model.partition.max_intervals = 10;
+  config.threads = 2;
+  return config;
+}
+
+// Shared fixture: generate the Group A scenario once per suite.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new PaperScenario(MakeGroupScenario('A', SmallScenario()));
+    frame_ = new MeasurementFrame(GenerateTrace(scenario_->spec));
+  }
+  static void TearDownTestSuite() {
+    delete frame_;
+    delete scenario_;
+    frame_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static PaperScenario* scenario_;
+  static MeasurementFrame* frame_;
+};
+
+PaperScenario* IntegrationTest::scenario_ = nullptr;
+MeasurementFrame* IntegrationTest::frame_ = nullptr;
+
+TEST_F(IntegrationTest, FocusPairDetectsTheInjectedProblem) {
+  // Train the focus-pair model on clean history (May 29 - June 12) and
+  // run it over the June 13 test day: the fitness must spike downward
+  // inside the ground-truth window (Figure 12's shape).
+  const TimePoint june13 = PaperTestStart();
+  const MeasurementFrame train =
+      frame_->SliceByTime(PaperTraceStart(), june13);
+  const MeasurementFrame test = frame_->SliceByTime(june13, june13 + kDay);
+
+  const MeasurementId x = *frame_->FindByName(scenario_->focus_x);
+  const MeasurementId y = *frame_->FindByName(scenario_->focus_y);
+  ModelConfig config = EngineConfig().model;
+  PairModel model = PairModel::Learn(train.Series(x).Values(),
+                                     train.Series(y).Values(), config);
+
+  std::vector<std::optional<double>> scores(test.SampleCount());
+  for (std::size_t t = 0; t < test.SampleCount(); ++t) {
+    const StepOutcome out = model.Step(test.Value(x, t), test.Value(y, t));
+    if (out.has_score) scores[t] = out.fitness;
+  }
+
+  const auto windows = ExtractLowScoreWindows(
+      std::span<const std::optional<double>>(scores), june13,
+      kPaperSamplePeriod, 0.55);
+  EXPECT_TRUE(AnyWindowOverlaps(windows, scenario_->problem_start,
+                                scenario_->problem_end))
+      << "no low-fitness window overlaps the injected fault";
+
+  // And the quiet early morning stays healthy: mean fitness over
+  // 12am-6am (before the morning fault) is high.
+  double early_sum = 0.0;
+  std::size_t early_n = 0;
+  for (std::size_t t = 0; t < test.SampleCount(); ++t) {
+    if (test.TimeAt(t) >= june13 + 6 * kHour) break;
+    if (scores[t]) {
+      early_sum += *scores[t];
+      ++early_n;
+    }
+  }
+  ASSERT_GT(early_n, 0u);
+  EXPECT_GT(early_sum / static_cast<double>(early_n), 0.75);
+}
+
+TEST_F(IntegrationTest, SystemMonitorLocalizesTheFaultyMachine) {
+  // Full-engine run over June 13-14 with the long localization fault
+  // active: the faulty machine must rank worst (Figure 14's shape).
+  const TimePoint june13 = PaperTestStart();
+  const MeasurementFrame train =
+      frame_->SliceByTime(PaperTraceStart(), june13);
+  const MeasurementFrame test =
+      frame_->SliceByTime(june13, june13 + 2 * kDay);
+
+  const MeasurementGraph graph =
+      MeasurementGraph::Neighborhood(train, 2, 1234);
+  SystemMonitor monitor(train, graph, EngineConfig());
+  monitor.Run(test);
+
+  const auto ranking =
+      ScoreMachines(monitor.Infos(), monitor.MeasurementAverages());
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking.front().machine, scenario_->localization_machine)
+      << "faulty machine did not rank worst";
+
+  // Healthy machines sit clearly above the faulty one.
+  const double faulty_score = ranking.front().score;
+  const double median_score = ranking[ranking.size() / 2].score;
+  EXPECT_GT(median_score, faulty_score + 0.03);
+}
+
+TEST_F(IntegrationTest, AdaptiveBeatsOfflineOnShortTraining) {
+  // Figure 13(a)'s headline: with little history, online updating helps.
+  // Evaluated on the clean day after the fault (June 14): the comparison
+  // is about tracking the evolving normal state, not the anomaly.
+  const TimePoint june14 = PaperTestStart() + kDay;
+  const MeasurementFrame train =
+      frame_->SliceByTime(PaperTraceStart(), PaperTraceStart() + kDay);
+  const MeasurementFrame test = frame_->SliceByTime(june14, june14 + kDay);
+
+  const MeasurementId x = *frame_->FindByName(scenario_->focus_x);
+  const MeasurementId y = *frame_->FindByName(scenario_->focus_y);
+
+  auto run = [&](bool adaptive) {
+    ModelConfig config = EngineConfig().model;
+    config.adaptive = adaptive;
+    PairModel model = PairModel::Learn(train.Series(x).Values(),
+                                       train.Series(y).Values(), config);
+    ScoreAverager avg;
+    for (std::size_t t = 0; t < test.SampleCount(); ++t) {
+      const StepOutcome out = model.Step(test.Value(x, t), test.Value(y, t));
+      if (out.has_score) avg.Add(out.fitness);
+    }
+    return avg.Mean();
+  };
+
+  const double adaptive_score = run(true);
+  const double offline_score = run(false);
+  EXPECT_GE(adaptive_score, offline_score - 0.02)
+      << "adaptive should not be materially worse than offline";
+}
+
+TEST_F(IntegrationTest, CollectorDropoutDoesNotPoisonTheEngine) {
+  // Inject a 6-hour dropout on one machine during the test day: its
+  // samples become NaN. The engine must keep scoring everything else,
+  // produce no NaN scores, and resume scoring the machine afterwards.
+  TraceSpec spec = scenario_->spec;
+  const TimePoint june13 = PaperTestStart();
+  FaultEvent dropout;
+  dropout.machine = MachineId(1);
+  dropout.start = june13 + 6 * kHour;
+  dropout.end = june13 + 12 * kHour;
+  dropout.type = FaultType::kDropout;
+  spec.faults.push_back(dropout);
+  const MeasurementFrame frame = GenerateTrace(spec);
+
+  const MeasurementFrame train =
+      frame.SliceByTime(PaperTraceStart(), june13);
+  const MeasurementFrame test = frame.SliceByTime(june13, june13 + kDay);
+  SystemMonitor monitor(train, MeasurementGraph::Neighborhood(train, 1, 5),
+                        EngineConfig());
+  const auto snapshots = monitor.Run(test);
+
+  const auto dropped = frame.MeasurementsOn(MachineId(1));
+  ASSERT_FALSE(dropped.empty());
+  std::size_t scored_during = 0, scored_after = 0;
+  for (const auto& snap : snapshots) {
+    if (snap.system_score) {
+      EXPECT_FALSE(std::isnan(*snap.system_score));
+      EXPECT_GT(*snap.system_score, 0.3);  // the gap is not an anomaly
+    }
+    const auto& qa =
+        snap.measurement_scores[static_cast<std::size_t>(dropped[0].value)];
+    const TimePoint tp = snap.time;
+    if (tp >= dropout.start && tp < dropout.end && qa) ++scored_during;
+    if (tp >= dropout.end + 2 * kPaperSamplePeriod && qa) ++scored_after;
+  }
+  EXPECT_EQ(scored_during, 0u);  // nothing to score while dark
+  EXPECT_GT(scored_after, 100u);  // scoring resumes after the gap
+}
+
+TEST_F(IntegrationTest, TrainTestSplitRespectsPaperDates) {
+  EXPECT_EQ(frame_->StartTime(), ToTimePoint({2008, 5, 29}));
+  const MeasurementFrame test = frame_->SliceByTime(
+      PaperTestStart(), PaperTestStart() + kDay);
+  EXPECT_EQ(test.SampleCount(), static_cast<std::size_t>(kSamplesPerDay));
+  EXPECT_EQ(ToCivilDate(test.StartTime()), (CivilDate{2008, 6, 13}));
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,89 @@
+// Tests for grid/interval: Interval and IntervalList.
+#include <gtest/gtest.h>
+
+#include "grid/interval.h"
+
+namespace pmcorr {
+namespace {
+
+TEST(Interval, HalfOpenContainment) {
+  const Interval iv{1.0, 2.0};
+  EXPECT_TRUE(iv.Contains(1.0));
+  EXPECT_TRUE(iv.Contains(1.999));
+  EXPECT_FALSE(iv.Contains(2.0));
+  EXPECT_FALSE(iv.Contains(0.999));
+  EXPECT_DOUBLE_EQ(iv.Width(), 1.0);
+  EXPECT_DOUBLE_EQ(iv.Center(), 1.5);
+}
+
+TEST(IntervalList, UniformConstruction) {
+  const IntervalList list = IntervalList::Uniform(0.0, 10.0, 5);
+  EXPECT_EQ(list.Size(), 5u);
+  EXPECT_DOUBLE_EQ(list.Lo(), 0.0);
+  EXPECT_DOUBLE_EQ(list.Hi(), 10.0);
+  EXPECT_DOUBLE_EQ(list.At(2).lo, 4.0);
+  EXPECT_DOUBLE_EQ(list.At(2).hi, 6.0);
+  EXPECT_DOUBLE_EQ(list.AverageWidth(), 2.0);
+}
+
+TEST(IntervalList, UniformExactEndEdge) {
+  // The last interval's hi must be exactly the requested hi even with
+  // non-representable widths.
+  const IntervalList list = IntervalList::Uniform(0.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(list.Hi(), 1.0);
+  EXPECT_EQ(list.IndexOf(0.999999), 2u);
+}
+
+TEST(IntervalList, IndexOfBinarySearch) {
+  const IntervalList list = IntervalList::Uniform(0.0, 10.0, 10);
+  EXPECT_EQ(list.IndexOf(0.0), 0u);
+  EXPECT_EQ(list.IndexOf(9.999), 9u);
+  EXPECT_EQ(list.IndexOf(5.0), 5u);   // boundary belongs to upper interval
+  EXPECT_EQ(list.IndexOf(4.999), 4u);
+  EXPECT_EQ(list.IndexOf(-0.001), IntervalList::npos);
+  EXPECT_EQ(list.IndexOf(10.0), IntervalList::npos);
+}
+
+TEST(IntervalList, NonUniformIndexOf) {
+  const IntervalList list(
+      {{0.0, 1.0}, {1.0, 5.0}, {5.0, 5.5}, {5.5, 20.0}});
+  EXPECT_EQ(list.Size(), 4u);
+  EXPECT_EQ(list.IndexOf(0.5), 0u);
+  EXPECT_EQ(list.IndexOf(3.0), 1u);
+  EXPECT_EQ(list.IndexOf(5.2), 2u);
+  EXPECT_EQ(list.IndexOf(19.999), 3u);
+}
+
+TEST(IntervalList, ExtendAboveAppendsContiguously) {
+  IntervalList list = IntervalList::Uniform(0.0, 4.0, 2);
+  list.ExtendAbove(3, 1.5);
+  EXPECT_EQ(list.Size(), 5u);
+  EXPECT_DOUBLE_EQ(list.Hi(), 8.5);
+  EXPECT_DOUBLE_EQ(list.At(2).lo, 4.0);
+  EXPECT_DOUBLE_EQ(list.At(2).hi, 5.5);
+  EXPECT_EQ(list.IndexOf(8.0), 4u);
+}
+
+TEST(IntervalList, ExtendBelowShiftsIndices) {
+  IntervalList list = IntervalList::Uniform(0.0, 4.0, 2);
+  list.ExtendBelow(2, 1.0);
+  EXPECT_EQ(list.Size(), 4u);
+  EXPECT_DOUBLE_EQ(list.Lo(), -2.0);
+  // Old interval [0,2) is now index 2.
+  EXPECT_EQ(list.IndexOf(0.5), 2u);
+  EXPECT_EQ(list.IndexOf(-1.5), 0u);
+  EXPECT_EQ(list.IndexOf(-0.5), 1u);
+}
+
+TEST(IntervalList, AverageWidthTracksSpan) {
+  IntervalList list(std::vector<Interval>{{0.0, 1.0}, {1.0, 4.0}});
+  EXPECT_DOUBLE_EQ(list.AverageWidth(), 2.0);
+}
+
+TEST(IntervalList, ToStringRendersEdges) {
+  const IntervalList list = IntervalList::Uniform(0.0, 2.0, 2);
+  EXPECT_EQ(list.ToString(), "[0,1)[1,2)");
+}
+
+}  // namespace
+}  // namespace pmcorr

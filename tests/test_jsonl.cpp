@@ -1,0 +1,67 @@
+// Tests for the JSON-lines exporter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "io/jsonl.h"
+
+namespace pmcorr {
+namespace {
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Jsonl, SnapshotsOneLineEach) {
+  SystemSnapshot a;
+  a.time = 1000;
+  a.system_score = 0.95;
+  a.measurement_scores = {0.9, std::nullopt, 0.99};
+  a.alarmed_pairs = {1, 4};
+  a.outlier_pairs = 1;
+  SystemSnapshot b;
+  b.time = 1360;  // disengaged sample
+  b.measurement_scores = {std::nullopt};
+
+  std::stringstream out;
+  WriteSnapshotsJsonl({a, b}, out);
+  std::string line;
+  ASSERT_TRUE(std::getline(out, line));
+  EXPECT_EQ(line,
+            "{\"t\":1000,\"q\":0.95,\"alarmed_pairs\":2,"
+            "\"outlier_pairs\":1,\"worst_qa\":0.9}");
+  ASSERT_TRUE(std::getline(out, line));
+  EXPECT_EQ(line,
+            "{\"t\":1360,\"q\":null,\"alarmed_pairs\":0,"
+            "\"outlier_pairs\":0,\"worst_qa\":null}");
+  EXPECT_FALSE(std::getline(out, line));
+}
+
+TEST(Jsonl, IncidentsSerialized) {
+  Incident incident;
+  incident.start = 100;
+  incident.end = 700;
+  incident.alarm_count = 3;
+  incident.min_score = 0.125;
+  incident.open = false;
+  std::stringstream out;
+  WriteIncidentsJsonl({incident}, out);
+  EXPECT_EQ(out.str(),
+            "{\"start\":100,\"end\":700,\"alarms\":3,"
+            "\"min_score\":0.125,\"open\":false}\n");
+}
+
+TEST(Jsonl, EmptyInputsWriteNothing) {
+  std::stringstream out;
+  WriteSnapshotsJsonl({}, out);
+  WriteIncidentsJsonl({}, out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,97 @@
+// Tests for the decay kernels, including the exact Figure 5 weights.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/kernels.h"
+
+namespace pmcorr {
+namespace {
+
+TEST(CellDistance, Metrics) {
+  EXPECT_DOUBLE_EQ(CellDistance(3, 4, CellMetric::kChebyshev), 4.0);
+  EXPECT_DOUBLE_EQ(CellDistance(3, 4, CellMetric::kManhattan), 7.0);
+  EXPECT_DOUBLE_EQ(CellDistance(3, 4, CellMetric::kEuclidean), 5.0);
+  EXPECT_DOUBLE_EQ(CellDistance(-3, -4, CellMetric::kEuclidean), 5.0);
+  EXPECT_DOUBLE_EQ(CellDistance(0, 0, CellMetric::kManhattan), 0.0);
+}
+
+TEST(ExponentialKernel, WeightsDecayExponentially) {
+  const ExponentialKernel kernel(2.0, CellMetric::kManhattan);
+  EXPECT_DOUBLE_EQ(kernel.Weight(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(kernel.Weight(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(kernel.Weight(1, 1), 0.25);
+  EXPECT_DOUBLE_EQ(kernel.Weight(2, 1), 0.125);
+}
+
+TEST(ExponentialKernel, LogWeightConsistent) {
+  const ExponentialKernel kernel(3.0, CellMetric::kEuclidean);
+  for (int dx = 0; dx <= 4; ++dx) {
+    for (int dy = 0; dy <= 4; ++dy) {
+      EXPECT_NEAR(std::exp(kernel.LogWeight(dx, dy)), kernel.Weight(dx, dy),
+                  1e-12);
+    }
+  }
+}
+
+TEST(TriangularKernel, MatchesPaperFigure5Ratios) {
+  // Weight ratios extracted analytically from the printed Figure 5 matrix
+  // (center row): self=1, axial neighbor=2/3, diagonal=1/2.
+  const TriangularKernel kernel;
+  EXPECT_DOUBLE_EQ(kernel.Weight(0, 0), 1.0);
+  EXPECT_NEAR(kernel.Weight(0, 1), 2.0 / 3.0, 1e-15);
+  EXPECT_NEAR(kernel.Weight(1, 1), 0.5, 1e-15);
+  EXPECT_NEAR(kernel.Weight(0, 2), 0.4, 1e-15);
+  EXPECT_NEAR(kernel.Weight(1, 2), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(kernel.Weight(2, 2), 0.25, 1e-15);
+}
+
+TEST(TriangularKernel, Symmetric) {
+  const TriangularKernel kernel;
+  for (int dx = 0; dx <= 5; ++dx) {
+    for (int dy = 0; dy <= 5; ++dy) {
+      EXPECT_DOUBLE_EQ(kernel.Weight(dx, dy), kernel.Weight(dy, dx));
+      EXPECT_DOUBLE_EQ(kernel.Weight(dx, dy), kernel.Weight(-dx, -dy));
+    }
+  }
+}
+
+TEST(Kernels, StrictlyDecreasingInEachDelta) {
+  const TriangularKernel tri;
+  const ExponentialKernel expo(2.0, CellMetric::kEuclidean);
+  for (const DecayKernel* kernel :
+       {static_cast<const DecayKernel*>(&tri),
+        static_cast<const DecayKernel*>(&expo)}) {
+    for (int d = 0; d < 6; ++d) {
+      EXPECT_GT(kernel->Weight(d, 0), kernel->Weight(d + 1, 0));
+      EXPECT_GT(kernel->Weight(0, d), kernel->Weight(0, d + 1));
+      EXPECT_GT(kernel->Weight(d, d), kernel->Weight(d + 1, d + 1));
+    }
+  }
+}
+
+TEST(Kernels, SelfTransitionAlwaysMostProbable) {
+  // The paper: "We set P(ci -> ci) to be the highest."
+  const TriangularKernel kernel;
+  for (int dx = 0; dx <= 4; ++dx) {
+    for (int dy = 0; dy <= 4; ++dy) {
+      if (dx == 0 && dy == 0) continue;
+      EXPECT_LT(kernel.Weight(dx, dy), kernel.Weight(0, 0));
+    }
+  }
+}
+
+TEST(MakeKernel, DispatchesOnType) {
+  KernelConfig tri;
+  tri.type = KernelConfig::Type::kTriangular;
+  EXPECT_NE(MakeKernel(tri)->Describe().find("triangular"),
+            std::string::npos);
+  KernelConfig expo;
+  expo.type = KernelConfig::Type::kExponential;
+  expo.w = 2.5;
+  EXPECT_NE(MakeKernel(expo)->Describe().find("exponential"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,96 @@
+// Tests for machine-level localization (Figure 14 logic).
+#include <gtest/gtest.h>
+
+#include "engine/localizer.h"
+
+namespace pmcorr {
+namespace {
+
+std::vector<MeasurementInfo> Infos(std::size_t machines,
+                                   std::size_t per_machine) {
+  std::vector<MeasurementInfo> infos;
+  for (std::size_t m = 0; m < machines; ++m) {
+    for (std::size_t k = 0; k < per_machine; ++k) {
+      MeasurementInfo info;
+      info.id = MeasurementId(static_cast<std::int32_t>(infos.size()));
+      info.machine = MachineId(static_cast<std::int32_t>(m));
+      infos.push_back(info);
+    }
+  }
+  return infos;
+}
+
+std::vector<ScoreAverager> Averages(const std::vector<double>& means) {
+  std::vector<ScoreAverager> avgs(means.size());
+  for (std::size_t i = 0; i < means.size(); ++i) avgs[i].Add(means[i]);
+  return avgs;
+}
+
+TEST(ScoreMachines, AveragesPerMachineAndSortsAscending) {
+  const auto infos = Infos(3, 2);
+  const auto avgs = Averages({0.9, 1.0, 0.5, 0.7, 0.95, 0.85});
+  const auto scores = ScoreMachines(infos, avgs);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_EQ(scores[0].machine, MachineId(1));  // (0.5+0.7)/2 = 0.6 lowest
+  EXPECT_DOUBLE_EQ(scores[0].score, 0.6);
+  EXPECT_EQ(scores[0].measurements, 2u);
+  EXPECT_EQ(scores[2].machine, MachineId(0));
+  EXPECT_DOUBLE_EQ(scores[2].score, 0.95);
+}
+
+TEST(ScoreMachines, SkipsMeasurementsWithNoScores) {
+  const auto infos = Infos(2, 2);
+  std::vector<ScoreAverager> avgs(4);
+  avgs[0].Add(0.8);
+  // avgs[1] never engaged.
+  avgs[2].Add(0.6);
+  avgs[3].Add(0.4);
+  const auto scores = ScoreMachines(infos, avgs);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(scores[1].score, 0.8);  // machine 0: only one engaged
+  EXPECT_EQ(scores[1].measurements, 1u);
+}
+
+TEST(Localize, AbsoluteFloorFlagsLowMachines) {
+  const auto infos = Infos(4, 1);
+  const auto avgs = Averages({0.95, 0.96, 0.85, 0.97});
+  LocalizerConfig config;
+  config.absolute_floor = 0.9;
+  config.deviations = 0.0;
+  const auto report = Localize(infos, avgs, config);
+  ASSERT_EQ(report.suspects.size(), 1u);
+  EXPECT_EQ(report.suspects[0], MachineId(2));
+  EXPECT_DOUBLE_EQ(report.threshold, 0.9);
+}
+
+TEST(Localize, RelativeCriterionFlagsOutlierMachine) {
+  // 9 healthy machines near 0.95, one at 0.5.
+  std::vector<double> means(10, 0.95);
+  means[4] = 0.5;
+  const auto infos = Infos(10, 1);
+  LocalizerConfig config;
+  config.deviations = 2.0;
+  const auto report = Localize(infos, Averages(means), config);
+  ASSERT_EQ(report.suspects.size(), 1u);
+  EXPECT_EQ(report.suspects[0], MachineId(4));
+  EXPECT_EQ(report.ranking.front().machine, MachineId(4));
+}
+
+TEST(Localize, NoSuspectsOnHealthyFleet) {
+  const auto infos = Infos(6, 1);
+  const auto avgs = Averages({0.94, 0.95, 0.96, 0.95, 0.94, 0.96});
+  LocalizerConfig config;
+  config.absolute_floor = 0.8;
+  config.deviations = 0.0;
+  const auto report = Localize(infos, avgs, config);
+  EXPECT_TRUE(report.suspects.empty());
+}
+
+TEST(Localize, EmptyInputs) {
+  const auto report = Localize({}, {}, {});
+  EXPECT_TRUE(report.ranking.empty());
+  EXPECT_TRUE(report.suspects.empty());
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,133 @@
+// Tests for the MAFIA-style adaptive dimension partitioner (Section 4.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "grid/partitioner.h"
+
+namespace pmcorr {
+namespace {
+
+std::vector<double> UniformData(std::size_t n, double lo, double hi,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.Uniform(lo, hi);
+  return xs;
+}
+
+std::vector<double> BimodalData(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = i % 2 == 0 ? rng.Normal(10.0, 0.5) : rng.Normal(50.0, 2.0);
+  }
+  return xs;
+}
+
+TEST(Partitioner, CoversAllDataPoints) {
+  const auto xs = BimodalData(2000, 5);
+  const IntervalList list = PartitionDimension(xs, {});
+  for (double x : xs) {
+    EXPECT_NE(list.IndexOf(x), IntervalList::npos) << "x=" << x;
+  }
+}
+
+TEST(Partitioner, UniformDataFallsBackToEqualWidth) {
+  PartitionerConfig config;
+  config.uniform_intervals = 7;
+  const auto xs = UniformData(20000, 0.0, 100.0, 3);
+  const IntervalList list = PartitionDimension(xs, config);
+  EXPECT_EQ(list.Size(), 7u);
+  // Equal widths.
+  const double w = list.At(0).Width();
+  for (std::size_t i = 1; i < list.Size(); ++i) {
+    EXPECT_NEAR(list.At(i).Width(), w, 1e-9);
+  }
+}
+
+TEST(Partitioner, DenseRegionsGetMoreIntervals) {
+  // A sharp dense mode plus a broad sparse tail: intervals covering the
+  // dense mode should be much narrower than tail intervals.
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) xs.push_back(rng.Normal(10.0, 0.4));
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.Uniform(20.0, 100.0));
+  const IntervalList list = PartitionDimension(xs, {});
+  double min_width = 1e300, max_width = 0.0;
+  for (std::size_t i = 0; i < list.Size(); ++i) {
+    min_width = std::min(min_width, list.At(i).Width());
+    max_width = std::max(max_width, list.At(i).Width());
+  }
+  EXPECT_LT(min_width * 4.0, max_width);
+}
+
+TEST(Partitioner, RespectsMaxIntervals) {
+  PartitionerConfig config;
+  config.max_intervals = 6;
+  config.merge_similarity = 0.01;  // merge almost nothing naturally
+  const auto xs = BimodalData(3000, 13);
+  const IntervalList list = PartitionDimension(xs, config);
+  EXPECT_LE(list.Size(), 6u);
+  EXPECT_GE(list.Size(), config.min_intervals);
+}
+
+TEST(Partitioner, RespectsMinIntervals) {
+  PartitionerConfig config;
+  config.min_intervals = 4;
+  config.merge_similarity = 10.0;  // everything looks similar -> 1 segment
+  config.uniformity_threshold = 0.0;  // disable uniform fallback
+  const auto xs = UniformData(1000, 0.0, 10.0, 17);
+  const IntervalList list = PartitionDimension(xs, config);
+  EXPECT_GE(list.Size(), 4u);
+}
+
+TEST(Partitioner, ConstantDimensionYieldsPaddedBand) {
+  const std::vector<double> xs(100, 42.0);
+  const IntervalList list = PartitionDimension(xs, {});
+  EXPECT_NE(list.IndexOf(42.0), IntervalList::npos);
+  EXPECT_GT(list.Hi(), 42.0);
+  EXPECT_LT(list.Lo(), 42.0);
+}
+
+TEST(Partitioner, MaxValueStrictlyInsideGrid) {
+  // The paper's cells are half-open; the padded upper bound must keep the
+  // maximum observed value inside.
+  const auto xs = BimodalData(500, 19);
+  const IntervalList list = PartitionDimension(xs, {});
+  const double mx = *std::max_element(xs.begin(), xs.end());
+  EXPECT_NE(list.IndexOf(mx), IntervalList::npos);
+  EXPECT_LT(mx, list.Hi());
+}
+
+TEST(Partitioner, DeterministicForSameInput) {
+  const auto xs = BimodalData(1500, 23);
+  const IntervalList a = PartitionDimension(xs, {});
+  const IntervalList b = PartitionDimension(xs, {});
+  ASSERT_EQ(a.Size(), b.Size());
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(a.At(i), b.At(i));
+  }
+}
+
+TEST(Partitioner, SingleElementInput) {
+  const std::vector<double> xs = {3.0};
+  const IntervalList list = PartitionDimension(xs, {});
+  EXPECT_NE(list.IndexOf(3.0), IntervalList::npos);
+}
+
+TEST(Partitioner, TwoClustersSeparatedBySparseGap) {
+  // The gap between modes should not fragment into many intervals: the
+  // sparse units in between merge.
+  const auto xs = BimodalData(4000, 29);
+  PartitionerConfig config;
+  config.units = 80;
+  const IntervalList list = PartitionDimension(xs, config);
+  EXPECT_LE(list.Size(), config.max_intervals);
+  EXPECT_GE(list.Size(), 3u);  // two modes + gap structure
+}
+
+}  // namespace
+}  // namespace pmcorr

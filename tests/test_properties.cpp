@@ -1,0 +1,254 @@
+// Parameterized property tests: invariants that must hold across sweeps
+// of kernels, grid shapes, seeds and configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/model.h"
+#include "core/transition_matrix.h"
+#include "grid/grid.h"
+#include "grid/kernels.h"
+#include "grid/partitioner.h"
+
+namespace pmcorr {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: every row of any prior/posterior matrix is a distribution,
+// ranks are a permutation, and self-transition is the prior mode —
+// across kernels x grid shapes.
+// ---------------------------------------------------------------------
+
+struct MatrixCase {
+  KernelConfig kernel;
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class MatrixProperties : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(MatrixProperties, RowsAreDistributionsAndRanksPermute) {
+  const MatrixCase& param = GetParam();
+  const Grid2D grid(IntervalList::Uniform(0.0, 1.0, param.rows),
+                    IntervalList::Uniform(0.0, 1.0, param.cols));
+  const auto kernel = MakeKernel(param.kernel);
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, *kernel);
+
+  // Feed a deterministic pseudo-random stream of transitions.
+  Rng rng(777);
+  for (int k = 0; k < 50; ++k) {
+    const auto from = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(grid.CellCount()) - 1));
+    const auto to = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(grid.CellCount()) - 1));
+    matrix.ObserveTransition(from, to, grid, *kernel);
+  }
+
+  for (std::size_t i = 0; i < grid.CellCount(); ++i) {
+    const auto row = matrix.RowDistribution(i);
+    EXPECT_NEAR(std::accumulate(row.begin(), row.end(), 0.0), 1.0, 1e-9);
+    std::vector<bool> seen(grid.CellCount(), false);
+    for (std::size_t j = 0; j < grid.CellCount(); ++j) {
+      EXPECT_GE(row[j], 0.0);
+      const std::size_t rank = matrix.RankOf(i, j);
+      ASSERT_GE(rank, 1u);
+      ASSERT_LE(rank, grid.CellCount());
+      EXPECT_FALSE(seen[rank - 1]);
+      seen[rank - 1] = true;
+    }
+    // The argmax always has rank 1 and the maximal probability.
+    const std::size_t mode = matrix.ArgMax(i);
+    EXPECT_EQ(matrix.RankOf(i, mode), 1u);
+    for (std::size_t j = 0; j < grid.CellCount(); ++j) {
+      EXPECT_LE(row[j], row[mode] + 1e-15);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsAndShapes, MatrixProperties,
+    ::testing::Values(
+        MatrixCase{{KernelConfig::Type::kTriangular, 2.0,
+                    CellMetric::kEuclidean}, 3, 3},
+        MatrixCase{{KernelConfig::Type::kTriangular, 2.0,
+                    CellMetric::kEuclidean}, 5, 2},
+        MatrixCase{{KernelConfig::Type::kExponential, 1.5,
+                    CellMetric::kChebyshev}, 4, 4},
+        MatrixCase{{KernelConfig::Type::kExponential, 2.0,
+                    CellMetric::kManhattan}, 2, 7},
+        MatrixCase{{KernelConfig::Type::kExponential, 3.0,
+                    CellMetric::kEuclidean}, 6, 6},
+        MatrixCase{{KernelConfig::Type::kTriangular, 2.0,
+                    CellMetric::kEuclidean}, 1, 8},
+        MatrixCase{{KernelConfig::Type::kExponential, 4.0,
+                    CellMetric::kEuclidean}, 8, 1}));
+
+// ---------------------------------------------------------------------
+// Property: the partitioner covers every data point and produces
+// contiguous intervals — across distribution shapes and seeds.
+// ---------------------------------------------------------------------
+
+struct PartitionCase {
+  int shape;  // 0 uniform, 1 gaussian, 2 bimodal, 3 exponential, 4 spiky
+  std::uint64_t seed;
+};
+
+class PartitionerProperties
+    : public ::testing::TestWithParam<PartitionCase> {};
+
+std::vector<double> MakeData(const PartitionCase& param, std::size_t n) {
+  Rng rng(param.seed);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (param.shape) {
+      case 0: xs[i] = rng.Uniform(-5.0, 5.0); break;
+      case 1: xs[i] = rng.Normal(10.0, 2.0); break;
+      case 2:
+        xs[i] = i % 2 ? rng.Normal(0.0, 0.5) : rng.Normal(8.0, 1.5);
+        break;
+      case 3: xs[i] = rng.Exponential(0.2); break;
+      default:
+        xs[i] = i % 10 == 0 ? rng.Uniform(90.0, 100.0)
+                            : rng.Normal(1.0, 0.2);
+        break;
+    }
+  }
+  return xs;
+}
+
+TEST_P(PartitionerProperties, CoversDataWithContiguousIntervals) {
+  const auto xs = MakeData(GetParam(), 3000);
+  const IntervalList list = PartitionDimension(xs, {});
+
+  // Contiguity and positive widths.
+  for (std::size_t i = 0; i < list.Size(); ++i) {
+    EXPECT_GT(list.At(i).Width(), 0.0);
+    if (i + 1 < list.Size()) {
+      EXPECT_DOUBLE_EQ(list.At(i).hi, list.At(i + 1).lo);
+    }
+  }
+  // Total coverage.
+  for (double x : xs) {
+    const std::size_t idx = list.IndexOf(x);
+    ASSERT_NE(idx, IntervalList::npos);
+    EXPECT_TRUE(list.At(idx).Contains(x));
+  }
+  // Sane interval count.
+  EXPECT_GE(list.Size(), 2u);
+  EXPECT_LE(list.Size(), PartitionerConfig{}.max_intervals);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionerProperties,
+    ::testing::Values(PartitionCase{0, 1}, PartitionCase{0, 2},
+                      PartitionCase{1, 3}, PartitionCase{1, 4},
+                      PartitionCase{2, 5}, PartitionCase{2, 6},
+                      PartitionCase{3, 7}, PartitionCase{3, 8},
+                      PartitionCase{4, 9}, PartitionCase{4, 10}));
+
+// ---------------------------------------------------------------------
+// Property: grid extension remapping is a bijection onto the old cells
+// and preserves cell rectangles — across extension directions.
+// ---------------------------------------------------------------------
+
+struct ExtensionCase {
+  double px;
+  double py;
+};
+
+class ExtensionProperties : public ::testing::TestWithParam<ExtensionCase> {};
+
+TEST_P(ExtensionProperties, RemapPreservesCellGeometry) {
+  Grid2D grid(IntervalList::Uniform(0.0, 4.0, 4),
+              IntervalList::Uniform(0.0, 8.0, 4));
+  // Record each old cell's rectangle center.
+  std::vector<Point2> centers;
+  for (std::size_t c = 0; c < grid.CellCount(); ++c) {
+    centers.push_back({grid.CellIntervalDim1(c).Center(),
+                       grid.CellIntervalDim2(c).Center()});
+  }
+  const std::size_t old_cols = grid.Cols();
+  const auto ext = grid.ExtendToInclude(
+      {GetParam().px, GetParam().py}, 4.0, 4.0);
+  ASSERT_TRUE(ext.has_value());
+
+  // Every old cell must map to the cell containing its old center.
+  std::vector<bool> hit(grid.CellCount(), false);
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    const std::size_t mapped = Grid2D::RemapIndex(c, old_cols, *ext);
+    ASSERT_LT(mapped, grid.CellCount());
+    EXPECT_FALSE(hit[mapped]);  // injective
+    hit[mapped] = true;
+    EXPECT_EQ(grid.CellOf(centers[c]), mapped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Directions, ExtensionProperties,
+    ::testing::Values(ExtensionCase{-1.5, 4.0},   // below dim1
+                      ExtensionCase{5.5, 4.0},    // above dim1
+                      ExtensionCase{2.0, -3.0},   // below dim2
+                      ExtensionCase{2.0, 10.5},   // above dim2
+                      ExtensionCase{-0.5, -0.5},  // both below
+                      ExtensionCase{5.0, 9.5},    // both above
+                      ExtensionCase{-1.0, 9.0},   // mixed
+                      ExtensionCase{2.0, 4.0}));  // contained (no-op)
+
+// ---------------------------------------------------------------------
+// Property: fitness scores are always in [0, 1] and the model never
+// produces NaNs — across seeds and kernel configurations.
+// ---------------------------------------------------------------------
+
+struct ModelCase {
+  std::uint64_t seed;
+  bool exponential;
+  double forgetting;
+};
+
+class ModelProperties : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(ModelProperties, ScoresBoundedNoNans) {
+  const ModelCase& param = GetParam();
+  Rng rng(param.seed);
+  std::vector<double> xs(600), ys(600);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = 40.0 + 25.0 * std::sin(static_cast<double>(i) * 0.05) +
+            rng.Normal(0.0, 2.0);
+    ys[i] = 0.002 * xs[i] * xs[i] * xs[i] / 50.0 + rng.Normal(0.0, 1.0);
+  }
+  ModelConfig config;
+  config.partition.units = 30;
+  config.partition.max_intervals = 8;
+  config.forgetting = param.forgetting;
+  if (param.exponential) {
+    config.kernel.type = KernelConfig::Type::kExponential;
+  }
+  PairModel model = PairModel::Learn(xs, ys, config);
+
+  for (std::size_t i = 0; i < 300; ++i) {
+    // Mix normal points with occasional wild ones.
+    const double x = i % 37 == 0 ? 1e4 : xs[i % xs.size()];
+    const double y = i % 53 == 0 ? -1e4 : ys[i % ys.size()];
+    const StepOutcome out = model.Step(x, y);
+    EXPECT_FALSE(std::isnan(out.fitness));
+    EXPECT_FALSE(std::isnan(out.probability));
+    EXPECT_GE(out.fitness, 0.0);
+    EXPECT_LE(out.fitness, 1.0);
+    EXPECT_GE(out.probability, 0.0);
+    EXPECT_LE(out.probability, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndKernels, ModelProperties,
+    ::testing::Values(ModelCase{1, false, 1.0}, ModelCase{2, false, 0.99},
+                      ModelCase{3, true, 1.0}, ModelCase{4, true, 0.95},
+                      ModelCase{5, false, 1.0}, ModelCase{6, true, 0.999},
+                      ModelCase{7, false, 0.9}, ModelCase{8, true, 1.0}));
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,130 @@
+// Third batch of property tests: the full engine under a sweep of graph
+// builders x fault types. Whatever goes wrong in the trace, the engine's
+// outputs must stay well-formed: scores in [0,1], no NaNs, aggregation
+// consistent, counters coherent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "engine/monitor.h"
+#include "telemetry/generator.h"
+#include "telemetry/scenarios.h"
+
+namespace pmcorr {
+namespace {
+
+enum class GraphKind { kFullMesh, kNeighborhood, kByAssociation };
+
+struct EngineCase {
+  GraphKind graph;
+  FaultType fault;
+};
+
+class EngineProperties : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineProperties, SnapshotsWellFormedUnderAnyFault) {
+  const EngineCase& param = GetParam();
+
+  ScenarioConfig scenario_config;
+  scenario_config.machine_count = 6;
+  scenario_config.trace_days = 9;
+  scenario_config.localization_fault = false;
+  PaperScenario scenario = MakeGroupScenario('A', scenario_config);
+
+  // Replace the scenario's faults with the swept fault type over a
+  // two-hour window on the test day, hitting a whole machine.
+  const TimePoint test_start = PaperTraceStart() + 8 * kDay;
+  scenario.spec.faults.clear();
+  FaultEvent fault;
+  fault.machine = MachineId(2);
+  fault.start = test_start + 10 * kHour;
+  fault.end = test_start + 12 * kHour;
+  fault.type = param.fault;
+  fault.magnitude = 2.0;
+  scenario.spec.faults.push_back(fault);
+
+  const MeasurementFrame frame = GenerateTrace(scenario.spec);
+  const MeasurementFrame train =
+      frame.SliceByTime(PaperTraceStart(), test_start);
+  const MeasurementFrame test =
+      frame.SliceByTime(test_start, test_start + kDay);
+
+  MeasurementGraph graph;
+  switch (param.graph) {
+    case GraphKind::kFullMesh:
+      graph = MeasurementGraph::FullMesh(train.MeasurementCount());
+      break;
+    case GraphKind::kNeighborhood:
+      graph = MeasurementGraph::Neighborhood(train, 1, 3);
+      break;
+    case GraphKind::kByAssociation:
+      graph = MeasurementGraph::ByAssociation(train, 0.5, 2);
+      break;
+  }
+
+  MonitorConfig config;
+  config.model.partition.units = 30;
+  config.model.partition.max_intervals = 8;
+  config.model.fitness_alarm_threshold = 0.3;
+  config.threads = 2;
+  SystemMonitor monitor(train, graph, config);
+  const auto snapshots = monitor.Run(test);
+
+  ASSERT_EQ(snapshots.size(), test.SampleCount());
+  for (const auto& snap : snapshots) {
+    // Pair scores bounded, never NaN.
+    for (const auto& s : snap.pair_scores) {
+      if (!s) continue;
+      EXPECT_FALSE(std::isnan(*s));
+      EXPECT_GE(*s, 0.0);
+      EXPECT_LE(*s, 1.0);
+    }
+    // Q^a consistency: mean over engaged pair scores of a's links.
+    for (std::size_t a = 0; a < monitor.MeasurementCount(); ++a) {
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::size_t pi : monitor.Graph().PairsOf(
+               MeasurementId(static_cast<std::int32_t>(a)))) {
+        if (snap.pair_scores[pi]) {
+          sum += *snap.pair_scores[pi];
+          ++n;
+        }
+      }
+      ASSERT_EQ(snap.measurement_scores[a].has_value(), n > 0);
+      if (n > 0) {
+        EXPECT_NEAR(*snap.measurement_scores[a],
+                    sum / static_cast<double>(n), 1e-12);
+      }
+    }
+    // Alarm indices valid and unique.
+    for (std::size_t idx : snap.alarmed_pairs) {
+      EXPECT_LT(idx, monitor.Graph().PairCount());
+    }
+  }
+
+  // Lifetime counters coherent with per-model stats.
+  for (std::size_t i = 0; i < monitor.Graph().PairCount(); ++i) {
+    const PairModelStats& stats = monitor.Model(i).Stats();
+    EXPECT_EQ(stats.steps, test.SampleCount());
+    EXPECT_LE(stats.scored, stats.steps);
+    EXPECT_LE(stats.matrix_updates, stats.scored);
+    EXPECT_LE(stats.alarms, stats.scored);
+  }
+  EXPECT_EQ(monitor.StepCount(), test.SampleCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphsAndFaults, EngineProperties,
+    ::testing::Values(
+        EngineCase{GraphKind::kFullMesh, FaultType::kAnomalousJump},
+        EngineCase{GraphKind::kFullMesh, FaultType::kDropout},
+        EngineCase{GraphKind::kNeighborhood, FaultType::kCorrelationBreak},
+        EngineCase{GraphKind::kNeighborhood, FaultType::kStuckValue},
+        EngineCase{GraphKind::kNeighborhood, FaultType::kDropout},
+        EngineCase{GraphKind::kByAssociation, FaultType::kLevelShift},
+        EngineCase{GraphKind::kByAssociation, FaultType::kNoiseStorm},
+        EngineCase{GraphKind::kByAssociation, FaultType::kAnomalousJump}));
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,123 @@
+// Tests for the M/M/c/K queue simulator, including validation of the
+// generator's closed-form queueing response against the event-driven
+// ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "telemetry/queueing.h"
+#include "telemetry/response.h"
+
+namespace pmcorr {
+namespace {
+
+QueueConfig Config(std::size_t servers, double mu,
+                   std::size_t capacity = 100000) {
+  QueueConfig config;
+  config.servers = servers;
+  config.service_rate = mu;
+  config.capacity = capacity;
+  return config;
+}
+
+TEST(ErlangC, KnownValues) {
+  // Single server: Erlang-C equals rho.
+  EXPECT_NEAR(ErlangC(0.5, 1), 0.5, 1e-12);
+  EXPECT_NEAR(ErlangC(0.9, 1), 0.9, 1e-12);
+  // Saturated: probability of waiting -> 1.
+  EXPECT_DOUBLE_EQ(ErlangC(5.0, 4), 1.0);
+  // c=2, a=1 (rho=0.5): C = 1/3 (textbook value).
+  EXPECT_NEAR(ErlangC(1.0, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MmcMeanResponse, M_M_1_ClosedForm) {
+  // M/M/1: T = 1 / (mu - lambda).
+  EXPECT_NEAR(MmcMeanResponse(5.0, 10.0, 1), 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(MmcMeanResponse(9.0, 10.0, 1), 1.0, 1e-12);
+}
+
+TEST(MmcQueue, MatchesErlangFormulaModerateLoad) {
+  // lambda=15, mu=10, c=2 -> rho=0.75.
+  MmcQueueSimulator sim(Config(2, 10.0));
+  Rng rng(42);
+  // Warm up past the transient, then measure.
+  sim.Run(15.0, 500.0, rng);
+  const QueueSimStats stats = sim.Run(15.0, 20000.0, rng);
+
+  const double expected = MmcMeanResponse(15.0, 10.0, 2);
+  EXPECT_NEAR(stats.mean_response, expected, expected * 0.08);
+  EXPECT_NEAR(stats.utilization, 0.75, 0.03);
+  // Little's law: E[N] = lambda * E[T].
+  EXPECT_NEAR(stats.mean_in_system, 15.0 * expected, 15.0 * expected * 0.1);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(MmcQueue, LightLoadNoQueueing) {
+  MmcQueueSimulator sim(Config(4, 20.0));
+  Rng rng(7);
+  const QueueSimStats stats = sim.Run(8.0, 5000.0, rng);
+  // rho = 0.1: waits are negligible, response ~ one service time.
+  EXPECT_NEAR(stats.mean_response, 0.05, 0.01);
+  EXPECT_LT(stats.mean_wait, 0.005);
+  EXPECT_NEAR(stats.utilization, 0.1, 0.02);
+}
+
+TEST(MmcQueue, OverloadDropsAtFiniteCapacity) {
+  MmcQueueSimulator sim(Config(2, 10.0, 20));
+  Rng rng(11);
+  const QueueSimStats stats = sim.Run(40.0, 2000.0, rng);  // 2x overload
+  // Stable long-run throughput is capped at c*mu; the excess drops.
+  EXPECT_GT(stats.DropFraction(), 0.3);
+  EXPECT_NEAR(stats.utilization, 1.0, 0.02);
+  EXPECT_LE(sim.InSystem(), 20u);
+}
+
+TEST(MmcQueue, StatePersistsAcrossRuns) {
+  MmcQueueSimulator sim(Config(1, 10.0));
+  Rng rng(13);
+  sim.Run(9.0, 1000.0, rng);  // rho=0.9 builds a backlog
+  const std::size_t backlog = sim.InSystem();
+  // Drain with no arrivals: backlog empties.
+  const QueueSimStats drain = sim.Run(0.0, 1000.0, rng);
+  EXPECT_EQ(sim.InSystem(), 0u);
+  EXPECT_GE(drain.completed, backlog);
+}
+
+TEST(MmcQueue, DeterministicForSeed) {
+  MmcQueueSimulator a(Config(2, 10.0));
+  MmcQueueSimulator b(Config(2, 10.0));
+  Rng ra(99), rb(99);
+  const QueueSimStats sa = a.Run(12.0, 500.0, ra);
+  const QueueSimStats sb = b.Run(12.0, 500.0, rb);
+  EXPECT_EQ(sa.completed, sb.completed);
+  EXPECT_DOUBLE_EQ(sa.mean_response, sb.mean_response);
+}
+
+TEST(MmcQueue, GeneratorQueueingCurveTracksSimulator) {
+  // The trace generator's QueueingResponse(base, u_max) models response
+  // time as base/(1-u). Against an M/M/1 simulator with service time
+  // `base`, that is exact: T = (1/mu)/(1-rho). Check at several loads.
+  const double mu = 20.0;  // base service time 50 ms
+  const QueueingResponse response(1.0 / mu * 1000.0, 0.95);  // in ms
+  Rng rng(17);
+  for (double rho : {0.3, 0.6, 0.8}) {
+    MmcQueueSimulator sim(Config(1, mu));
+    sim.Run(rho * mu, 300.0, rng);  // warm-up
+    const QueueSimStats stats = sim.Run(rho * mu, 8000.0, rng);
+    const double predicted_ms = response.Value(rho);
+    EXPECT_NEAR(stats.mean_response * 1000.0, predicted_ms,
+                predicted_ms * 0.12)
+        << "rho=" << rho;
+  }
+}
+
+TEST(MmcQueue, P95AboveMean) {
+  MmcQueueSimulator sim(Config(2, 10.0));
+  Rng rng(23);
+  const QueueSimStats stats = sim.Run(14.0, 3000.0, rng);
+  EXPECT_GT(stats.p95_response, stats.mean_response);
+}
+
+}  // namespace
+}  // namespace pmcorr

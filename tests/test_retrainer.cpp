@@ -1,0 +1,123 @@
+// Tests for the rolling re-initialization wrapper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/retrainer.h"
+
+namespace pmcorr {
+namespace {
+
+// A drifting process: the operating level rises substantially over time.
+void MakeDrifting(std::size_t n, double drift_per_sample, std::uint64_t seed,
+                  std::vector<double>* xs, std::vector<double>* ys) {
+  Rng rng(seed);
+  xs->resize(n);
+  ys->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double level = 50.0 + drift_per_sample * static_cast<double>(i);
+    const double load =
+        level + 20.0 * std::sin(static_cast<double>(i) * 0.05) +
+        rng.Normal(0.0, 1.0);
+    (*xs)[i] = load;
+    (*ys)[i] = 2.0 * load + 10.0 + rng.Normal(0.0, 1.0);
+  }
+}
+
+ModelConfig SmallModel() {
+  ModelConfig config;
+  config.partition.units = 30;
+  config.partition.max_intervals = 8;
+  return config;
+}
+
+RetrainerConfig FastCadence() {
+  RetrainerConfig config;
+  config.window_samples = 400;
+  config.interval_samples = 100;
+  config.min_samples = 50;
+  return config;
+}
+
+TEST(Retrainer, RebuildsOnCadence) {
+  std::vector<double> xs, ys;
+  MakeDrifting(300, 0.0, 3, &xs, &ys);
+  RollingPairRetrainer retrainer(xs, ys, SmallModel(), FastCadence());
+  EXPECT_EQ(retrainer.Rebuilds(), 0u);
+  for (int i = 0; i < 250; ++i) {
+    retrainer.Step(xs[static_cast<std::size_t>(i) % xs.size()],
+                   ys[static_cast<std::size_t>(i) % ys.size()]);
+  }
+  EXPECT_EQ(retrainer.Rebuilds(), 2u);  // at samples 100 and 200
+}
+
+TEST(Retrainer, WindowIsBounded) {
+  std::vector<double> xs, ys;
+  MakeDrifting(1000, 0.0, 5, &xs, &ys);
+  RetrainerConfig config = FastCadence();
+  config.window_samples = 200;
+  RollingPairRetrainer retrainer(xs, ys, SmallModel(), config);
+  EXPECT_LE(retrainer.WindowSize(), 200u);
+  for (int i = 0; i < 500; ++i) retrainer.Step(xs[0], ys[0]);
+  EXPECT_EQ(retrainer.WindowSize(), 200u);
+}
+
+TEST(Retrainer, TracksDriftBetterThanFrozenModel) {
+  // Strong drift: by the end, values sit far above the initial range.
+  std::vector<double> xs, ys;
+  MakeDrifting(3000, 0.05, 7, &xs, &ys);  // +150 over the run
+
+  const std::vector<double> train_x(xs.begin(), xs.begin() + 600);
+  const std::vector<double> train_y(ys.begin(), ys.begin() + 600);
+
+  ModelConfig frozen_config = SmallModel();
+  frozen_config.adaptive = false;
+  PairModel frozen = PairModel::Learn(train_x, train_y, frozen_config);
+
+  RetrainerConfig cadence = FastCadence();
+  cadence.window_samples = 600;
+  cadence.interval_samples = 200;
+  RollingPairRetrainer rolling(train_x, train_y, SmallModel(), cadence);
+
+  double rolling_sum = 0.0;
+  std::size_t frozen_n = 0, rolling_n = 0, frozen_outliers = 0;
+  for (std::size_t i = 600; i < xs.size(); ++i) {
+    const StepOutcome f = frozen.Step(xs[i], ys[i]);
+    if (f.has_score) ++frozen_n;
+    if (f.outlier) ++frozen_outliers;
+    const StepOutcome r = rolling.Step(xs[i], ys[i]);
+    if (r.has_score) {
+      rolling_sum += r.fitness;
+      ++rolling_n;
+    }
+  }
+  // The frozen model's failure mode under drift is *silence*: the tail
+  // leaves its grid, so most samples are outliers or unscorable. The
+  // rolling model keeps full coverage at high fitness.
+  ASSERT_GT(rolling_n, 2000u);
+  EXPECT_LT(frozen_n, rolling_n / 2);
+  EXPECT_GT(frozen_outliers, 500u);
+  EXPECT_GT(rolling_sum / static_cast<double>(rolling_n), 0.85);
+  EXPECT_GE(rolling.Rebuilds(), 10u);
+}
+
+TEST(Retrainer, HandlesMissingSamplesInWindow) {
+  std::vector<double> xs, ys;
+  MakeDrifting(500, 0.0, 9, &xs, &ys);
+  RollingPairRetrainer retrainer(xs, ys, SmallModel(), FastCadence());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 150; ++i) {
+    const StepOutcome out =
+        retrainer.Step(i % 10 == 0 ? nan : xs[static_cast<std::size_t>(i)],
+                       ys[static_cast<std::size_t>(i)]);
+    if (i % 10 == 0) {
+      EXPECT_TRUE(out.missing);
+    }
+  }
+  EXPECT_GE(retrainer.Rebuilds(), 1u);  // rebuild digested the NaNs
+}
+
+}  // namespace
+}  // namespace pmcorr

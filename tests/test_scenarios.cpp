@@ -1,0 +1,92 @@
+// Tests for the canned paper scenarios (Section 6 setup).
+#include <gtest/gtest.h>
+
+#include "telemetry/generator.h"
+#include "telemetry/scenarios.h"
+
+namespace pmcorr {
+namespace {
+
+ScenarioConfig SmallConfig() {
+  ScenarioConfig config;
+  config.machine_count = 12;
+  config.trace_days = 16;  // covers May 29 .. June 13
+  return config;
+}
+
+TEST(Scenarios, AllThreeGroupsBuild) {
+  const auto scenarios = MakeAllGroupScenarios(SmallConfig());
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0].group, "A");
+  EXPECT_EQ(scenarios[1].group, "B");
+  EXPECT_EQ(scenarios[2].group, "C");
+}
+
+TEST(Scenarios, RejectsUnknownGroup) {
+  EXPECT_THROW(MakeGroupScenario('X', SmallConfig()), std::invalid_argument);
+}
+
+TEST(Scenarios, TraceCoversPaperDates) {
+  const PaperScenario s = MakeGroupScenario('A', SmallConfig());
+  EXPECT_EQ(s.spec.start, ToTimePoint({2008, 5, 29}));
+  EXPECT_EQ(s.spec.period, kPaperSamplePeriod);
+  EXPECT_EQ(s.spec.samples, 16u * static_cast<std::size_t>(kSamplesPerDay));
+}
+
+TEST(Scenarios, ProblemWindowsMatchFigure12) {
+  const TimePoint june13 = PaperTestStart();
+  const PaperScenario a = MakeGroupScenario('A', SmallConfig());
+  // Group A: morning (6am-12pm quarter).
+  EXPECT_GE(a.problem_start, june13 + 6 * kHour);
+  EXPECT_LE(a.problem_end, june13 + 12 * kHour);
+
+  // Groups B and C: afternoon onward.
+  const PaperScenario b = MakeGroupScenario('B', SmallConfig());
+  EXPECT_GE(b.problem_start, june13 + 12 * kHour);
+  const PaperScenario c = MakeGroupScenario('C', SmallConfig());
+  EXPECT_GE(c.problem_start, june13 + 12 * kHour);
+  EXPECT_LE(c.problem_end, june13 + 18 * kHour);
+}
+
+TEST(Scenarios, FocusPairNamesResolveInGeneratedFrame) {
+  for (char g : {'A', 'B', 'C'}) {
+    const PaperScenario s = MakeGroupScenario(g, SmallConfig());
+    const MeasurementFrame frame = GenerateTrace(s.spec);
+    EXPECT_TRUE(frame.FindByName(s.focus_x).has_value()) << s.focus_x;
+    EXPECT_TRUE(frame.FindByName(s.focus_y).has_value()) << s.focus_y;
+    // The focus measurements live on the problem machine.
+    EXPECT_EQ(frame.Info(*frame.FindByName(s.focus_x)).machine,
+              s.problem_machine);
+  }
+}
+
+TEST(Scenarios, GroupsDiffer) {
+  const PaperScenario a = MakeGroupScenario('A', SmallConfig());
+  const PaperScenario b = MakeGroupScenario('B', SmallConfig());
+  EXPECT_NE(a.spec.seed, b.spec.seed);
+  EXPECT_NE(a.spec.workload.base_rate, b.spec.workload.base_rate);
+}
+
+TEST(Scenarios, LocalizationFaultTogglable) {
+  ScenarioConfig config = SmallConfig();
+  config.localization_fault = false;
+  const PaperScenario without = MakeGroupScenario('A', config);
+  config.localization_fault = true;
+  const PaperScenario with = MakeGroupScenario('A', config);
+  EXPECT_EQ(with.spec.faults.size(), without.spec.faults.size() + 1);
+  EXPECT_NE(with.localization_machine, with.problem_machine);
+}
+
+TEST(Scenarios, DeterministicForSameConfig) {
+  const PaperScenario a1 = MakeGroupScenario('B', SmallConfig());
+  const PaperScenario a2 = MakeGroupScenario('B', SmallConfig());
+  EXPECT_EQ(a1.spec.seed, a2.spec.seed);
+  EXPECT_EQ(a1.focus_x, a2.focus_x);
+  const MeasurementFrame f1 = GenerateTrace(a1.spec);
+  const MeasurementFrame f2 = GenerateTrace(a2.spec);
+  EXPECT_DOUBLE_EQ(f1.Value(MeasurementId(0), 100),
+                   f2.Value(MeasurementId(0), 100));
+}
+
+}  // namespace
+}  // namespace pmcorr

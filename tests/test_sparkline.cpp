@@ -1,0 +1,91 @@
+// Tests for the terminal sparkline renderer.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/sparkline.h"
+
+namespace pmcorr {
+namespace {
+
+// Each block glyph is 3 bytes of UTF-8; gaps are 1 byte.
+std::size_t GlyphCount(const std::string& s) {
+  std::size_t count = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++count;  // count non-continuation bytes
+  }
+  return count;
+}
+
+TEST(Sparkline, WidthMatchesRequest) {
+  std::vector<double> values(100);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  SparklineOptions options;
+  options.width = 24;
+  EXPECT_EQ(GlyphCount(Sparkline(values, options)), 24u);
+}
+
+TEST(Sparkline, ShortSeriesOneColumnPerSample) {
+  const std::vector<double> values = {0.0, 1.0};
+  SparklineOptions options;
+  options.width = 50;
+  const std::string line = Sparkline(values, options);
+  EXPECT_EQ(GlyphCount(line), 2u);
+  // Lowest block first, tallest last.
+  EXPECT_EQ(line.substr(0, 3), "▁");
+  EXPECT_EQ(line.substr(3, 3), "█");
+}
+
+TEST(Sparkline, MonotoneDataRendersMonotoneBlocks) {
+  std::vector<double> values;
+  for (int i = 0; i < 8; ++i) values.push_back(i);
+  SparklineOptions options;
+  options.width = 8;
+  const std::string line = Sparkline(values, options);
+  // Strictly non-decreasing block heights.
+  for (std::size_t i = 3; i < line.size(); i += 3) {
+    EXPECT_LE(line[i - 1], line[i + 2]);  // third UTF-8 byte encodes height
+  }
+}
+
+TEST(Sparkline, GapsRenderAsGapChar) {
+  std::vector<std::optional<double>> values = {0.5, std::nullopt, 0.5};
+  SparklineOptions options;
+  options.width = 3;
+  const std::string line = Sparkline(
+      std::span<const std::optional<double>>(values), options);
+  EXPECT_NE(line.find(' '), std::string::npos);
+}
+
+TEST(Sparkline, FixedRangeClamps) {
+  const std::vector<double> values = {-10.0, 0.5, 10.0};
+  SparklineOptions options;
+  options.width = 3;
+  options.lo = 0.0;
+  options.hi = 1.0;
+  const std::string line = Sparkline(values, options);
+  EXPECT_EQ(line.substr(0, 3), "▁");  // clamped low
+  EXPECT_EQ(line.substr(6, 3), "█");  // clamped high
+}
+
+TEST(Sparkline, EmptyAndAllGapInputs) {
+  EXPECT_EQ(Sparkline(std::span<const double>{}).size(),
+            SparklineOptions{}.width);
+  std::vector<std::optional<double>> gaps(5);
+  SparklineOptions options;
+  options.width = 5;
+  EXPECT_EQ(Sparkline(std::span<const std::optional<double>>(gaps), options),
+            "     ");
+}
+
+TEST(Sparkline, FlatSeriesDoesNotDivideByZero) {
+  const std::vector<double> values(10, 3.0);
+  const std::string line = Sparkline(values);
+  EXPECT_FALSE(line.empty());
+}
+
+}  // namespace
+}  // namespace pmcorr

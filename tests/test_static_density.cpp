@@ -1,0 +1,99 @@
+// Tests for the order-0 (static grid-density) ablation baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/static_density.h"
+#include "common/rng.h"
+#include "core/model.h"
+
+namespace pmcorr {
+namespace {
+
+void MakeData(std::size_t n, std::uint64_t seed, std::vector<double>* xs,
+              std::vector<double>* ys) {
+  Rng rng(seed);
+  xs->resize(n);
+  ys->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double load =
+        55.0 + 35.0 * std::sin(static_cast<double>(i) * 0.03) +
+        rng.Normal(0.0, 1.5);
+    (*xs)[i] = load;
+    (*ys)[i] = 100.0 * load / (load + 45.0) + rng.Normal(0.0, 0.5);
+  }
+}
+
+TEST(StaticDensity, LearnsCountsOverTheGrid) {
+  std::vector<double> xs, ys;
+  MakeData(1000, 3, &xs, &ys);
+  const auto model = StaticDensityModel::Learn(xs, ys);
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < model.Grid().CellCount(); ++c) {
+    total += model.CountOf(c);
+  }
+  EXPECT_EQ(total, 1000u);  // every history point lands in some cell
+}
+
+TEST(StaticDensity, RejectsBadInput) {
+  EXPECT_THROW(StaticDensityModel::Learn({}, {}), std::invalid_argument);
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(StaticDensityModel::Learn(xs, ys), std::invalid_argument);
+}
+
+TEST(StaticDensity, RanksAreAPermutation) {
+  std::vector<double> xs, ys;
+  MakeData(600, 5, &xs, &ys);
+  const auto model = StaticDensityModel::Learn(xs, ys);
+  std::vector<bool> seen(model.Grid().CellCount(), false);
+  for (std::size_t c = 0; c < model.Grid().CellCount(); ++c) {
+    const std::size_t rank = model.RankOf(c);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, model.Grid().CellCount());
+    EXPECT_FALSE(seen[rank - 1]);
+    seen[rank - 1] = true;
+  }
+}
+
+TEST(StaticDensity, DenseCellsScoreHighOutliersZero) {
+  std::vector<double> xs, ys;
+  MakeData(2000, 7, &xs, &ys);
+  const auto model = StaticDensityModel::Learn(xs, ys);
+  // A typical history point sits in a dense cell.
+  EXPECT_GT(model.Score(xs[100], ys[100]), 0.5);
+  // Far outside the grid: zero.
+  EXPECT_DOUBLE_EQ(model.Score(1e9, -1e9), 0.0);
+}
+
+TEST(StaticDensity, BlindToTemporalAnomalies) {
+  // The ablation's defining weakness: an anomalous *jump* between two
+  // individually-common states is invisible to the order-0 model but
+  // penalized by the order-1 transition model.
+  std::vector<double> xs, ys;
+  MakeData(3000, 9, &xs, &ys);
+  const auto order0 = StaticDensityModel::Learn(xs, ys);
+  ModelConfig config;
+  config.partition.units = 40;
+  PairModel order1 = PairModel::Learn(xs, ys, config);
+
+  // Find two common but distant states: the daily low and the daily high.
+  const std::size_t low_t = 52;   // near the sine trough
+  const std::size_t high_t = 157;  // near the sine peak (about pi apart)
+  ASSERT_GT(std::fabs(xs[high_t] - xs[low_t]), 30.0);
+
+  // Both states are individually ordinary for the order-0 model.
+  EXPECT_GT(order0.Score(xs[low_t], ys[low_t]), 0.4);
+  EXPECT_GT(order0.Score(xs[high_t], ys[high_t]), 0.4);
+
+  // The instantaneous low->high teleport is temporal nonsense: the
+  // order-1 model scores it far below the order-0 model.
+  order1.Step(xs[low_t], ys[low_t]);
+  const StepOutcome jump = order1.Step(xs[high_t], ys[high_t]);
+  ASSERT_TRUE(jump.has_score);
+  EXPECT_LT(jump.fitness, order0.Score(xs[high_t], ys[high_t]) - 0.2);
+}
+
+}  // namespace
+}  // namespace pmcorr

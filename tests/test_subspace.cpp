@@ -1,0 +1,127 @@
+// Tests for the PCA subspace baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/subspace.h"
+#include "common/rng.h"
+
+namespace pmcorr {
+namespace {
+
+// l measurements all driven by one latent load plus noise: a rank-1-ish
+// normal subspace.
+MeasurementFrame DrivenFrame(std::size_t l, std::size_t n,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(l, std::vector<double>(n));
+  std::vector<double> gains(l), offsets(l);
+  for (std::size_t a = 0; a < l; ++a) {
+    gains[a] = rng.Uniform(0.5, 3.0);
+    offsets[a] = rng.Uniform(0.0, 50.0);
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    const double load =
+        50.0 + 30.0 * std::sin(static_cast<double>(t) * 0.05) +
+        rng.Normal(0.0, 1.0);
+    for (std::size_t a = 0; a < l; ++a) {
+      cols[a][t] = offsets[a] + gains[a] * load + rng.Normal(0.0, 1.0);
+    }
+  }
+  MeasurementFrame frame(0, kPaperSamplePeriod);
+  for (std::size_t a = 0; a < l; ++a) {
+    MeasurementInfo info;
+    info.machine = MachineId(static_cast<std::int32_t>(a / 2));
+    info.name = "m" + std::to_string(a);
+    frame.Add(info, TimeSeries(0, kPaperSamplePeriod, std::move(cols[a])));
+  }
+  return frame;
+}
+
+std::vector<double> SampleAt(const MeasurementFrame& frame, std::size_t t) {
+  std::vector<double> values(frame.MeasurementCount());
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    values[a] = frame.Value(MeasurementId(static_cast<std::int32_t>(a)), t);
+  }
+  return values;
+}
+
+TEST(Subspace, CapturesSharedVariance) {
+  const auto frame = DrivenFrame(8, 800, 3);
+  SubspaceConfig config;
+  config.components = 2;
+  const auto det = SubspaceDetector::Fit(frame, config);
+  EXPECT_EQ(det.ComponentCount(), 2u);
+  // One latent factor drives everything: 2 components capture most of it.
+  EXPECT_GT(det.CapturedVariance(), 0.8);
+}
+
+TEST(Subspace, TrainingDataMostlyBelowThreshold) {
+  const auto frame = DrivenFrame(6, 600, 5);
+  const auto det = SubspaceDetector::Fit(frame, {});
+  std::size_t anomalies = 0;
+  for (std::size_t t = 0; t < frame.SampleCount(); ++t) {
+    if (det.IsAnomaly(SampleAt(frame, t))) ++anomalies;
+  }
+  // The boundary is the 99.5% training quantile.
+  EXPECT_LT(anomalies, frame.SampleCount() / 50);
+}
+
+TEST(Subspace, FloodStaysInNormalSubspace) {
+  // All measurements doubling together moves *along* the latent
+  // direction (after standardization, a large but subspace-aligned
+  // excursion): SPE stays far smaller than for a correlation break.
+  const auto frame = DrivenFrame(6, 800, 7);
+  const auto det = SubspaceDetector::Fit(frame, {});
+  auto sample = SampleAt(frame, 100);
+
+  auto flood = sample;
+  for (double& v : flood) v *= 1.5;
+  const double flood_spe = det.Spe(flood);
+
+  auto broken = sample;
+  broken[2] *= 3.0;  // one measurement decouples
+  const double break_spe = det.Spe(broken);
+  EXPECT_LT(flood_spe, break_spe);
+  EXPECT_TRUE(det.IsAnomaly(broken));
+}
+
+TEST(Subspace, SpeValidatesInputSize) {
+  const auto frame = DrivenFrame(4, 100, 9);
+  const auto det = SubspaceDetector::Fit(frame, {});
+  EXPECT_THROW(det.Spe(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Subspace, FitValidatesInput) {
+  MeasurementFrame empty(0, kPaperSamplePeriod);
+  EXPECT_THROW(SubspaceDetector::Fit(empty, {}), std::invalid_argument);
+}
+
+TEST(Subspace, ComponentsClampToMeasurementCount) {
+  const auto frame = DrivenFrame(3, 200, 11);
+  SubspaceConfig config;
+  config.components = 10;
+  const auto det = SubspaceDetector::Fit(frame, config);
+  EXPECT_LE(det.ComponentCount(), 3u);
+}
+
+TEST(Subspace, ConstantMeasurementHandled) {
+  MeasurementFrame frame(0, kPaperSamplePeriod);
+  Rng rng(13);
+  std::vector<double> varying(300), flat(300, 42.0);
+  for (auto& v : varying) v = rng.Normal(10.0, 2.0);
+  MeasurementInfo a, b;
+  a.name = "varying";
+  b.name = "flat";
+  frame.Add(a, TimeSeries(0, kPaperSamplePeriod, std::move(varying)));
+  frame.Add(b, TimeSeries(0, kPaperSamplePeriod, std::move(flat)));
+  const auto det = SubspaceDetector::Fit(frame, {});
+  // No NaNs; the flat measurement contributes nothing.
+  const double spe = det.Spe(std::vector<double>{10.0, 42.0});
+  EXPECT_FALSE(std::isnan(spe));
+}
+
+}  // namespace
+}  // namespace pmcorr

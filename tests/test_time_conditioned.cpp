@@ -1,0 +1,163 @@
+// Tests for the time-of-day conditioned model extension.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/time_conditioned.h"
+
+namespace pmcorr {
+namespace {
+
+// A system whose *dynamics* change by hour over the same value range:
+// overnight the load is a slow random walk; during business hours a
+// flapping load balancer alternates it between two levels every sample.
+// The two regimes share grid cells, so a single transition matrix mixes
+// their incompatible transition patterns — exactly the situation the
+// time-conditioned extension exists for. (When regimes occupy disjoint
+// cells, the plain order-1 model is already regime-aware through its
+// state and conditioning buys nothing.)
+void MakeRegimeData(std::size_t days, std::uint64_t seed,
+                    std::vector<double>* xs, std::vector<double>* ys,
+                    std::vector<TimePoint>* times) {
+  Rng rng(seed);
+  const TimePoint start = ToTimePoint({2008, 5, 29});
+  double walk = 60.0;
+  for (std::size_t d = 0; d < days; ++d) {
+    for (int t = 0; t < kSamplesPerDay; ++t) {
+      const TimePoint tp = start + (static_cast<TimePoint>(d) * kDay) +
+                           static_cast<TimePoint>(t) * kPaperSamplePeriod;
+      const int hour = static_cast<int>(SecondsIntoDay(tp) / kHour);
+      const bool night = hour < 7 || hour >= 19;
+      double load;
+      if (night) {
+        walk += rng.Normal(0.0, 2.0);
+        walk = std::clamp(walk, 42.0, 80.0);
+        load = walk;
+      } else {
+        load = (t % 2 == 0 ? 50.0 : 74.0) + rng.Normal(0.0, 1.5);
+      }
+      xs->push_back(load);
+      ys->push_back(1.5 * load + 20.0 + rng.Normal(0.0, 1.0));
+      times->push_back(tp);
+    }
+  }
+}
+
+TimeConditionedConfig Config() {
+  TimeConditionedConfig config;
+  config.model.partition.units = 30;
+  config.model.partition.max_intervals = 8;
+  config.bucket_start_hours = {0, 7, 19};
+  return config;
+}
+
+TEST(TimeConditioned, BucketOfMapsHours) {
+  std::vector<double> xs, ys;
+  std::vector<TimePoint> times;
+  MakeRegimeData(2, 3, &xs, &ys, &times);
+  const auto model =
+      TimeConditionedPairModel::Learn(xs, ys, times, Config());
+  ASSERT_EQ(model.BucketCount(), 3u);
+  const TimePoint day = ToTimePoint({2008, 6, 1});
+  EXPECT_EQ(model.BucketOf(day + 3 * kHour), 0u);   // 03:00 -> [0,7)
+  EXPECT_EQ(model.BucketOf(day + 7 * kHour), 1u);   // 07:00 -> [7,19)
+  EXPECT_EQ(model.BucketOf(day + 12 * kHour), 1u);
+  EXPECT_EQ(model.BucketOf(day + 19 * kHour), 2u);  // 19:00 -> [19,24)
+  EXPECT_EQ(model.BucketOf(day + 23 * kHour), 2u);
+}
+
+TEST(TimeConditioned, LearnValidatesInput) {
+  std::vector<double> xs = {1.0};
+  std::vector<double> ys = {1.0, 2.0};
+  std::vector<TimePoint> times = {0};
+  EXPECT_THROW(TimeConditionedPairModel::Learn(xs, ys, times, Config()),
+               std::invalid_argument);
+  TimeConditionedConfig bad = Config();
+  bad.bucket_start_hours = {7, 7};
+  std::vector<double> ok = {1.0, 2.0};
+  std::vector<TimePoint> ts = {0, kPaperSamplePeriod};
+  EXPECT_THROW(TimeConditionedPairModel::Learn(ok, ok, ts, bad),
+               std::invalid_argument);
+  bad.bucket_start_hours = {};
+  EXPECT_THROW(TimeConditionedPairModel::Learn(ok, ok, ts, bad),
+               std::invalid_argument);
+}
+
+TEST(TimeConditioned, SingleBucketBehavesLikePlainModel) {
+  std::vector<double> xs, ys;
+  std::vector<TimePoint> times;
+  MakeRegimeData(3, 5, &xs, &ys, &times);
+  TimeConditionedConfig config = Config();
+  config.bucket_start_hours = {0};
+  auto conditioned =
+      TimeConditionedPairModel::Learn(xs, ys, times, config);
+  EXPECT_EQ(conditioned.BucketCount(), 1u);
+  // Same scores as a plain PairModel fed the same stream.
+  PairModel plain = PairModel::Learn(xs, ys, config.model);
+  plain.ResetSequence();
+  for (std::size_t i = 0; i < 200; ++i) {
+    const StepOutcome a = conditioned.Step(xs[i], ys[i], times[i]);
+    const StepOutcome b = plain.Step(xs[i], ys[i]);
+    ASSERT_EQ(a.has_score, b.has_score);
+    if (a.has_score) {
+      ASSERT_DOUBLE_EQ(a.fitness, b.fitness);
+    }
+  }
+}
+
+TEST(TimeConditioned, BeatsPlainModelOnRegimeSwitchingData) {
+  std::vector<double> xs, ys;
+  std::vector<TimePoint> times;
+  MakeRegimeData(8, 7, &xs, &ys, &times);
+  const std::size_t split = 6 * static_cast<std::size_t>(kSamplesPerDay);
+
+  const std::vector<double> tx(xs.begin(), xs.begin() + split);
+  const std::vector<double> ty(ys.begin(), ys.begin() + split);
+  const std::vector<TimePoint> tt(times.begin(), times.begin() + split);
+
+  auto conditioned =
+      TimeConditionedPairModel::Learn(tx, ty, tt, Config());
+  PairModel plain = PairModel::Learn(tx, ty, Config().model);
+
+  double cond_sum = 0.0, plain_sum = 0.0;
+  std::size_t cond_n = 0, plain_n = 0;
+  for (std::size_t i = split; i < xs.size(); ++i) {
+    const StepOutcome c = conditioned.Step(xs[i], ys[i], times[i]);
+    if (c.has_score) {
+      cond_sum += c.fitness;
+      ++cond_n;
+    }
+    const StepOutcome p = plain.Step(xs[i], ys[i]);
+    if (p.has_score) {
+      plain_sum += p.fitness;
+      ++plain_n;
+    }
+  }
+  ASSERT_GT(cond_n, 300u);
+  ASSERT_GT(plain_n, 300u);
+  // Each bucket model only explains its own regime: cleaner predictions.
+  EXPECT_GT(cond_sum / static_cast<double>(cond_n),
+            plain_sum / static_cast<double>(plain_n));
+}
+
+TEST(TimeConditioned, BucketCrossingIsUnscored) {
+  std::vector<double> xs, ys;
+  std::vector<TimePoint> times;
+  MakeRegimeData(3, 9, &xs, &ys, &times);
+  auto model = TimeConditionedPairModel::Learn(xs, ys, times, Config());
+
+  const TimePoint day = ToTimePoint({2008, 6, 2});
+  // Two samples in the night bucket: second one scores.
+  model.Step(xs[0], ys[0], day + kHour);
+  const StepOutcome second = model.Step(xs[1], ys[1], day + kHour + 360);
+  EXPECT_TRUE(second.has_score);
+  // First sample after crossing into the business bucket: no score.
+  const StepOutcome crossed = model.Step(xs[130], ys[130], day + 8 * kHour);
+  EXPECT_FALSE(crossed.has_score);
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,232 @@
+// Tests for the transition probability matrix, including an exact pin of
+// the paper's Figure 5 prior and the Figure 9/10 prior-vs-posterior
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/transition_matrix.h"
+#include "grid/grid.h"
+#include "grid/kernels.h"
+
+namespace pmcorr {
+namespace {
+
+Grid2D Grid3x3() {
+  return Grid2D(IntervalList::Uniform(0.0, 3.0, 3),
+                IntervalList::Uniform(0.0, 3.0, 3));
+}
+
+// The full 9x9 matrix printed in Figure 5 of the paper (percent).
+constexpr double kFigure5[9][9] = {
+    {21.98, 14.65, 8.79, 14.65, 10.99, 7.33, 8.79, 7.33, 5.49},
+    {13.16, 19.74, 13.16, 9.87, 13.16, 9.87, 6.58, 7.89, 6.58},
+    {8.79, 14.65, 21.98, 7.33, 10.99, 14.65, 5.49, 7.33, 8.79},
+    {13.16, 9.87, 6.58, 19.74, 13.16, 7.89, 13.16, 9.87, 6.58},
+    {8.82, 11.76, 8.82, 11.76, 17.65, 11.76, 8.82, 11.76, 8.82},
+    {6.58, 9.87, 13.16, 7.89, 13.16, 19.74, 6.58, 9.87, 13.16},
+    {8.79, 7.33, 5.49, 14.65, 10.99, 7.33, 21.98, 14.65, 8.79},
+    {6.58, 7.89, 6.58, 9.87, 13.16, 9.87, 13.16, 19.74, 13.16},
+    {5.49, 7.33, 8.79, 7.33, 10.99, 14.65, 8.79, 14.65, 21.98},
+};
+
+TEST(TransitionMatrix, PriorReproducesFigure5Exactly) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  const TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  for (std::size_t i = 0; i < 9; ++i) {
+    const auto row = matrix.RowDistribution(i);
+    for (std::size_t j = 0; j < 9; ++j) {
+      // The paper prints 2 decimals of percent -> tolerance 0.005%.
+      EXPECT_NEAR(row[j] * 100.0, kFigure5[i][j], 5e-3)
+          << "cell c" << i + 1 << " -> c" << j + 1;
+    }
+  }
+}
+
+TEST(TransitionMatrix, RowsAreDistributions) {
+  const Grid2D grid = Grid3x3();
+  const ExponentialKernel kernel(2.0, CellMetric::kEuclidean);
+  const TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  for (std::size_t i = 0; i < matrix.CellCount(); ++i) {
+    const auto row = matrix.RowDistribution(i);
+    const double sum = std::accumulate(row.begin(), row.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    for (double p : row) EXPECT_GT(p, 0.0);
+  }
+}
+
+TEST(TransitionMatrix, PriorSelfTransitionHighest) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  const TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(matrix.ArgMax(i), i);
+    EXPECT_EQ(matrix.RankOf(i, i), 1u);
+  }
+}
+
+TEST(TransitionMatrix, ObservationsShiftTheMode) {
+  // Figure 9 -> Figure 10: the prior peaks on the self-transition, but
+  // after repeatedly observing c5 -> c1, the posterior mode moves to c1.
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  EXPECT_EQ(matrix.ArgMax(4), 4u);
+  for (int k = 0; k < 12; ++k) {
+    matrix.ObserveTransition(4, 0, grid, kernel);
+  }
+  EXPECT_EQ(matrix.ArgMax(4), 0u);
+  EXPECT_GT(matrix.Probability(4, 0), matrix.Probability(4, 4));
+  // Other rows are untouched.
+  EXPECT_EQ(matrix.ArgMax(3), 3u);
+}
+
+TEST(TransitionMatrix, ProbabilityMatchesRowDistribution) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  matrix.ObserveTransition(2, 7, grid, kernel);
+  const auto row = matrix.RowDistribution(2);
+  for (std::size_t j = 0; j < 9; ++j) {
+    EXPECT_NEAR(matrix.Probability(2, j), row[j], 1e-12);
+  }
+}
+
+TEST(TransitionMatrix, RanksAreAPermutation) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  matrix.ObserveTransition(4, 1, grid, kernel);
+  std::vector<bool> seen(9, false);
+  for (std::size_t j = 0; j < 9; ++j) {
+    const std::size_t rank = matrix.RankOf(4, j);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 9u);
+    EXPECT_FALSE(seen[rank - 1]) << "duplicate rank " << rank;
+    seen[rank - 1] = true;
+  }
+}
+
+TEST(TransitionMatrix, CountsTrackObservations) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  matrix.ObserveTransition(0, 0, grid, kernel);
+  matrix.ObserveTransition(0, 1, grid, kernel);
+  matrix.ObserveTransition(0, 1, grid, kernel);
+  EXPECT_EQ(matrix.ObservedCount(), 3u);
+  EXPECT_EQ(matrix.CountOf(0, 0), 1u);
+  EXPECT_EQ(matrix.CountOf(0, 1), 2u);
+  EXPECT_EQ(matrix.CountOf(1, 0), 0u);
+}
+
+TEST(TransitionMatrix, ForgettingBoundsEvidence) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix sticky = TransitionMatrix::Prior(grid, kernel);
+  TransitionMatrix forgetful = TransitionMatrix::Prior(grid, kernel);
+  for (int k = 0; k < 500; ++k) {
+    sticky.ObserveTransition(4, 0, grid, kernel, 1.0, 1.0);
+    forgetful.ObserveTransition(4, 0, grid, kernel, 1.0, 0.9);
+  }
+  // With forgetting the posterior stays smooth; without, it sharpens
+  // towards a point mass.
+  EXPECT_GT(sticky.Probability(4, 0), forgetful.Probability(4, 0));
+  EXPECT_GT(forgetful.Probability(4, 4), 1e-6);
+  // Both still agree on the mode.
+  EXPECT_EQ(sticky.ArgMax(4), 0u);
+  EXPECT_EQ(forgetful.ArgMax(4), 0u);
+}
+
+TEST(TransitionMatrix, ExtensionRemapsEvidenceAndCounts) {
+  Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  for (int k = 0; k < 8; ++k) matrix.ObserveTransition(4, 1, grid, kernel);
+  EXPECT_EQ(matrix.ArgMax(4), 1u);
+
+  const std::size_t old_cols = grid.Cols();
+  const auto ext = grid.ExtendToInclude({-0.5, -0.5}, 2.0, 2.0);
+  ASSERT_TRUE(ext.has_value());
+  matrix.ApplyExtension(*ext, old_cols, grid, kernel);
+
+  EXPECT_EQ(matrix.CellCount(), grid.CellCount());
+  const std::size_t new4 = Grid2D::RemapIndex(4, old_cols, *ext);
+  const std::size_t new1 = Grid2D::RemapIndex(1, old_cols, *ext);
+  EXPECT_EQ(matrix.ArgMax(new4), new1);
+  EXPECT_EQ(matrix.CountOf(new4, new1), 8u);
+  EXPECT_EQ(matrix.ObservedCount(), 8u);
+
+  // New cells behave like prior rows: self-transition is the mode.
+  const std::size_t new_cell = 0;  // freshly added corner
+  EXPECT_EQ(matrix.ArgMax(new_cell), new_cell);
+  const auto row = matrix.RowDistribution(new_cell);
+  EXPECT_NEAR(std::accumulate(row.begin(), row.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(TransitionMatrix, NewCellsDoNotOutrankObservedDestinations) {
+  // Regression: after an extension, an observed row's brand-new columns
+  // must not start at zero evidence — accumulated evidence is negative,
+  // so a zero entry would make the never-visited cell the row's most
+  // probable destination.
+  Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  // Heavy history: row 4 almost always stays at 4.
+  for (int k = 0; k < 200; ++k) matrix.ObserveTransition(4, 4, grid, kernel);
+
+  const std::size_t old_cols = grid.Cols();
+  const auto ext = grid.ExtendToInclude({3.4, 1.5}, 3.0, 3.0);
+  ASSERT_TRUE(ext.has_value());
+  ASSERT_FALSE(ext->Empty());
+  matrix.ApplyExtension(*ext, old_cols, grid, kernel);
+
+  const std::size_t new4 = Grid2D::RemapIndex(4, old_cols, *ext);
+  EXPECT_EQ(matrix.ArgMax(new4), new4);
+  EXPECT_EQ(matrix.RankOf(new4, new4), 1u);
+  // The adjacent brand-new cell ranks below the observed self-transition
+  // and its probability is small.
+  const std::size_t new_cell = grid.CellCount() - 1;
+  EXPECT_GT(matrix.RankOf(new4, new_cell), 1u);
+  EXPECT_LT(matrix.Probability(new4, new_cell),
+            matrix.Probability(new4, new4));
+}
+
+TEST(TransitionMatrix, LikelihoodWeightScalesUpdateStrength) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix weak = TransitionMatrix::Prior(grid, kernel);
+  TransitionMatrix strong = TransitionMatrix::Prior(grid, kernel);
+  weak.ObserveTransition(4, 0, grid, kernel, 0.2);
+  strong.ObserveTransition(4, 0, grid, kernel, 5.0);
+  EXPECT_GT(strong.Probability(4, 0), weak.Probability(4, 0));
+}
+
+TEST(TransitionDistanceHistogram, CountsByChebyshevDistance) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  matrix.ObserveTransition(4, 4, grid, kernel);  // d=0
+  matrix.ObserveTransition(4, 4, grid, kernel);  // d=0
+  matrix.ObserveTransition(4, 1, grid, kernel);  // d=1
+  matrix.ObserveTransition(0, 8, grid, kernel);  // d=2
+  const auto hist = TransitionDistanceHistogram(matrix, grid);
+  ASSERT_GE(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(TransitionMatrix, RestoreStateRejectsWrongSizes) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  EXPECT_THROW(matrix.RestoreState(std::vector<double>(3, 0.0),
+                                   std::vector<std::uint32_t>(81, 0), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pmcorr

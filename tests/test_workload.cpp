@@ -1,0 +1,111 @@
+// Tests for the workload driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "telemetry/workload.h"
+
+namespace pmcorr {
+namespace {
+
+WorkloadConfig Config() {
+  WorkloadConfig config;
+  config.floods_per_day = 0.0;  // most tests want the clean signal
+  config.noise_sigma = 0.0;
+  config.drift_fraction = 0.0;
+  return config;
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  const TimePoint start = ToTimePoint({2008, 5, 29});
+  WorkloadConfig config;
+  const WorkloadModel a(config, 42, start, 480);
+  const WorkloadModel b(config, 42, start, 480);
+  EXPECT_EQ(a.Rates(), b.Rates());
+}
+
+TEST(Workload, SeedChangesRealization) {
+  const TimePoint start = ToTimePoint({2008, 5, 29});
+  WorkloadConfig config;
+  const WorkloadModel a(config, 1, start, 480);
+  const WorkloadModel b(config, 2, start, 480);
+  EXPECT_NE(a.Rates(), b.Rates());
+}
+
+TEST(Workload, DiurnalPeakAtConfiguredTime) {
+  const WorkloadConfig config = Config();
+  const TimePoint monday = ToTimePoint({2008, 6, 16});  // a Monday
+  const double at_peak =
+      WorkloadModel::SeasonalShape(monday + config.peak_time, config);
+  const double at_4am = WorkloadModel::SeasonalShape(monday + 4 * kHour, config);
+  EXPECT_NEAR(at_peak, 1.0, 1e-12);
+  EXPECT_LT(at_4am, 0.3);
+}
+
+TEST(Workload, WeekendsAreQuieter) {
+  const WorkloadConfig config = Config();
+  const TimePoint saturday = ToTimePoint({2008, 6, 14}) + config.peak_time;
+  const TimePoint monday = ToTimePoint({2008, 6, 16}) + config.peak_time;
+  EXPECT_NEAR(WorkloadModel::SeasonalShape(saturday, config),
+              config.weekend_factor *
+                  WorkloadModel::SeasonalShape(monday, config),
+              1e-12);
+}
+
+TEST(Workload, RatesArePositiveAndBounded) {
+  WorkloadConfig config;  // defaults, noise on
+  const WorkloadModel model(config, 7, ToTimePoint({2008, 5, 29}),
+                            30 * kSamplesPerDay);
+  for (double r : model.Rates()) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 30.0 * (config.base_rate + config.peak_amplitude));
+  }
+}
+
+TEST(Workload, DriftRaisesLateAverages) {
+  WorkloadConfig config = Config();
+  config.drift_fraction = 0.5;
+  const WorkloadModel model(config, 3, ToTimePoint({2008, 5, 29}),
+                            28 * kSamplesPerDay);
+  // Compare the same weekday two weeks apart to cancel seasonality.
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < kSamplesPerDay; ++i) {
+    early += model.RateAt(static_cast<std::size_t>(i));
+    late += model.RateAt(static_cast<std::size_t>(i + 14 * kSamplesPerDay));
+  }
+  EXPECT_GT(late, early * 1.1);
+}
+
+TEST(Workload, FloodsRaiseRatesAndAreFlagged) {
+  WorkloadConfig config = Config();
+  config.floods_per_day = 4.0;  // make them likely
+  const WorkloadModel with(config, 5, ToTimePoint({2008, 5, 29}),
+                           7 * kSamplesPerDay);
+  config.floods_per_day = 0.0;
+  const WorkloadModel without(config, 5, ToTimePoint({2008, 5, 29}),
+                              7 * kSamplesPerDay);
+
+  std::size_t flood_samples = 0;
+  for (std::size_t i = 0; i < with.SampleCount(); ++i) {
+    if (with.InFlood(i)) {
+      ++flood_samples;
+      EXPECT_GE(with.RateAt(i), without.RateAt(i) * 0.999);
+    } else {
+      EXPECT_NEAR(with.RateAt(i), without.RateAt(i), 1e-9);
+    }
+  }
+  EXPECT_GT(flood_samples, 10u);
+  EXPECT_LT(flood_samples, with.SampleCount() / 2);
+}
+
+TEST(Workload, PeakRateIsBasePlusAmplitude) {
+  WorkloadConfig config;
+  config.base_rate = 100.0;
+  config.peak_amplitude = 300.0;
+  const WorkloadModel model(config, 1, 0, 10);
+  EXPECT_DOUBLE_EQ(model.PeakRate(), 400.0);
+}
+
+}  // namespace
+}  // namespace pmcorr

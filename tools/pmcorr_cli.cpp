@@ -1,0 +1,366 @@
+// pmcorr command-line tool: generate traces, train pair models, run
+// detection, and inspect model files — the library's workflow without
+// writing C++.
+//
+//   pmcorr generate --group A --machines 12 --days 16 --out trace.csv
+//   pmcorr train    --trace trace.csv --x NAME --y NAME --out model.pmc
+//   pmcorr run      --model model.pmc --trace trace.csv --threshold 0.5
+//   pmcorr inspect  --model model.pmc
+//
+// Measurement names follow the trace CSV header (MetricKind@hostname).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pmcorr.h"
+
+namespace {
+
+using namespace pmcorr;
+
+// --------------------------------------------------------------------
+// Minimal --flag value parsing.
+// --------------------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        throw std::runtime_error("expected --flag value, got '" + key + "'");
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::runtime_error("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+  std::string GetOr(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  long long GetInt(const std::string& key, long long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    long long out = 0;
+    if (!ParseInt64(it->second, &out)) {
+      throw std::runtime_error("flag --" + key + " wants an integer");
+    }
+    return out;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    double out = 0.0;
+    if (!ParseDouble(it->second, &out)) {
+      throw std::runtime_error("flag --" + key + " wants a number");
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+MeasurementId ResolveMeasurement(const MeasurementFrame& frame,
+                                 const std::string& name) {
+  if (const auto id = frame.FindByName(name)) return *id;
+  // Accept a bare index too.
+  long long index = 0;
+  if (ParseInt64(name, &index) && index >= 0 &&
+      static_cast<std::size_t>(index) < frame.MeasurementCount()) {
+    return MeasurementId(static_cast<std::int32_t>(index));
+  }
+  std::string message = "unknown measurement '" + name + "'; available:";
+  for (const auto& info : frame.Infos()) message += "\n  " + info.name;
+  throw std::runtime_error(message);
+}
+
+// --------------------------------------------------------------------
+// Commands.
+// --------------------------------------------------------------------
+
+int CmdGenerate(const Flags& flags) {
+  ScenarioConfig config;
+  config.machine_count =
+      static_cast<std::size_t>(flags.GetInt("machines", 12));
+  config.trace_days = static_cast<int>(flags.GetInt("days", 16));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2008));
+  const std::string group = flags.GetOr("group", "A");
+  if (group.size() != 1 || group[0] < 'A' || group[0] > 'C') {
+    throw std::runtime_error("--group must be A, B or C");
+  }
+  const PaperScenario scenario = MakeGroupScenario(group[0], config);
+  const MeasurementFrame frame = GenerateTrace(scenario.spec);
+  const std::string out = flags.Get("out");
+  WriteFrameCsv(frame, out);
+  std::printf("wrote %zu measurements x %zu samples to %s\n",
+              frame.MeasurementCount(), frame.SampleCount(), out.c_str());
+  std::printf("focus pair: %s  x  %s\n", scenario.focus_x.c_str(),
+              scenario.focus_y.c_str());
+  std::printf("ground-truth fault: machine %d, %s .. %s\n",
+              scenario.problem_machine.value,
+              FormatTimePoint(scenario.problem_start).c_str(),
+              FormatTimePoint(scenario.problem_end).c_str());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  const MeasurementFrame frame = ReadFrameCsv(flags.Get("trace"));
+  const MeasurementId x = ResolveMeasurement(frame, flags.Get("x"));
+  const MeasurementId y = ResolveMeasurement(frame, flags.Get("y"));
+
+  const auto train_days = flags.GetInt("train-days", 0);
+  const MeasurementFrame train =
+      train_days > 0
+          ? frame.SliceByTime(frame.StartTime(),
+                              frame.StartTime() + train_days * kDay)
+          : frame;
+
+  ModelConfig config;
+  config.partition.units =
+      static_cast<std::size_t>(flags.GetInt("units", 50));
+  config.partition.max_intervals =
+      static_cast<std::size_t>(flags.GetInt("max-intervals", 14));
+  PairModel model = PairModel::Learn(train.Series(x).Values(),
+                                     train.Series(y).Values(), config);
+
+  // Optional threshold calibration on the last training day.
+  const double fpr = flags.GetDouble("calibrate-fpr", 0.0);
+  if (fpr > 0.0) {
+    const TimePoint last_day = train.TimeAt(train.SampleCount() - 1) - kDay;
+    const MeasurementFrame holdout =
+        train.SliceByTime(last_day, train.TimeAt(train.SampleCount()));
+    const auto calibration =
+        CalibrateOnHoldout(model, holdout.Series(x).Values(),
+                           holdout.Series(y).Values(), fpr);
+    model.SetAlarmThresholds(calibration.fitness_threshold,
+                             calibration.delta);
+    std::printf("calibrated: fitness threshold %.4f, delta %.6f (target"
+                " fpr %.2f%%)\n",
+                calibration.fitness_threshold, calibration.delta,
+                fpr * 100.0);
+  }
+
+  const std::string out = flags.Get("out");
+  SavePairModel(model, out);
+  std::printf("trained on %zu samples: %s -> %s\n", train.SampleCount(),
+              model.Grid().Describe().c_str(), out.c_str());
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  PairModel model = LoadPairModel(flags.Get("model"));
+  const MeasurementFrame frame = ReadFrameCsv(flags.Get("trace"));
+  const MeasurementId x = ResolveMeasurement(frame, flags.Get("x"));
+  const MeasurementId y = ResolveMeasurement(frame, flags.Get("y"));
+
+  const auto from_day = flags.GetInt("from-day", 0);
+  const MeasurementFrame test =
+      from_day > 0 ? frame.SliceByTime(frame.StartTime() + from_day * kDay,
+                                       frame.TimeAt(frame.SampleCount()))
+                   : frame;
+  const double threshold = flags.GetDouble("threshold", 0.5);
+
+  std::vector<std::optional<double>> scores(test.SampleCount());
+  ScoreAverager average;
+  std::size_t outliers = 0;
+  for (std::size_t t = 0; t < test.SampleCount(); ++t) {
+    const StepOutcome out = model.Step(test.Value(x, t), test.Value(y, t));
+    if (out.has_score) {
+      scores[t] = out.fitness;
+      average.Add(out.fitness);
+    }
+    if (out.outlier) ++outliers;
+  }
+
+  SparklineOptions spark;
+  spark.width = 72;
+  spark.lo = 0.0;
+  spark.hi = 1.0;
+  std::printf("fitness over %zu samples (avg %.4f, %zu outliers):\n%s\n",
+              test.SampleCount(), average.Mean(), outliers,
+              Sparkline(std::span<const std::optional<double>>(scores), spark)
+                  .c_str());
+
+  const auto windows = ExtractLowScoreWindows(
+      std::span<const std::optional<double>>(scores), test.StartTime(),
+      test.Period(), threshold);
+  std::printf("%zu low-fitness windows (Q < %.2f):\n", windows.size(),
+              threshold);
+  for (const auto& w : windows) {
+    std::printf("  %s .. %s  min Q = %.3f\n",
+                FormatTimePoint(w.start).c_str(),
+                FormatTimePoint(w.end).c_str(), w.min_score);
+  }
+  return 0;
+}
+
+int CmdMonitor(const Flags& flags) {
+  const MeasurementFrame frame = ReadFrameCsv(flags.Get("trace"));
+  const auto train_days = flags.GetInt("train-days", 0);
+  if (train_days <= 0) {
+    throw std::runtime_error("--train-days must be positive");
+  }
+  const TimePoint split = frame.StartTime() + train_days * kDay;
+  const MeasurementFrame train = frame.SliceByTime(frame.StartTime(), split);
+  const MeasurementFrame test =
+      frame.SliceByTime(split, frame.TimeAt(frame.SampleCount()));
+  if (train.SampleCount() < 2 || test.SampleCount() == 0) {
+    throw std::runtime_error("not enough samples on either side of the"
+                             " train/test split");
+  }
+
+  // Graph policy: machine cliques + remote partners, or data-driven.
+  const std::string policy = flags.GetOr("graph", "neighborhood");
+  MeasurementGraph graph;
+  if (policy == "neighborhood") {
+    graph = MeasurementGraph::Neighborhood(
+        train, static_cast<std::size_t>(flags.GetInt("partners", 2)), 7);
+  } else if (policy == "association") {
+    graph = MeasurementGraph::ByAssociation(
+        train, flags.GetDouble("min-spearman", 0.6),
+        static_cast<std::size_t>(flags.GetInt("partners", 3)));
+  } else if (policy == "full") {
+    graph = MeasurementGraph::FullMesh(train.MeasurementCount());
+  } else {
+    throw std::runtime_error("--graph must be neighborhood|association|full");
+  }
+
+  MonitorConfig config;
+  SystemMonitor monitor(train, graph, config);
+  std::printf("trained %zu pair models on %zu samples (%zu measurements)\n",
+              graph.PairCount(), train.SampleCount(),
+              train.MeasurementCount());
+
+  const auto snapshots = monitor.Run(test);
+  std::vector<std::optional<double>> q;
+  q.reserve(snapshots.size());
+  for (const auto& snap : snapshots) q.push_back(snap.system_score);
+
+  SparklineOptions spark;
+  spark.width = 72;
+  std::printf("system fitness Q over %zu test samples (avg %.4f):\n%s\n",
+              test.SampleCount(), monitor.SystemAverage().Mean(),
+              Sparkline(std::span<const std::optional<double>>(q), spark)
+                  .c_str());
+
+  const double threshold = flags.GetDouble("threshold", 0.9);
+  const auto windows = ExtractLowScoreWindows(
+      std::span<const std::optional<double>>(q), test.StartTime(),
+      test.Period(), threshold, 2);
+  std::printf("%zu low-Q windows (Q < %.2f for >= 2 samples)\n",
+              windows.size(), threshold);
+  for (const auto& w : windows) {
+    const DrilldownReport report = BuildDrilldown(
+        monitor, snapshots, test, w.first_sample, w.last_sample);
+    std::printf("\n%s .. %s (min Q %.3f)\n%s",
+                FormatTimePoint(w.start).c_str(),
+                FormatTimePoint(w.end).c_str(), w.min_score,
+                report.ToString().c_str());
+  }
+
+  LocalizerConfig loc;
+  loc.deviations = 2.0;
+  const auto report =
+      Localize(monitor.Infos(), monitor.MeasurementAverages(), loc);
+  std::printf("\nmachine ranking (worst 3):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, report.ranking.size());
+       ++i) {
+    std::printf("  #%zu machine %-3d avg Q = %.4f\n", i + 1,
+                report.ranking[i].machine.value, report.ranking[i].score);
+  }
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  const PairModel model = LoadPairModel(flags.Get("model"));
+  std::printf("grid: %s\n", model.Grid().Describe().c_str());
+  std::printf("kernel: %s\n", model.Kernel().Describe().c_str());
+  std::printf("observed transitions: %zu\n",
+              static_cast<std::size_t>(model.Matrix().ObservedCount()));
+  std::printf("alarm bounds: fitness < %.4f, probability < %.6f\n",
+              model.Config().fitness_alarm_threshold, model.Config().delta);
+  std::printf("dim1 intervals: %s\n", model.Grid().Dim1().ToString().c_str());
+  std::printf("dim2 intervals: %s\n", model.Grid().Dim2().ToString().c_str());
+
+  // The busiest source cells and their modal destinations.
+  std::printf("busiest transitions:\n");
+  struct Hot {
+    std::size_t from, to;
+    std::uint64_t count;
+  };
+  std::vector<Hot> hot;
+  for (std::size_t i = 0; i < model.Matrix().CellCount(); ++i) {
+    for (std::size_t j = 0; j < model.Matrix().CellCount(); ++j) {
+      const std::uint64_t c = model.Matrix().CountOf(i, j);
+      if (c > 0) hot.push_back({i, j, c});
+    }
+  }
+  std::sort(hot.begin(), hot.end(),
+            [](const Hot& a, const Hot& b) { return a.count > b.count; });
+  for (std::size_t k = 0; k < std::min<std::size_t>(5, hot.size()); ++k) {
+    const Interval d1 = model.Grid().CellIntervalDim1(hot[k].from);
+    const Interval d2 = model.Grid().CellIntervalDim2(hot[k].from);
+    std::printf("  cell %zu [%.3g,%.3g)x[%.3g,%.3g) -> cell %zu: %llu times"
+                " (p=%.1f%%)\n",
+                hot[k].from, d1.lo, d1.hi, d2.lo, d2.hi, hot[k].to,
+                static_cast<unsigned long long>(hot[k].count),
+                model.Matrix().Probability(hot[k].from, hot[k].to) * 100.0);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pmcorr <command> [--flag value ...]\n"
+      "commands:\n"
+      "  generate --out FILE [--group A|B|C] [--machines N] [--days N]"
+      " [--seed N]\n"
+      "  train    --trace FILE --x NAME --y NAME --out FILE"
+      " [--train-days N]\n"
+      "           [--units N] [--max-intervals N] [--calibrate-fpr F]\n"
+      "  run      --model FILE --trace FILE --x NAME --y NAME\n"
+      "           [--from-day N] [--threshold Q]\n"
+      "  monitor  --trace FILE --train-days N [--graph"
+      " neighborhood|association|full]\n"
+      "           [--partners N] [--min-spearman R] [--threshold Q]\n"
+      "  inspect  --model FILE\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Flags flags(argc, argv, 2);
+    if (command == "generate") return CmdGenerate(flags);
+    if (command == "train") return CmdTrain(flags);
+    if (command == "run") return CmdRun(flags);
+    if (command == "monitor") return CmdMonitor(flags);
+    if (command == "inspect") return CmdInspect(flags);
+    Usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmcorr %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
