@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correlation_shapes.dir/bench_correlation_shapes.cpp.o"
+  "CMakeFiles/bench_correlation_shapes.dir/bench_correlation_shapes.cpp.o.d"
+  "bench_correlation_shapes"
+  "bench_correlation_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correlation_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

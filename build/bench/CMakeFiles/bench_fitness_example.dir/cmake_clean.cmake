@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fitness_example.dir/bench_fitness_example.cpp.o"
+  "CMakeFiles/bench_fitness_example.dir/bench_fitness_example.cpp.o.d"
+  "bench_fitness_example"
+  "bench_fitness_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fitness_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_grid_adaptation.cpp" "bench/CMakeFiles/bench_grid_adaptation.dir/bench_grid_adaptation.cpp.o" "gcc" "bench/CMakeFiles/bench_grid_adaptation.dir/bench_grid_adaptation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pmcorr_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/pmcorr_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pmcorr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pmcorr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pmcorr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmcorr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pmcorr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/pmcorr_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmcorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grid_resolution.dir/bench_grid_resolution.cpp.o"
+  "CMakeFiles/bench_grid_resolution.dir/bench_grid_resolution.cpp.o.d"
+  "bench_grid_resolution"
+  "bench_grid_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grid_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

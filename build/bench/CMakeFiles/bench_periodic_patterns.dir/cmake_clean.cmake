@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_periodic_patterns.dir/bench_periodic_patterns.cpp.o"
+  "CMakeFiles/bench_periodic_patterns.dir/bench_periodic_patterns.cpp.o.d"
+  "bench_periodic_patterns"
+  "bench_periodic_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_periodic_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

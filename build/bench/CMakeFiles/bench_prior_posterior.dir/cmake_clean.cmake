@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prior_posterior.dir/bench_prior_posterior.cpp.o"
+  "CMakeFiles/bench_prior_posterior.dir/bench_prior_posterior.cpp.o.d"
+  "bench_prior_posterior"
+  "bench_prior_posterior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prior_posterior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

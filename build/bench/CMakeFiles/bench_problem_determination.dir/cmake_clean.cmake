@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_problem_determination.dir/bench_problem_determination.cpp.o"
+  "CMakeFiles/bench_problem_determination.dir/bench_problem_determination.cpp.o.d"
+  "bench_problem_determination"
+  "bench_problem_determination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_problem_determination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_system_detectors.dir/bench_system_detectors.cpp.o"
+  "CMakeFiles/bench_system_detectors.dir/bench_system_detectors.cpp.o.d"
+  "bench_system_detectors"
+  "bench_system_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_system_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

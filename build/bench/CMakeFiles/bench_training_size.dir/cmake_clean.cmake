@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_training_size.dir/bench_training_size.cpp.o"
+  "CMakeFiles/bench_training_size.dir/bench_training_size.cpp.o.d"
+  "bench_training_size"
+  "bench_training_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_training_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

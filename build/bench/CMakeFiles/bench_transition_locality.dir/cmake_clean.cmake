@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transition_locality.dir/bench_transition_locality.cpp.o"
+  "CMakeFiles/bench_transition_locality.dir/bench_transition_locality.cpp.o.d"
+  "bench_transition_locality"
+  "bench_transition_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transition_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_updating_time.dir/bench_updating_time.cpp.o"
+  "CMakeFiles/bench_updating_time.dir/bench_updating_time.cpp.o.d"
+  "bench_updating_time"
+  "bench_updating_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_updating_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpmcorr_bench_util.a"
+  "../lib/libpmcorr_bench_util.pdb"
+  "CMakeFiles/pmcorr_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/pmcorr_bench_util.dir/bench_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpmcorr_bench_util.a"
+)

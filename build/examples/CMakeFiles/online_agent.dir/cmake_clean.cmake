@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_agent.dir/online_agent.cpp.o"
+  "CMakeFiles/online_agent.dir/online_agent.cpp.o.d"
+  "online_agent"
+  "online_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

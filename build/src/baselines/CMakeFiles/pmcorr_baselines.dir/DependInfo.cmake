@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ewma.cpp" "src/baselines/CMakeFiles/pmcorr_baselines.dir/ewma.cpp.o" "gcc" "src/baselines/CMakeFiles/pmcorr_baselines.dir/ewma.cpp.o.d"
+  "/root/repo/src/baselines/gmm.cpp" "src/baselines/CMakeFiles/pmcorr_baselines.dir/gmm.cpp.o" "gcc" "src/baselines/CMakeFiles/pmcorr_baselines.dir/gmm.cpp.o.d"
+  "/root/repo/src/baselines/linear_invariant.cpp" "src/baselines/CMakeFiles/pmcorr_baselines.dir/linear_invariant.cpp.o" "gcc" "src/baselines/CMakeFiles/pmcorr_baselines.dir/linear_invariant.cpp.o.d"
+  "/root/repo/src/baselines/static_density.cpp" "src/baselines/CMakeFiles/pmcorr_baselines.dir/static_density.cpp.o" "gcc" "src/baselines/CMakeFiles/pmcorr_baselines.dir/static_density.cpp.o.d"
+  "/root/repo/src/baselines/subspace.cpp" "src/baselines/CMakeFiles/pmcorr_baselines.dir/subspace.cpp.o" "gcc" "src/baselines/CMakeFiles/pmcorr_baselines.dir/subspace.cpp.o.d"
+  "/root/repo/src/baselines/zscore.cpp" "src/baselines/CMakeFiles/pmcorr_baselines.dir/zscore.cpp.o" "gcc" "src/baselines/CMakeFiles/pmcorr_baselines.dir/zscore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/pmcorr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/pmcorr_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmcorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcorr_baselines.dir/ewma.cpp.o"
+  "CMakeFiles/pmcorr_baselines.dir/ewma.cpp.o.d"
+  "CMakeFiles/pmcorr_baselines.dir/gmm.cpp.o"
+  "CMakeFiles/pmcorr_baselines.dir/gmm.cpp.o.d"
+  "CMakeFiles/pmcorr_baselines.dir/linear_invariant.cpp.o"
+  "CMakeFiles/pmcorr_baselines.dir/linear_invariant.cpp.o.d"
+  "CMakeFiles/pmcorr_baselines.dir/static_density.cpp.o"
+  "CMakeFiles/pmcorr_baselines.dir/static_density.cpp.o.d"
+  "CMakeFiles/pmcorr_baselines.dir/subspace.cpp.o"
+  "CMakeFiles/pmcorr_baselines.dir/subspace.cpp.o.d"
+  "CMakeFiles/pmcorr_baselines.dir/zscore.cpp.o"
+  "CMakeFiles/pmcorr_baselines.dir/zscore.cpp.o.d"
+  "libpmcorr_baselines.a"
+  "libpmcorr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcorr_common.dir/logging.cpp.o"
+  "CMakeFiles/pmcorr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pmcorr_common.dir/rng.cpp.o"
+  "CMakeFiles/pmcorr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pmcorr_common.dir/sparkline.cpp.o"
+  "CMakeFiles/pmcorr_common.dir/sparkline.cpp.o.d"
+  "CMakeFiles/pmcorr_common.dir/stats.cpp.o"
+  "CMakeFiles/pmcorr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pmcorr_common.dir/string_util.cpp.o"
+  "CMakeFiles/pmcorr_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/pmcorr_common.dir/table.cpp.o"
+  "CMakeFiles/pmcorr_common.dir/table.cpp.o.d"
+  "CMakeFiles/pmcorr_common.dir/time.cpp.o"
+  "CMakeFiles/pmcorr_common.dir/time.cpp.o.d"
+  "CMakeFiles/pmcorr_common.dir/types.cpp.o"
+  "CMakeFiles/pmcorr_common.dir/types.cpp.o.d"
+  "libpmcorr_common.a"
+  "libpmcorr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/pmcorr_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/pmcorr_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/fitness.cpp" "src/core/CMakeFiles/pmcorr_core.dir/fitness.cpp.o" "gcc" "src/core/CMakeFiles/pmcorr_core.dir/fitness.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/pmcorr_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/pmcorr_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/time_conditioned.cpp" "src/core/CMakeFiles/pmcorr_core.dir/time_conditioned.cpp.o" "gcc" "src/core/CMakeFiles/pmcorr_core.dir/time_conditioned.cpp.o.d"
+  "/root/repo/src/core/transition_matrix.cpp" "src/core/CMakeFiles/pmcorr_core.dir/transition_matrix.cpp.o" "gcc" "src/core/CMakeFiles/pmcorr_core.dir/transition_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/pmcorr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmcorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcorr_core.dir/calibration.cpp.o"
+  "CMakeFiles/pmcorr_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/pmcorr_core.dir/fitness.cpp.o"
+  "CMakeFiles/pmcorr_core.dir/fitness.cpp.o.d"
+  "CMakeFiles/pmcorr_core.dir/model.cpp.o"
+  "CMakeFiles/pmcorr_core.dir/model.cpp.o.d"
+  "CMakeFiles/pmcorr_core.dir/time_conditioned.cpp.o"
+  "CMakeFiles/pmcorr_core.dir/time_conditioned.cpp.o.d"
+  "CMakeFiles/pmcorr_core.dir/transition_matrix.cpp.o"
+  "CMakeFiles/pmcorr_core.dir/transition_matrix.cpp.o.d"
+  "libpmcorr_core.a"
+  "libpmcorr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/alarm.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/alarm.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/alarm.cpp.o.d"
+  "/root/repo/src/engine/assembler.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/assembler.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/assembler.cpp.o.d"
+  "/root/repo/src/engine/drilldown.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/drilldown.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/drilldown.cpp.o.d"
+  "/root/repo/src/engine/evaluation.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/evaluation.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/evaluation.cpp.o.d"
+  "/root/repo/src/engine/incident.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/incident.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/incident.cpp.o.d"
+  "/root/repo/src/engine/localizer.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/localizer.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/localizer.cpp.o.d"
+  "/root/repo/src/engine/measurement_graph.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/measurement_graph.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/measurement_graph.cpp.o.d"
+  "/root/repo/src/engine/monitor.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/monitor.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/monitor.cpp.o.d"
+  "/root/repo/src/engine/retrainer.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/retrainer.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/retrainer.cpp.o.d"
+  "/root/repo/src/engine/thread_pool.cpp" "src/engine/CMakeFiles/pmcorr_engine.dir/thread_pool.cpp.o" "gcc" "src/engine/CMakeFiles/pmcorr_engine.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmcorr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/pmcorr_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmcorr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pmcorr_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcorr_engine.dir/alarm.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/alarm.cpp.o.d"
+  "CMakeFiles/pmcorr_engine.dir/assembler.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/assembler.cpp.o.d"
+  "CMakeFiles/pmcorr_engine.dir/drilldown.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/drilldown.cpp.o.d"
+  "CMakeFiles/pmcorr_engine.dir/evaluation.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/evaluation.cpp.o.d"
+  "CMakeFiles/pmcorr_engine.dir/incident.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/incident.cpp.o.d"
+  "CMakeFiles/pmcorr_engine.dir/localizer.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/localizer.cpp.o.d"
+  "CMakeFiles/pmcorr_engine.dir/measurement_graph.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/measurement_graph.cpp.o.d"
+  "CMakeFiles/pmcorr_engine.dir/monitor.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/monitor.cpp.o.d"
+  "CMakeFiles/pmcorr_engine.dir/retrainer.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/retrainer.cpp.o.d"
+  "CMakeFiles/pmcorr_engine.dir/thread_pool.cpp.o"
+  "CMakeFiles/pmcorr_engine.dir/thread_pool.cpp.o.d"
+  "libpmcorr_engine.a"
+  "libpmcorr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/pmcorr_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/pmcorr_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/interval.cpp" "src/grid/CMakeFiles/pmcorr_grid.dir/interval.cpp.o" "gcc" "src/grid/CMakeFiles/pmcorr_grid.dir/interval.cpp.o.d"
+  "/root/repo/src/grid/kernels.cpp" "src/grid/CMakeFiles/pmcorr_grid.dir/kernels.cpp.o" "gcc" "src/grid/CMakeFiles/pmcorr_grid.dir/kernels.cpp.o.d"
+  "/root/repo/src/grid/partitioner.cpp" "src/grid/CMakeFiles/pmcorr_grid.dir/partitioner.cpp.o" "gcc" "src/grid/CMakeFiles/pmcorr_grid.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmcorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

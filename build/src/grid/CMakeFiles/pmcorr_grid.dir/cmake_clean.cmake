@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcorr_grid.dir/grid.cpp.o"
+  "CMakeFiles/pmcorr_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/pmcorr_grid.dir/interval.cpp.o"
+  "CMakeFiles/pmcorr_grid.dir/interval.cpp.o.d"
+  "CMakeFiles/pmcorr_grid.dir/kernels.cpp.o"
+  "CMakeFiles/pmcorr_grid.dir/kernels.cpp.o.d"
+  "CMakeFiles/pmcorr_grid.dir/partitioner.cpp.o"
+  "CMakeFiles/pmcorr_grid.dir/partitioner.cpp.o.d"
+  "libpmcorr_grid.a"
+  "libpmcorr_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/pmcorr_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/pmcorr_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/jsonl.cpp" "src/io/CMakeFiles/pmcorr_io.dir/jsonl.cpp.o" "gcc" "src/io/CMakeFiles/pmcorr_io.dir/jsonl.cpp.o.d"
+  "/root/repo/src/io/model_io.cpp" "src/io/CMakeFiles/pmcorr_io.dir/model_io.cpp.o" "gcc" "src/io/CMakeFiles/pmcorr_io.dir/model_io.cpp.o.d"
+  "/root/repo/src/io/monitor_io.cpp" "src/io/CMakeFiles/pmcorr_io.dir/monitor_io.cpp.o" "gcc" "src/io/CMakeFiles/pmcorr_io.dir/monitor_io.cpp.o.d"
+  "/root/repo/src/io/report.cpp" "src/io/CMakeFiles/pmcorr_io.dir/report.cpp.o" "gcc" "src/io/CMakeFiles/pmcorr_io.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pmcorr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmcorr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/pmcorr_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmcorr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pmcorr_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

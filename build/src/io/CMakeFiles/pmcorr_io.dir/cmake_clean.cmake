@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcorr_io.dir/csv.cpp.o"
+  "CMakeFiles/pmcorr_io.dir/csv.cpp.o.d"
+  "CMakeFiles/pmcorr_io.dir/jsonl.cpp.o"
+  "CMakeFiles/pmcorr_io.dir/jsonl.cpp.o.d"
+  "CMakeFiles/pmcorr_io.dir/model_io.cpp.o"
+  "CMakeFiles/pmcorr_io.dir/model_io.cpp.o.d"
+  "CMakeFiles/pmcorr_io.dir/monitor_io.cpp.o"
+  "CMakeFiles/pmcorr_io.dir/monitor_io.cpp.o.d"
+  "CMakeFiles/pmcorr_io.dir/report.cpp.o"
+  "CMakeFiles/pmcorr_io.dir/report.cpp.o.d"
+  "libpmcorr_io.a"
+  "libpmcorr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

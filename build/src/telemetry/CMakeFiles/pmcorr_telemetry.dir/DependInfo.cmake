@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/faults.cpp" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/faults.cpp.o" "gcc" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/faults.cpp.o.d"
+  "/root/repo/src/telemetry/generator.cpp" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/generator.cpp.o" "gcc" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/generator.cpp.o.d"
+  "/root/repo/src/telemetry/queueing.cpp" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/queueing.cpp.o" "gcc" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/queueing.cpp.o.d"
+  "/root/repo/src/telemetry/response.cpp" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/response.cpp.o" "gcc" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/response.cpp.o.d"
+  "/root/repo/src/telemetry/scenarios.cpp" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/scenarios.cpp.o" "gcc" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/scenarios.cpp.o.d"
+  "/root/repo/src/telemetry/topology.cpp" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/topology.cpp.o" "gcc" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/topology.cpp.o.d"
+  "/root/repo/src/telemetry/workload.cpp" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/workload.cpp.o" "gcc" "src/telemetry/CMakeFiles/pmcorr_telemetry.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/pmcorr_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmcorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

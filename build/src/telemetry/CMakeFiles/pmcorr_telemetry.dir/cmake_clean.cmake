@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcorr_telemetry.dir/faults.cpp.o"
+  "CMakeFiles/pmcorr_telemetry.dir/faults.cpp.o.d"
+  "CMakeFiles/pmcorr_telemetry.dir/generator.cpp.o"
+  "CMakeFiles/pmcorr_telemetry.dir/generator.cpp.o.d"
+  "CMakeFiles/pmcorr_telemetry.dir/queueing.cpp.o"
+  "CMakeFiles/pmcorr_telemetry.dir/queueing.cpp.o.d"
+  "CMakeFiles/pmcorr_telemetry.dir/response.cpp.o"
+  "CMakeFiles/pmcorr_telemetry.dir/response.cpp.o.d"
+  "CMakeFiles/pmcorr_telemetry.dir/scenarios.cpp.o"
+  "CMakeFiles/pmcorr_telemetry.dir/scenarios.cpp.o.d"
+  "CMakeFiles/pmcorr_telemetry.dir/topology.cpp.o"
+  "CMakeFiles/pmcorr_telemetry.dir/topology.cpp.o.d"
+  "CMakeFiles/pmcorr_telemetry.dir/workload.cpp.o"
+  "CMakeFiles/pmcorr_telemetry.dir/workload.cpp.o.d"
+  "libpmcorr_telemetry.a"
+  "libpmcorr_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmcorr_telemetry.a"
+)

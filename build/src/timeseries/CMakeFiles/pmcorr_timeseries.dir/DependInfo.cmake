@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/frame.cpp" "src/timeseries/CMakeFiles/pmcorr_timeseries.dir/frame.cpp.o" "gcc" "src/timeseries/CMakeFiles/pmcorr_timeseries.dir/frame.cpp.o.d"
+  "/root/repo/src/timeseries/resample.cpp" "src/timeseries/CMakeFiles/pmcorr_timeseries.dir/resample.cpp.o" "gcc" "src/timeseries/CMakeFiles/pmcorr_timeseries.dir/resample.cpp.o.d"
+  "/root/repo/src/timeseries/series.cpp" "src/timeseries/CMakeFiles/pmcorr_timeseries.dir/series.cpp.o" "gcc" "src/timeseries/CMakeFiles/pmcorr_timeseries.dir/series.cpp.o.d"
+  "/root/repo/src/timeseries/summary.cpp" "src/timeseries/CMakeFiles/pmcorr_timeseries.dir/summary.cpp.o" "gcc" "src/timeseries/CMakeFiles/pmcorr_timeseries.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmcorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

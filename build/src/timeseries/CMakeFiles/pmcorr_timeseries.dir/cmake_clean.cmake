@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcorr_timeseries.dir/frame.cpp.o"
+  "CMakeFiles/pmcorr_timeseries.dir/frame.cpp.o.d"
+  "CMakeFiles/pmcorr_timeseries.dir/resample.cpp.o"
+  "CMakeFiles/pmcorr_timeseries.dir/resample.cpp.o.d"
+  "CMakeFiles/pmcorr_timeseries.dir/series.cpp.o"
+  "CMakeFiles/pmcorr_timeseries.dir/series.cpp.o.d"
+  "CMakeFiles/pmcorr_timeseries.dir/summary.cpp.o"
+  "CMakeFiles/pmcorr_timeseries.dir/summary.cpp.o.d"
+  "libpmcorr_timeseries.a"
+  "libpmcorr_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

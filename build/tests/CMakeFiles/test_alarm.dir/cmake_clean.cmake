@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alarm.dir/test_alarm.cpp.o"
+  "CMakeFiles/test_alarm.dir/test_alarm.cpp.o.d"
+  "test_alarm"
+  "test_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drilldown.dir/test_drilldown.cpp.o"
+  "CMakeFiles/test_drilldown.dir/test_drilldown.cpp.o.d"
+  "test_drilldown"
+  "test_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incident.dir/test_incident.cpp.o"
+  "CMakeFiles/test_incident.dir/test_incident.cpp.o.d"
+  "test_incident"
+  "test_incident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_localizer.dir/test_localizer.cpp.o"
+  "CMakeFiles/test_localizer.dir/test_localizer.cpp.o.d"
+  "test_localizer"
+  "test_localizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_localizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

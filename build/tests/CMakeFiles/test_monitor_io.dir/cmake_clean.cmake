@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_io.dir/test_monitor_io.cpp.o"
+  "CMakeFiles/test_monitor_io.dir/test_monitor_io.cpp.o.d"
+  "test_monitor_io"
+  "test_monitor_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties2.dir/test_properties2.cpp.o"
+  "CMakeFiles/test_properties2.dir/test_properties2.cpp.o.d"
+  "test_properties2"
+  "test_properties2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

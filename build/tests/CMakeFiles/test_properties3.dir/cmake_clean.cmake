@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties3.dir/test_properties3.cpp.o"
+  "CMakeFiles/test_properties3.dir/test_properties3.cpp.o.d"
+  "test_properties3"
+  "test_properties3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retrainer.dir/test_retrainer.cpp.o"
+  "CMakeFiles/test_retrainer.dir/test_retrainer.cpp.o.d"
+  "test_retrainer"
+  "test_retrainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retrainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparkline.dir/test_sparkline.cpp.o"
+  "CMakeFiles/test_sparkline.dir/test_sparkline.cpp.o.d"
+  "test_sparkline"
+  "test_sparkline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparkline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

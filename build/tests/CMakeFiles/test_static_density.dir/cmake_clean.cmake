@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_density.dir/test_static_density.cpp.o"
+  "CMakeFiles/test_static_density.dir/test_static_density.cpp.o.d"
+  "test_static_density"
+  "test_static_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

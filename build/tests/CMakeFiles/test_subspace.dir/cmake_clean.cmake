@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subspace.dir/test_subspace.cpp.o"
+  "CMakeFiles/test_subspace.dir/test_subspace.cpp.o.d"
+  "test_subspace"
+  "test_subspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

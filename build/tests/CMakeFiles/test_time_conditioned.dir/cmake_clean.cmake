@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_conditioned.dir/test_time_conditioned.cpp.o"
+  "CMakeFiles/test_time_conditioned.dir/test_time_conditioned.cpp.o.d"
+  "test_time_conditioned"
+  "test_time_conditioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_conditioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

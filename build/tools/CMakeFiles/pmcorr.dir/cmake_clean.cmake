@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcorr.dir/pmcorr_cli.cpp.o"
+  "CMakeFiles/pmcorr.dir/pmcorr_cli.cpp.o.d"
+  "pmcorr"
+  "pmcorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_roundtrip "bash" "-c" "    set -e;     dir=\$(mktemp -d); trap 'rm -rf \"\$dir\"' EXIT;     /root/repo/build/tools/pmcorr generate --group B --machines 8 --days 8         --out \"\$dir/trace.csv\";     pair_x=\$(grep -m1 'IfOutOctetsRate_PORT@' \"\$dir/trace.csv\" | cut -d, -f4);     pair_y=\$(grep -m1 'IfInOctetsRate_PORT@' \"\$dir/trace.csv\" | cut -d, -f4);     /root/repo/build/tools/pmcorr train --trace \"\$dir/trace.csv\"         --x \"\$pair_x\" --y \"\$pair_y\" --train-days 6 --calibrate-fpr 0.02         --out \"\$dir/model.pmc\";     /root/repo/build/tools/pmcorr run --model \"\$dir/model.pmc\"         --trace \"\$dir/trace.csv\" --x \"\$pair_x\" --y \"\$pair_y\"         --from-day 6 --threshold 0.5;     /root/repo/build/tools/pmcorr inspect --model \"\$dir/model.pmc\" |         grep -q 'observed transitions'")
+set_tests_properties(cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_monitor "bash" "-c" "    set -e;     dir=\$(mktemp -d); trap 'rm -rf \"\$dir\"' EXIT;     /root/repo/build/tools/pmcorr generate --group A --machines 6 --days 10         --out \"\$dir/trace.csv\";     /root/repo/build/tools/pmcorr monitor --trace \"\$dir/trace.csv\"         --train-days 8 --graph neighborhood --partners 1 |         grep -q 'machine ranking'")
+set_tests_properties(cli_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_errors "bash" "-c" "    ! /root/repo/build/tools/pmcorr 2>/dev/null;     ! /root/repo/build/tools/pmcorr bogus --x 1 2>/dev/null;     ! /root/repo/build/tools/pmcorr inspect --model /nonexistent.pmc 2>/dev/null")
+set_tests_properties(cli_usage_errors PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;37;add_test;/root/repo/tools/CMakeLists.txt;0;")
