@@ -10,9 +10,14 @@
 // initialized from 1, 8 and 15 days of history.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "engine/monitor.h"
+#include "io/monitor_io.h"
 #include "telemetry/generator.h"
 
 namespace {
@@ -101,6 +106,108 @@ void BM_ProcessTestSet(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * points));
 }
 BENCHMARK(BM_ProcessTestSet)->Arg(1)->Arg(8)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Whole-system engine: serial Step loop vs pair-major batched Run. ---
+//
+// The per-pair numbers above bound one model; a production monitor
+// drives hundreds of pair models per sample. The serial path pays a
+// thread-pool fork/join barrier per sample; batched Run pays one per
+// ~thousand samples, so the gap below is the cost of those barriers.
+//
+// Both benchmarks use real (wall) time for iteration policy and the
+// reported rate — most of the work happens on pool threads, so the
+// default main-thread CPU clock would wildly overstate throughput — and
+// process CPU time so the CPU column includes the workers.
+
+struct SystemDataset {
+  MeasurementFrame train{0, kPaperSamplePeriod};
+  MeasurementFrame test{0, kPaperSamplePeriod};
+  MeasurementGraph graph;
+};
+
+const SystemDataset& SharedSystemDataset() {
+  static const SystemDataset dataset = [] {
+    ScenarioConfig config;
+    config.machine_count = 10;
+    config.trace_days = 18;
+    config.localization_fault = false;
+    const PaperScenario scenario = MakeGroupScenario('A', config);
+    const MeasurementFrame frame = GenerateTrace(scenario.spec);
+    SystemDataset d;
+    const TimePoint start = PaperTraceStart();
+    d.train = frame.SliceByTime(start, start + 15 * kDay);
+    d.test = frame.SliceByTime(start + 15 * kDay, start + 17 * kDay);
+    d.graph = MeasurementGraph::FullMesh(d.train.MeasurementCount());
+    return d;
+  }();
+  return dataset;
+}
+
+// The learned engine state, serialized once; every benchmark iteration
+// restores from it so adaptation (grid extensions, matrix growth) during
+// one iteration cannot change what the next iteration measures.
+const std::string& SystemCheckpoint() {
+  static const std::string checkpoint = [] {
+    const SystemDataset& d = SharedSystemDataset();
+    MonitorConfig config;
+    config.model = DefaultModelConfig();
+    config.model.partition.max_intervals = 12;
+    const SystemMonitor monitor(d.train, d.graph, config);
+    std::ostringstream out;
+    SaveSystemMonitor(monitor, out);
+    return out.str();
+  }();
+  return checkpoint;
+}
+
+std::unique_ptr<SystemMonitor> RestoreSystemMonitor(std::size_t threads) {
+  std::istringstream in(SystemCheckpoint());
+  return LoadSystemMonitor(in, threads);
+}
+
+// The pre-batching engine: one fork/join per sample via Step().
+void BM_MonitorStepLoop(benchmark::State& state) {
+  const SystemDataset& d = SharedSystemDataset();
+  std::vector<double> values(d.test.MeasurementCount());
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto monitor =
+        RestoreSystemMonitor(static_cast<std::size_t>(state.range(0)));
+    state.ResumeTiming();
+    for (std::size_t t = 0; t < d.test.SampleCount(); ++t) {
+      for (std::size_t a = 0; a < values.size(); ++a) {
+        values[a] =
+            d.test.Value(MeasurementId(static_cast<std::int32_t>(a)), t);
+      }
+      benchmark::DoNotOptimize(monitor->Step(values, d.test.TimeAt(t)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * d.test.SampleCount() * d.graph.PairCount()));
+  state.counters["pairs"] = static_cast<double>(d.graph.PairCount());
+}
+BENCHMARK(BM_MonitorStepLoop)->Arg(1)->Arg(2)->Arg(8)
+    ->UseRealTime()->MeasureProcessCPUTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Pair-major batched Run: each worker sweeps its shard of pairs across a
+// whole batch of samples before the deterministic merge.
+void BM_MonitorBatchedRun(benchmark::State& state) {
+  const SystemDataset& d = SharedSystemDataset();
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto monitor =
+        RestoreSystemMonitor(static_cast<std::size_t>(state.range(0)));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(monitor->Run(d.test));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * d.test.SampleCount() * d.graph.PairCount()));
+  state.counters["pairs"] = static_cast<double>(d.graph.PairCount());
+}
+BENCHMARK(BM_MonitorBatchedRun)->Arg(1)->Arg(2)->Arg(8)
+    ->UseRealTime()->MeasureProcessCPUTime()
     ->Unit(benchmark::kMillisecond);
 
 // Model initialization (offline learning) cost for context.

@@ -71,6 +71,23 @@ void AlarmLog::Record(AlarmRecord record) {
   records_.push_back(record);
 }
 
+void AlarmLog::AppendMerged(std::vector<AlarmLog> shards) {
+  const std::size_t first = records_.size();
+  std::size_t total = 0;
+  for (const AlarmLog& shard : shards) total += shard.Count();
+  records_.reserve(first + total);
+  for (AlarmLog& shard : shards) {
+    records_.insert(records_.end(), shard.records_.begin(),
+                    shard.records_.end());
+    shard.records_.clear();
+  }
+  std::sort(records_.begin() + static_cast<std::ptrdiff_t>(first),
+            records_.end(), [](const AlarmRecord& a, const AlarmRecord& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.pair_index < b.pair_index;
+            });
+}
+
 std::size_t AlarmLog::CountForPair(std::size_t pair_index) const {
   return static_cast<std::size_t>(
       std::count_if(records_.begin(), records_.end(),

@@ -59,6 +59,13 @@ class AlarmLog {
  public:
   void Record(AlarmRecord record);
 
+  /// Merges per-shard logs (as produced by a pair-major sweep: each shard
+  /// holds its own pairs' alarms, time-ordered within a pair) into this
+  /// log in (time, pair index) order — the order a sample-major Step loop
+  /// would have recorded them in, since a frame's timestamps are strictly
+  /// increasing. The shard logs are consumed.
+  void AppendMerged(std::vector<AlarmLog> shards);
+
   const std::vector<AlarmRecord>& Records() const { return records_; }
   std::size_t Count() const { return records_.size(); }
 

@@ -14,8 +14,19 @@
 
 #include "common/time.h"
 #include "engine/alarm.h"
+#include "engine/monitor.h"
 
 namespace pmcorr {
+
+/// The per-sample system-score (Q) series of a snapshot stream — the
+/// shape ExtractLowScoreWindows / SweepThresholds consume. Disengaged
+/// samples stay nullopt.
+std::vector<std::optional<double>> SystemScoreSeries(
+    const std::vector<SystemSnapshot>& snapshots);
+
+/// One measurement's Q^a series from a snapshot stream.
+std::vector<std::optional<double>> MeasurementScoreSeries(
+    const std::vector<SystemSnapshot>& snapshots, std::size_t measurement);
 
 /// One ground-truth anomaly interval [start, end).
 struct LabeledWindow {

@@ -1,9 +1,24 @@
 #include "engine/monitor.h"
 
+#include <algorithm>
 #include <cassert>
+#include <span>
 #include <stdexcept>
 
 namespace pmcorr {
+namespace {
+
+// Compact per-(pair, sample) result of a pair-major sweep — only the
+// fields the merge phase needs to assemble snapshots.
+struct SweepCell {
+  double fitness = 0.0;
+  bool has_score = false;
+  bool alarm = false;
+  bool outlier = false;
+  bool extended = false;
+};
+
+}  // namespace
 
 SystemMonitor::SystemMonitor(const MeasurementFrame& history,
                              MeasurementGraph graph, MonitorConfig config)
@@ -52,6 +67,32 @@ SystemMonitor::SystemMonitor(MonitorConfig config, MeasurementGraph graph,
   measurement_avg_.resize(infos_.size());
 }
 
+void SystemMonitor::FinishSnapshot(SystemSnapshot& snap) {
+  // Level 2: Q^a = mean of the engaged pair scores on a's links.
+  snap.measurement_scores.resize(infos_.size());
+  for (std::size_t a = 0; a < infos_.size(); ++a) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t pi :
+         graph_.PairsOf(MeasurementId(static_cast<std::int32_t>(a)))) {
+      if (snap.pair_scores[pi]) {
+        sum += *snap.pair_scores[pi];
+        ++n;
+      }
+    }
+    if (n > 0) {
+      snap.measurement_scores[a] = sum / static_cast<double>(n);
+      measurement_avg_[a].Add(*snap.measurement_scores[a]);
+    }
+  }
+
+  // Level 3: Q = mean of engaged measurement scores.
+  snap.system_score = AggregateScores(snap.measurement_scores);
+  system_avg_.Add(snap.system_score);
+
+  ++steps_;
+}
+
 SystemSnapshot SystemMonitor::Step(std::span<const double> values,
                                    TimePoint tp) {
   if (values.size() != infos_.size()) {
@@ -82,30 +123,19 @@ SystemSnapshot SystemMonitor::Step(std::span<const double> values,
     if (out.extended_grid) ++snap.extended_pairs;
   }
 
-  // Level 2: Q^a = mean of the engaged pair scores on a's links.
-  snap.measurement_scores.resize(infos_.size());
-  for (std::size_t a = 0; a < infos_.size(); ++a) {
-    double sum = 0.0;
-    std::size_t n = 0;
-    for (std::size_t pi :
-         graph_.PairsOf(MeasurementId(static_cast<std::int32_t>(a)))) {
-      if (snap.pair_scores[pi]) {
-        sum += *snap.pair_scores[pi];
-        ++n;
-      }
-    }
-    if (n > 0) {
-      snap.measurement_scores[a] = sum / static_cast<double>(n);
-      measurement_avg_[a].Add(*snap.measurement_scores[a]);
-    }
-  }
-
-  // Level 3: Q = mean of engaged measurement scores.
-  snap.system_score = AggregateScores(snap.measurement_scores);
-  system_avg_.Add(snap.system_score);
-
-  ++steps_;
+  FinishSnapshot(snap);
   return snap;
+}
+
+std::size_t SystemMonitor::BatchSamples(std::size_t pair_count) const {
+  if (config_.batch_samples != 0) return config_.batch_samples;
+  // Auto: bound the sweep buffer (pair_count x batch SweepCells) near
+  // 32 MiB. Large batches amortize the fork/join barrier; the exact size
+  // never changes results.
+  constexpr std::size_t kBufferBytes = 32u << 20;
+  const std::size_t per_sample =
+      std::max<std::size_t>(1, pair_count) * sizeof(SweepCell);
+  return std::max<std::size_t>(1, kBufferBytes / per_sample);
 }
 
 std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
@@ -113,14 +143,76 @@ std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
     throw std::invalid_argument(
         "SystemMonitor::Run: test frame measurement count mismatch");
   }
+  const std::size_t samples = test.SampleCount();
+  const std::size_t pairs = graph_.PairCount();
   std::vector<SystemSnapshot> snapshots;
-  snapshots.reserve(test.SampleCount());
-  std::vector<double> values(infos_.size());
-  for (std::size_t t = 0; t < test.SampleCount(); ++t) {
-    for (std::size_t a = 0; a < infos_.size(); ++a) {
-      values[a] = test.Value(MeasurementId(static_cast<std::int32_t>(a)), t);
+  snapshots.reserve(samples);
+  if (samples == 0) return snapshots;
+
+  // Per-pair input columns, resolved once for the whole run.
+  std::vector<std::span<const double>> xs(pairs), ys(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const PairId& pair = graph_.Pair(i);
+    xs[i] = test.Series(pair.a).Values();
+    ys[i] = test.Series(pair.b).Values();
+  }
+
+  const std::size_t batch = BatchSamples(pairs);
+  const std::size_t shard_count = pool_.ShardCountFor(pairs);
+  std::vector<SweepCell> cells;
+  std::vector<AlarmLog> shard_logs;
+
+  for (std::size_t t0 = 0; t0 < samples; t0 += batch) {
+    const std::size_t t1 = std::min(samples, t0 + batch);
+    const std::size_t width = t1 - t0;
+
+    // Pair-major sweep: each worker advances every model of its shard
+    // through the whole batch in one pass. Pair state is private to the
+    // pair, so shards never contend; alarms go to a shard-local log.
+    cells.assign(pairs * width, SweepCell{});
+    shard_logs.assign(shard_count, AlarmLog{});
+    pool_.ParallelShards(pairs, [&](const ShardRange& shard) {
+      AlarmLog& log = shard_logs[shard.index];
+      for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        PairModel& model = models_[i];
+        std::span<const double> x = xs[i];
+        std::span<const double> y = ys[i];
+        SweepCell* row = cells.data() + i * width;
+        for (std::size_t t = t0; t < t1; ++t) {
+          const StepOutcome out = model.Step(x[t], y[t]);
+          SweepCell& cell = row[t - t0];
+          cell.fitness = out.fitness;
+          cell.has_score = out.has_score;
+          cell.alarm = out.alarm;
+          cell.outlier = out.outlier;
+          cell.extended = out.extended_grid;
+          if (out.alarm) {
+            log.Record({test.TimeAt(t), i, out.fitness, out.outlier});
+          }
+        }
+      }
+    });
+    alarm_log_.AppendMerged(std::move(shard_logs));
+    shard_logs.clear();
+
+    // Merge phase: assemble snapshots in time order with the exact
+    // arithmetic of Step (FinishSnapshot), so the stream is bitwise
+    // identical to the sample-major loop.
+    for (std::size_t t = t0; t < t1; ++t) {
+      SystemSnapshot snap;
+      snap.sample = steps_;
+      snap.time = test.TimeAt(t);
+      snap.pair_scores.resize(pairs);
+      for (std::size_t i = 0; i < pairs; ++i) {
+        const SweepCell& cell = cells[i * width + (t - t0)];
+        if (cell.has_score) snap.pair_scores[i] = cell.fitness;
+        if (cell.alarm) snap.alarmed_pairs.push_back(i);
+        if (cell.outlier) ++snap.outlier_pairs;
+        if (cell.extended) ++snap.extended_pairs;
+      }
+      FinishSnapshot(snap);
+      snapshots.push_back(std::move(snap));
     }
-    snapshots.push_back(Step(values, test.TimeAt(t)));
   }
   return snapshots;
 }

@@ -24,9 +24,16 @@ namespace pmcorr {
 struct MonitorConfig {
   /// Shared configuration of every pair model.
   ModelConfig model;
-  /// Worker threads for initialization and per-sample stepping
+  /// Worker threads for initialization, calibration and batched runs
   /// (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Samples per pair-major batch in Run(): each worker sweeps its shard
+  /// of pairs across this many samples between merge phases. 0 sizes the
+  /// batch automatically so the per-batch outcome buffer stays around
+  /// 32 MiB; 1 degenerates to sample-major stepping. Any value produces
+  /// the identical snapshot/alarm stream — this is purely a
+  /// memory/latency knob.
+  std::size_t batch_samples = 0;
 };
 
 /// The engine's view of one processed sample.
@@ -75,6 +82,17 @@ class SystemMonitor {
 
   /// Feeds an entire test frame (its measurements must line up with the
   /// history frame) and returns one snapshot per sample.
+  ///
+  /// Pair-major batched execution: instead of a fork/join barrier per
+  /// sample (the Step loop), each worker takes a contiguous shard of
+  /// pairs and sweeps a whole batch of samples for its shard in one pass
+  /// — per-pair state (previous cell, grid extensions, alarm bounds) is
+  /// private to the pair, so the sweep is embarrassingly parallel. A
+  /// deterministic merge phase then assembles the snapshot stream in time
+  /// order, bitwise identical to calling Step once per sample: the same
+  /// per-pair outcomes feed the same Q^a / Q aggregation arithmetic in
+  /// the same order, and shard-local alarm logs merge in (time, pair)
+  /// order — exactly the order the serial loop records.
   std::vector<SystemSnapshot> Run(const MeasurementFrame& test);
 
   /// Forgets the per-pair previous cells (call between discontiguous
@@ -115,6 +133,15 @@ class SystemMonitor {
   const AlarmLog& Alarms() const { return alarm_log_; }
 
  private:
+  /// Level 2 + 3 of Section 5 over an already-filled pair_scores vector,
+  /// plus the lifetime averager updates and the step counter — the exact
+  /// per-sample aggregation shared by Step and Run's merge phase.
+  void FinishSnapshot(SystemSnapshot& snap);
+
+  /// Batch width used by Run for a given pair count (resolves
+  /// config_.batch_samples == 0 to the auto size).
+  std::size_t BatchSamples(std::size_t pair_count) const;
+
   MonitorConfig config_;
   MeasurementGraph graph_;
   std::vector<MeasurementInfo> infos_;

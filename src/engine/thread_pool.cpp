@@ -2,8 +2,59 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+
+#include "common/logging.h"
 
 namespace pmcorr {
+namespace {
+
+// Shared completion state for one fork/join region. Tasks referencing it
+// outlive neither the region (the caller blocks until `remaining` hits
+// zero) nor the pool.
+struct JoinState {
+  std::atomic<std::size_t> remaining;
+  std::mutex mutex;
+  std::condition_variable done;
+  // First failure by range position, so the rethrown exception does not
+  // depend on scheduling order.
+  std::exception_ptr error;
+  std::size_t error_begin = 0;
+
+  explicit JoinState(std::size_t tasks) : remaining(tasks) {}
+
+  void RecordError(std::size_t begin, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!error || begin < error_begin) {
+      error = std::move(e);
+      error_begin = begin;
+    }
+  }
+
+  void TaskDone() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex);
+      done.notify_one();
+    }
+  }
+
+  void Wait() {
+    std::exception_ptr first_error;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      done.wait(lock, [this] {
+        return remaining.load(std::memory_order_acquire) == 0;
+      });
+      // Take sole ownership before rethrowing: the recording worker must
+      // not drop the exception's last reference (its task lambda can
+      // still be mid-destruction) while the caller reads the object.
+      first_error = std::move(error);
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -30,12 +81,34 @@ void ThreadPool::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      // Drain-on-stop: queued work still runs, so Post() never loses
+      // tasks to destruction.
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
   }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  Enqueue([t = std::move(task)] {
+    try {
+      t();
+    } catch (const std::exception& e) {
+      PMCORR_LOG(kError) << "ThreadPool::Post task threw: " << e.what();
+    } catch (...) {
+      PMCORR_LOG(kError) << "ThreadPool::Post task threw a non-exception";
+    }
+  });
 }
 
 void ThreadPool::ParallelFor(std::size_t count,
@@ -49,31 +122,66 @@ void ThreadPool::ParallelFor(std::size_t count,
 
   const std::size_t chunks = std::min(count, threads * 4);
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
-
-  // Count the chunks before scheduling anything: a task that finishes
-  // before the counter is primed must not underflow it.
   const std::size_t scheduled = (count + chunk_size - 1) / chunk_size;
-  std::atomic<std::size_t> remaining{scheduled};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
 
+  auto state = std::make_shared<JoinState>(scheduled);
   for (std::size_t begin = 0; begin < count; begin += chunk_size) {
     const std::size_t end = std::min(begin + chunk_size, count);
-    std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push([&, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> done_lock(done_mutex);
-        done_cv.notify_one();
+    Enqueue([state, &fn, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        state->RecordError(begin, std::current_exception());
       }
+      state->TaskDone();
     });
   }
-  cv_.notify_all();
+  state->Wait();
+}
 
-  std::unique_lock<std::mutex> done_lock(done_mutex);
-  done_cv.wait(done_lock, [&] {
-    return remaining.load(std::memory_order_acquire) == 0;
-  });
+std::size_t ThreadPool::ShardCountFor(std::size_t count,
+                                      std::size_t max_shards) const {
+  if (count == 0) return 0;
+  const std::size_t limit = max_shards == 0 ? workers_.size() : max_shards;
+  return std::min(count, std::max<std::size_t>(1, limit));
+}
+
+void ThreadPool::ParallelShards(
+    std::size_t count, const std::function<void(const ShardRange&)>& fn,
+    std::size_t max_shards) {
+  const std::size_t shards = ShardCountFor(count, max_shards);
+  if (shards == 0) return;
+  // Spread count over shards so sizes differ by at most one:
+  // the first `count % shards` shards take one extra index.
+  const std::size_t base = count / shards;
+  const std::size_t extra = count % shards;
+  auto range_of = [&](std::size_t s) {
+    ShardRange r;
+    r.index = s;
+    r.count = shards;
+    r.begin = s * base + std::min(s, extra);
+    r.end = r.begin + base + (s < extra ? 1 : 0);
+    return r;
+  };
+
+  if (shards == 1 || workers_.size() <= 1) {
+    for (std::size_t s = 0; s < shards; ++s) fn(range_of(s));
+    return;
+  }
+
+  auto state = std::make_shared<JoinState>(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const ShardRange r = range_of(s);
+    Enqueue([state, &fn, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        state->RecordError(r.begin, std::current_exception());
+      }
+      state->TaskDone();
+    });
+  }
+  state->Wait();
 }
 
 }  // namespace pmcorr

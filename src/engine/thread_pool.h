@@ -1,10 +1,12 @@
-// A small fixed-size worker pool with a ParallelFor primitive.
+// A small fixed-size worker pool with ParallelFor / ParallelShards
+// primitives.
 //
 // The monitoring engine runs hundreds of independent pair models; both
-// model initialization and each online step parallelize trivially across
+// model initialization and online scoring parallelize trivially across
 // pairs (each model owns disjoint state). Work is handed out in
 // contiguous index chunks; results are deterministic because tasks never
-// share mutable state.
+// share mutable state and the shard decomposition depends only on
+// (count, max_shards, thread count).
 #pragma once
 
 #include <condition_variable>
@@ -17,10 +19,23 @@
 
 namespace pmcorr {
 
+/// One contiguous shard of an index range, as handed to a ParallelShards
+/// callback: indices [begin, end) of shard `index` out of `count` shards.
+struct ShardRange {
+  std::size_t index = 0;
+  std::size_t count = 1;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t Size() const { return end - begin; }
+};
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers (0 = hardware concurrency, at least 1).
   explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains any queued Post() work, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -29,13 +44,42 @@ class ThreadPool {
   std::size_t ThreadCount() const { return workers_.size(); }
 
   /// Runs fn(i) for every i in [0, count), distributing contiguous chunks
-  /// across the pool, and returns when all calls completed. fn must not
-  /// throw. Falls back to inline execution for tiny counts.
+  /// across the pool, and returns when all calls completed. Falls back to
+  /// inline execution for tiny counts. If any call throws, every index is
+  /// still visited (or its chunk abandoned at the throwing index), the
+  /// pool stays usable, and the exception of the lowest-indexed failing
+  /// chunk is rethrown on the caller.
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& fn);
 
+  /// Shard-major decomposition: splits [0, count) into
+  /// ShardCountFor(count, max_shards) contiguous shards covering every
+  /// index exactly once, and runs fn once per shard. Unlike ParallelFor,
+  /// the callback owns a whole range — it can keep shard-private
+  /// accumulators (per-shard logs, scratch buffers) and sweep long inner
+  /// loops without per-index dispatch. Exceptions propagate as in
+  /// ParallelFor (lowest shard index wins). The decomposition is a pure
+  /// function of (count, max_shards, ThreadCount()), so callers may
+  /// pre-size per-shard state via ShardCountFor.
+  void ParallelShards(std::size_t count,
+                      const std::function<void(const ShardRange&)>& fn,
+                      std::size_t max_shards = 0);
+
+  /// Number of shards ParallelShards(count, fn, max_shards) will use:
+  /// min(count, max_shards == 0 ? ThreadCount() : max_shards), and 0 for
+  /// an empty range.
+  std::size_t ShardCountFor(std::size_t count,
+                            std::size_t max_shards = 0) const;
+
+  /// Fire-and-forget: queues `task` for some worker and returns
+  /// immediately. Queued tasks are drained (run, not dropped) by the
+  /// destructor. Exceptions escaping `task` are logged and swallowed —
+  /// there is no caller left to rethrow to.
+  void Post(std::function<void()> task);
+
  private:
   void WorkerLoop();
+  void Enqueue(std::function<void()> task);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

@@ -141,4 +141,47 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(const std::string& path,
   return LoadSystemMonitor(in, threads);
 }
 
+namespace {
+
+void WriteScoreArray(std::ostream& out,
+                     const std::vector<std::optional<double>>& scores) {
+  out << "[";
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (i > 0) out << ",";
+    if (scores[i]) {
+      WriteDouble(out, *scores[i]);
+    } else {
+      out << "null";
+    }
+  }
+  out << "]";
+}
+
+}  // namespace
+
+void WriteSnapshotStreamJsonl(const std::vector<SystemSnapshot>& snapshots,
+                              std::ostream& out) {
+  for (const SystemSnapshot& snap : snapshots) {
+    out << "{\"sample\":" << snap.sample << ",\"t\":" << snap.time
+        << ",\"q\":";
+    if (snap.system_score) {
+      WriteDouble(out, *snap.system_score);
+    } else {
+      out << "null";
+    }
+    out << ",\"qa\":";
+    WriteScoreArray(out, snap.measurement_scores);
+    out << ",\"pair_scores\":";
+    WriteScoreArray(out, snap.pair_scores);
+    out << ",\"alarmed\":[";
+    for (std::size_t i = 0; i < snap.alarmed_pairs.size(); ++i) {
+      if (i > 0) out << ",";
+      out << snap.alarmed_pairs[i];
+    }
+    out << "],\"outliers\":" << snap.outlier_pairs
+        << ",\"extended\":" << snap.extended_pairs << "}\n";
+  }
+  if (!out) throw std::runtime_error("WriteSnapshotStreamJsonl: write failed");
+}
+
 }  // namespace pmcorr

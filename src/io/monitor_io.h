@@ -27,4 +27,15 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
 std::unique_ptr<SystemMonitor> LoadSystemMonitor(const std::string& path,
                                                  std::size_t threads = 0);
 
+/// Writes the full-detail snapshot stream as JSONL, one line per sample:
+///   {"sample":N,"t":<unix>,"q":<Q|null>,"qa":[...],"pair_scores":[...],
+///    "alarmed":[pair,...],"outliers":N,"extended":N}
+/// Scores are printed with 17 significant digits (round-trip exact for
+/// doubles), so the output is a byte-stable fingerprint of the engine's
+/// arithmetic — this is the format of the golden-trace regression tests,
+/// which is why it lives with the checkpoint code rather than the
+/// dashboard-oriented summaries of io/jsonl.h.
+void WriteSnapshotStreamJsonl(const std::vector<SystemSnapshot>& snapshots,
+                              std::ostream& out);
+
 }  // namespace pmcorr

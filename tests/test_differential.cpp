@@ -1,0 +1,193 @@
+// Serial-vs-batched equivalence for the monitoring engine.
+//
+// Every case runs the same scenario through the sample-major Step loop
+// and through pair-major batched Run at 1, 2 and 8 threads (and several
+// batch widths), asserting bitwise-identical snapshot streams, alarm
+// logs, lifetime aggregates and checkpoints — see differential_util.h.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "differential_util.h"
+#include "telemetry/generator.h"
+#include "telemetry/scenarios.h"
+
+namespace pmcorr {
+namespace {
+
+using difftest::DifferentialCase;
+using difftest::ExpectSerialAndBatchedEquivalent;
+
+// Scenario 1: a small correlated system — 2 machines x 2 metrics driven
+// by one load signal (optionally decoupling measurement 3 halfway).
+MeasurementFrame CorrelatedFrame(std::size_t samples, std::uint64_t seed,
+                                 bool break_m3_correlation_late = false) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(4, std::vector<double>(samples));
+  Rng walk_rng = rng.Fork();
+  double walk = 50.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double load = 60.0 +
+                        35.0 * std::sin(static_cast<double>(i) * 0.03) +
+                        rng.Normal(0.0, 1.5);
+    cols[0][i] = load + rng.Normal(0.0, 0.8);
+    cols[1][i] = 100.0 * load / (load + 45.0) + rng.Normal(0.0, 0.4);
+    cols[2][i] = 2.5 * load + 20.0 + rng.Normal(0.0, 2.0);
+    if (break_m3_correlation_late && i >= samples / 2) {
+      walk += walk_rng.Normal(0.0, 25.0);
+      walk = std::clamp(walk, 20.0, 150.0);
+      cols[3][i] = walk;
+    } else {
+      cols[3][i] = 0.8 * load + 35.0 + rng.Normal(0.0, 1.5);
+    }
+  }
+  MeasurementFrame frame(0, kPaperSamplePeriod);
+  for (int c = 0; c < 4; ++c) {
+    MeasurementInfo info;
+    info.machine = MachineId(c / 2);
+    info.name = "m" + std::to_string(c);
+    frame.Add(info, TimeSeries(0, kPaperSamplePeriod, std::move(cols[c])));
+  }
+  return frame;
+}
+
+MonitorConfig SmallConfig() {
+  MonitorConfig config;
+  config.model.partition.units = 40;
+  config.model.partition.max_intervals = 10;
+  return config;
+}
+
+TEST(Differential, CleanSyntheticAcrossSeeds) {
+  for (std::uint64_t seed : {3u, 17u, 91u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DifferentialCase c;
+    c.history = CorrelatedFrame(1200, seed);
+    c.test = CorrelatedFrame(300, seed + 1);
+    c.graph = MeasurementGraph::FullMesh(4);
+    c.config = SmallConfig();
+    ExpectSerialAndBatchedEquivalent(c);
+  }
+}
+
+TEST(Differential, BrokenCorrelationWithCalibratedAlarms) {
+  for (std::uint64_t seed : {5u, 29u, 101u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DifferentialCase c;
+    c.history = CorrelatedFrame(1600, seed);
+    c.holdout = CorrelatedFrame(400, seed + 1);
+    // Decoupled second half: alarms, outliers and grid extensions all
+    // flow through the merge phase.
+    c.test = CorrelatedFrame(400, seed + 2, true);
+    c.graph = MeasurementGraph::FullMesh(4);
+    c.config = SmallConfig();
+    ExpectSerialAndBatchedEquivalent(c);
+  }
+}
+
+TEST(Differential, MissingDataGaps) {
+  DifferentialCase c;
+  c.history = CorrelatedFrame(1400, 43);
+  c.holdout = CorrelatedFrame(400, 44);
+  // Knock out collector gaps in two measurements: missing samples break
+  // transition sequences, which must re-engage identically in both paths
+  // (including across batch boundaries — batch width 7 guarantees gaps
+  // straddle merges).
+  MeasurementFrame test = CorrelatedFrame(360, 45, true);
+  {
+    MeasurementFrame holed(test.StartTime(), test.Period());
+    for (std::size_t m = 0; m < test.MeasurementCount(); ++m) {
+      const auto id = MeasurementId(static_cast<std::int32_t>(m));
+      std::vector<double> values(test.Series(id).Values().begin(),
+                                 test.Series(id).Values().end());
+      for (std::size_t t = 0; t < values.size(); ++t) {
+        const bool gap_a = m == 1 && t % 37 < 3;
+        const bool gap_b = m == 3 && t >= 100 && t < 120;
+        if (gap_a || gap_b) {
+          values[t] = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+      holed.Add(test.Info(id),
+                TimeSeries(test.StartTime(), test.Period(),
+                           std::move(values)));
+    }
+    test = std::move(holed);
+  }
+  c.test = std::move(test);
+  c.graph = MeasurementGraph::FullMesh(4);
+  c.config = SmallConfig();
+  ExpectSerialAndBatchedEquivalent(c);
+}
+
+TEST(Differential, ResetSequencesMidStream) {
+  DifferentialCase c;
+  c.history = CorrelatedFrame(1200, 57);
+  c.holdout = CorrelatedFrame(300, 58);
+  c.test = CorrelatedFrame(300, 59, true);
+  c.graph = MeasurementGraph::FullMesh(4);
+  c.config = SmallConfig();
+  c.reset_mid_stream = true;
+  // Batch width 1 degenerates batched Run to sample-major stepping — the
+  // merge phase must be exact even then.
+  c.batch_sizes = {0, 7, 1};
+  ExpectSerialAndBatchedEquivalent(c);
+}
+
+// Scenario from the paper's Section 6 setup: realistic telemetry with a
+// fault injection, scored over a machine-neighborhood graph.
+TEST(Differential, PaperScenarioNeighborhoodWithFault) {
+  ScenarioConfig scenario_config;
+  scenario_config.machine_count = 6;
+  scenario_config.trace_days = 9;
+  scenario_config.localization_fault = false;
+  PaperScenario scenario = MakeGroupScenario('A', scenario_config);
+
+  const TimePoint test_start = PaperTraceStart() + 8 * kDay;
+  scenario.spec.faults.clear();
+  FaultEvent fault;
+  fault.machine = MachineId(2);
+  fault.start = test_start + 10 * kHour;
+  fault.end = test_start + 12 * kHour;
+  fault.type = FaultType::kCorrelationBreak;
+  fault.magnitude = 2.0;
+  scenario.spec.faults.push_back(fault);
+
+  const MeasurementFrame frame = GenerateTrace(scenario.spec);
+
+  DifferentialCase c;
+  c.history = frame.SliceByTime(PaperTraceStart(), test_start - kDay);
+  c.holdout = frame.SliceByTime(test_start - kDay, test_start);
+  c.test = frame.SliceByTime(test_start, test_start + kDay);
+  c.graph = MeasurementGraph::Neighborhood(c.history, 1, 3);
+  c.config.model.partition.units = 30;
+  c.config.model.partition.max_intervals = 8;
+  ExpectSerialAndBatchedEquivalent(c);
+}
+
+// Same telemetry family, association-driven graph, fixed alarm bounds
+// instead of calibration (the two alarm-arming routes share nothing).
+TEST(Differential, PaperScenarioByAssociationFixedThresholds) {
+  ScenarioConfig scenario_config;
+  scenario_config.machine_count = 6;
+  scenario_config.trace_days = 9;
+  scenario_config.localization_fault = false;
+  scenario_config.seed = 4242;
+  const PaperScenario scenario = MakeGroupScenario('B', scenario_config);
+  const MeasurementFrame frame = GenerateTrace(scenario.spec);
+  const TimePoint test_start = PaperTraceStart() + 8 * kDay;
+
+  DifferentialCase c;
+  c.history = frame.SliceByTime(PaperTraceStart(), test_start);
+  c.test = frame.SliceByTime(test_start, test_start + kDay);
+  c.graph = MeasurementGraph::ByAssociation(c.history, 0.5, 2);
+  c.config.model.partition.units = 30;
+  c.config.model.partition.max_intervals = 8;
+  c.config.model.fitness_alarm_threshold = 0.3;
+  ExpectSerialAndBatchedEquivalent(c);
+}
+
+}  // namespace
+}  // namespace pmcorr

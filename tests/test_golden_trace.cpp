@@ -1,0 +1,148 @@
+// Golden-trace regression: a small fixed-seed scenario's full snapshot
+// stream is checked in under tests/golden/ and replayed here byte for
+// byte, so future engine changes cannot silently alter the numbers the
+// paper reproduction reports.
+//
+// The golden file is the WriteSnapshotStreamJsonl rendering (17
+// significant digits — round-trip exact for doubles) of a calibrated
+// monitor running a partially decoupled test segment: scores, Q^a / Q
+// aggregation, alarms, outliers and grid extensions are all pinned.
+//
+// To regenerate after an *intentional* engine change:
+//   PMCORR_REGEN_GOLDEN=1 ./test_golden_trace
+// then review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "engine/monitor.h"
+#include "io/monitor_io.h"
+
+namespace pmcorr {
+namespace {
+
+#ifndef PMCORR_GOLDEN_DIR
+#error "PMCORR_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string GoldenPath() {
+  return std::string(PMCORR_GOLDEN_DIR) + "/system_trace.jsonl";
+}
+
+// Fixed-seed scenario: 2 machines x 2 metrics on one load signal, with
+// measurement 3 decoupling halfway through the test segment so the
+// stream pins alarms and outliers, not just healthy scores.
+MeasurementFrame GoldenFrame(std::size_t samples, std::uint64_t seed,
+                             bool break_late) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(4, std::vector<double>(samples));
+  Rng walk_rng = rng.Fork();
+  double walk = 50.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double load = 60.0 +
+                        35.0 * std::sin(static_cast<double>(i) * 0.03) +
+                        rng.Normal(0.0, 1.5);
+    cols[0][i] = load + rng.Normal(0.0, 0.8);
+    cols[1][i] = 100.0 * load / (load + 45.0) + rng.Normal(0.0, 0.4);
+    cols[2][i] = 2.5 * load + 20.0 + rng.Normal(0.0, 2.0);
+    if (break_late && i >= samples / 2) {
+      walk += walk_rng.Normal(0.0, 25.0);
+      walk = walk < 20.0 ? 20.0 : (walk > 150.0 ? 150.0 : walk);
+      cols[3][i] = walk;
+    } else {
+      cols[3][i] = 0.8 * load + 35.0 + rng.Normal(0.0, 1.5);
+    }
+  }
+  MeasurementFrame frame(0, kPaperSamplePeriod);
+  for (int c = 0; c < 4; ++c) {
+    MeasurementInfo info;
+    info.machine = MachineId(c / 2);
+    info.name = "m" + std::to_string(c);
+    frame.Add(info, TimeSeries(0, kPaperSamplePeriod, std::move(cols[c])));
+  }
+  return frame;
+}
+
+std::string RenderGoldenTrace() {
+  MonitorConfig config;
+  config.model.partition.units = 40;
+  config.model.partition.max_intervals = 10;
+  config.threads = 2;
+  SystemMonitor monitor(GoldenFrame(1000, 2008, false),
+                        MeasurementGraph::FullMesh(4), config);
+  monitor.CalibrateThresholds(GoldenFrame(300, 2009, false), 0.05);
+  const auto snapshots = monitor.Run(GoldenFrame(120, 2010, true));
+  std::ostringstream out;
+  WriteSnapshotStreamJsonl(snapshots, out);
+  return out.str();
+}
+
+TEST(GoldenTrace, SnapshotStreamMatchesCheckedInTrace) {
+  const std::string rendered = RenderGoldenTrace();
+  ASSERT_FALSE(rendered.empty());
+
+  if (std::getenv("PMCORR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << GoldenPath();
+    out << rendered;
+    out.close();
+    ASSERT_TRUE(out);
+    GTEST_SKIP() << "regenerated " << GoldenPath()
+                 << " — review the diff before committing";
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << GoldenPath()
+                  << " (run with PMCORR_REGEN_GOLDEN=1 to create it)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  const std::string& expected = golden.str();
+  if (rendered != expected) {
+    // Diff the first divergent line so the failure is actionable without
+    // external tooling.
+    std::istringstream a(expected), b(rendered);
+    std::string line_a, line_b;
+    std::size_t line_no = 0;
+    while (true) {
+      const bool more_a = static_cast<bool>(std::getline(a, line_a));
+      const bool more_b = static_cast<bool>(std::getline(b, line_b));
+      ++line_no;
+      if (!more_a && !more_b) break;
+      if (line_a != line_b || more_a != more_b) {
+        FAIL() << "golden trace diverges at line " << line_no
+               << "\n  golden:   " << (more_a ? line_a : "<eof>")
+               << "\n  rendered: " << (more_b ? line_b : "<eof>")
+               << "\nIf the change is intentional, regenerate with"
+                  " PMCORR_REGEN_GOLDEN=1 and review the diff.";
+      }
+    }
+  }
+  SUCCEED();
+}
+
+// The golden scenario's headline numbers stay in a sane band even when
+// regenerating — a tripwire against committing a degenerate trace.
+TEST(GoldenTrace, ScenarioShapeIsSane) {
+  const std::string rendered = RenderGoldenTrace();
+  std::istringstream in(rendered);
+  std::string line;
+  std::size_t lines = 0, alarmed_lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.find("\"alarmed\":[]") == std::string::npos) ++alarmed_lines;
+  }
+  EXPECT_EQ(lines, 120u);
+  // The decoupled second half must raise alarms; the healthy first half
+  // must not drown the stream in them.
+  EXPECT_GT(alarmed_lines, 5u);
+  EXPECT_LT(alarmed_lines, 90u);
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,10 +1,17 @@
-// Tests for the worker pool.
+// Tests for the worker pool: ParallelFor/ParallelShards coverage,
+// exception propagation, destruction semantics, and contention stress.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "engine/thread_pool.h"
 
 namespace pmcorr {
@@ -63,6 +70,180 @@ TEST(ThreadPool, ParallelResultMatchesSerial) {
 TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.ThreadCount(), 1u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [](std::size_t i) {
+                         if (i == 637) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing region and stays fully usable.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](std::size_t) { ++sum; });
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexedFailure) {
+  ThreadPool pool(8);
+  // Several chunks throw; the caller must deterministically see the
+  // lowest-indexed chunk's exception, not a scheduling-dependent one.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.ParallelFor(800, [](std::size_t i) {
+        if (i % 100 == 0) {
+          throw std::runtime_error("chunk " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 0");
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelShardsPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelShards(100,
+                                   [](const ShardRange& r) {
+                                     if (r.begin > 0) {
+                                       throw std::runtime_error("shard");
+                                     }
+                                   }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.ParallelShards(100, [&](const ShardRange& r) {
+    sum += static_cast<int>(r.Size());
+  });
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ThreadPool, ShardsCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t count : {1u, 2u, 3u, 4u, 5u, 100u, 101u, 4096u}) {
+    for (std::size_t max_shards : {0u, 1u, 3u, 7u, 64u}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.ParallelShards(
+          count,
+          [&](const ShardRange& r) {
+            for (std::size_t i = r.begin; i < r.end; ++i) ++hits[i];
+          },
+          max_shards);
+      for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPool, ShardDecompositionIsDeterministicAndBalanced) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.ShardCountFor(0), 0u);
+  EXPECT_EQ(pool.ShardCountFor(3), 3u);
+  EXPECT_EQ(pool.ShardCountFor(100), 4u);
+  EXPECT_EQ(pool.ShardCountFor(100, 6), 6u);
+
+  std::mutex mutex;
+  std::vector<ShardRange> shards;
+  pool.ParallelShards(103, [&](const ShardRange& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    shards.push_back(r);
+  });
+  ASSERT_EQ(shards.size(), 4u);
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardRange& a, const ShardRange& b) {
+              return a.index < b.index;
+            });
+  std::size_t expected_begin = 0;
+  for (const ShardRange& r : shards) {
+    EXPECT_EQ(r.count, 4u);
+    EXPECT_EQ(r.begin, expected_begin);
+    // Sizes differ by at most one: 103 over 4 shards = {26, 26, 26, 25}.
+    EXPECT_GE(r.Size(), 25u);
+    EXPECT_LE(r.Size(), 26u);
+    expected_begin = r.end;
+  }
+  EXPECT_EQ(expected_begin, 103u);
+}
+
+TEST(ThreadPool, ShardsCoverEveryIndexUnderContention) {
+  // Several caller threads hammer one pool concurrently; every caller's
+  // range must still be covered exactly once.
+  ThreadPool pool(4);
+  constexpr std::size_t kCallers = 6;
+  constexpr std::size_t kCount = 2000;
+  std::vector<std::thread> callers;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kCount);
+  }
+  for (std::size_t caller = 0; caller < kCallers; ++caller) {
+    callers.emplace_back([&, caller] {
+      for (int round = 0; round < 10; ++round) {
+        pool.ParallelShards(kCount, [&](const ShardRange& r) {
+          for (std::size_t i = r.begin; i < r.end; ++i) ++hits[caller][i];
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& caller_hits : hits) {
+    for (const auto& h : caller_hits) ASSERT_EQ(h.load(), 10);
+  }
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Post([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++completed;
+      });
+    }
+    // Destruction races the queue on purpose: it must neither hang nor
+    // drop the tasks that were accepted.
+  }
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPool, PostedTaskExceptionDoesNotKillWorkers) {
+  // The swallowed exception is logged; keep the test output clean.
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Post([] { throw std::runtime_error("posted boom"); });
+  for (int i = 0; i < 32; ++i) {
+    pool.Post([&completed] { ++completed; });
+  }
+  // Synchronize on a fork/join region: by the time it returns, workers
+  // have demonstrably survived the throwing posted task.
+  pool.ParallelFor(64, [](std::size_t) {});
+  for (int waited = 0; completed.load() < 32 && waited < 2000; ++waited) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(completed.load(), 32);
+  SetLogLevel(saved);
+}
+
+TEST(ThreadPool, StressManySmallRegions) {
+  ThreadPool pool(8);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 300; ++round) {
+    pool.ParallelFor(97, [&](std::size_t i) {
+      total += static_cast<long>(i);
+    });
+    pool.ParallelShards(61, [&](const ShardRange& r) {
+      long local = 0;
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        local += static_cast<long>(i);
+      }
+      total += local;
+    });
+  }
+  EXPECT_EQ(total.load(), 300L * (96 * 97 / 2) + 300L * (60 * 61 / 2));
 }
 
 }  // namespace

@@ -247,9 +247,7 @@ int CmdMonitor(const Flags& flags) {
               train.MeasurementCount());
 
   const auto snapshots = monitor.Run(test);
-  std::vector<std::optional<double>> q;
-  q.reserve(snapshots.size());
-  for (const auto& snap : snapshots) q.push_back(snap.system_score);
+  const std::vector<std::optional<double>> q = SystemScoreSeries(snapshots);
 
   SparklineOptions spark;
   spark.width = 72;
