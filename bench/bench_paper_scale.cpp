@@ -160,6 +160,34 @@ int main() {
   const bool hit = !report.ranking.empty() &&
                    report.ranking.front().machine ==
                        scenario.localization_machine;
+
+  // Machine-readable trajectory record (BENCH_paper_scale.json at the
+  // repo root; CI uploads it as an artifact).
+  BenchJson json("paper_scale");
+  json.Set("pairs", static_cast<std::int64_t>(graph.PairCount()));
+  json.Set("train_samples", static_cast<std::int64_t>(train.SampleCount()));
+  json.Set("test_samples", static_cast<std::int64_t>(test.SampleCount()));
+  json.Set("generate_s", gen_s);
+  json.Set("select_s", select_s);
+  json.Set("train_s", train_s);
+  json.Set("monitor_serial_step_s", serial_s);
+  json.Set("monitor_batched_run_s", run_s);
+  json.Set("batched_speedup_over_serial", serial_s / run_s);
+  json.Set("serial_ms_per_sample",
+           serial_s * 1e3 / static_cast<double>(test.SampleCount()));
+  json.Set("batched_ms_per_sample",
+           run_s * 1e3 / static_cast<double>(test.SampleCount()));
+  json.Set("avg_system_fitness", monitor.SystemAverage().Mean());
+  json.Set("alarms", static_cast<std::int64_t>(alarms));
+  json.Set("outliers", static_cast<std::int64_t>(outliers));
+  json.Set("extensions", static_cast<std::int64_t>(extensions));
+  json.Set("model_mib", total_bytes / 1048576.0);
+  json.Set("avg_cells_per_grid",
+           static_cast<double>(total_cells) /
+               static_cast<double>(graph.PairCount()));
+  json.Set("fault_machine_ranked_first", std::string(hit ? "yes" : "no"));
+  const std::string json_path = json.Write();
+  if (!json_path.empty()) std::cout << "wrote " << json_path << "\n";
   std::cout << "worst machine: "
             << (report.ranking.empty()
                     ? std::string("-")

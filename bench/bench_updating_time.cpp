@@ -10,6 +10,7 @@
 // initialized from 1, 8 and 15 days of history.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -225,6 +226,48 @@ void BM_Learn(benchmark::State& state) {
 }
 BENCHMARK(BM_Learn)->Arg(1)->Arg(8)->Arg(15)->Unit(benchmark::kMillisecond);
 
+// The usual console output, plus a capture of every finished run into a
+// BenchJson so the perf trajectory lands in BENCH_updating_time.json at
+// the repo root (per-iteration times are recorded in nanoseconds
+// regardless of each benchmark's display unit).
+class ConsoleAndJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ConsoleAndJsonReporter(BenchJson& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      json_.Set(name + ".real_ns_per_iter",
+                run.real_accumulated_time / iters * 1e9);
+      json_.Set(name + ".cpu_ns_per_iter",
+                run.cpu_accumulated_time / iters * 1e9);
+      json_.Set(name + ".iterations",
+                static_cast<std::int64_t>(run.iterations));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchJson& json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchJson json("updating_time");
+  ConsoleAndJsonReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const std::string path = json.Write();
+  if (path.empty()) {
+    std::cerr << "warning: could not write BENCH_updating_time.json\n";
+  } else {
+    std::cout << "wrote " << path << "\n";
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,11 @@
 #include "bench_util.h"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
 #include "core/fitness.h"
 
 namespace pmcorr::bench {
@@ -63,5 +69,71 @@ QuarterStats QuarterizeScores(const std::vector<std::optional<double>>& scores,
 }
 
 std::string PaperDay(TimePoint tp) { return FormatPaperDate(ToCivilDate(tp)); }
+
+namespace {
+
+// Shortest-round-trip double encoding; JSON has no Inf/NaN literals, so
+// those degrade to null.
+std::string EncodeNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string EncodeString(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {}
+
+void BenchJson::Set(const std::string& key, double value) {
+  entries_.emplace_back(key, EncodeNumber(value));
+}
+
+void BenchJson::Set(const std::string& key, std::int64_t value) {
+  entries_.emplace_back(key, std::to_string(value));
+}
+
+void BenchJson::Set(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, EncodeString(value));
+}
+
+std::string BenchJson::Write() const {
+  const std::string path = BenchJsonDir() + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "{\n  \"bench\": " << EncodeString(name_);
+  for (const auto& [key, value] : entries_) {
+    out << ",\n  " << EncodeString(key) << ": " << value;
+  }
+  out << "\n}\n";
+  return out ? path : "";
+}
+
+std::string BenchJsonDir() {
+  if (const char* dir = std::getenv("PMCORR_BENCH_JSON_DIR");
+      dir != nullptr && *dir != '\0') {
+    return dir;
+  }
+#ifdef PMCORR_REPO_ROOT
+  return PMCORR_REPO_ROOT;
+#else
+  return ".";
+#endif
+}
 
 }  // namespace pmcorr::bench

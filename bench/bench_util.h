@@ -3,8 +3,10 @@
 // x-axes of the paper's Figures 12 and 16.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/model.h"
@@ -48,5 +50,35 @@ QuarterStats QuarterizeScores(const std::vector<std::optional<double>>& scores,
 
 /// "6.13" style label for a TimePoint's date.
 std::string PaperDay(TimePoint tp);
+
+/// --- Machine-readable benchmark results --------------------------------
+///
+/// The experiment binaries historically only printed tables; BenchJson
+/// accumulates flat name -> value metrics and writes them as
+/// `BENCH_<name>.json` so the perf trajectory is tracked across PRs
+/// (CI uploads the files as artifacts). Keys keep insertion order.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, std::int64_t value);
+  void Set(const std::string& key, const std::string& value);
+
+  /// Writes `BENCH_<name>.json` into BenchJsonDir(). Returns the path
+  /// written, or an empty string when the file could not be opened.
+  std::string Write() const;
+
+ private:
+  std::string name_;
+  // (key, pre-encoded JSON value) in insertion order.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Directory BENCH_*.json files land in: $PMCORR_BENCH_JSON_DIR when set,
+/// otherwise the repository root baked in at configure time (benches are
+/// usually run from the build tree, but the trajectory files belong next
+/// to CHANGES.md).
+std::string BenchJsonDir();
 
 }  // namespace pmcorr::bench

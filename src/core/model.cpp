@@ -128,8 +128,11 @@ StepOutcome PairModel::Step(double x, double y) {
   if (prev_cell_) {
     out.has_score = true;
     ++stats_.scored;
-    out.probability = matrix_.Probability(*prev_cell_, *cell);
-    out.rank = matrix_.RankOf(*prev_cell_, *cell);
+    // One fused row scan (probability + rank together) instead of the
+    // separate Probability and RankOf passes; bitwise-identical results.
+    const TransitionScore score = matrix_.ScoreTransition(*prev_cell_, *cell);
+    out.probability = score.probability;
+    out.rank = score.rank;
     out.fitness = RankFitness(out.rank, matrix_.CellCount());
     out.alarm = (config_.delta > 0.0 && out.probability < config_.delta) ||
                 (config_.fitness_alarm_threshold > 0.0 &&

@@ -5,60 +5,169 @@
 #include <cmath>
 #include <stdexcept>
 
+// Arithmetic-order contract (docs/kernels.md): every routine here must
+// perform the same floating-point operations, on the same values, in the
+// same order as the pre-stencil scalar code — the golden traces in
+// tests/golden/ pin the results to 17 digits. The stencil table holds
+// bitwise the doubles DecayKernel::LogWeight returns, row sweeps add them
+// in ascending destination order, and the caches only memoize values the
+// uncached scans would recompute identically.
+
 namespace pmcorr {
-namespace {
-
-// Absolute coordinate deltas between two cells of `grid`.
-std::pair<int, int> Deltas(const Grid2D& grid, std::size_t a, std::size_t b) {
-  const CellCoord ca = grid.CoordOf(a);
-  const CellCoord cb = grid.CoordOf(b);
-  return {std::abs(ca.i1 - cb.i1), std::abs(ca.i2 - cb.i2)};
-}
-
-}  // namespace
 
 TransitionMatrix TransitionMatrix::Prior(const Grid2D& grid,
                                          const DecayKernel& kernel) {
   TransitionMatrix m;
   m.cells_ = grid.CellCount();
+  m.rows_ = grid.Rows();
+  m.cols_ = grid.Cols();
+  m.stencil_ = KernelStencil(m.rows_, m.cols_, kernel);
   m.prior_logw_.resize(m.cells_ * m.cells_);
   m.evidence_.assign(m.cells_ * m.cells_, 0.0);
   m.counts_.assign(m.cells_ * m.cells_, 0);
+  m.cache_.assign(m.cells_, RowCache{});
+  // Row i of the prior is the stencil centered at cell i: each grid row
+  // of destinations is one contiguous stencil slice.
+  double* dst = m.prior_logw_.data();
   for (std::size_t i = 0; i < m.cells_; ++i) {
-    for (std::size_t j = 0; j < m.cells_; ++j) {
-      const auto [dx, dy] = Deltas(grid, i, j);
-      m.prior_logw_[i * m.cells_ + j] = kernel.LogWeight(dx, dy);
+    const int ci = static_cast<int>(i / m.cols_);
+    const std::size_t cj = i % m.cols_;
+    for (std::size_t r = 0; r < m.rows_; ++r) {
+      const double* src = m.stencil_.RowSlice(static_cast<int>(r) - ci, cj);
+      dst = std::copy(src, src + m.cols_, dst);
     }
   }
   return m;
 }
 
-double TransitionMatrix::Probability(std::size_t from, std::size_t to) const {
-  assert(from < cells_ && to < cells_);
-  double max_logw = PosteriorLogW(from, 0);
-  for (std::size_t j = 1; j < cells_; ++j) {
-    max_logw = std::max(max_logw, PosteriorLogW(from, j));
+const TransitionMatrix::RowCache& TransitionMatrix::RowStats(
+    std::size_t from) const {
+  RowCache& rc = cache_[from];
+  if (!rc.stats_valid) {
+    const double* pw = prior_logw_.data() + from * cells_;
+    const double* ev = evidence_.data() + from * cells_;
+    double max_logw = pw[0] + ev[0];
+    for (std::size_t j = 1; j < cells_; ++j) {
+      max_logw = std::max(max_logw, pw[j] + ev[j]);
+    }
+    double total = 0.0;
+    for (std::size_t j = 0; j < cells_; ++j) {
+      total += std::exp(pw[j] + ev[j] - max_logw);
+    }
+    rc.max_logw = max_logw;
+    rc.sum_exp = total;
+    rc.stats_valid = true;
   }
-  double total = 0.0;
+  return rc;
+}
+
+void TransitionMatrix::BuildSorted(std::size_t from) const {
+  RowCache& rc = cache_[from];
+  assert(rc.stats_valid);
+  const double* pw = prior_logw_.data() + from * cells_;
+  const double* ev = evidence_.data() + from * cells_;
+  rc.sorted.resize(cells_);
   for (std::size_t j = 0; j < cells_; ++j) {
-    total += std::exp(PosteriorLogW(from, j) - max_logw);
+    rc.sorted[j] = {pw[j] + ev[j], static_cast<std::uint32_t>(j)};
   }
-  return std::exp(PosteriorLogW(from, to) - max_logw) / total;
+  std::sort(rc.sorted.begin(), rc.sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  rc.sorted_valid = true;
+}
+
+std::size_t TransitionMatrix::RankInRow(std::size_t from, std::size_t to,
+                                        double target) const {
+  const RowCache& rc = cache_[from];
+  if (rc.sorted_valid) {
+    // Entries strictly above `target` precede the partition point; ties
+    // break toward the lower cell index, exactly like the linear scan.
+    const auto it = std::lower_bound(
+        rc.sorted.begin(), rc.sorted.end(), target,
+        [](const std::pair<double, std::uint32_t>& entry, double t) {
+          return entry.first > t;
+        });
+    std::size_t rank =
+        1 + static_cast<std::size_t>(it - rc.sorted.begin());
+    for (auto eq = it; eq != rc.sorted.end() && eq->first == target; ++eq) {
+      if (eq->second < to) ++rank;
+    }
+    return rank;
+  }
+  const double* pw = prior_logw_.data() + from * cells_;
+  const double* ev = evidence_.data() + from * cells_;
+  std::size_t rank = 1;
+  for (std::size_t j = 0; j < cells_; ++j) {
+    const double w = pw[j] + ev[j];
+    if (w > target || (w == target && j < to)) ++rank;
+  }
+  return rank;
+}
+
+double TransitionMatrix::Probability(std::size_t from, std::size_t to) const {
+  if (cells_ == 0) return 0.0;
+  assert(from < cells_ && to < cells_);
+  const RowCache& rc = RowStats(from);
+  return std::exp(PosteriorLogW(from, to) - rc.max_logw) / rc.sum_exp;
+}
+
+TransitionScore TransitionMatrix::ScoreTransition(std::size_t from,
+                                                  std::size_t to) const {
+  TransitionScore out;
+  if (cells_ == 0) return out;
+  assert(from < cells_ && to < cells_);
+  RowCache& rc = cache_[from];
+  const double* pw = prior_logw_.data() + from * cells_;
+  const double* ev = evidence_.data() + from * cells_;
+  const double target = pw[to] + ev[to];
+  if (!rc.stats_valid) {
+    // Cold row (just written): one fused pass for max + rank, one for
+    // the exponential sum — versus the three passes of the unfused
+    // Probability + RankOf sequence.
+    double max_logw = pw[0] + ev[0];
+    std::size_t rank = 1;
+    {
+      const double w0 = pw[0] + ev[0];
+      if (w0 > target || (w0 == target && 0 < to)) ++rank;
+    }
+    for (std::size_t j = 1; j < cells_; ++j) {
+      const double w = pw[j] + ev[j];
+      max_logw = std::max(max_logw, w);
+      if (w > target || (w == target && j < to)) ++rank;
+    }
+    double total = 0.0;
+    for (std::size_t j = 0; j < cells_; ++j) {
+      total += std::exp(pw[j] + ev[j] - max_logw);
+    }
+    rc.max_logw = max_logw;
+    rc.sum_exp = total;
+    rc.stats_valid = true;
+    out.rank = rank;
+  } else {
+    // Warm row (rescored without a write in between — e.g. alarmed
+    // transitions, frozen calibration replays, non-adaptive monitors):
+    // probability is O(1) from the cached stats; rank goes through the
+    // sorted cache, built on this second touch and O(log s) afterwards.
+    if (!rc.sorted_valid) BuildSorted(from);
+    out.rank = RankInRow(from, to, target);
+  }
+  out.probability = std::exp(target - rc.max_logw) / rc.sum_exp;
+  return out;
 }
 
 std::vector<double> TransitionMatrix::RowDistribution(std::size_t from) const {
+  if (cells_ == 0) return {};
   assert(from < cells_);
+  const RowCache& rc = RowStats(from);
   std::vector<double> row(cells_);
-  double max_logw = PosteriorLogW(from, 0);
-  for (std::size_t j = 1; j < cells_; ++j) {
-    max_logw = std::max(max_logw, PosteriorLogW(from, j));
-  }
-  double total = 0.0;
+  const double* pw = prior_logw_.data() + from * cells_;
+  const double* ev = evidence_.data() + from * cells_;
   for (std::size_t j = 0; j < cells_; ++j) {
-    row[j] = std::exp(PosteriorLogW(from, j) - max_logw);
-    total += row[j];
+    row[j] = std::exp(pw[j] + ev[j] - rc.max_logw);
   }
-  for (double& p : row) p /= total;
+  for (double& p : row) p /= rc.sum_exp;
   return row;
 }
 
@@ -69,31 +178,40 @@ void TransitionMatrix::ObserveTransition(std::size_t from,
                                          double weight, double forgetting) {
   assert(from < cells_ && observed < cells_);
   assert(grid.CellCount() == cells_);
-  for (std::size_t j = 0; j < cells_; ++j) {
-    const auto [dx, dy] = Deltas(grid, observed, j);
-    double& e = evidence_[from * cells_ + j];
-    e = e * forgetting + weight * kernel.LogWeight(dx, dy);
+  assert(stencil_.Matches(grid.Rows(), grid.Cols()));
+  (void)grid;
+  (void)kernel;  // the stencil tabulated this kernel at Prior() time
+  const int oi = static_cast<int>(observed / cols_);
+  const std::size_t oj = observed % cols_;
+  double* e = evidence_.data() + from * cells_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* lw = stencil_.RowSlice(static_cast<int>(r) - oi, oj);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      e[c] = e[c] * forgetting + weight * lw[c];
+    }
+    e += cols_;
   }
   ++counts_[from * cells_ + observed];
   ++observed_;
+  InvalidateRow(from);
 }
 
 std::size_t TransitionMatrix::RankOf(std::size_t from, std::size_t to) const {
+  if (cells_ == 0) return 0;
   assert(from < cells_ && to < cells_);
-  const double target = PosteriorLogW(from, to);
-  std::size_t rank = 1;
-  for (std::size_t j = 0; j < cells_; ++j) {
-    const double w = PosteriorLogW(from, j);
-    if (w > target || (w == target && j < to)) ++rank;
-  }
-  return rank;
+  return RankInRow(from, to, PosteriorLogW(from, to));
 }
 
 std::size_t TransitionMatrix::ArgMax(std::size_t from) const {
+  if (cells_ == 0) return 0;
   assert(from < cells_);
+  const RowCache& rc = cache_[from];
+  if (rc.sorted_valid) return rc.sorted.front().second;
+  const double* pw = prior_logw_.data() + from * cells_;
+  const double* ev = evidence_.data() + from * cells_;
   std::size_t best = 0;
   for (std::size_t j = 1; j < cells_; ++j) {
-    if (PosteriorLogW(from, j) > PosteriorLogW(from, best)) best = j;
+    if (pw[j] + ev[j] > pw[best] + ev[best]) best = j;
   }
   return best;
 }
@@ -123,25 +241,39 @@ void TransitionMatrix::ApplyExtension(const GridExtension& ext,
   }
   grown.observed_ = observed_;
 
+  // Coordinates of every new-grid cell, decomposed once (the backfill
+  // pairs every new column with every historical destination).
+  std::vector<CellCoord> coords(grown.cells_);
+  for (std::size_t j = 0; j < grown.cells_; ++j) {
+    coords[j] = CellCoord{static_cast<int>(j / grown.cols_),
+                          static_cast<int>(j % grown.cols_)};
+  }
+
   // Backfill evidence for the new columns of previously-observed rows.
+  struct Dest {
+    CellCoord coord;
+    double count;
+  };
   for (std::size_t i = 0; i < old_cells; ++i) {
     const std::size_t ni = Grid2D::RemapIndex(i, old_cols, ext);
-    // Sparse (destination, count) list of this row's history.
-    std::vector<std::pair<std::size_t, double>> dests;
+    // Sparse (destination, count) list of this row's history, in
+    // ascending old-index order (the summation order is pinned).
+    std::vector<Dest> dests;
     for (std::size_t j = 0; j < old_cells; ++j) {
       const std::uint32_t c = counts_[i * cells_ + j];
       if (c > 0) {
-        dests.emplace_back(Grid2D::RemapIndex(j, old_cols, ext),
-                           static_cast<double>(c));
+        dests.push_back(Dest{coords[Grid2D::RemapIndex(j, old_cols, ext)],
+                             static_cast<double>(c)});
       }
     }
     if (dests.empty()) continue;
     for (std::size_t nj = 0; nj < grown.cells_; ++nj) {
       if (is_old[nj]) continue;
+      const CellCoord nc = coords[nj];
       double evidence = 0.0;
-      for (const auto& [dest, count] : dests) {
-        const auto [dx, dy] = Deltas(new_grid, dest, nj);
-        evidence += count * kernel.LogWeight(dx, dy);
+      for (const Dest& d : dests) {
+        evidence += d.count * grown.stencil_.LogWeight(d.coord.i1 - nc.i1,
+                                                       d.coord.i2 - nc.i2);
       }
       grown.evidence_[ni * grown.cells_ + nj] =
           likelihood_weight * evidence;
@@ -160,6 +292,7 @@ void TransitionMatrix::RestoreState(std::vector<double> evidence,
   evidence_ = std::move(evidence);
   counts_ = std::move(counts);
   observed_ = observed;
+  cache_.assign(cells_, RowCache{});
 }
 
 std::vector<std::uint64_t> TransitionDistanceHistogram(
@@ -168,12 +301,16 @@ std::vector<std::uint64_t> TransitionDistanceHistogram(
   const std::size_t max_d =
       std::max(grid.Rows(), grid.Cols());
   std::vector<std::uint64_t> hist(max_d, 0);
+  // Decompose the s cell coordinates once instead of twice per nonzero
+  // (i, j) pair.
+  std::vector<CellCoord> coords(cells);
+  for (std::size_t i = 0; i < cells; ++i) coords[i] = grid.CoordOf(i);
   for (std::size_t i = 0; i < cells; ++i) {
     for (std::size_t j = 0; j < cells; ++j) {
       const std::uint64_t c = matrix.CountOf(i, j);
       if (c == 0) continue;
-      const CellCoord ca = grid.CoordOf(i);
-      const CellCoord cb = grid.CoordOf(j);
+      const CellCoord ca = coords[i];
+      const CellCoord cb = coords[j];
       const auto d = static_cast<std::size_t>(
           std::max(std::abs(ca.i1 - cb.i1), std::abs(ca.i2 - cb.i2)));
       if (d >= hist.size()) hist.resize(d + 1, 0);

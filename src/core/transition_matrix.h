@@ -17,16 +17,42 @@
 // Alongside the posterior we keep raw empirical transition counts; they
 // power the locality statistics (Section 4.2's 701/412/280 analysis) and
 // the Figure 9/10 prior-vs-posterior demonstration.
+//
+// Hot-path layout (see docs/kernels.md for the full contract):
+//  * All kernel evaluations go through a KernelStencil — a
+//    (2r-1) x (2c-1) log-weight table built once per grid shape — so
+//    Prior, ObserveTransition and ApplyExtension's backfill are
+//    contiguous table reads / fused multiply-adds over row-major
+//    slices, with no virtual dispatch or index->coordinate division in
+//    the inner loops.
+//  * Scoring reads are served by per-row caches (row max, sum of
+//    exponentials, and lazily a sorted copy for rank queries),
+//    invalidated whenever the row's evidence changes. The cached values
+//    are the *same* doubles the uncached scans produce, in the same
+//    order, so results are bitwise identical with or without the cache.
+//  * The caches make const query methods non-reentrant: a
+//    TransitionMatrix must be confined to one thread at a time. The
+//    pair-sharded engine guarantees this (each pair model, and
+//    therefore each matrix, is owned by exactly one shard).
 #pragma once
 
 #include <cstdint>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "grid/grid.h"
 #include "grid/kernels.h"
 
 namespace pmcorr {
+
+/// Result of the fused scoring scan over one matrix row: the normalized
+/// transition probability and the paper's 1-based rank, computed in a
+/// single pass (plus cache reuse on repeated reads of an unchanged row).
+struct TransitionScore {
+  double probability = 0.0;
+  std::size_t rank = 0;
+};
 
 class TransitionMatrix {
  public:
@@ -39,9 +65,20 @@ class TransitionMatrix {
   std::size_t CellCount() const { return cells_; }
 
   /// Normalized P(c_from -> c_to) under the current posterior.
+  /// Returns 0 on an empty (default-constructed) matrix.
   double Probability(std::size_t from, std::size_t to) const;
 
-  /// The full normalized row distribution of `from`.
+  /// Probability and rank of (from, to) computed together — one fused
+  /// row scan instead of the separate Probability + RankOf passes, and
+  /// O(log s) when row `from` has not been written since its caches
+  /// were filled (alarmed transitions never update the model, so hot
+  /// rows are rescored often). Bitwise identical to calling
+  /// Probability() and RankOf() back-to-back. Returns {0, 0} on an
+  /// empty matrix.
+  TransitionScore ScoreTransition(std::size_t from, std::size_t to) const;
+
+  /// The full normalized row distribution of `from`; empty on an empty
+  /// matrix.
   std::vector<double> RowDistribution(std::size_t from) const;
 
   /// Applies one observed transition from `from` into `observed` (Eq. 2):
@@ -53,10 +90,12 @@ class TransitionMatrix {
 
   /// The paper's ranking function π over row `from`: rank 1 is the most
   /// probable destination. Ties break toward the lower cell index, making
-  /// ranks deterministic. Returns a 1-based rank in [1, s].
+  /// ranks deterministic. Returns a 1-based rank in [1, s], or 0 on an
+  /// empty matrix.
   std::size_t RankOf(std::size_t from, std::size_t to) const;
 
-  /// Cell index with the highest probability in row `from`.
+  /// Cell index with the highest probability in row `from` (0 on an
+  /// empty matrix).
   std::size_t ArgMax(std::size_t from) const;
 
   /// Total observed (empirical) transitions recorded.
@@ -90,16 +129,66 @@ class TransitionMatrix {
                     std::vector<std::uint32_t> counts,
                     std::uint64_t observed);
 
+  /// Grid shape the matrix was built for (rows * cols == CellCount()).
+  std::size_t GridRows() const { return rows_; }
+  std::size_t GridCols() const { return cols_; }
+
+  /// The prior's kernel log weight for (from, to) — exposed for tests
+  /// and serialization round-trip checks.
+  double PriorLogW(std::size_t from, std::size_t to) const {
+    return prior_logw_[from * cells_ + to];
+  }
+
+  /// The precomputed log-weight table in use (empty on a
+  /// default-constructed matrix).
+  const KernelStencil& Stencil() const { return stencil_; }
+
  private:
+  // Per-row scoring cache. `max_logw`/`sum_exp` mirror the two scans of
+  // the normalization (filled on first score after a row write);
+  // `sorted` is the row's posterior log weights ordered (desc weight,
+  // asc index) for O(log s) rank queries, built lazily on the second
+  // score of an unchanged row — rows that are written every step never
+  // pay for the sort.
+  struct RowCache {
+    bool stats_valid = false;
+    bool sorted_valid = false;
+    double max_logw = 0.0;
+    double sum_exp = 0.0;
+    std::vector<std::pair<double, std::uint32_t>> sorted;
+  };
+
   double PosteriorLogW(std::size_t from, std::size_t to) const {
     return prior_logw_[from * cells_ + to] + evidence_[from * cells_ + to];
   }
 
+  /// Fills (if stale) and returns row `from`'s (max, sum-exp) cache,
+  /// scanning in exactly the order the uncached code used.
+  const RowCache& RowStats(std::size_t from) const;
+
+  /// Builds row `from`'s sorted cache (stats must already be valid).
+  void BuildSorted(std::size_t from) const;
+
+  /// Rank of `to` in row `from` given the target log weight, via the
+  /// sorted cache when valid, else a linear scan.
+  std::size_t RankInRow(std::size_t from, std::size_t to,
+                        double target) const;
+
+  void InvalidateRow(std::size_t from) {
+    RowCache& rc = cache_[from];
+    rc.stats_valid = false;
+    rc.sorted_valid = false;
+  }
+
   std::size_t cells_ = 0;
+  std::size_t rows_ = 0;               // grid rows (r)
+  std::size_t cols_ = 0;               // grid cols (c)
+  KernelStencil stencil_;              // (2r-1) x (2c-1) log weights
   std::vector<double> prior_logw_;     // s*s kernel log weights
   std::vector<double> evidence_;       // s*s accumulated log likelihood
   std::vector<std::uint32_t> counts_;  // s*s empirical transition counts
   std::uint64_t observed_ = 0;
+  mutable std::vector<RowCache> cache_;  // one per row, thread-confined
 };
 
 /// Locality histogram of observed transitions: entry d is the number of

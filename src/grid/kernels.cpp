@@ -63,6 +63,20 @@ std::string TriangularKernel::Describe() const {
   return "triangular(figure-5 exact)";
 }
 
+KernelStencil::KernelStencil(std::size_t rows, std::size_t cols,
+                             const DecayKernel& kernel)
+    : rows_(rows), cols_(cols), width_(2 * cols - 1) {
+  assert(rows > 0 && cols > 0);
+  table_.resize((2 * rows - 1) * width_);
+  for (std::size_t u = 0; u < 2 * rows - 1; ++u) {
+    const int drow = static_cast<int>(u) - (static_cast<int>(rows) - 1);
+    for (std::size_t v = 0; v < width_; ++v) {
+      const int dcol = static_cast<int>(v) - (static_cast<int>(cols) - 1);
+      table_[u * width_ + v] = kernel.LogWeight(drow, dcol);
+    }
+  }
+}
+
 std::unique_ptr<DecayKernel> MakeKernel(const KernelConfig& config) {
   switch (config.type) {
     case KernelConfig::Type::kTriangular:

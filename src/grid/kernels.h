@@ -12,9 +12,12 @@
 //    the default.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace pmcorr {
 
@@ -72,6 +75,69 @@ class TriangularKernel final : public DecayKernel {
   double Weight(int dx, int dy) const override;
   double LogWeight(int dx, int dy) const override;
   std::string Describe() const override;
+};
+
+/// Precomputed log-weight stencil for a fixed r x c grid shape.
+///
+/// Every transition-matrix operation evaluates LogWeight(|dx|, |dy|) for
+/// coordinate deltas bounded by the grid shape, so for a given shape and
+/// kernel there are only (2r-1) x (2c-1) distinct values. Tabulating them
+/// once turns the per-entry virtual kernel dispatch (plus a log/sqrt per
+/// call) into a contiguous table read, and lets row-major sweeps over
+/// destination cells consume the table as contiguous slices.
+///
+/// Layout: row-major (2r-1) x (2c-1); entry (drow, dcol) with signed
+/// deltas drow in [-(r-1), r-1] and dcol in [-(c-1), c-1] lives at
+/// [(drow + r - 1) * (2c-1) + (dcol + c - 1)] and holds exactly the
+/// double LogWeight(drow, dcol) returns (both kernels take absolute
+/// values internally, so signed tabulation is bitwise identical to
+/// tabulating absolute deltas).
+class KernelStencil {
+ public:
+  KernelStencil() = default;
+
+  /// Tabulates `kernel` for an r x c grid. O(r*c) LogWeight calls —
+  /// rebuilt only when the grid shape changes (extension).
+  KernelStencil(std::size_t rows, std::size_t cols,
+                const DecayKernel& kernel);
+
+  bool Empty() const { return table_.empty(); }
+  std::size_t GridRows() const { return rows_; }
+  std::size_t GridCols() const { return cols_; }
+
+  /// True when the stencil was built for an r x c grid.
+  bool Matches(std::size_t rows, std::size_t cols) const {
+    return rows_ == rows && cols_ == cols;
+  }
+
+  /// LogWeight for the signed coordinate delta (drow, dcol).
+  double LogWeight(int drow, int dcol) const {
+    assert(!Empty());
+    assert(drow > -static_cast<int>(rows_) && drow < static_cast<int>(rows_));
+    assert(dcol > -static_cast<int>(cols_) && dcol < static_cast<int>(cols_));
+    const auto u = static_cast<std::size_t>(drow + static_cast<int>(rows_) - 1);
+    const auto v = static_cast<std::size_t>(dcol + static_cast<int>(cols_) - 1);
+    return table_[u * width_ + v];
+  }
+
+  /// Contiguous slice over all destination columns of one grid row:
+  /// RowSlice(drow, center_col)[j] == LogWeight(drow, j - center_col) for
+  /// j in [0, cols). `drow` is the signed row delta from the stencil
+  /// center, `center_col` the center cell's column. This is what the
+  /// transition matrix's fused row sweeps iterate over.
+  const double* RowSlice(int drow, std::size_t center_col) const {
+    assert(!Empty());
+    assert(drow > -static_cast<int>(rows_) && drow < static_cast<int>(rows_));
+    assert(center_col < cols_);
+    const auto u = static_cast<std::size_t>(drow + static_cast<int>(rows_) - 1);
+    return table_.data() + u * width_ + (cols_ - 1 - center_col);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t width_ = 0;       // 2 * cols_ - 1
+  std::vector<double> table_;   // (2*rows_-1) x width_, row-major
 };
 
 /// Kernel selection carried inside ModelConfig.

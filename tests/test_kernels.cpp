@@ -1,12 +1,42 @@
-// Tests for the decay kernels, including the exact Figure 5 weights.
+// Tests for the decay kernels, including the exact Figure 5 weights and
+// the bitwise contract of the precomputed log-weight stencil.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "grid/kernels.h"
 
 namespace pmcorr {
 namespace {
+
+// Bitwise double equality — the stencil must hold exactly the doubles
+// the kernel returns, not merely close ones.
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bitwise)";
+}
+
+// Every kernel the stencil must reproduce: the triangular kernel and the
+// exponential kernel under all three cell metrics.
+std::vector<std::unique_ptr<DecayKernel>> AllKernels() {
+  std::vector<std::unique_ptr<DecayKernel>> kernels;
+  kernels.push_back(std::make_unique<TriangularKernel>());
+  for (const CellMetric metric :
+       {CellMetric::kChebyshev, CellMetric::kManhattan,
+        CellMetric::kEuclidean}) {
+    kernels.push_back(std::make_unique<ExponentialKernel>(2.0, metric));
+    kernels.push_back(std::make_unique<ExponentialKernel>(1.5, metric));
+  }
+  return kernels;
+}
 
 TEST(CellDistance, Metrics) {
   EXPECT_DOUBLE_EQ(CellDistance(3, 4, CellMetric::kChebyshev), 4.0);
@@ -77,6 +107,55 @@ TEST(Kernels, SelfTransitionAlwaysMostProbable) {
     for (int dy = 0; dy <= 4; ++dy) {
       if (dx == 0 && dy == 0) continue;
       EXPECT_LT(kernel.Weight(dx, dy), kernel.Weight(0, 0));
+    }
+  }
+}
+
+TEST(KernelStencil, BitwiseEqualToDirectEvaluation) {
+  // Rectangular, square and degenerate (1 x n / n x 1 / 1 x 1) shapes.
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {3, 5}, {5, 3}, {4, 4}, {1, 7}, {7, 1}, {1, 1}};
+  for (const auto& kernel : AllKernels()) {
+    for (const auto& [rows, cols] : shapes) {
+      const KernelStencil stencil(rows, cols, *kernel);
+      ASSERT_TRUE(stencil.Matches(rows, cols));
+      for (int dr = -(static_cast<int>(rows) - 1);
+           dr <= static_cast<int>(rows) - 1; ++dr) {
+        for (int dc = -(static_cast<int>(cols) - 1);
+             dc <= static_cast<int>(cols) - 1; ++dc) {
+          // Signed and absolute deltas must agree with the kernel.
+          EXPECT_TRUE(BitEqual(stencil.LogWeight(dr, dc),
+                               kernel->LogWeight(dr, dc)))
+              << kernel->Describe() << " " << rows << "x" << cols << " ("
+              << dr << ", " << dc << ")";
+          EXPECT_TRUE(BitEqual(stencil.LogWeight(dr, dc),
+                               kernel->LogWeight(std::abs(dr),
+                                                 std::abs(dc))));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelStencil, RowSliceCoversAllDestinationColumns) {
+  // RowSlice(drow, center)[j] must equal LogWeight(drow, j - center) for
+  // every destination column j — the contiguous view the transition
+  // matrix's fused sweeps consume.
+  for (const auto& kernel : AllKernels()) {
+    const std::size_t rows = 3, cols = 5;
+    const KernelStencil stencil(rows, cols, *kernel);
+    for (int dr = -2; dr <= 2; ++dr) {
+      for (std::size_t center = 0; center < cols; ++center) {
+        const double* slice = stencil.RowSlice(dr, center);
+        for (std::size_t j = 0; j < cols; ++j) {
+          EXPECT_TRUE(BitEqual(
+              slice[j],
+              kernel->LogWeight(dr, static_cast<int>(j) -
+                                        static_cast<int>(center))))
+              << kernel->Describe() << " drow=" << dr
+              << " center=" << center << " j=" << j;
+        }
+      }
     }
   }
 }

@@ -3,8 +3,11 @@
 // behaviour.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <vector>
 
 #include "core/transition_matrix.h"
 #include "grid/grid.h"
@@ -16,6 +19,38 @@ namespace {
 Grid2D Grid3x3() {
   return Grid2D(IntervalList::Uniform(0.0, 3.0, 3),
                 IntervalList::Uniform(0.0, 3.0, 3));
+}
+
+bool BitEqual(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// Reference scoring oracle: the pre-stencil scalar arithmetic, operation
+// for operation, computed from the matrix's public accessors. The fused
+// and cached paths must reproduce it bitwise.
+struct OracleScore {
+  double probability = 0.0;
+  std::size_t rank = 0;
+};
+
+OracleScore Oracle(const TransitionMatrix& m, std::size_t from,
+                   std::size_t to) {
+  const std::size_t s = m.CellCount();
+  const auto w = [&](std::size_t j) {
+    return m.PriorLogW(from, j) + m.Evidence()[from * s + j];
+  };
+  double max_logw = w(0);
+  for (std::size_t j = 1; j < s; ++j) max_logw = std::max(max_logw, w(j));
+  double total = 0.0;
+  for (std::size_t j = 0; j < s; ++j) total += std::exp(w(j) - max_logw);
+  OracleScore out;
+  out.probability = std::exp(w(to) - max_logw) / total;
+  const double target = w(to);
+  out.rank = 1;
+  for (std::size_t j = 0; j < s; ++j) {
+    if (w(j) > target || (w(j) == target && j < to)) ++out.rank;
+  }
+  return out;
 }
 
 // The full 9x9 matrix printed in Figure 5 of the paper (percent).
@@ -217,6 +252,163 @@ TEST(TransitionDistanceHistogram, CountsByChebyshevDistance) {
   EXPECT_EQ(hist[0], 2u);
   EXPECT_EQ(hist[1], 1u);
   EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(TransitionMatrix, EmptyMatrixQueriesAreGuarded) {
+  // Regression: Probability/RowDistribution/ArgMax/RankOf used to read
+  // PosteriorLogW(from, 0) unconditionally — an out-of-bounds read on a
+  // default-constructed (cells_ == 0) matrix.
+  const TransitionMatrix matrix;
+  EXPECT_EQ(matrix.CellCount(), 0u);
+  EXPECT_EQ(matrix.Probability(0, 0), 0.0);
+  EXPECT_TRUE(matrix.RowDistribution(0).empty());
+  EXPECT_EQ(matrix.ArgMax(0), 0u);
+  EXPECT_EQ(matrix.RankOf(0, 0), 0u);
+  const TransitionScore score = matrix.ScoreTransition(0, 0);
+  EXPECT_EQ(score.probability, 0.0);
+  EXPECT_EQ(score.rank, 0u);
+}
+
+TEST(TransitionMatrix, ScoreTransitionMatchesSeparateQueriesBitwise) {
+  const Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  matrix.ObserveTransition(4, 1, grid, kernel, 0.7, 0.95);
+  matrix.ObserveTransition(4, 4, grid, kernel);
+  matrix.ObserveTransition(2, 0, grid, kernel, 1.3, 0.9);
+
+  for (std::size_t from = 0; from < matrix.CellCount(); ++from) {
+    for (std::size_t to = 0; to < matrix.CellCount(); ++to) {
+      const OracleScore expect = Oracle(matrix, from, to);
+      // First score after the writes: the cold fused pass.
+      const TransitionScore cold = matrix.ScoreTransition(from, to);
+      EXPECT_TRUE(BitEqual(cold.probability, expect.probability))
+          << from << "->" << to;
+      EXPECT_EQ(cold.rank, expect.rank) << from << "->" << to;
+      // Repeated scores: cached stats, then the sorted rank cache (the
+      // prior's rows are full of exact ties, exercising the tie-break).
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        const TransitionScore warm = matrix.ScoreTransition(from, to);
+        EXPECT_TRUE(BitEqual(warm.probability, expect.probability))
+            << from << "->" << to << " repeat " << repeat;
+        EXPECT_EQ(warm.rank, expect.rank)
+            << from << "->" << to << " repeat " << repeat;
+      }
+      // The unfused queries agree too.
+      EXPECT_TRUE(BitEqual(matrix.Probability(from, to),
+                           expect.probability));
+      EXPECT_EQ(matrix.RankOf(from, to), expect.rank);
+    }
+  }
+
+  // A write invalidates the row's caches.
+  matrix.ObserveTransition(4, 0, grid, kernel, 0.7, 0.95);
+  const OracleScore expect = Oracle(matrix, 4, 0);
+  const TransitionScore after = matrix.ScoreTransition(4, 0);
+  EXPECT_TRUE(BitEqual(after.probability, expect.probability));
+  EXPECT_EQ(after.rank, expect.rank);
+}
+
+TEST(TransitionMatrix, PriorAndStencilTrackGridExtension) {
+  // After ExtendToInclude + ApplyExtension the stencil must match the
+  // grown shape and every prior entry must equal direct kernel
+  // evaluation bitwise — for both kernels and all three metrics.
+  KernelConfig configs[4];
+  configs[0].type = KernelConfig::Type::kTriangular;
+  for (int i = 1; i < 4; ++i) {
+    configs[i].type = KernelConfig::Type::kExponential;
+    configs[i].w = 2.0;
+  }
+  configs[1].metric = CellMetric::kChebyshev;
+  configs[2].metric = CellMetric::kManhattan;
+  configs[3].metric = CellMetric::kEuclidean;
+
+  for (const KernelConfig& config : configs) {
+    const auto kernel = MakeKernel(config);
+    // Degenerate 1 x 4 start: extensions may grow either dimension.
+    Grid2D grid(IntervalList::Uniform(0.0, 1.0, 1),
+                IntervalList::Uniform(0.0, 4.0, 4));
+    TransitionMatrix matrix = TransitionMatrix::Prior(grid, *kernel);
+    matrix.ObserveTransition(1, 2, grid, *kernel);
+
+    const std::size_t old_cols = grid.Cols();
+    const auto ext = grid.ExtendToInclude({-0.8, 4.3}, 2.0, 2.0);
+    ASSERT_TRUE(ext.has_value());
+    ASSERT_FALSE(ext->Empty());
+    matrix.ApplyExtension(*ext, old_cols, grid, *kernel);
+
+    ASSERT_TRUE(matrix.Stencil().Matches(grid.Rows(), grid.Cols()));
+    ASSERT_EQ(matrix.CellCount(), grid.CellCount());
+    for (std::size_t i = 0; i < matrix.CellCount(); ++i) {
+      const CellCoord ci = grid.CoordOf(i);
+      for (std::size_t j = 0; j < matrix.CellCount(); ++j) {
+        const CellCoord cj = grid.CoordOf(j);
+        EXPECT_TRUE(BitEqual(matrix.PriorLogW(i, j),
+                             kernel->LogWeight(std::abs(ci.i1 - cj.i1),
+                                               std::abs(ci.i2 - cj.i2))))
+            << kernel->Describe() << " (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(TransitionMatrix, ExtensionBackfillWithForgetting) {
+  // The backfill reconstructs a new column's evidence from the row's
+  // empirical counts: likelihood_weight * sum(count_d * logw(d, new)),
+  // summed in ascending destination order. Pin it bitwise for a
+  // forgetting < 1 history (the reconstruction is approximate w.r.t.
+  // what Eq. (2) would have accumulated, but exactly defined).
+  Grid2D grid = Grid3x3();
+  const TriangularKernel kernel;
+  TransitionMatrix matrix = TransitionMatrix::Prior(grid, kernel);
+  const double weight = 0.7, forgetting = 0.9;
+  matrix.ObserveTransition(4, 1, grid, kernel, weight, forgetting);
+  matrix.ObserveTransition(4, 1, grid, kernel, weight, forgetting);
+  matrix.ObserveTransition(4, 4, grid, kernel, weight, forgetting);
+  matrix.ObserveTransition(2, 0, grid, kernel, weight, forgetting);
+
+  // Old-grid counts per row, before the extension remaps them.
+  const std::vector<std::uint32_t> old_counts = matrix.Counts();
+  const std::size_t old_cells = matrix.CellCount();
+
+  const std::size_t old_cols = grid.Cols();
+  const auto ext = grid.ExtendToInclude({3.4, 1.5}, 3.0, 3.0);
+  ASSERT_TRUE(ext.has_value());
+  ASSERT_FALSE(ext->Empty());
+  matrix.ApplyExtension(*ext, old_cols, grid, kernel, weight);
+
+  std::vector<bool> is_old(grid.CellCount(), false);
+  for (std::size_t i = 0; i < old_cells; ++i) {
+    is_old[Grid2D::RemapIndex(i, old_cols, *ext)] = true;
+  }
+  const std::size_t s = matrix.CellCount();
+  for (std::size_t i = 0; i < old_cells; ++i) {
+    const std::size_t ni = Grid2D::RemapIndex(i, old_cols, *ext);
+    for (std::size_t nj = 0; nj < s; ++nj) {
+      if (is_old[nj]) continue;
+      // Reference sum in the pinned order: ascending old destination.
+      double evidence = 0.0;
+      bool any = false;
+      for (std::size_t j = 0; j < old_cells; ++j) {
+        const std::uint32_t c = old_counts[i * old_cells + j];
+        if (c == 0) continue;
+        any = true;
+        const CellCoord cd =
+            grid.CoordOf(Grid2D::RemapIndex(j, old_cols, *ext));
+        const CellCoord cn = grid.CoordOf(nj);
+        evidence += static_cast<double>(c) *
+                    kernel.LogWeight(std::abs(cd.i1 - cn.i1),
+                                     std::abs(cd.i2 - cn.i2));
+      }
+      const double expected = any ? weight * evidence : 0.0;
+      EXPECT_TRUE(BitEqual(matrix.Evidence()[ni * s + nj], expected))
+          << "row " << ni << " new col " << nj;
+      // And the backfilled column must not outrank real history.
+      if (any) {
+        EXPECT_GT(matrix.RankOf(ni, nj), 1u);
+      }
+    }
+  }
 }
 
 TEST(TransitionMatrix, RestoreStateRejectsWrongSizes) {
