@@ -98,6 +98,8 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::vector<double> quotients_;    // AddAll pass-one scratch
+  std::vector<std::size_t> banks_;   // AddAll banked-counter scratch
 };
 
 }  // namespace pmcorr

@@ -74,8 +74,24 @@ class PairModel {
   /// from the two value vectors (equal, non-zero length), sets the
   /// kernel-shaped prior and replays the history transitions through the
   /// Bayesian update. This is the "Learn" box of Figure 6.
+  ///
+  /// Compile-then-replay pipeline (see docs/model.md "Learn pipeline"):
+  /// one pass maps the history to a cell-index transition sequence
+  /// (hinted interval lookups exploit the paper's transition locality),
+  /// then TransitionMatrix::ReplayTransitions replays the sequence
+  /// bucketed by source row — bitwise identical to LearnSequential, and
+  /// parallelizable within the pair via `runner` (empty = serial).
   static PairModel Learn(std::span<const double> x, std::span<const double> y,
-                         const ModelConfig& config);
+                         const ModelConfig& config,
+                         const ParallelRunner& runner = {});
+
+  /// The pre-pipeline reference implementation: walks the history and
+  /// feeds ObserveTransition one sample at a time. Kept as the oracle
+  /// for the Learn differential tests and the model-building benchmark
+  /// A/B; produces bit-identical models to Learn.
+  static PairModel LearnSequential(std::span<const double> x,
+                                   std::span<const double> y,
+                                   const ModelConfig& config);
 
   /// Processes one online observation (the "Data -> model" loop of
   /// Figure 6): locates the cell (growing the boundary when the point is
@@ -108,6 +124,16 @@ class PairModel {
                              TransitionMatrix matrix);
 
  private:
+  /// Shared front half of Learn/LearnSequential: history validation, gap
+  /// filtering, grid + kernel + prior construction. Sets `gap_free` when
+  /// both inputs were entirely finite — Learn's compile loop then takes
+  /// a branch-light path (every adjacent sample pair is a transition,
+  /// and no sample can fall outside a grid spanning the history's own
+  /// min/max plus padding).
+  static PairModel InitFromHistory(std::span<const double> x,
+                                   std::span<const double> y,
+                                   const ModelConfig& config, bool& gap_free);
+
   ModelConfig config_;
   std::shared_ptr<const DecayKernel> kernel_;
   Grid2D grid_;

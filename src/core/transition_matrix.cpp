@@ -181,6 +181,22 @@ void TransitionMatrix::ObserveTransition(std::size_t from,
   assert(stencil_.Matches(grid.Rows(), grid.Cols()));
   (void)grid;
   (void)kernel;  // the stencil tabulated this kernel at Prior() time
+  UpdateRowEvidence(from, observed, weight, forgetting);
+  ++observed_;
+  InvalidateRow(from);
+}
+
+void TransitionMatrix::ObserveTransitionStencil(std::size_t from,
+                                                std::size_t observed,
+                                                const Grid2D& grid,
+                                                const DecayKernel& kernel,
+                                                double weight,
+                                                double forgetting) {
+  assert(from < cells_ && observed < cells_);
+  assert(grid.CellCount() == cells_);
+  assert(stencil_.Matches(grid.Rows(), grid.Cols()));
+  (void)grid;
+  (void)kernel;  // the stencil tabulated this kernel at Prior() time
   const int oi = static_cast<int>(observed / cols_);
   const std::size_t oj = observed % cols_;
   double* e = evidence_.data() + from * cells_;
@@ -194,6 +210,184 @@ void TransitionMatrix::ObserveTransition(std::size_t from,
   ++counts_[from * cells_ + observed];
   ++observed_;
   InvalidateRow(from);
+}
+
+namespace {
+
+// One bucket of the replay: applies every destination in `dests` to
+// evidence row `e` in arrival order, with the same weight/forgetting
+// specializations as UpdateRowEvidence (hoisted out of the transition
+// loop — they are constant across a replay).
+// The bucket loop consumes four transitions per sweep: applying four
+// updates to element c as one parenthesized left-to-right chain performs
+// exactly the roundings of four single-transition sweeps (the compiler
+// may not reassociate FP without fast-math), while storing the evidence
+// row once instead of four times and keeping four prior-row streams in
+// flight — the sweep is memory-bound on the prior table, not on FP adds.
+__attribute__((always_inline)) inline void ReplayRowBody(
+    double* e, const double* prior, std::size_t cells,
+    const std::uint32_t* dests, std::size_t n, std::uint32_t* row_counts,
+    double weight, double forgetting) {
+  std::size_t k = 0;
+  if (forgetting == 1.0 && weight == 1.0) {
+    for (; k + 4 <= n; k += 4) {
+      const double* p0 = prior + dests[k] * cells;
+      const double* p1 = prior + dests[k + 1] * cells;
+      const double* p2 = prior + dests[k + 2] * cells;
+      const double* p3 = prior + dests[k + 3] * cells;
+      for (std::size_t c = 0; c < cells; ++c) {
+        e[c] = (((e[c] + p0[c]) + p1[c]) + p2[c]) + p3[c];
+      }
+      ++row_counts[dests[k]];
+      ++row_counts[dests[k + 1]];
+      ++row_counts[dests[k + 2]];
+      ++row_counts[dests[k + 3]];
+    }
+    for (; k < n; ++k) {
+      const double* p = prior + dests[k] * cells;
+      for (std::size_t c = 0; c < cells; ++c) e[c] += p[c];
+      ++row_counts[dests[k]];
+    }
+  } else if (forgetting == 1.0) {
+    for (; k + 4 <= n; k += 4) {
+      const double* p0 = prior + dests[k] * cells;
+      const double* p1 = prior + dests[k + 1] * cells;
+      const double* p2 = prior + dests[k + 2] * cells;
+      const double* p3 = prior + dests[k + 3] * cells;
+      for (std::size_t c = 0; c < cells; ++c) {
+        e[c] = (((e[c] + weight * p0[c]) + weight * p1[c]) + weight * p2[c]) +
+               weight * p3[c];
+      }
+      ++row_counts[dests[k]];
+      ++row_counts[dests[k + 1]];
+      ++row_counts[dests[k + 2]];
+      ++row_counts[dests[k + 3]];
+    }
+    for (; k < n; ++k) {
+      const double* p = prior + dests[k] * cells;
+      for (std::size_t c = 0; c < cells; ++c) e[c] += weight * p[c];
+      ++row_counts[dests[k]];
+    }
+  } else {
+    for (; k + 4 <= n; k += 4) {
+      const double* p0 = prior + dests[k] * cells;
+      const double* p1 = prior + dests[k + 1] * cells;
+      const double* p2 = prior + dests[k + 2] * cells;
+      const double* p3 = prior + dests[k + 3] * cells;
+      for (std::size_t c = 0; c < cells; ++c) {
+        double v = e[c] * forgetting + weight * p0[c];
+        v = v * forgetting + weight * p1[c];
+        v = v * forgetting + weight * p2[c];
+        e[c] = v * forgetting + weight * p3[c];
+      }
+      ++row_counts[dests[k]];
+      ++row_counts[dests[k + 1]];
+      ++row_counts[dests[k + 2]];
+      ++row_counts[dests[k + 3]];
+    }
+    for (; k < n; ++k) {
+      const double* p = prior + dests[k] * cells;
+      for (std::size_t c = 0; c < cells; ++c) {
+        e[c] = e[c] * forgetting + weight * p[c];
+      }
+      ++row_counts[dests[k]];
+    }
+  }
+}
+
+
+using ReplayRowFn = void (*)(double*, const double*, std::size_t,
+                             const std::uint32_t*, std::size_t,
+                             std::uint32_t*, double, double);
+
+void ReplayRowDefault(double* e, const double* prior, std::size_t cells,
+                      const std::uint32_t* dests, std::size_t n,
+                      std::uint32_t* row_counts, double weight,
+                      double forgetting) {
+  ReplayRowBody(e, prior, cells, dests, n, row_counts, weight, forgetting);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+// Wider-vector clones of the same body. The sweeps are element-wise, so
+// each e[c] sees exactly the same operations in the same order at any
+// vector width; and this translation unit builds with -ffp-contract=off
+// (see CMakeLists.txt) so the AVX-512 embedded-FMA forms cannot fuse
+// e*f + w*p into a single rounding — results are bitwise identical to
+// the baseline build, per the docs/kernels.md arithmetic-order
+// contract. Selected once per process by CPU probe.
+__attribute__((target("avx"))) void ReplayRowAvx(
+    double* e, const double* prior, std::size_t cells,
+    const std::uint32_t* dests, std::size_t n, std::uint32_t* row_counts,
+    double weight, double forgetting) {
+  ReplayRowBody(e, prior, cells, dests, n, row_counts, weight, forgetting);
+}
+
+__attribute__((target("avx512f"))) void ReplayRowAvx512(
+    double* e, const double* prior, std::size_t cells,
+    const std::uint32_t* dests, std::size_t n, std::uint32_t* row_counts,
+    double weight, double forgetting) {
+  ReplayRowBody(e, prior, cells, dests, n, row_counts, weight, forgetting);
+}
+
+ReplayRowFn SelectReplayRowFn() {
+  if (__builtin_cpu_supports("avx512f")) return ReplayRowAvx512;
+  if (__builtin_cpu_supports("avx")) return ReplayRowAvx;
+  return ReplayRowDefault;
+}
+#else
+ReplayRowFn SelectReplayRowFn() { return ReplayRowDefault; }
+#endif
+
+const ReplayRowFn kReplayRowFn = SelectReplayRowFn();
+
+}  // namespace
+
+void TransitionMatrix::ReplayTransitions(
+    std::span<const Transition> transitions, double weight, double forgetting,
+    const ParallelRunner& runner) {
+  if (transitions.empty()) return;
+  const std::size_t n = transitions.size();
+#ifndef NDEBUG
+  for (const Transition& t : transitions) {
+    assert(t.from < cells_ && t.to < cells_);
+  }
+#endif
+
+  // Counting-sort the destinations into per-source-row buckets, keeping
+  // each bucket in original arrival order. offsets_[row] .. offsets_[row
+  // + 1) indexes the row's destinations in `dests`.
+  std::vector<std::size_t> offsets(cells_ + 1, 0);
+  for (const Transition& t : transitions) ++offsets[t.from + 1];
+  for (std::size_t i = 1; i <= cells_; ++i) offsets[i] += offsets[i - 1];
+  std::vector<std::uint32_t> dests(n);
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Transition& t : transitions) dests[cursor[t.from]++] = t.to;
+  }
+  std::vector<std::uint32_t> active;
+  active.reserve(cells_);
+  for (std::size_t row = 0; row < cells_; ++row) {
+    if (offsets[row] != offsets[row + 1]) {
+      active.push_back(static_cast<std::uint32_t>(row));
+    }
+  }
+
+  // Replay each bucket in order. Buckets touch disjoint evidence/count
+  // rows, so any schedule over `active` — including a parallel one —
+  // produces the exact bits of the sequential ObserveTransition loop.
+  const auto replay_row = [&](std::size_t a) {
+    const std::size_t row = active[a];
+    kReplayRowFn(evidence_.data() + row * cells_, prior_logw_.data(), cells_,
+                 dests.data() + offsets[row], offsets[row + 1] - offsets[row],
+                 counts_.data() + row * cells_, weight, forgetting);
+    InvalidateRow(row);
+  };
+  if (runner) {
+    runner(active.size(), replay_row);
+  } else {
+    for (std::size_t a = 0; a < active.size(); ++a) replay_row(a);
+  }
+  observed_ += n;
 }
 
 std::size_t TransitionMatrix::RankOf(std::size_t from, std::size_t to) const {

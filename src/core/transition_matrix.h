@@ -21,10 +21,15 @@
 // Hot-path layout (see docs/kernels.md for the full contract):
 //  * All kernel evaluations go through a KernelStencil — a
 //    (2r-1) x (2c-1) log-weight table built once per grid shape — so
-//    Prior, ObserveTransition and ApplyExtension's backfill are
-//    contiguous table reads / fused multiply-adds over row-major
-//    slices, with no virtual dispatch or index->coordinate division in
-//    the inner loops.
+//    Prior and ApplyExtension's backfill are contiguous table reads /
+//    fused multiply-adds over row-major slices, with no virtual
+//    dispatch or index->coordinate division in the inner loops.
+//  * The Eq. (2) likelihood vector for an observed destination d is the
+//    kernel centered at d — which is, bitwise, prior row d (Prior
+//    copies the same stencil slices). ObserveTransition and the batch
+//    ReplayTransitions therefore update a row with one flat s-element
+//    sweep over two contiguous arrays (evidence row + prior row), with
+//    no per-grid-row slice arithmetic at all.
 //  * Scoring reads are served by per-row caches (row max, sum of
 //    exponentials, and lazily a sorted copy for rank queries),
 //    invalidated whenever the row's evidence changes. The cached values
@@ -38,6 +43,8 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -45,6 +52,25 @@
 #include "grid/kernels.h"
 
 namespace pmcorr {
+
+/// One observed cell-to-cell transition in a compiled history sequence
+/// (see PairModel::Learn and TransitionMatrix::ReplayTransitions).
+struct Transition {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+
+  friend constexpr bool operator==(Transition, Transition) = default;
+};
+
+/// Optional fork/join hook for batch operations that decompose into
+/// independent tasks: invoked as runner(count, fn), it must call fn(i)
+/// exactly once for every i in [0, count) and return only after all
+/// calls completed (any schedule, any threads). An empty runner means a
+/// plain serial loop. ThreadPool::ParallelFor satisfies this contract —
+/// the engine wraps it in a lambda so core stays free of a thread-pool
+/// dependency.
+using ParallelRunner =
+    std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
 
 /// Result of the fused scoring scan over one matrix row: the normalized
 /// transition probability and the paper's 1-based rank, computed in a
@@ -87,6 +113,32 @@ class TransitionMatrix {
   void ObserveTransition(std::size_t from, std::size_t observed,
                          const Grid2D& grid, const DecayKernel& kernel,
                          double weight = 1.0, double forgetting = 1.0);
+
+  /// The pre-replay-pipeline form of ObserveTransition, retained
+  /// verbatim: walks the kernel stencil one grid-row slice at a time and
+  /// applies the unspecialized Eq. (2) update e = e * forgetting +
+  /// weight * lw to every entry. Produces bitwise-identical matrices to
+  /// ObserveTransition (the flat sweep reads prior row `observed`, which
+  /// holds the same stencil bits), but through an independent code path —
+  /// which is exactly why it stays: it is the oracle the Learn
+  /// differential tests pin ReplayTransitions against, and the faithful
+  /// "A" side of the model-building benchmark.
+  void ObserveTransitionStencil(std::size_t from, std::size_t observed,
+                                const Grid2D& grid, const DecayKernel& kernel,
+                                double weight = 1.0, double forgetting = 1.0);
+
+  /// Batch form of ObserveTransition for history replay: bitwise
+  /// identical to calling ObserveTransition(t.from, t.to, ...) for every
+  /// element of `transitions` in order, but bucketed by source row
+  /// first. Row updates touch disjoint evidence/count memory, so
+  /// replaying each bucket in its original arrival order reproduces the
+  /// sequential result exactly (the docs/kernels.md arithmetic-order
+  /// contract) while keeping each row cache-resident — and making the
+  /// buckets independently schedulable: pass `runner` (e.g. a
+  /// ThreadPool::ParallelFor wrapper) to replay rows in parallel.
+  void ReplayTransitions(std::span<const Transition> transitions,
+                         double weight = 1.0, double forgetting = 1.0,
+                         const ParallelRunner& runner = {});
 
   /// The paper's ranking function π over row `from`: rank 1 is the most
   /// probable destination. Ties break toward the lower cell index, making
@@ -160,6 +212,36 @@ class TransitionMatrix {
 
   double PosteriorLogW(std::size_t from, std::size_t to) const {
     return prior_logw_[from * cells_ + to] + evidence_[from * cells_ + to];
+  }
+
+  /// The shared Eq. (2) row update (evidence sweep + count bump) of
+  /// ObserveTransition and ReplayTransitions; does not touch observed_
+  /// or the row cache. The kernel log weights centered at `observed`
+  /// are, bitwise, prior row `observed` (Prior copied the very same
+  /// stencil slices), so the update is one flat sweep over two
+  /// contiguous s-element arrays. The weight/forgetting == 1.0
+  /// specializations drop the respective multiply; x * 1.0 == x and
+  /// 1.0 * y == y exactly in IEEE arithmetic, so every branch produces
+  /// identical bits (the golden traces pin that). Defined inline so the
+  /// per-transition replay loop keeps the branch selection and the
+  /// member-pointer loads out of the hot path (they are loop-invariant
+  /// once inlined).
+  void UpdateRowEvidence(std::size_t from, std::size_t observed,
+                         double weight, double forgetting) {
+    double* e = evidence_.data() + from * cells_;
+    const double* p = prior_logw_.data() + observed * cells_;
+    if (forgetting == 1.0) {
+      if (weight == 1.0) {
+        for (std::size_t c = 0; c < cells_; ++c) e[c] += p[c];
+      } else {
+        for (std::size_t c = 0; c < cells_; ++c) e[c] += weight * p[c];
+      }
+    } else {
+      for (std::size_t c = 0; c < cells_; ++c) {
+        e[c] = e[c] * forgetting + weight * p[c];
+      }
+    }
+    ++counts_[from * cells_ + observed];
   }
 
   /// Fills (if stale) and returns row `from`'s (max, sum-exp) cache,

@@ -104,7 +104,8 @@ SystemSnapshot SystemMonitor::Step(std::span<const double> values,
   snap.time = tp;
   snap.pair_scores.resize(graph_.PairCount());
 
-  std::vector<StepOutcome> outcomes(graph_.PairCount());
+  step_scratch_.assign(graph_.PairCount(), StepOutcome{});
+  std::vector<StepOutcome>& outcomes = step_scratch_;
   pool_.ParallelFor(graph_.PairCount(), [&](std::size_t i) {
     const PairId& pair = graph_.Pair(i);
     outcomes[i] = models_[i].Step(

@@ -152,6 +152,10 @@ class SystemMonitor {
   ScoreAverager system_avg_;
   AlarmLog alarm_log_;
   std::size_t steps_ = 0;
+
+  /// Step()'s per-call outcome buffer, reused across samples so the
+  /// sample-major loop doesn't allocate pair_count outcomes per sample.
+  std::vector<StepOutcome> step_scratch_;
 };
 
 }  // namespace pmcorr

@@ -1,5 +1,6 @@
 #include "engine/retrainer.h"
 
+#include <utility>
 #include <vector>
 
 namespace pmcorr {
@@ -15,9 +16,26 @@ RollingPairRetrainer::RollingPairRetrainer(
     window_x_.push_back(x[i]);
     window_y_.push_back(y[i]);
   }
+  if (config_.background) {
+    worker_ = std::thread(&RollingPairRetrainer::WorkerLoop, this);
+  }
+}
+
+RollingPairRetrainer::~RollingPairRetrainer() {
+  if (worker_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    worker_.join();
+  }
 }
 
 StepOutcome RollingPairRetrainer::Step(double x, double y) {
+  // Adopt a finished background rebuild before scoring, so the sample is
+  // judged by exactly one model and the swap lands on a sample boundary.
+  if (config_.background) AdoptPendingIfReady();
   const StepOutcome out = model_.Step(x, y);
   window_x_.push_back(x);
   window_y_.push_back(y);
@@ -33,11 +51,71 @@ StepOutcome RollingPairRetrainer::Step(double x, double y) {
 void RollingPairRetrainer::MaybeRebuild() {
   if (since_rebuild_ < config_.interval_samples) return;
   if (window_x_.size() < config_.min_samples) return;
-  const std::vector<double> xs(window_x_.begin(), window_x_.end());
-  const std::vector<double> ys(window_y_.begin(), window_y_.end());
-  model_ = PairModel::Learn(xs, ys, model_config_);
+  if (!config_.background) {
+    const std::vector<double> xs(window_x_.begin(), window_x_.end());
+    const std::vector<double> ys(window_y_.begin(), window_y_.end());
+    model_ = PairModel::Learn(xs, ys, model_config_);
+    since_rebuild_ = 0;
+    ++rebuilds_;
+    return;
+  }
+  // Background mode: hand the worker a snapshot of the window. At most
+  // one rebuild is in flight or awaiting adoption — if the cadence fires
+  // again before then, keep deferring to the next Step (since_rebuild_
+  // stays past the interval, so this re-checks every sample).
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (job_ready_ || busy_ || pending_) return;
+    job_x_.assign(window_x_.begin(), window_x_.end());
+    job_y_.assign(window_y_.begin(), window_y_.end());
+    job_ready_ = true;
+  }
+  job_cv_.notify_one();
   since_rebuild_ = 0;
+}
+
+void RollingPairRetrainer::AdoptPendingIfReady() {
+  std::unique_ptr<PairModel> fresh;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fresh = std::move(pending_);
+  }
+  if (!fresh) return;
+  model_ = std::move(*fresh);
   ++rebuilds_;
+}
+
+bool RollingPairRetrainer::RebuildInFlight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return job_ready_ || busy_;
+}
+
+void RollingPairRetrainer::WaitForPendingRebuild() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return !job_ready_ && !busy_; });
+}
+
+void RollingPairRetrainer::WorkerLoop() {
+  for (;;) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] { return stop_ || job_ready_; });
+      if (stop_) return;
+      job_ready_ = false;
+      busy_ = true;
+      xs = std::move(job_x_);
+      ys = std::move(job_y_);
+    }
+    PairModel fresh = PairModel::Learn(xs, ys, model_config_);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      pending_ = std::make_unique<PairModel>(std::move(fresh));
+      busy_ = false;
+    }
+    done_cv_.notify_all();
+  }
 }
 
 }  // namespace pmcorr

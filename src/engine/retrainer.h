@@ -11,8 +11,13 @@
 // fixed cadence.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "common/time.h"
 #include "core/model.h"
@@ -27,14 +32,36 @@ struct RetrainerConfig {
   std::size_t interval_samples = static_cast<std::size_t>(kSamplesPerDay);
   /// Never rebuild from fewer buffered samples than this.
   std::size_t min_samples = static_cast<std::size_t>(kSamplesPerDay) / 2;
+  /// When set, rebuilds run on a background thread and the finished
+  /// model is swapped in at the next Step boundary, so no Step ever
+  /// pays the full model-building cost inline. When clear (default),
+  /// rebuilds run synchronously inside the Step that fires the cadence
+  /// — deterministic, for tests and batch replays.
+  bool background = false;
 };
 
+/// Rolling re-initialization with an optional double-buffered background
+/// rebuild. In background mode the cadence Step snapshots the window and
+/// hands it to a worker thread; the worker learns a fresh model off the
+/// hot path while Step keeps serving the current one, and the completed
+/// model is adopted at the start of a later Step (a sample boundary —
+/// the swap is never observable mid-score). One rebuild is in flight at
+/// a time; if the cadence fires while one is running, the request is
+/// deferred to the next Step after it finishes. Rebuilds() counts
+/// adoptions, so a count of k means the serving model has been replaced
+/// k times regardless of mode.
 class RollingPairRetrainer {
  public:
   /// Learns the initial model from (x, y) and seeds the window with it.
   RollingPairRetrainer(std::span<const double> x, std::span<const double> y,
                        const ModelConfig& model_config,
                        const RetrainerConfig& retrainer_config = {});
+
+  /// Joins the background worker, abandoning any rebuild in flight.
+  ~RollingPairRetrainer();
+
+  RollingPairRetrainer(const RollingPairRetrainer&) = delete;
+  RollingPairRetrainer& operator=(const RollingPairRetrainer&) = delete;
 
   /// Forwards to the current model, buffers the sample, and rebuilds the
   /// model from the window when the cadence fires. Missing (non-finite)
@@ -43,14 +70,24 @@ class RollingPairRetrainer {
 
   const PairModel& Model() const { return model_; }
 
-  /// Completed rebuilds so far.
+  /// Completed rebuilds so far (adoptions, in background mode).
   std::size_t Rebuilds() const { return rebuilds_; }
 
   /// Samples currently in the sliding window.
   std::size_t WindowSize() const { return window_x_.size(); }
 
+  /// True while a background rebuild is queued or running.
+  bool RebuildInFlight() const;
+
+  /// Test hook: blocks until the background worker is idle (any queued
+  /// or running rebuild has produced its pending model). The model is
+  /// still only adopted by the next Step. No-op in synchronous mode.
+  void WaitForPendingRebuild();
+
  private:
   void MaybeRebuild();
+  void AdoptPendingIfReady();
+  void WorkerLoop();
 
   ModelConfig model_config_;
   RetrainerConfig config_;
@@ -59,6 +96,18 @@ class RollingPairRetrainer {
   std::deque<double> window_y_;
   std::size_t since_rebuild_ = 0;
   std::size_t rebuilds_ = 0;
+
+  // Background-rebuild state; everything below mu_ is guarded by it.
+  mutable std::mutex mu_;
+  std::condition_variable job_cv_;   // wakes the worker
+  std::condition_variable done_cv_;  // wakes WaitForPendingRebuild
+  bool stop_ = false;
+  bool job_ready_ = false;
+  bool busy_ = false;
+  std::vector<double> job_x_;
+  std::vector<double> job_y_;
+  std::unique_ptr<PairModel> pending_;  // finished rebuild awaiting adoption
+  std::thread worker_;                  // running only in background mode
 };
 
 }  // namespace pmcorr

@@ -32,6 +32,15 @@ std::optional<std::size_t> Grid2D::CellOf(Point2 p) const {
   return i1 * Cols() + i2;
 }
 
+std::optional<std::size_t> Grid2D::CellOf(Point2 p, std::size_t hint) const {
+  if (hint >= CellCount()) return CellOf(p);
+  const std::size_t i1 = dim1_.IndexOf(p.x, hint / Cols());
+  if (i1 == IntervalList::npos) return std::nullopt;
+  const std::size_t i2 = dim2_.IndexOf(p.y, hint % Cols());
+  if (i2 == IntervalList::npos) return std::nullopt;
+  return i1 * Cols() + i2;
+}
+
 CellCoord Grid2D::CoordOf(std::size_t index) const {
   assert(index < CellCount());
   return CellCoord{static_cast<int>(index / Cols()),

@@ -64,6 +64,13 @@ class Grid2D {
   /// grid boundary.
   std::optional<std::size_t> CellOf(Point2 p) const;
 
+  /// CellOf with a locality hint — `hint` is a cell index whose
+  /// per-dimension intervals are tried first (see
+  /// IntervalList::IndexOf(x, hint)). Returns exactly what CellOf(p)
+  /// returns; callers pass the previous observation's cell to exploit
+  /// the paper's self-/neighbor-transition locality.
+  std::optional<std::size_t> CellOf(Point2 p, std::size_t hint) const;
+
   /// Grid coordinates of cell `index`.
   CellCoord CoordOf(std::size_t index) const;
 

@@ -8,6 +8,10 @@
 
 #include "common/stats.h"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace pmcorr {
 namespace {
 
@@ -68,6 +72,69 @@ void EnforceMaxSegments(std::vector<Segment>& segments, std::size_t cap) {
   }
 }
 
+// minmax_element replacement for the bulk scan: value min/max folds
+// branchlessly (min/max instructions) where the iterator-tracking
+// std::minmax_element cannot, and two lanes at a time with SSE2.
+// minmax_element keeps the FIRST minimum and the LAST maximum; among
+// finite doubles only zero has two bit patterns, so a rare fixup rescan
+// on a zero extremum reproduces its exact bits (the grid bounds are
+// serialized — the sign of zero must not depend on which scan found
+// it). Callers pass NaN-filtered histories; a NaN would poison either
+// scan the same way it poisons minmax_element.
+std::pair<double, double> MinMax(std::span<const double> values) {
+  double mn = values[0];
+  double mx = values[0];
+#if defined(__SSE2__)
+  // The lane-parallel fold visits elements in a different order than a
+  // scalar scan, which for finite inputs can only change the *bit
+  // pattern* of a zero extremum (min/max values are order-independent);
+  // the fixup below restores minmax_element's choice. The compiler will
+  // not vectorize an FP min/max reduction on its own — IEEE NaN and
+  // signed-zero rules forbid it — so this is done by hand.
+  if (values.size() >= 4) {
+    __m128d vmn = _mm_set1_pd(values[0]);
+    __m128d vmx = vmn;
+    std::size_t i = 1;
+    for (; i + 2 <= values.size(); i += 2) {
+      const __m128d v = _mm_loadu_pd(values.data() + i);
+      vmn = _mm_min_pd(vmn, v);
+      vmx = _mm_max_pd(vmx, v);
+    }
+    mn = std::min(_mm_cvtsd_f64(vmn),
+                  _mm_cvtsd_f64(_mm_unpackhi_pd(vmn, vmn)));
+    mx = std::max(_mm_cvtsd_f64(vmx),
+                  _mm_cvtsd_f64(_mm_unpackhi_pd(vmx, vmx)));
+    for (; i < values.size(); ++i) {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
+  } else
+#endif
+  {
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
+  }
+  if (mn == 0.0) {
+    for (double v : values) {
+      if (v == 0.0) {
+        mn = v;
+        break;
+      }
+    }
+  }
+  if (mx == 0.0) {
+    for (std::size_t i = values.size(); i-- > 0;) {
+      if (values[i] == 0.0) {
+        mx = values[i];
+        break;
+      }
+    }
+  }
+  return {mn, mx};
+}
+
 }  // namespace
 
 IntervalList PartitionDimension(std::span<const double> values,
@@ -75,9 +142,9 @@ IntervalList PartitionDimension(std::span<const double> values,
   assert(!values.empty());
   assert(config.units >= 2);
 
-  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
-  double lo = *min_it;
-  double hi = *max_it;
+  const auto [lo_v, hi_v] = MinMax(values);
+  double lo = lo_v;
+  double hi = hi_v;
   if (hi <= lo) {
     // Degenerate (constant) dimension: one symmetric band around the value.
     const double pad = std::max(std::fabs(lo) * 0.05, 0.5);
