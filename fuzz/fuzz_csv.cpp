@@ -1,0 +1,27 @@
+// Fuzz target for the trace CSV parser. Contract: every byte stream
+// either yields a well-formed MeasurementFrame or throws
+// std::runtime_error — NaN cells are legal (missing-sample marker),
+// infinities and overflowing timestamp headers are not.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/csv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(text);
+    const pmcorr::MeasurementFrame frame = pmcorr::ReadFrameCsv(in);
+    // Touch what a consumer would: the frame must be internally
+    // consistent enough to walk.
+    for (std::size_t t = 0; t < frame.SampleCount(); ++t) {
+      (void)frame.TimeAt(t);
+    }
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fuzz target for the snapshot-stream JSONL parser, with a round-trip
+// oracle: whatever the strict parser accepts must re-serialize and
+// re-parse to the identical snapshot stream (the writer and reader pin
+// each other down — %.17g printing and from_chars parsing are inverse
+// bijections on finite doubles).
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/monitor_io.h"
+
+namespace {
+
+bool Same(const pmcorr::SystemSnapshot& a, const pmcorr::SystemSnapshot& b) {
+  return a.sample == b.sample && a.time == b.time &&
+         a.system_score == b.system_score &&
+         a.pair_scores == b.pair_scores &&
+         a.measurement_scores == b.measurement_scores &&
+         a.alarmed_pairs == b.alarmed_pairs &&
+         a.outlier_pairs == b.outlier_pairs &&
+         a.extended_pairs == b.extended_pairs;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::vector<pmcorr::SystemSnapshot> snapshots;
+  try {
+    std::istringstream in(text);
+    snapshots = pmcorr::ReadSnapshotStreamJsonl(in);
+  } catch (const std::runtime_error&) {
+    return 0;
+  }
+  std::stringstream round;
+  pmcorr::WriteSnapshotStreamJsonl(snapshots, round);
+  const std::vector<pmcorr::SystemSnapshot> reloaded =
+      pmcorr::ReadSnapshotStreamJsonl(round);  // must not throw
+  if (reloaded.size() != snapshots.size()) std::abort();
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    if (!Same(reloaded[i], snapshots[i])) std::abort();
+  }
+  return 0;
+}

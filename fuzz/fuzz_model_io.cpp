@@ -1,0 +1,31 @@
+// Fuzz target for the checkpoint text parsers: LoadPairModel and
+// LoadSystemMonitor. Contract under fuzzing: any byte stream either
+// loads or throws std::runtime_error — no crash, no sanitizer report,
+// no giant allocation from attacker-declared sizes, and no CheckFailure
+// (a load that passes validation must satisfy the model invariants, so
+// run the harness with -DPMCORR_AUDIT=ON to make that bite).
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/model_io.h"
+#include "io/monitor_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(text);
+    (void)pmcorr::LoadPairModel(in);
+  } catch (const std::runtime_error&) {
+    // Rejected input — the expected outcome for almost every mutation.
+  }
+  try {
+    std::istringstream in(text);
+    (void)pmcorr::LoadSystemMonitor(in, /*threads=*/1);
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

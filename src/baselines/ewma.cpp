@@ -1,16 +1,16 @@
 #include "baselines/ewma.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace pmcorr {
 
 EwmaDetector EwmaDetector::Learn(std::span<const double> history,
                                  const EwmaConfig& config) {
-  assert(config.lambda > 0.0 && config.lambda <= 1.0);
+  PMCORR_DASSERT(config.lambda > 0.0 && config.lambda <= 1.0);
   RunningStats stats;
   for (double v : history) stats.Add(v);
   EwmaDetector det;

@@ -1,10 +1,10 @@
 #include "baselines/gmm.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -45,10 +45,10 @@ double GaussianComponent::LogDensity(double x, double y) const {
 GaussianMixtureModel GaussianMixtureModel::Fit(std::span<const double> x,
                                                std::span<const double> y,
                                                const GmmConfig& config) {
-  assert(x.size() == y.size());
+  PMCORR_DASSERT(x.size() == y.size());
   const std::size_t n = x.size();
   const std::size_t k = std::max<std::size_t>(1, config.components);
-  assert(n >= k);
+  PMCORR_DASSERT(n >= k);
 
   const double var_x = std::max(Variance(x), 1e-12);
   const double var_y = std::max(Variance(y), 1e-12);

@@ -1,7 +1,8 @@
 #include "baselines/static_density.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace pmcorr {
 
@@ -26,7 +27,7 @@ StaticDensityModel StaticDensityModel::Learn(std::span<const double> x,
 }
 
 std::size_t StaticDensityModel::RankOf(std::size_t cell) const {
-  assert(cell < counts_.size());
+  PMCORR_DASSERT(cell < counts_.size());
   std::size_t rank = 1;
   for (std::size_t j = 0; j < counts_.size(); ++j) {
     if (counts_[j] > counts_[cell] ||

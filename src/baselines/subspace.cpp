@@ -1,7 +1,6 @@
 #include "baselines/subspace.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 

@@ -1,0 +1,43 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pmcorr {
+namespace {
+
+// Lock-free so a failing check never blocks on a mutex the crashing
+// thread might already hold.
+std::atomic<CheckFailureHandler> g_handler{nullptr};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+void ThrowingCheckFailureHandler(const char* file, int line, const char* expr,
+                                 const std::string& message) {
+  std::string what = std::string(file) + ":" + std::to_string(line) +
+                     ": check failed: " + expr;
+  if (!message.empty()) what += " — " + message;
+  throw CheckFailure(what);
+}
+
+namespace check_detail {
+
+void Fail(const char* file, int line, const char* expr,
+          const Format& message) {
+  const std::string text = message.str();
+  if (CheckFailureHandler handler = g_handler.load()) {
+    handler(file, line, expr, text);
+  }
+  std::fprintf(stderr, "%s:%d: pmcorr check failed: %s%s%s\n", file, line,
+               expr, text.empty() ? "" : " — ", text.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_detail
+}  // namespace pmcorr

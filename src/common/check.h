@@ -1,0 +1,128 @@
+// Contract-checking macros for the model's structural invariants.
+//
+// Three tiers, by cost and build:
+//
+//  * PMCORR_ASSERT(cond, msg...)  — always on, every build type. For
+//    cheap API-boundary contracts whose violation means memory-unsafe
+//    or meaningless results (index bounds, shape agreement).
+//  * PMCORR_DASSERT(cond, msg...) — on in debug (!NDEBUG) and audit
+//    builds, compiled out of Release. The replacement for naked
+//    assert() in src/ (tools/lint.sh enforces the ban): same cost
+//    model, but formatted messages and a testable failure path.
+//  * PMCORR_AUDIT(cond, msg...)   — on only when the PMCORR_AUDIT
+//    CMake option defines PMCORR_AUDIT_ENABLED. For the expensive
+//    whole-structure sweeps (CheckInvariants and its call sites);
+//    compiles to ((void)0) otherwise so Release pays zero cost —
+//    the condition is not evaluated.
+//
+// Failure handling is routed through a process-wide handler: the
+// default prints the formatted message to stderr and aborts (a corrupt
+// model in production must not keep scoring), while tests install a
+// throwing handler (ScopedCheckThrow) so each audit's firing is itself
+// testable. The extra msg arguments are streamed (operator<<) into the
+// failure message and are only evaluated on the failing path.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pmcorr {
+
+/// Thrown by the test-mode failure handler (see ScopedCheckThrow).
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+using CheckFailureHandler = void (*)(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message);
+
+/// Installs `handler` for all subsequent check failures and returns the
+/// previous handler. Pass nullptr to restore the default
+/// (print-and-abort). Handlers may throw; if one returns normally the
+/// process still aborts (a failed contract cannot be ignored).
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+/// A CheckFailureHandler that throws CheckFailure with the formatted
+/// message — what tests install to prove an audit fires.
+[[noreturn]] void ThrowingCheckFailureHandler(const char* file, int line,
+                                              const char* expr,
+                                              const std::string& message);
+
+/// RAII: installs ThrowingCheckFailureHandler for the enclosing scope.
+class ScopedCheckThrow {
+ public:
+  ScopedCheckThrow() : previous_(SetCheckFailureHandler(
+                           &ThrowingCheckFailureHandler)) {}
+  ~ScopedCheckThrow() { SetCheckFailureHandler(previous_); }
+  ScopedCheckThrow(const ScopedCheckThrow&) = delete;
+  ScopedCheckThrow& operator=(const ScopedCheckThrow&) = delete;
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+namespace check_detail {
+
+/// Lazily-built failure message; lives only on the failing path.
+class Format {
+ public:
+  template <typename T>
+  Format& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Dispatches to the installed handler; aborts if the handler returns.
+[[noreturn]] void Fail(const char* file, int line, const char* expr,
+                       const Format& message);
+
+}  // namespace check_detail
+}  // namespace pmcorr
+
+// Always-on contract check. Extra arguments are streamed into the
+// failure message: PMCORR_ASSERT(i < n, "i=" << i << " n=" << n).
+#define PMCORR_ASSERT(cond, ...)                                         \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]] {                                          \
+      ::pmcorr::check_detail::Fail(                                      \
+          __FILE__, __LINE__, #cond,                                     \
+          ::pmcorr::check_detail::Format() __VA_OPT__(<< __VA_ARGS__));  \
+    }                                                                    \
+  } while (false)
+
+// Debug-and-audit check; compiled out (condition unevaluated) in plain
+// Release builds, matching the cost model of the assert() calls it
+// replaces.
+// PMCORR_DASSERT_ENABLED lets code guard whole validation loops, not
+// just single conditions (#if PMCORR_DASSERT_ENABLED ... #endif).
+#if !defined(NDEBUG) || defined(PMCORR_AUDIT_ENABLED)
+#define PMCORR_DASSERT_ENABLED 1
+#define PMCORR_DASSERT(cond, ...) PMCORR_ASSERT(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define PMCORR_DASSERT_ENABLED 0
+#define PMCORR_DASSERT(cond, ...) ((void)0)
+#endif
+
+// Audit-build-only check for the expensive invariant sweeps; zero cost
+// unless configured with -DPMCORR_AUDIT=ON.
+#if defined(PMCORR_AUDIT_ENABLED)
+#define PMCORR_AUDIT(cond, ...) PMCORR_ASSERT(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define PMCORR_AUDIT(cond, ...) ((void)0)
+#endif
+
+// Brackets statements that should exist only in audit builds (e.g. the
+// CheckInvariants() calls at Learn/Step/deserialize boundaries).
+#if defined(PMCORR_AUDIT_ENABLED)
+#define PMCORR_AUDIT_ONLY(...) __VA_ARGS__
+#else
+#define PMCORR_AUDIT_ONLY(...)
+#endif

@@ -1,7 +1,8 @@
 #include "common/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace pmcorr {
 namespace {
@@ -50,7 +51,7 @@ double Rng::Uniform() {
 double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  PMCORR_DASSERT(lo <= hi);
   const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(Next());  // full range
   // Lemire-style rejection-free bounded draw with negligible bias for the
@@ -80,7 +81,7 @@ double Rng::Normal(double mean, double stddev) {
 }
 
 double Rng::Exponential(double rate) {
-  assert(rate > 0.0);
+  PMCORR_DASSERT(rate > 0.0);
   double u;
   do {
     u = Uniform();
@@ -99,10 +100,10 @@ double Rng::LogNormal(double mu, double sigma) {
 }
 
 std::size_t Rng::Categorical(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  PMCORR_DASSERT(!weights.empty());
   double total = 0.0;
   for (double w : weights) total += w;
-  assert(total > 0.0);
+  PMCORR_DASSERT(total > 0.0);
   double u = Uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     u -= weights[i];

@@ -1,10 +1,11 @@
 #include "common/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
+
+#include "common/check.h"
 
 namespace pmcorr {
 
@@ -205,8 +206,8 @@ const QuotientsFn kQuotientsFn = SelectQuotientsFn();
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
-  assert(bins > 0);
-  assert(hi > lo);
+  PMCORR_DASSERT(bins > 0);
+  PMCORR_DASSERT(hi > lo);
 }
 
 void Histogram::Add(double x) {

@@ -46,8 +46,9 @@ std::string TextTable::ToString() const {
 
   std::vector<std::size_t> widths(columns, 0);
   auto account = [&](const std::vector<std::string>& row) {
-    for (std::size_t i = 0; i < row.size(); ++i)
+    for (std::size_t i = 0; i < row.size(); ++i) {
       widths[i] = std::max(widths[i], row[i].size());
+    }
   };
   account(header_);
   for (const auto& row : rows_) account(row);

@@ -1,12 +1,13 @@
 #include "core/fitness.h"
 
-#include <cassert>
+#include "common/check.h"
+
 
 namespace pmcorr {
 
 double RankFitness(std::size_t rank, std::size_t cells) {
-  assert(cells > 0);
-  assert(rank >= 1 && rank <= cells);
+  PMCORR_DASSERT(cells > 0);
+  PMCORR_DASSERT(rank >= 1 && rank <= cells);
   return 1.0 - static_cast<double>(rank - 1) / static_cast<double>(cells);
 }
 

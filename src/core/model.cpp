@@ -1,9 +1,9 @@
 #include "core/model.h"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "core/fitness.h"
 #include "grid/partitioner.h"
 
@@ -114,7 +114,7 @@ PairModel PairModel::Learn(std::span<const double> x,
     Transition* out = transitions.data();
     std::size_t h1 = dim1.IndexOf(x[0], 0);
     std::size_t h2 = dim2.IndexOf(y[0], 0);
-    assert(h1 != IntervalList::npos && h2 != IntervalList::npos);
+    PMCORR_DASSERT(h1 != IntervalList::npos && h2 != IntervalList::npos);
     auto prev_cell = static_cast<std::uint32_t>(h1 * cols + h2);
     for (std::size_t t = 1; t < x.size(); ++t) {
       h1 = dim1.IndexOf(x[t], h1);
@@ -152,6 +152,7 @@ PairModel PairModel::Learn(std::span<const double> x,
   // after the snapshot is the model's initial V).
   model.matrix_.ReplayTransitions(transitions, config.likelihood_weight,
                                   config.forgetting, runner);
+  PMCORR_AUDIT_ONLY(model.CheckInvariants();)
   return model;
 }
 
@@ -179,6 +180,7 @@ PairModel PairModel::LearnSequential(std::span<const double> x,
     }
     prev = cell;
   }
+  PMCORR_AUDIT_ONLY(model.CheckInvariants();)
   return model;
 }
 
@@ -189,10 +191,56 @@ PairModel PairModel::FromParts(ModelConfig config, Grid2D grid,
   model.kernel_ = MakeKernel(config.kernel);
   model.grid_ = std::move(grid);
   model.matrix_ = std::move(matrix);
+  PMCORR_AUDIT_ONLY(model.CheckInvariants();)
   return model;
 }
 
+void PairModel::CheckInvariants() const {
+  grid_.CheckInvariants();
+  matrix_.CheckInvariants();
+  if (kernel_ == nullptr) {
+    // Default-constructed model: nothing was learned yet.
+    PMCORR_ASSERT(grid_.CellCount() == 0 && matrix_.CellCount() == 0,
+                  "model has state but no kernel");
+    return;
+  }
+  PMCORR_ASSERT(matrix_.GridRows() == grid_.Rows() &&
+                    matrix_.GridCols() == grid_.Cols(),
+                "matrix built for " << matrix_.GridRows() << "x"
+                                    << matrix_.GridCols() << ", grid is "
+                                    << grid_.Rows() << "x" << grid_.Cols());
+  PMCORR_ASSERT(matrix_.CellCount() == grid_.CellCount());
+  // The stencil must tabulate *this* model's kernel — a mismatch would
+  // silently corrupt every row sweep after a grid extension.
+  matrix_.Stencil().CheckInvariants(kernel_.get());
+  PMCORR_ASSERT(config_.lambda1 >= 0.0 && config_.lambda2 >= 0.0,
+                "lambda " << config_.lambda1 << "," << config_.lambda2);
+  PMCORR_ASSERT(config_.delta >= 0.0 && config_.delta <= 1.0,
+                "delta " << config_.delta);
+  PMCORR_ASSERT(config_.fitness_alarm_threshold >= 0.0 &&
+                    config_.fitness_alarm_threshold <= 1.0,
+                "fitness threshold " << config_.fitness_alarm_threshold);
+  PMCORR_ASSERT(config_.forgetting > 0.0 && config_.forgetting <= 1.0,
+                "forgetting " << config_.forgetting);
+  PMCORR_ASSERT(config_.likelihood_weight > 0.0 &&
+                    std::isfinite(config_.likelihood_weight),
+                "likelihood weight " << config_.likelihood_weight);
+  if (prev_cell_) {
+    PMCORR_ASSERT(*prev_cell_ < matrix_.CellCount(),
+                  "previous cell " << *prev_cell_ << " outside the "
+                                   << grid_.CellCount() << "-cell grid");
+  }
+}
+
 StepOutcome PairModel::Step(double x, double y) {
+  // Audit builds re-verify the full model after every step, on every
+  // exit path (missing, outlier, extension, scored). noexcept(false):
+  // the test-mode failure handler throws.
+  PMCORR_AUDIT_ONLY(struct StepAuditor {
+    const PairModel* model;
+    ~StepAuditor() noexcept(false) { model->CheckInvariants(); }
+  } step_auditor{this};)
+
   ++stats_.steps;
   StepOutcome out;
 
@@ -228,7 +276,7 @@ StepOutcome PairModel::Step(double x, double y) {
       cell = grid_.CellOf(p);
       out.extended_grid = true;
       ++stats_.extensions;
-      assert(cell.has_value());
+      PMCORR_DASSERT(cell.has_value());
     }
   }
 

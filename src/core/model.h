@@ -123,7 +123,18 @@ class PairModel {
   static PairModel FromParts(ModelConfig config, Grid2D grid,
                              TransitionMatrix matrix);
 
+  /// Audits the whole model M = (G, V): grid and matrix invariants,
+  /// grid/matrix shape agreement, the stencil matching this model's
+  /// kernel bitwise, a sane configuration (forgetting in (0, 1],
+  /// positive likelihood weight, non-negative thresholds and margins),
+  /// and prev_cell_ inside the grid. A default-constructed model is
+  /// valid. Called automatically post-Learn, post-Step and
+  /// post-deserialize in audit builds (-DPMCORR_AUDIT=ON) and directly
+  /// by tests in any build.
+  void CheckInvariants() const;
+
  private:
+  friend struct InvariantTestPeer;
   /// Shared front half of Learn/LearnSequential: history validation, gap
   /// filtering, grid + kernel + prior construction. Sets `gap_free` when
   /// both inputs were entirely finite — Learn's compile loop then takes

@@ -1,6 +1,5 @@
 #include "core/time_conditioned.h"
 
-#include <cassert>
 #include <limits>
 #include <stdexcept>
 

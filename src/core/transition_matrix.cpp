@@ -1,9 +1,10 @@
 #include "core/transition_matrix.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/check.h"
 
 // Arithmetic-order contract (docs/kernels.md): every routine here must
 // perform the same floating-point operations, on the same values, in the
@@ -63,7 +64,7 @@ const TransitionMatrix::RowCache& TransitionMatrix::RowStats(
 
 void TransitionMatrix::BuildSorted(std::size_t from) const {
   RowCache& rc = cache_[from];
-  assert(rc.stats_valid);
+  PMCORR_DASSERT(rc.stats_valid);
   const double* pw = prior_logw_.data() + from * cells_;
   const double* ev = evidence_.data() + from * cells_;
   rc.sorted.resize(cells_);
@@ -108,7 +109,7 @@ std::size_t TransitionMatrix::RankInRow(std::size_t from, std::size_t to,
 
 double TransitionMatrix::Probability(std::size_t from, std::size_t to) const {
   if (cells_ == 0) return 0.0;
-  assert(from < cells_ && to < cells_);
+  PMCORR_DASSERT(from < cells_ && to < cells_);
   const RowCache& rc = RowStats(from);
   return std::exp(PosteriorLogW(from, to) - rc.max_logw) / rc.sum_exp;
 }
@@ -117,7 +118,7 @@ TransitionScore TransitionMatrix::ScoreTransition(std::size_t from,
                                                   std::size_t to) const {
   TransitionScore out;
   if (cells_ == 0) return out;
-  assert(from < cells_ && to < cells_);
+  PMCORR_DASSERT(from < cells_ && to < cells_);
   RowCache& rc = cache_[from];
   const double* pw = prior_logw_.data() + from * cells_;
   const double* ev = evidence_.data() + from * cells_;
@@ -159,7 +160,7 @@ TransitionScore TransitionMatrix::ScoreTransition(std::size_t from,
 
 std::vector<double> TransitionMatrix::RowDistribution(std::size_t from) const {
   if (cells_ == 0) return {};
-  assert(from < cells_);
+  PMCORR_DASSERT(from < cells_);
   const RowCache& rc = RowStats(from);
   std::vector<double> row(cells_);
   const double* pw = prior_logw_.data() + from * cells_;
@@ -176,9 +177,9 @@ void TransitionMatrix::ObserveTransition(std::size_t from,
                                          const Grid2D& grid,
                                          const DecayKernel& kernel,
                                          double weight, double forgetting) {
-  assert(from < cells_ && observed < cells_);
-  assert(grid.CellCount() == cells_);
-  assert(stencil_.Matches(grid.Rows(), grid.Cols()));
+  PMCORR_DASSERT(from < cells_ && observed < cells_);
+  PMCORR_DASSERT(grid.CellCount() == cells_);
+  PMCORR_DASSERT(stencil_.Matches(grid.Rows(), grid.Cols()));
   (void)grid;
   (void)kernel;  // the stencil tabulated this kernel at Prior() time
   UpdateRowEvidence(from, observed, weight, forgetting);
@@ -192,9 +193,9 @@ void TransitionMatrix::ObserveTransitionStencil(std::size_t from,
                                                 const DecayKernel& kernel,
                                                 double weight,
                                                 double forgetting) {
-  assert(from < cells_ && observed < cells_);
-  assert(grid.CellCount() == cells_);
-  assert(stencil_.Matches(grid.Rows(), grid.Cols()));
+  PMCORR_DASSERT(from < cells_ && observed < cells_);
+  PMCORR_DASSERT(grid.CellCount() == cells_);
+  PMCORR_DASSERT(stencil_.Matches(grid.Rows(), grid.Cols()));
   (void)grid;
   (void)kernel;  // the stencil tabulated this kernel at Prior() time
   const int oi = static_cast<int>(observed / cols_);
@@ -347,9 +348,9 @@ void TransitionMatrix::ReplayTransitions(
     const ParallelRunner& runner) {
   if (transitions.empty()) return;
   const std::size_t n = transitions.size();
-#ifndef NDEBUG
+#if PMCORR_DASSERT_ENABLED
   for (const Transition& t : transitions) {
-    assert(t.from < cells_ && t.to < cells_);
+    PMCORR_DASSERT(t.from < cells_ && t.to < cells_);
   }
 #endif
 
@@ -392,13 +393,13 @@ void TransitionMatrix::ReplayTransitions(
 
 std::size_t TransitionMatrix::RankOf(std::size_t from, std::size_t to) const {
   if (cells_ == 0) return 0;
-  assert(from < cells_ && to < cells_);
+  PMCORR_DASSERT(from < cells_ && to < cells_);
   return RankInRow(from, to, PosteriorLogW(from, to));
 }
 
 std::size_t TransitionMatrix::ArgMax(std::size_t from) const {
   if (cells_ == 0) return 0;
-  assert(from < cells_);
+  PMCORR_DASSERT(from < cells_);
   const RowCache& rc = cache_[from];
   if (rc.sorted_valid) return rc.sorted.front().second;
   const double* pw = prior_logw_.data() + from * cells_;
@@ -412,7 +413,7 @@ std::size_t TransitionMatrix::ArgMax(std::size_t from) const {
 
 std::uint64_t TransitionMatrix::CountOf(std::size_t from,
                                         std::size_t to) const {
-  assert(from < cells_ && to < cells_);
+  PMCORR_DASSERT(from < cells_ && to < cells_);
   return counts_[from * cells_ + to];
 }
 
@@ -476,6 +477,114 @@ void TransitionMatrix::ApplyExtension(const GridExtension& ext,
   *this = std::move(grown);
 }
 
+void TransitionMatrix::CheckInvariants() const {
+  if (cells_ == 0) {
+    PMCORR_ASSERT(rows_ == 0 && cols_ == 0, "empty matrix with grid shape "
+                                                << rows_ << "x" << cols_);
+    PMCORR_ASSERT(prior_logw_.empty() && evidence_.empty() &&
+                      counts_.empty() && cache_.empty(),
+                  "empty matrix with live arrays");
+    PMCORR_ASSERT(observed_ == 0, "empty matrix observed " << observed_);
+    return;
+  }
+  PMCORR_ASSERT(rows_ * cols_ == cells_, "grid shape " << rows_ << "x"
+                                                       << cols_ << " != "
+                                                       << cells_ << " cells");
+  const std::size_t entries = cells_ * cells_;
+  PMCORR_ASSERT(prior_logw_.size() == entries, "prior size "
+                                                   << prior_logw_.size());
+  PMCORR_ASSERT(evidence_.size() == entries,
+                "evidence size " << evidence_.size());
+  PMCORR_ASSERT(counts_.size() == entries, "counts size " << counts_.size());
+  PMCORR_ASSERT(cache_.size() == cells_, "cache size " << cache_.size());
+  stencil_.CheckInvariants();
+  PMCORR_ASSERT(stencil_.Matches(rows_, cols_),
+                "stencil built for " << stencil_.GridRows() << "x"
+                                     << stencil_.GridCols() << ", grid is "
+                                     << rows_ << "x" << cols_);
+
+  std::uint64_t count_total = 0;
+  std::vector<std::uint8_t> seen(cells_, 0);
+  for (std::size_t i = 0; i < cells_; ++i) {
+    const double* pw = prior_logw_.data() + i * cells_;
+    const double* ev = evidence_.data() + i * cells_;
+    const int ci = static_cast<int>(i / cols_);
+    const int cj = static_cast<int>(i % cols_);
+
+    // Prior row i is the stencil centered at cell i, bitwise.
+    for (std::size_t j = 0; j < cells_; ++j) {
+      const int dj_row = static_cast<int>(j / cols_) - ci;
+      const int dj_col = static_cast<int>(j % cols_) - cj;
+      PMCORR_ASSERT(pw[j] == stencil_.LogWeight(dj_row, dj_col),
+                    "prior (" << i << "," << j
+                              << ") disagrees with the stencil");
+      PMCORR_ASSERT(std::isfinite(ev[j]) && ev[j] <= 0.0,
+                    "evidence (" << i << "," << j << ") = " << ev[j]);
+      count_total += counts_[i * cells_ + j];
+    }
+
+    // Row i of the posterior stays a probability distribution: the
+    // normalized row sums to 1. Recomputed here without touching the
+    // row cache, in the cache's scan order.
+    double max_logw = pw[0] + ev[0];
+    for (std::size_t j = 1; j < cells_; ++j) {
+      max_logw = std::max(max_logw, pw[j] + ev[j]);
+    }
+    double sum_exp = 0.0;
+    for (std::size_t j = 0; j < cells_; ++j) {
+      sum_exp += std::exp(pw[j] + ev[j] - max_logw);
+    }
+    PMCORR_ASSERT(std::isfinite(sum_exp) && sum_exp >= 1.0,
+                  "row " << i << " normalizer " << sum_exp);
+    double prob_sum = 0.0;
+    for (std::size_t j = 0; j < cells_; ++j) {
+      const double p = std::exp(pw[j] + ev[j] - max_logw) / sum_exp;
+      PMCORR_ASSERT(p >= 0.0 && p <= 1.0,
+                    "P(" << i << "->" << j << ") = " << p);
+      prob_sum += p;
+    }
+    PMCORR_ASSERT(std::abs(prob_sum - 1.0) <= 1e-9,
+                  "row " << i << " sums to " << prob_sum);
+
+    // Cache coherence: memoized values must be exactly what the scans
+    // above produce — a stale-but-valid cache is silent corruption.
+    const RowCache& rc = cache_[i];
+    if (rc.stats_valid) {
+      PMCORR_ASSERT(rc.max_logw == max_logw,
+                    "row " << i << " cached max " << rc.max_logw
+                           << " != " << max_logw);
+      PMCORR_ASSERT(rc.sum_exp == sum_exp, "row " << i << " cached sum-exp "
+                                                  << rc.sum_exp
+                                                  << " != " << sum_exp);
+    }
+    if (rc.sorted_valid) {
+      PMCORR_ASSERT(rc.stats_valid, "row " << i
+                                           << " sorted without stats");
+      PMCORR_ASSERT(rc.sorted.size() == cells_,
+                    "row " << i << " rank index size " << rc.sorted.size());
+      std::fill(seen.begin(), seen.end(), 0);
+      for (std::size_t k = 0; k < rc.sorted.size(); ++k) {
+        const auto& [w, j] = rc.sorted[k];
+        PMCORR_ASSERT(j < cells_ && !seen[j],
+                      "row " << i << " rank index entry " << k
+                             << " is not a permutation");
+        seen[j] = 1;
+        PMCORR_ASSERT(w == pw[j] + ev[j],
+                      "row " << i << " rank index weight for cell " << j
+                             << " is stale");
+        if (k > 0) {
+          const auto& [pw_prev, pj] = rc.sorted[k - 1];
+          PMCORR_ASSERT(pw_prev > w || (pw_prev == w && pj < j),
+                        "row " << i << " rank index misordered at " << k);
+        }
+      }
+    }
+  }
+  PMCORR_ASSERT(count_total == observed_, "counts sum to "
+                                              << count_total << ", observed "
+                                              << observed_);
+}
+
 void TransitionMatrix::RestoreState(std::vector<double> evidence,
                                     std::vector<std::uint32_t> counts,
                                     std::uint64_t observed) {
@@ -487,6 +596,7 @@ void TransitionMatrix::RestoreState(std::vector<double> evidence,
   counts_ = std::move(counts);
   observed_ = observed;
   cache_.assign(cells_, RowCache{});
+  PMCORR_AUDIT_ONLY(CheckInvariants();)
 }
 
 std::vector<std::uint64_t> TransitionDistanceHistogram(

@@ -195,7 +195,27 @@ class TransitionMatrix {
   /// default-constructed matrix).
   const KernelStencil& Stencil() const { return stencil_; }
 
+  /// Audits the matrix invariants the paper's math and the PR-2/PR-3
+  /// caches rely on:
+  ///  * shape agreement — rows * cols == cells, all arrays sized s*s,
+  ///    stencil built for exactly this shape (and internally valid);
+  ///  * the prior is the stencil — prior row i equals the kernel table
+  ///    centered at cell i, bitwise;
+  ///  * evidence stays finite and non-positive (Eq. 2 accumulates
+  ///    weight * log-weights <= 0 under forgetting in (0, 1]);
+  ///  * every row is a probability distribution — the normalized row
+  ///    sums to 1 within 1e-9;
+  ///  * cache coherence — cached (max, sum-exp) row stats equal a
+  ///    recomputation in the original scan order bitwise; a sorted rank
+  ///    index is a permutation of [0, s), ordered (desc weight, asc
+  ///    index), whose keys match the live posterior bitwise;
+  ///  * counts_ sums to ObservedCount().
+  /// O(s^2) — called from audit-build boundaries and tests, not from
+  /// production hot paths.
+  void CheckInvariants() const;
+
  private:
+  friend struct InvariantTestPeer;
   // Per-row scoring cache. `max_logw`/`sum_exp` mirror the two scans of
   // the normalization (filled on first score after a row write);
   // `sorted` is the row's posterior log weights ordered (desc weight,

@@ -1,16 +1,17 @@
 #include "engine/assembler.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "common/check.h"
 
 namespace pmcorr {
 
 RowAssembler::RowAssembler(AssemblerConfig config, RowCallback on_row)
     : config_(config), on_row_(std::move(on_row)) {
-  assert(config_.period > 0);
-  assert(config_.measurement_count > 0);
-  assert(config_.max_open_slots > 0);
+  PMCORR_DASSERT(config_.period > 0);
+  PMCORR_DASSERT(config_.measurement_count > 0);
+  PMCORR_DASSERT(config_.max_open_slots > 0);
 }
 
 std::int64_t RowAssembler::SlotOf(TimePoint tp) const {
@@ -31,8 +32,8 @@ void RowAssembler::EmitThrough(std::int64_t slot) {
 }
 
 void RowAssembler::Offer(MeasurementId id, TimePoint tp, double value) {
-  assert(id.valid());
-  assert(static_cast<std::size_t>(id.value) < config_.measurement_count);
+  PMCORR_DASSERT(id.valid());
+  PMCORR_DASSERT(static_cast<std::size_t>(id.value) < config_.measurement_count);
 
   const std::int64_t slot = SlotOf(tp);
   if (any_emitted_ && slot <= last_emitted_) {

@@ -1,9 +1,11 @@
 #include "engine/monitor.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <span>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace pmcorr {
 namespace {
@@ -44,6 +46,7 @@ SystemMonitor::SystemMonitor(const MeasurementFrame& history,
                                   history.Series(pair.b).Values(),
                                   config_.model);
   });
+  PMCORR_AUDIT_ONLY(CheckInvariants();)
 }
 
 SystemMonitor::SystemMonitor(MonitorConfig config, MeasurementGraph graph,
@@ -65,6 +68,39 @@ SystemMonitor::SystemMonitor(MonitorConfig config, MeasurementGraph graph,
         "SystemMonitor: checkpoint parts are inconsistent");
   }
   measurement_avg_.resize(infos_.size());
+  PMCORR_AUDIT_ONLY(CheckInvariants();)
+}
+
+void SystemMonitor::CheckInvariants(bool deep) const {
+  PMCORR_ASSERT(models_.size() == graph_.PairCount(),
+                models_.size() << " models for " << graph_.PairCount()
+                               << " graph pairs");
+  PMCORR_ASSERT(infos_.size() == graph_.MeasurementCount(),
+                infos_.size() << " infos for " << graph_.MeasurementCount()
+                              << " graph measurements");
+  PMCORR_ASSERT(measurement_avg_.size() == infos_.size(),
+                measurement_avg_.size() << " averagers for " << infos_.size()
+                                        << " measurements");
+  for (std::size_t i = 0; i < graph_.PairCount(); ++i) {
+    const PairId& pair = graph_.Pair(i);
+    PMCORR_ASSERT(pair.a.valid() && pair.b.valid() &&
+                      static_cast<std::size_t>(pair.a.value) < infos_.size() &&
+                      static_cast<std::size_t>(pair.b.value) < infos_.size(),
+                  "pair " << i << " references invalid measurements");
+  }
+  PMCORR_ASSERT(std::isfinite(system_avg_.Sum()),
+                "system average sum " << system_avg_.Sum());
+  PMCORR_ASSERT(system_avg_.Count() <= steps_,
+                "system average over " << system_avg_.Count() << " of "
+                                       << steps_ << " steps");
+  for (const ScoreAverager& avg : measurement_avg_) {
+    PMCORR_ASSERT(std::isfinite(avg.Sum()) && avg.Count() <= steps_,
+                  "measurement average sum " << avg.Sum() << " count "
+                                             << avg.Count());
+  }
+  if (deep) {
+    for (const PairModel& model : models_) model.CheckInvariants();
+  }
 }
 
 void SystemMonitor::FinishSnapshot(SystemSnapshot& snap) {
@@ -125,6 +161,8 @@ SystemSnapshot SystemMonitor::Step(std::span<const double> values,
   }
 
   FinishSnapshot(snap);
+  // Shallow: each PairModel::Step above already audited its own model.
+  PMCORR_AUDIT_ONLY(CheckInvariants(/*deep=*/false);)
   return snap;
 }
 
@@ -215,6 +253,7 @@ std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
       snapshots.push_back(std::move(snap));
     }
   }
+  PMCORR_AUDIT_ONLY(CheckInvariants(/*deep=*/false);)
   return snapshots;
 }
 
@@ -238,6 +277,7 @@ void SystemMonitor::CalibrateThresholds(const MeasurementFrame& holdout,
                                   calibration.delta);
     models_[i].ResetSequence();
   });
+  PMCORR_AUDIT_ONLY(CheckInvariants();)
 }
 
 }  // namespace pmcorr

@@ -132,7 +132,17 @@ class SystemMonitor {
   /// outlier flag) — feeds drill-down and noisy-pair reports.
   const AlarmLog& Alarms() const { return alarm_log_; }
 
+  /// Audits the engine-level invariants: one model per graph pair,
+  /// per-measurement info/averager arrays sized to the graph, every
+  /// graph pair referencing valid measurement ids, and finite lifetime
+  /// aggregates with count <= steps. With `deep` (the default, used
+  /// post-construction and post-deserialize) every pair model is
+  /// audited too; the post-Step hook passes deep = false because each
+  /// PairModel::Step already audited its own model.
+  void CheckInvariants(bool deep = true) const;
+
  private:
+  friend struct InvariantTestPeer;
   /// Level 2 + 3 of Section 5 over an already-filled pair_scores vector,
   /// plus the lifetime averager updates and the step counter — the exact
   /// per-sample aggregation shared by Step and Run's merge phase.

@@ -1,8 +1,9 @@
 #include "grid/grid.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstdio>
+
+#include "common/check.h"
 
 namespace pmcorr {
 
@@ -11,7 +12,7 @@ Grid2D::Grid2D(IntervalList dim1, IntervalList dim2)
       dim2_(std::move(dim2)),
       r_avg1_(dim1_.AverageWidth()),
       r_avg2_(dim2_.AverageWidth()) {
-  assert(!dim1_.Empty() && !dim2_.Empty());
+  PMCORR_DASSERT(!dim1_.Empty() && !dim2_.Empty());
 }
 
 Grid2D::Grid2D(IntervalList dim1, IntervalList dim2, double r_avg1,
@@ -20,8 +21,8 @@ Grid2D::Grid2D(IntervalList dim1, IntervalList dim2, double r_avg1,
       dim2_(std::move(dim2)),
       r_avg1_(r_avg1),
       r_avg2_(r_avg2) {
-  assert(!dim1_.Empty() && !dim2_.Empty());
-  assert(r_avg1_ > 0.0 && r_avg2_ > 0.0);
+  PMCORR_DASSERT(!dim1_.Empty() && !dim2_.Empty());
+  PMCORR_DASSERT(r_avg1_ > 0.0 && r_avg2_ > 0.0);
 }
 
 std::optional<std::size_t> Grid2D::CellOf(Point2 p) const {
@@ -42,14 +43,14 @@ std::optional<std::size_t> Grid2D::CellOf(Point2 p, std::size_t hint) const {
 }
 
 CellCoord Grid2D::CoordOf(std::size_t index) const {
-  assert(index < CellCount());
+  PMCORR_DASSERT(index < CellCount());
   return CellCoord{static_cast<int>(index / Cols()),
                    static_cast<int>(index % Cols())};
 }
 
 std::size_t Grid2D::IndexOf(CellCoord coord) const {
-  assert(coord.i1 >= 0 && static_cast<std::size_t>(coord.i1) < Rows());
-  assert(coord.i2 >= 0 && static_cast<std::size_t>(coord.i2) < Cols());
+  PMCORR_DASSERT(coord.i1 >= 0 && static_cast<std::size_t>(coord.i1) < Rows());
+  PMCORR_DASSERT(coord.i2 >= 0 && static_cast<std::size_t>(coord.i2) < Cols());
   return static_cast<std::size_t>(coord.i1) * Cols() +
          static_cast<std::size_t>(coord.i2);
 }
@@ -101,8 +102,22 @@ std::optional<GridExtension> Grid2D::ExtendToInclude(Point2 p, double lambda1,
     ext.dim2_above = needed_above(p.y - dim2_.Hi(), r_avg2_);
     dim2_.ExtendAbove(ext.dim2_above, r_avg2_);
   }
-  assert(CellOf(p).has_value());
+  PMCORR_DASSERT(CellOf(p).has_value());
+  PMCORR_AUDIT_ONLY(CheckInvariants();)
   return ext;
+}
+
+void Grid2D::CheckInvariants() const {
+  dim1_.CheckInvariants();
+  dim2_.CheckInvariants();
+  PMCORR_ASSERT(dim1_.Empty() == dim2_.Empty(),
+                "one dimension empty, the other not");
+  if (!dim1_.Empty()) {
+    PMCORR_ASSERT(std::isfinite(r_avg1_) && r_avg1_ > 0.0,
+                  "r_avg1=" << r_avg1_);
+    PMCORR_ASSERT(std::isfinite(r_avg2_) && r_avg2_ > 0.0,
+                  "r_avg2=" << r_avg2_);
+  }
 }
 
 std::size_t Grid2D::RemapIndex(std::size_t old_index, std::size_t old_cols,

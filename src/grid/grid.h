@@ -107,7 +107,16 @@ class Grid2D {
   /// "s1 x s2 grid over [l1,u1) x [l2,u2)".
   std::string Describe() const;
 
+  /// Audits the grid invariants: both dimensions pass
+  /// IntervalList::CheckInvariants, and on a non-empty grid the
+  /// initialization-time r_avg per dimension is finite and positive
+  /// (extensions grow by r_avg-width intervals; a degenerate r_avg
+  /// would wedge ExtendToInclude). A default-constructed grid is valid.
+  void CheckInvariants() const;
+
  private:
+  friend struct InvariantTestPeer;
+
   IntervalList dim1_;
   IntervalList dim2_;
   double r_avg1_ = 0.0;

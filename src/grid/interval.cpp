@@ -1,25 +1,28 @@
 #include "grid/interval.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <cstdio>
+
+#include "common/check.h"
 
 namespace pmcorr {
 
 IntervalList::IntervalList(std::vector<Interval> intervals)
     : intervals_(std::move(intervals)) {
-  assert(!intervals_.empty());
-#ifndef NDEBUG
+  PMCORR_DASSERT(!intervals_.empty());
+#if PMCORR_DASSERT_ENABLED
   for (std::size_t i = 0; i + 1 < intervals_.size(); ++i) {
-    assert(intervals_[i].hi == intervals_[i + 1].lo);
-    assert(intervals_[i].Width() > 0.0);
+    PMCORR_DASSERT(intervals_[i].hi == intervals_[i + 1].lo,
+                   "interval " << i << " not contiguous");
+    PMCORR_DASSERT(intervals_[i].Width() > 0.0, "interval " << i);
   }
-  assert(intervals_.back().Width() > 0.0);
+  PMCORR_DASSERT(intervals_.back().Width() > 0.0);
 #endif
 }
 
 IntervalList IntervalList::Uniform(double lo, double hi, std::size_t count) {
-  assert(count > 0 && hi > lo);
+  PMCORR_DASSERT(count > 0 && hi > lo);
   std::vector<Interval> out;
   out.reserve(count);
   const double width = (hi - lo) / static_cast<double>(count);
@@ -33,12 +36,12 @@ IntervalList IntervalList::Uniform(double lo, double hi, std::size_t count) {
 }
 
 double IntervalList::Lo() const {
-  assert(!intervals_.empty());
+  PMCORR_DASSERT(!intervals_.empty());
   return intervals_.front().lo;
 }
 
 double IntervalList::Hi() const {
-  assert(!intervals_.empty());
+  PMCORR_DASSERT(!intervals_.empty());
   return intervals_.back().hi;
 }
 
@@ -48,8 +51,8 @@ std::size_t IntervalList::IndexOf(double x) const {
   const auto it = std::upper_bound(
       intervals_.begin(), intervals_.end(), x,
       [](double value, const Interval& iv) { return value < iv.hi; });
-  assert(it != intervals_.end());
-  assert(it->Contains(x));
+  PMCORR_DASSERT(it != intervals_.end());
+  PMCORR_DASSERT(it->Contains(x));
   return static_cast<std::size_t>(it - intervals_.begin());
 }
 
@@ -59,7 +62,7 @@ double IntervalList::AverageWidth() const {
 }
 
 void IntervalList::ExtendBelow(std::size_t count, double width) {
-  assert(width > 0.0);
+  PMCORR_DASSERT(width > 0.0);
   std::vector<Interval> prefix;
   prefix.reserve(count);
   double hi = Lo();
@@ -72,11 +75,29 @@ void IntervalList::ExtendBelow(std::size_t count, double width) {
 }
 
 void IntervalList::ExtendAbove(std::size_t count, double width) {
-  assert(width > 0.0);
+  PMCORR_DASSERT(width > 0.0);
   double lo = Hi();
   for (std::size_t i = 0; i < count; ++i) {
     intervals_.push_back({lo, lo + width});
     lo += width;
+  }
+}
+
+void IntervalList::CheckInvariants() const {
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    const Interval& iv = intervals_[i];
+    PMCORR_ASSERT(std::isfinite(iv.lo) && std::isfinite(iv.hi),
+                  "interval " << i << " has non-finite edges [" << iv.lo
+                              << "," << iv.hi << ")");
+    PMCORR_ASSERT(iv.Width() > 0.0, "interval " << i << " is empty ["
+                                                << iv.lo << "," << iv.hi
+                                                << ")");
+    if (i + 1 < intervals_.size()) {
+      PMCORR_ASSERT(iv.hi == intervals_[i + 1].lo,
+                    "coverage gap/overlap between interval "
+                        << i << " (hi=" << iv.hi << ") and " << i + 1
+                        << " (lo=" << intervals_[i + 1].lo << ")");
+    }
   }
 }
 

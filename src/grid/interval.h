@@ -99,7 +99,18 @@ class IntervalList {
   /// Renders "[lo1,hi1)[lo2,hi2)..." for debugging/reports.
   std::string ToString() const;
 
+  /// Audits the structural invariants the grid machinery relies on:
+  /// finite edges, strictly positive widths, and contiguous coverage
+  /// (intervals_[i].hi == intervals_[i+1].lo, bitwise — IndexOf's
+  /// edge-count fallback is only exact for gap-free lists). An empty
+  /// list is valid (default-constructed). Fails through the
+  /// common/check.h handler; called automatically at audit-build
+  /// boundaries and directly by tests in any build.
+  void CheckInvariants() const;
+
  private:
+  friend struct InvariantTestPeer;
+
   std::vector<Interval> intervals_;
 };
 

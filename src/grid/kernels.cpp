@@ -1,9 +1,9 @@
 #include "grid/kernels.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace pmcorr {
@@ -25,7 +25,7 @@ double CellDistance(int dx, int dy, CellMetric metric) {
 
 ExponentialKernel::ExponentialKernel(double w, CellMetric metric)
     : w_(w), metric_(metric) {
-  assert(w_ > 1.0);
+  PMCORR_DASSERT(w_ > 1.0);
 }
 
 double ExponentialKernel::Weight(int dx, int dy) const {
@@ -66,13 +66,71 @@ std::string TriangularKernel::Describe() const {
 KernelStencil::KernelStencil(std::size_t rows, std::size_t cols,
                              const DecayKernel& kernel)
     : rows_(rows), cols_(cols), width_(2 * cols - 1) {
-  assert(rows > 0 && cols > 0);
+  PMCORR_DASSERT(rows > 0 && cols > 0);
   table_.resize((2 * rows - 1) * width_);
   for (std::size_t u = 0; u < 2 * rows - 1; ++u) {
     const int drow = static_cast<int>(u) - (static_cast<int>(rows) - 1);
     for (std::size_t v = 0; v < width_; ++v) {
       const int dcol = static_cast<int>(v) - (static_cast<int>(cols) - 1);
       table_[u * width_ + v] = kernel.LogWeight(drow, dcol);
+    }
+  }
+}
+
+void KernelStencil::CheckInvariants(const DecayKernel* kernel) const {
+  if (Empty()) {
+    PMCORR_ASSERT(rows_ == 0 && cols_ == 0 && width_ == 0,
+                  "empty stencil with non-zero shape " << rows_ << "x"
+                                                       << cols_);
+    return;
+  }
+  PMCORR_ASSERT(rows_ > 0 && cols_ > 0);
+  PMCORR_ASSERT(width_ == 2 * cols_ - 1,
+                "width=" << width_ << " cols=" << cols_);
+  const std::size_t height = 2 * rows_ - 1;
+  PMCORR_ASSERT(table_.size() == height * width_,
+                "table size " << table_.size() << " != " << height << "x"
+                              << width_);
+  for (std::size_t u = 0; u < height; ++u) {
+    for (std::size_t v = 0; v < width_; ++v) {
+      const double lw = table_[u * width_ + v];
+      PMCORR_ASSERT(std::isfinite(lw) && lw <= 0.0,
+                    "log weight (" << u << "," << v << ") = " << lw);
+      // Both kernels take absolute deltas: central symmetry, bitwise.
+      const double mirror = table_[(height - 1 - u) * width_ +
+                                   (width_ - 1 - v)];
+      PMCORR_ASSERT(lw == mirror, "stencil not centrally symmetric at ("
+                                      << u << "," << v << ")");
+    }
+  }
+  // Weight(0, 0) == 1 by the DecayKernel contract.
+  const std::size_t cu = rows_ - 1;
+  const std::size_t cv = cols_ - 1;
+  PMCORR_ASSERT(table_[cu * width_ + cv] == 0.0,
+                "center log weight " << table_[cu * width_ + cv]);
+  // Weights never grow while moving away from the center along an axis
+  // (non-strict: Chebyshev-style metrics plateau).
+  for (std::size_t u = 0; u < height; ++u) {
+    for (std::size_t v = cv + 1; v < width_; ++v) {
+      PMCORR_ASSERT(table_[u * width_ + v] <= table_[u * width_ + v - 1],
+                    "row " << u << " not decaying away from center col");
+    }
+  }
+  for (std::size_t v = 0; v < width_; ++v) {
+    for (std::size_t u = cu + 1; u < height; ++u) {
+      PMCORR_ASSERT(table_[u * width_ + v] <= table_[(u - 1) * width_ + v],
+                    "col " << v << " not decaying away from center row");
+    }
+  }
+  if (kernel != nullptr) {
+    for (std::size_t u = 0; u < height; ++u) {
+      const int drow = static_cast<int>(u) - (static_cast<int>(rows_) - 1);
+      for (std::size_t v = 0; v < width_; ++v) {
+        const int dcol = static_cast<int>(v) - (static_cast<int>(cols_) - 1);
+        PMCORR_ASSERT(table_[u * width_ + v] == kernel->LogWeight(drow, dcol),
+                      "stencil disagrees with kernel at delta ("
+                          << drow << "," << dcol << ")");
+      }
     }
   }
 }

@@ -12,12 +12,13 @@
 //    the default.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "common/check.h"
 
 namespace pmcorr {
 
@@ -112,9 +113,9 @@ class KernelStencil {
 
   /// LogWeight for the signed coordinate delta (drow, dcol).
   double LogWeight(int drow, int dcol) const {
-    assert(!Empty());
-    assert(drow > -static_cast<int>(rows_) && drow < static_cast<int>(rows_));
-    assert(dcol > -static_cast<int>(cols_) && dcol < static_cast<int>(cols_));
+    PMCORR_DASSERT(!Empty());
+    PMCORR_DASSERT(drow > -static_cast<int>(rows_) && drow < static_cast<int>(rows_));
+    PMCORR_DASSERT(dcol > -static_cast<int>(cols_) && dcol < static_cast<int>(cols_));
     const auto u = static_cast<std::size_t>(drow + static_cast<int>(rows_) - 1);
     const auto v = static_cast<std::size_t>(dcol + static_cast<int>(cols_) - 1);
     return table_[u * width_ + v];
@@ -126,14 +127,27 @@ class KernelStencil {
   /// center, `center_col` the center cell's column. This is what the
   /// transition matrix's fused row sweeps iterate over.
   const double* RowSlice(int drow, std::size_t center_col) const {
-    assert(!Empty());
-    assert(drow > -static_cast<int>(rows_) && drow < static_cast<int>(rows_));
-    assert(center_col < cols_);
+    PMCORR_DASSERT(!Empty());
+    PMCORR_DASSERT(drow > -static_cast<int>(rows_) && drow < static_cast<int>(rows_));
+    PMCORR_DASSERT(center_col < cols_);
     const auto u = static_cast<std::size_t>(drow + static_cast<int>(rows_) - 1);
     return table_.data() + u * width_ + (cols_ - 1 - center_col);
   }
 
+  /// Audits the stencil against the DecayKernel contract: table shaped
+  /// (2r-1) x (2c-1); every log weight finite and <= 0 with the center
+  /// exactly 0 (Weight(0,0) == 1); centrally symmetric bitwise (both
+  /// kernels take absolute deltas); non-increasing while moving away
+  /// from the center along either axis. When `kernel` is non-null,
+  /// additionally verifies every entry equals kernel.LogWeight bitwise
+  /// (the stencil-shape-agreement audit: a stale table after a grid
+  /// extension silently corrupts every later row sweep). An empty
+  /// stencil is valid.
+  void CheckInvariants(const DecayKernel* kernel = nullptr) const;
+
  private:
+  friend struct InvariantTestPeer;
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t width_ = 0;       // 2 * cols_ - 1

@@ -1,11 +1,11 @@
 #include "grid/partitioner.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "common/check.h"
 #include "common/stats.h"
 
 #if defined(__SSE2__)
@@ -139,8 +139,8 @@ std::pair<double, double> MinMax(std::span<const double> values) {
 
 IntervalList PartitionDimension(std::span<const double> values,
                                 const PartitionerConfig& config) {
-  assert(!values.empty());
-  assert(config.units >= 2);
+  PMCORR_DASSERT(!values.empty());
+  PMCORR_DASSERT(config.units >= 2);
 
   const auto [lo_v, hi_v] = MinMax(values);
   double lo = lo_v;

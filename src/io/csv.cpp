@@ -1,7 +1,9 @@
 #include "io/csv.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 #include "common/string_util.h"
@@ -47,13 +49,10 @@ void WriteFrameCsv(const MeasurementFrame& frame, const std::string& path) {
   if (!out) throw std::runtime_error("WriteFrameCsv: write failed: " + path);
 }
 
-MeasurementFrame ReadFrameCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("ReadFrameCsv: cannot open " + path);
-
+MeasurementFrame ReadFrameCsv(std::istream& in) {
   std::string line;
   if (!std::getline(in, line) || !StartsWith(line, "# pmcorr-trace v1")) {
-    throw std::runtime_error("ReadFrameCsv: missing trace header in " + path);
+    throw std::runtime_error("ReadFrameCsv: missing trace header");
   }
   long long start = 0, period = 0;
   {
@@ -71,6 +70,7 @@ MeasurementFrame ReadFrameCsv(const std::string& path) {
     }
   }
   if (period <= 0) throw std::runtime_error("ReadFrameCsv: bad period");
+  if (start < 0) throw std::runtime_error("ReadFrameCsv: negative start");
 
   std::vector<MeasurementInfo> infos;
   while (std::getline(in, line)) {
@@ -105,11 +105,23 @@ MeasurementFrame ReadFrameCsv(const std::string& path) {
     }
     for (std::size_t i = 0; i < infos.size(); ++i) {
       double v = 0.0;
-      if (!ParseDouble(fields[i + 1], &v)) {
+      // NaN stays: it is the missing-sample marker the resampler
+      // gap-fills. Infinities have no producer and are rejected.
+      if (!ParseDouble(fields[i + 1], &v) || std::isinf(v)) {
         throw std::runtime_error("ReadFrameCsv: bad value '" + fields[i + 1] +
                                  "'");
       }
       columns[i].push_back(v);
+    }
+  }
+
+  // Timestamp arithmetic is start + sample * period throughout the
+  // engine; reject headers where the last sample's time would overflow.
+  const std::size_t samples = infos.empty() ? 0 : columns[0].size();
+  if (samples > 0) {
+    const long long max_time = std::numeric_limits<long long>::max();
+    if (period > (max_time - start) / static_cast<long long>(samples)) {
+      throw std::runtime_error("ReadFrameCsv: start/period overflow");
     }
   }
 
@@ -118,6 +130,12 @@ MeasurementFrame ReadFrameCsv(const std::string& path) {
     frame.Add(infos[i], TimeSeries(start, period, std::move(columns[i])));
   }
   return frame;
+}
+
+MeasurementFrame ReadFrameCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ReadFrameCsv: cannot open " + path);
+  return ReadFrameCsv(in);
 }
 
 }  // namespace pmcorr

@@ -9,6 +9,7 @@
 // Values round-trip through "%.17g" so reloads are bit-exact.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "timeseries/frame.h"
@@ -19,7 +20,10 @@ namespace pmcorr {
 void WriteFrameCsv(const MeasurementFrame& frame, const std::string& path);
 
 /// Reads a frame written by WriteFrameCsv; throws std::runtime_error on
-/// malformed input or I/O failure.
+/// malformed input or I/O failure. NaN cells are kept (the missing-sample
+/// marker understood by the resampler); infinities are rejected, as are
+/// start/period combinations whose sample timestamps would overflow.
+MeasurementFrame ReadFrameCsv(std::istream& in);
 MeasurementFrame ReadFrameCsv(const std::string& path);
 
 }  // namespace pmcorr

@@ -1,14 +1,26 @@
 #include "io/model_io.h"
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace pmcorr {
 namespace {
 
 constexpr const char* kMagic = "pmcorr-model v1";
+
+// Upper bounds on declared sizes. A corrupt or hostile file can claim any
+// shape it likes; these caps reject it before the loader allocates. Real
+// grids hold tens of intervals per dimension (the partitioner targets
+// O(sqrt(history)) cells), so the caps leave two orders of magnitude of
+// headroom while bounding the evidence block (cells^2 doubles) at 128 MiB.
+constexpr std::size_t kMaxIntervalsPerDim = 1024;
+constexpr std::size_t kMaxGridCells = 4096;
 
 void WriteDouble(std::ostream& out, double v) {
   char buf[40];
@@ -35,16 +47,23 @@ IntervalList ReadIntervals(std::istream& in, const std::string& expect_tag) {
     throw std::runtime_error("LoadPairModel: bad interval section '" +
                              expect_tag + "'");
   }
+  if (n > kMaxIntervalsPerDim) {
+    throw std::runtime_error("LoadPairModel: declared interval count " +
+                             std::to_string(n) + " exceeds limit");
+  }
   std::vector<double> edges(n + 1);
   for (double& e : edges) {
-    if (!(in >> e)) {
-      throw std::runtime_error("LoadPairModel: truncated interval edges");
+    if (!(in >> e) || !std::isfinite(e)) {
+      throw std::runtime_error("LoadPairModel: bad interval edge");
     }
   }
   std::vector<Interval> intervals;
   intervals.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (edges[i + 1] <= edges[i]) {
+    // "!(b > a)" rather than "b <= a": NaN edges fail every comparison
+    // and must not slip through (defense in depth behind the finiteness
+    // check above).
+    if (!(edges[i + 1] > edges[i])) {
       throw std::runtime_error("LoadPairModel: non-increasing edges");
     }
     intervals.push_back({edges[i], edges[i + 1]});
@@ -114,8 +133,19 @@ PairModel LoadPairModel(std::istream& in) {
       tag != "kernel") {
     throw std::runtime_error("LoadPairModel: bad kernel line");
   }
+  if (kernel_type < 0 ||
+      kernel_type > static_cast<int>(KernelConfig::Type::kExponential)) {
+    throw std::runtime_error("LoadPairModel: unknown kernel type");
+  }
+  if (metric < 0 || metric > static_cast<int>(CellMetric::kEuclidean)) {
+    throw std::runtime_error("LoadPairModel: unknown cell metric");
+  }
   config.kernel.type = static_cast<KernelConfig::Type>(kernel_type);
   config.kernel.metric = static_cast<CellMetric>(metric);
+  if (config.kernel.type == KernelConfig::Type::kExponential &&
+      !(std::isfinite(config.kernel.w) && config.kernel.w > 1.0)) {
+    throw std::runtime_error("LoadPairModel: exponential kernel needs w > 1");
+  }
 
   if (!(in >> tag >> config.lambda1 >> config.lambda2 >> config.delta >>
         config.fitness_alarm_threshold >> config.forgetting >>
@@ -124,15 +154,33 @@ PairModel LoadPairModel(std::istream& in) {
     throw std::runtime_error("LoadPairModel: bad params line");
   }
   config.adaptive = adaptive != 0;
+  // Mirror of PairModel::CheckInvariants's config clauses: written here
+  // as load errors so hostile files fail in every build, not only under
+  // PMCORR_AUDIT. All comparisons are NaN-rejecting.
+  if (!(config.lambda1 >= 0.0 && config.lambda2 >= 0.0 &&
+        std::isfinite(config.lambda1) && std::isfinite(config.lambda2) &&
+        config.delta >= 0.0 && config.delta <= 1.0 &&
+        config.fitness_alarm_threshold >= 0.0 &&
+        config.fitness_alarm_threshold <= 1.0 && config.forgetting > 0.0 &&
+        config.forgetting <= 1.0 && config.likelihood_weight > 0.0 &&
+        std::isfinite(config.likelihood_weight))) {
+    throw std::runtime_error("LoadPairModel: params out of range");
+  }
 
   double r1 = 0.0, r2 = 0.0;
-  if (!(in >> tag >> r1 >> r2) || tag != "ravg" || r1 <= 0.0 || r2 <= 0.0) {
+  if (!(in >> tag >> r1 >> r2) || tag != "ravg" ||
+      !(std::isfinite(r1) && r1 > 0.0) || !(std::isfinite(r2) && r2 > 0.0)) {
     throw std::runtime_error("LoadPairModel: bad ravg line");
   }
 
   IntervalList dim1 = ReadIntervals(in, "dim1");
   IntervalList dim2 = ReadIntervals(in, "dim2");
   Grid2D grid(std::move(dim1), std::move(dim2), r1, r2);
+  if (grid.CellCount() > kMaxGridCells) {
+    throw std::runtime_error("LoadPairModel: declared grid shape " +
+                             std::to_string(grid.Rows()) + "x" +
+                             std::to_string(grid.Cols()) + " exceeds limit");
+  }
 
   std::size_t cells = 0;
   std::uint64_t observed = 0;
@@ -149,22 +197,35 @@ PairModel LoadPairModel(std::istream& in) {
     throw std::runtime_error("LoadPairModel: missing evidence");
   }
   for (double& e : evidence) {
-    if (!(in >> e)) {
-      throw std::runtime_error("LoadPairModel: truncated evidence");
+    if (!(in >> e) || !(std::isfinite(e) && e <= 0.0)) {
+      // Every evidence term is a forgetting-discounted sum of weighted
+      // log-probabilities, so legitimate checkpoints never hold positive
+      // or non-finite entries.
+      throw std::runtime_error("LoadPairModel: bad evidence entry");
     }
   }
   std::vector<std::uint32_t> counts(cells * cells);
   if (!(in >> tag) || tag != "counts") {
     throw std::runtime_error("LoadPairModel: missing counts");
   }
+  std::uint64_t count_total = 0;
   for (std::uint32_t& v : counts) {
     if (!(in >> v)) {
       throw std::runtime_error("LoadPairModel: truncated counts");
     }
+    count_total += v;
+  }
+  if (count_total != observed) {
+    throw std::runtime_error("LoadPairModel: counts sum to " +
+                             std::to_string(count_total) + ", header declares " +
+                             std::to_string(observed));
   }
   matrix.RestoreState(std::move(evidence), std::move(counts), observed);
 
-  return PairModel::FromParts(config, std::move(grid), std::move(matrix));
+  PairModel model =
+      PairModel::FromParts(config, std::move(grid), std::move(matrix));
+  PMCORR_AUDIT_ONLY(model.CheckInvariants();)
+  return model;
 }
 
 PairModel LoadPairModel(const std::string& path) {

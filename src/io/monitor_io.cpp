@@ -1,8 +1,13 @@
 #include "io/monitor_io.h"
 
+#include <charconv>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
+#include <string_view>
 
 #include "io/model_io.h"
 
@@ -10,6 +15,14 @@ namespace pmcorr {
 namespace {
 
 constexpr const char* kMagic = "pmcorr-monitor v1";
+
+// Declared-size ceilings: a checkpoint names its measurement and pair
+// counts up front and the loader reserves accordingly, so corrupt values
+// must be rejected before they turn into allocations. Production fleets
+// run hundreds of pairs; a million of either is far beyond any real
+// deployment yet still only megabytes of reserve.
+constexpr std::size_t kMaxMeasurements = 1u << 20;
+constexpr std::size_t kMaxPairs = 1u << 20;
 
 void WriteDouble(std::ostream& out, double v) {
   char buf[40];
@@ -66,6 +79,11 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
   if (!(in >> tag >> measurement_count) || tag != "measurements") {
     throw std::runtime_error("LoadSystemMonitor: bad measurements header");
   }
+  if (measurement_count > kMaxMeasurements) {
+    throw std::runtime_error("LoadSystemMonitor: declared measurement count " +
+                             std::to_string(measurement_count) +
+                             " exceeds limit");
+  }
   std::vector<MeasurementInfo> infos;
   infos.reserve(measurement_count);
   for (std::size_t i = 0; i < measurement_count; ++i) {
@@ -73,6 +91,13 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
     std::string name;
     if (!(in >> tag >> machine >> kind >> name) || tag != "m") {
       throw std::runtime_error("LoadSystemMonitor: bad measurement line");
+    }
+    if (machine < 0) {
+      throw std::runtime_error("LoadSystemMonitor: bad machine id");
+    }
+    if (kind < 0 ||
+        MetricKindName(static_cast<MetricKind>(kind)) == "UnknownMetric") {
+      throw std::runtime_error("LoadSystemMonitor: unknown metric kind");
     }
     MeasurementInfo info;
     info.id = MeasurementId(static_cast<std::int32_t>(i));
@@ -85,6 +110,10 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
   std::size_t pair_count = 0;
   if (!(in >> tag >> pair_count) || tag != "pairs") {
     throw std::runtime_error("LoadSystemMonitor: bad pairs header");
+  }
+  if (pair_count > kMaxPairs) {
+    throw std::runtime_error("LoadSystemMonitor: declared pair count " +
+                             std::to_string(pair_count) + " exceeds limit");
   }
   std::vector<PairId> pairs;
   pairs.reserve(pair_count);
@@ -100,7 +129,8 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
   double system_sum = 0.0;
   std::size_t system_count = 0;
   if (!(in >> tag >> steps >> system_sum >> system_count) ||
-      tag != "aggregates") {
+      tag != "aggregates" || !std::isfinite(system_sum) ||
+      system_count > steps) {
     throw std::runtime_error("LoadSystemMonitor: bad aggregates line");
   }
   std::vector<ScoreAverager> measurement_avgs;
@@ -108,7 +138,8 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
   for (std::size_t i = 0; i < measurement_count; ++i) {
     double sum = 0.0;
     std::size_t count = 0;
-    if (!(in >> tag >> sum >> count) || tag != "a") {
+    if (!(in >> tag >> sum >> count) || tag != "a" || !std::isfinite(sum) ||
+        count > steps) {
       throw std::runtime_error("LoadSystemMonitor: bad averager line");
     }
     measurement_avgs.push_back(ScoreAverager::FromState(sum, count));
@@ -126,10 +157,20 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
   config.threads = threads;
   if (!models.empty()) config.model = models.front().Config();
 
-  return std::make_unique<SystemMonitor>(
-      config, MeasurementGraph::FromPairs(measurement_count, std::move(pairs)),
-      std::move(infos), std::move(models), std::move(measurement_avgs),
-      ScoreAverager::FromState(system_sum, system_count), steps);
+  try {
+    return std::make_unique<SystemMonitor>(
+        config,
+        MeasurementGraph::FromPairs(measurement_count, std::move(pairs)),
+        std::move(infos), std::move(models), std::move(measurement_avgs),
+        ScoreAverager::FromState(system_sum, system_count), steps);
+  } catch (const std::invalid_argument& error) {
+    // FromPairs rejects self/duplicate/out-of-range pairs and the
+    // monitor constructor rejects inconsistent part counts with
+    // invalid_argument; a corrupt checkpoint must surface as this
+    // loader's documented error type instead.
+    throw std::runtime_error(std::string("LoadSystemMonitor: ") +
+                             error.what());
+  }
 }
 
 std::unique_ptr<SystemMonitor> LoadSystemMonitor(const std::string& path,
@@ -182,6 +223,160 @@ void WriteSnapshotStreamJsonl(const std::vector<SystemSnapshot>& snapshots,
         << ",\"extended\":" << snap.extended_pairs << "}\n";
   }
   if (!out) throw std::runtime_error("WriteSnapshotStreamJsonl: write failed");
+}
+
+namespace {
+
+// Strict left-to-right cursor over one JSONL line. The writer emits a
+// fixed field order with no insignificant whitespace, so the reader can
+// demand byte-exact structure; anything else is a parse error, never a
+// crash or a silent skip.
+class LineCursor {
+ public:
+  LineCursor(std::string_view text, std::size_t line_no)
+      : text_(text), line_no_(line_no) {}
+
+  void Expect(std::string_view token) {
+    if (text_.substr(pos_, token.size()) != token) {
+      Fail("expected '" + std::string(token) + "'");
+    }
+    pos_ += token.size();
+  }
+
+  bool TryExpect(std::string_view token) {
+    if (text_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  double Number() {
+    double value = 0.0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto result = std::from_chars(begin, end, value);
+    if (result.ec != std::errc{} || !std::isfinite(value)) {
+      Fail("bad number");
+    }
+    pos_ += static_cast<std::size_t>(result.ptr - begin);
+    return value;
+  }
+
+  std::optional<double> NumberOrNull() {
+    if (TryExpect("null")) return std::nullopt;
+    return Number();
+  }
+
+  std::uint64_t UInt() {
+    std::uint64_t value = 0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto result = std::from_chars(begin, end, value);
+    if (result.ec != std::errc{}) Fail("bad unsigned integer");
+    pos_ += static_cast<std::size_t>(result.ptr - begin);
+    return value;
+  }
+
+  std::int64_t Int() {
+    std::int64_t value = 0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto result = std::from_chars(begin, end, value);
+    if (result.ec != std::errc{}) Fail("bad integer");
+    pos_ += static_cast<std::size_t>(result.ptr - begin);
+    return value;
+  }
+
+  void ExpectEnd() {
+    if (pos_ != text_.size()) Fail("trailing bytes after object");
+  }
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error("ReadSnapshotStreamJsonl: line " +
+                             std::to_string(line_no_) + ": " + what);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_no_;
+};
+
+std::vector<std::optional<double>> ReadScoreArray(LineCursor& cursor) {
+  std::vector<std::optional<double>> scores;
+  cursor.Expect("[");
+  if (!cursor.TryExpect("]")) {
+    do {
+      scores.push_back(cursor.NumberOrNull());
+    } while (cursor.TryExpect(","));
+    cursor.Expect("]");
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::vector<SystemSnapshot> ReadSnapshotStreamJsonl(std::istream& in) {
+  std::vector<SystemSnapshot> snapshots;
+  std::string line;
+  std::size_t line_no = 0;
+  // Array widths must agree across the stream; fixed by the first line.
+  std::size_t pair_count = 0;
+  std::size_t measurement_count = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    LineCursor cursor(line, line_no);
+    SystemSnapshot snap;
+
+    cursor.Expect("{\"sample\":");
+    snap.sample = static_cast<std::size_t>(cursor.UInt());
+    cursor.Expect(",\"t\":");
+    snap.time = cursor.Int();
+    cursor.Expect(",\"q\":");
+    snap.system_score = cursor.NumberOrNull();
+    cursor.Expect(",\"qa\":");
+    snap.measurement_scores = ReadScoreArray(cursor);
+    cursor.Expect(",\"pair_scores\":");
+    snap.pair_scores = ReadScoreArray(cursor);
+
+    cursor.Expect(",\"alarmed\":[");
+    if (cursor.Peek() != ']') {
+      do {
+        const std::uint64_t pair = cursor.UInt();
+        if (pair >= snap.pair_scores.size()) {
+          cursor.Fail("alarmed pair index out of range");
+        }
+        if (!snap.alarmed_pairs.empty() && pair <= snap.alarmed_pairs.back()) {
+          cursor.Fail("alarmed pair indices not strictly increasing");
+        }
+        snap.alarmed_pairs.push_back(static_cast<std::size_t>(pair));
+      } while (cursor.TryExpect(","));
+    }
+    cursor.Expect("]");
+
+    cursor.Expect(",\"outliers\":");
+    snap.outlier_pairs = static_cast<std::size_t>(cursor.UInt());
+    cursor.Expect(",\"extended\":");
+    snap.extended_pairs = static_cast<std::size_t>(cursor.UInt());
+    cursor.Expect("}");
+    cursor.ExpectEnd();
+
+    if (snap.outlier_pairs > snap.pair_scores.size() ||
+        snap.extended_pairs > snap.pair_scores.size()) {
+      cursor.Fail("outlier/extended counts exceed pair count");
+    }
+    if (snapshots.empty()) {
+      pair_count = snap.pair_scores.size();
+      measurement_count = snap.measurement_scores.size();
+    } else if (snap.pair_scores.size() != pair_count ||
+               snap.measurement_scores.size() != measurement_count) {
+      cursor.Fail("score array width changed mid-stream");
+    }
+    snapshots.push_back(std::move(snap));
+  }
+  return snapshots;
 }
 
 }  // namespace pmcorr

@@ -38,4 +38,13 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(const std::string& path,
 void WriteSnapshotStreamJsonl(const std::vector<SystemSnapshot>& snapshots,
                               std::ostream& out);
 
+/// Parses a stream written by WriteSnapshotStreamJsonl back into
+/// snapshots (measurement scores are part of the stream, so the
+/// round-trip is lossless and bit-exact). The parser is strict: it
+/// accepts exactly the schema above — keys in order, no whitespace
+/// padding — and throws std::runtime_error with a line number on any
+/// deviation, including non-finite scores, alarmed indices out of range
+/// or out of order, and score arrays whose width changes mid-stream.
+std::vector<SystemSnapshot> ReadSnapshotStreamJsonl(std::istream& in);
+
 }  // namespace pmcorr

@@ -1,22 +1,22 @@
 #include "telemetry/queueing.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace pmcorr {
 
 MmcQueueSimulator::MmcQueueSimulator(QueueConfig config) : config_(config) {
-  assert(config_.servers > 0);
-  assert(config_.service_rate > 0.0);
+  PMCORR_DASSERT(config_.servers > 0);
+  PMCORR_DASSERT(config_.service_rate > 0.0);
 }
 
 QueueSimStats MmcQueueSimulator::Run(double arrival_rate,
                                      double duration_seconds, Rng& rng) {
-  assert(arrival_rate >= 0.0);
-  assert(duration_seconds > 0.0);
+  PMCORR_DASSERT(arrival_rate >= 0.0);
+  PMCORR_DASSERT(duration_seconds > 0.0);
 
   const double end = now_ + duration_seconds;
   const double mu = config_.service_rate;
@@ -70,7 +70,7 @@ QueueSimStats MmcQueueSimulator::Run(double arrival_rate,
     } else {
       // A service completion: exponential services are exchangeable, so
       // the finishing request is uniform over the busy servers.
-      assert(!in_service_.empty());
+      PMCORR_DASSERT(!in_service_.empty());
       const std::size_t slot = static_cast<std::size_t>(rng.UniformInt(
           0, static_cast<std::int64_t>(in_service_.size()) - 1));
       const double arrival_time = in_service_[slot];
@@ -99,7 +99,7 @@ QueueSimStats MmcQueueSimulator::Run(double arrival_rate,
 }
 
 double ErlangC(double offered_load, std::size_t servers) {
-  assert(servers > 0);
+  PMCORR_DASSERT(servers > 0);
   const double a = offered_load;
   const auto c = static_cast<double>(servers);
   if (a >= c) return 1.0;
@@ -115,7 +115,7 @@ double ErlangC(double offered_load, std::size_t servers) {
 
 double MmcMeanResponse(double arrival_rate, double service_rate,
                        std::size_t servers) {
-  assert(arrival_rate < service_rate * static_cast<double>(servers));
+  PMCORR_DASSERT(arrival_rate < service_rate * static_cast<double>(servers));
   const double a = arrival_rate / service_rate;
   const double pw = ErlangC(a, servers);
   const double wq =

@@ -1,9 +1,9 @@
 #include "telemetry/response.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace pmcorr {
@@ -20,7 +20,7 @@ std::string LinearResponse::Describe() const {
 
 SaturatingResponse::SaturatingResponse(double cap, double knee)
     : cap_(cap), knee_(knee) {
-  assert(knee_ > 0.0);
+  PMCORR_DASSERT(knee_ > 0.0);
 }
 
 double SaturatingResponse::Value(double u) const {
@@ -35,7 +35,7 @@ std::string SaturatingResponse::Describe() const {
 
 QueueingResponse::QueueingResponse(double base, double u_max)
     : base_(base), u_max_(u_max) {
-  assert(u_max_ > 0.0 && u_max_ < 1.0);
+  PMCORR_DASSERT(u_max_ > 0.0 && u_max_ < 1.0);
 }
 
 double QueueingResponse::Value(double u) const {

@@ -1,6 +1,5 @@
 #include "telemetry/scenarios.h"
 
-#include <cassert>
 #include <stdexcept>
 
 #include "common/rng.h"

@@ -1,9 +1,9 @@
 #include "telemetry/workload.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace pmcorr {
@@ -28,7 +28,7 @@ WorkloadModel::WorkloadModel(const WorkloadConfig& config, std::uint64_t seed,
                              TimePoint start, std::size_t samples,
                              Duration period)
     : config_(config), start_(start), period_(period) {
-  assert(period > 0);
+  PMCORR_DASSERT(period > 0);
   rates_.resize(samples);
   flood_.assign(samples, 0);
 

@@ -1,14 +1,15 @@
 #include "timeseries/frame.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace pmcorr {
 
 MeasurementFrame::MeasurementFrame(TimePoint start, Duration period)
     : start_(start), period_(period) {
-  assert(period_ > 0);
+  PMCORR_DASSERT(period_ > 0);
 }
 
 MeasurementId MeasurementFrame::Add(MeasurementInfo info, TimeSeries series) {

@@ -1,15 +1,16 @@
 #include "timeseries/resample.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "common/check.h"
 
 namespace pmcorr {
 
 TimeSeries Regularize(std::vector<RawSample> raw, TimePoint start,
                       Duration period, std::size_t count, GapFill fill) {
-  assert(period > 0);
+  PMCORR_DASSERT(period > 0);
   std::sort(raw.begin(), raw.end(),
             [](const RawSample& a, const RawSample& b) { return a.time < b.time; });
 
@@ -56,7 +57,7 @@ TimeSeries Regularize(std::vector<RawSample> raw, TimePoint start,
 }
 
 TimeSeries Downsample(const TimeSeries& series, std::size_t factor) {
-  assert(factor > 0);
+  PMCORR_DASSERT(factor > 0);
   if (factor == 1 || series.Empty()) return series;
   std::vector<double> out;
   out.reserve(series.Size() / factor + 1);

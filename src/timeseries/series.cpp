@@ -1,14 +1,15 @@
 #include "timeseries/series.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace pmcorr {
 
 TimeSeries::TimeSeries(TimePoint start, Duration period,
                        std::vector<double> values)
     : start_(start), period_(period), values_(std::move(values)) {
-  assert(period_ > 0);
+  PMCORR_DASSERT(period_ > 0);
 }
 
 TimePoint TimeSeries::TimeAt(std::size_t index) const {
@@ -18,7 +19,7 @@ TimePoint TimeSeries::TimeAt(std::size_t index) const {
 TimePoint TimeSeries::End() const { return TimeAt(values_.size()); }
 
 double TimeSeries::At(std::size_t index) const {
-  assert(index < values_.size());
+  PMCORR_DASSERT(index < values_.size());
   return values_[index];
 }
 

@@ -53,7 +53,9 @@ inline void ExpectScoreEqual(const std::optional<double>& a,
                              const std::optional<double>& b,
                              const char* what) {
   ASSERT_EQ(a.has_value(), b.has_value()) << what;
-  if (a) EXPECT_EQ(*a, *b) << what;
+  if (a) {
+    EXPECT_EQ(*a, *b) << what;
+  }
 }
 
 inline void ExpectSnapshotsEqual(const SystemSnapshot& a,

@@ -1,0 +1,343 @@
+// Regression tests for the hardened I/O boundaries: every malformed
+// input class the fuzz harnesses cover — truncation, NaN/Inf fields,
+// huge declared shapes, inconsistent redundancy — must produce a clean
+// std::runtime_error, never a crash, an abort, or a giant allocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/csv.h"
+#include "io/model_io.h"
+#include "io/monitor_io.h"
+
+namespace pmcorr {
+namespace {
+
+PairModel TrainedModel() {
+  Rng rng(7);
+  std::vector<double> xs(500), ys(500);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double load =
+        50.0 + 30.0 * std::sin(static_cast<double>(i) * 0.05) +
+        rng.Normal(0.0, 1.0);
+    xs[i] = load;
+    ys[i] = 100.0 * load / (load + 40.0) + rng.Normal(0.0, 0.4);
+  }
+  ModelConfig config;
+  config.partition.units = 25;
+  config.partition.max_intervals = 6;
+  config.forgetting = 0.99;
+  return PairModel::Learn(xs, ys, config);
+}
+
+std::string SavedModelText() {
+  std::ostringstream out;
+  SavePairModel(TrainedModel(), out);
+  return out.str();
+}
+
+// Replaces the first occurrence of `from` in `text`.
+std::string Replace(std::string text, const std::string& from,
+                    const std::string& to) {
+  const std::size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "pattern not found: " << from;
+  if (pos != std::string::npos) text.replace(pos, from.size(), to);
+  return text;
+}
+
+void ExpectLoadModelThrows(const std::string& text) {
+  std::istringstream in(text);
+  EXPECT_THROW((void)LoadPairModel(in), std::runtime_error) << text.substr(
+      0, 120);
+}
+
+// ---------------------------------------------------------------------
+// LoadPairModel.
+
+TEST(ModelIoErrors, ValidFileStillLoads) {
+  std::istringstream in(SavedModelText());
+  EXPECT_NO_THROW((void)LoadPairModel(in));
+}
+
+TEST(ModelIoErrors, EveryTruncationFailsCleanly) {
+  const std::string text = SavedModelText();
+  // Every proper prefix is missing data (redundant totals catch even a
+  // truncated final count token), so each must throw, not crash. Step
+  // through the file with a stride plus the boundary cases.
+  for (std::size_t len = 0; len + 2 <= text.size(); len += 13) {
+    ExpectLoadModelThrows(text.substr(0, len));
+  }
+  ExpectLoadModelThrows(text.substr(0, text.size() / 2));
+  ExpectLoadModelThrows(text.substr(0, text.size() - 2));
+}
+
+TEST(ModelIoErrors, HugeDeclaredIntervalCountRejectedBeforeAllocation) {
+  // 10^15 declared intervals would be petabytes; the loader must refuse
+  // the count itself rather than attempt the allocation.
+  const std::string text =
+      "pmcorr-model v1\n"
+      "kernel 0 2 2\n"
+      "params 3 3 0 0 1 1 1\n"
+      "ravg 1 1\n"
+      "dim1 1000000000000000 0 1\n";
+  ExpectLoadModelThrows(text);
+}
+
+TEST(ModelIoErrors, HugeDeclaredGridShapeRejected) {
+  // Both dimensions individually under the per-dimension cap, but the
+  // product (cells^2 evidence doubles) would be enormous.
+  std::ostringstream out;
+  out << "pmcorr-model v1\nkernel 0 2 2\nparams 3 3 0 0 1 1 1\nravg 1 1\n";
+  for (const char* tag : {"dim1", "dim2"}) {
+    out << tag << " 1000";
+    for (int i = 0; i <= 1000; ++i) out << " " << i;
+    out << "\n";
+  }
+  out << "matrix 1000000 0\nevidence 0\ncounts 0\n";
+  ExpectLoadModelThrows(out.str());
+}
+
+TEST(ModelIoErrors, NonFiniteFieldsRejected) {
+  const std::string text = SavedModelText();
+  // Whatever numeric token the parser sees for these fields, NaN/Inf
+  // must surface as a parse error.
+  ExpectLoadModelThrows(Replace(text, "ravg ", "ravg nan "));
+  ExpectLoadModelThrows(Replace(text, "dim1 ", "dim1 inf "));
+  ExpectLoadModelThrows(Replace(text, "evidence ", "evidence nan "));
+}
+
+TEST(ModelIoErrors, NonIncreasingEdgesRejected) {
+  const std::string good =
+      "pmcorr-model v1\nkernel 0 2 2\nparams 3 3 0 0 1 1 1\nravg 1 1\n";
+  ExpectLoadModelThrows(good + "dim1 2 0 0 2\n");   // zero-width
+  ExpectLoadModelThrows(good + "dim1 2 0 -1 2\n");  // decreasing
+}
+
+TEST(ModelIoErrors, OutOfRangeParamsRejected) {
+  const std::string text = SavedModelText();
+  ExpectLoadModelThrows(Replace(text, "params ", "params -1 "));
+  // forgetting is the 5th value; easiest to rewrite the whole line.
+  std::istringstream in(text);
+  std::string line, rebuilt;
+  while (std::getline(in, line)) {
+    if (line.rfind("params ", 0) == 0) line = "params 3 3 0 0 2 1 1";
+    rebuilt += line + "\n";
+  }
+  ExpectLoadModelThrows(rebuilt);
+}
+
+TEST(ModelIoErrors, UnknownKernelAndMetricRejected) {
+  const std::string text = SavedModelText();
+  ExpectLoadModelThrows(Replace(text, "kernel 0 ", "kernel 9 "));
+  ExpectLoadModelThrows(Replace(text, "kernel 0 2 2", "kernel 0 2 7"));
+  // Exponential kernels additionally need w > 1.
+  ExpectLoadModelThrows(Replace(text, "kernel 0 2 ", "kernel 1 0.5 "));
+}
+
+TEST(ModelIoErrors, PositiveEvidenceRejected) {
+  ExpectLoadModelThrows(Replace(SavedModelText(), "evidence ",
+                                "evidence 0.25 "));
+}
+
+TEST(ModelIoErrors, CountSumMismatchRejected) {
+  // Bump the declared observed total: the counts section no longer sums
+  // to it, and the loader must notice rather than restore corrupt state.
+  const std::string text = SavedModelText();
+  const std::size_t pos = text.find("matrix ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t sp = text.find(' ', pos + 7);  // after cell count
+  ASSERT_NE(sp, std::string::npos);
+  std::string mutated = text;
+  mutated.insert(sp + 1, "9");  // observed := 9 * 10^k + observed
+  ExpectLoadModelThrows(mutated);
+}
+
+// ---------------------------------------------------------------------
+// LoadSystemMonitor.
+
+TEST(MonitorIoErrors, HugeDeclaredCountsRejected) {
+  std::istringstream a("pmcorr-monitor v1\nmeasurements 99999999999\n");
+  EXPECT_THROW((void)LoadSystemMonitor(a), std::runtime_error);
+  std::istringstream b(
+      "pmcorr-monitor v1\nmeasurements 0\npairs 99999999999\n");
+  EXPECT_THROW((void)LoadSystemMonitor(b), std::runtime_error);
+}
+
+TEST(MonitorIoErrors, CorruptPairListRejectedAsRuntimeError) {
+  // Fuzzer find: self-pairs / out-of-range pairs used to escape as
+  // std::invalid_argument from MeasurementGraph::FromPairs, breaking
+  // the loader's "malformed input => std::runtime_error" contract.
+  const std::string model = SavedModelText();
+  for (const char* pair_line : {"p 0 0", "p 0 7", "p -3 1", "p 1 0"}) {
+    // Fully well-formed checkpoint except for the second pair: the
+    // loader reaches graph construction and must translate its
+    // rejection, not leak it.
+    std::istringstream in(
+        std::string("pmcorr-monitor v1\nmeasurements 2\n"
+                    "m 0 0 cpu@a\nm 0 0 cpu@b\npairs 2\np 0 1\n") +
+        pair_line + "\naggregates 0 0 0\na 0 0\na 0 0\n" + model + model);
+    EXPECT_THROW((void)LoadSystemMonitor(in), std::runtime_error)
+        << pair_line;
+  }
+}
+
+TEST(MonitorIoErrors, UnknownMetricKindRejected) {
+  std::istringstream in(
+      "pmcorr-monitor v1\nmeasurements 1\nm 0 250 cpu@a\n");
+  EXPECT_THROW((void)LoadSystemMonitor(in), std::runtime_error);
+}
+
+TEST(MonitorIoErrors, NonFiniteAggregatesRejected) {
+  std::istringstream in(
+      "pmcorr-monitor v1\nmeasurements 0\npairs 0\n"
+      "aggregates 10 inf 5\n");
+  EXPECT_THROW((void)LoadSystemMonitor(in), std::runtime_error);
+}
+
+TEST(MonitorIoErrors, AveragerCountBeyondStepsRejected) {
+  std::istringstream in(
+      "pmcorr-monitor v1\nmeasurements 1\nm 0 0 cpu@a\npairs 0\n"
+      "aggregates 10 1.5 3\na 1.5 11\n");
+  EXPECT_THROW((void)LoadSystemMonitor(in), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// ReadFrameCsv.
+
+constexpr const char* kCsvHeader =
+    "# pmcorr-trace v1 start=0 period=60\n"
+    "# measurement,1,CpuUtilization,cpu@a\n"
+    "# measurement,1,RequestRate,req@a\n"
+    "time,cpu@a,req@a\n";
+
+TEST(CsvErrors, ValidTraceLoadsThroughStreamOverload) {
+  std::istringstream in(std::string(kCsvHeader) +
+                        "0,50,10\n60,51,11\n120,nan,12\n");
+  const MeasurementFrame frame = ReadFrameCsv(in);
+  EXPECT_EQ(frame.MeasurementCount(), 2u);
+  EXPECT_EQ(frame.SampleCount(), 3u);
+  // NaN is the missing-sample marker and must survive the parse.
+  EXPECT_TRUE(std::isnan(frame.Value(MeasurementId(0), 2)));
+}
+
+TEST(CsvErrors, InfinityRejected) {
+  std::istringstream in(std::string(kCsvHeader) + "0,inf,10\n");
+  EXPECT_THROW((void)ReadFrameCsv(in), std::runtime_error);
+}
+
+TEST(CsvErrors, RowWidthMismatchRejected) {
+  std::istringstream in(std::string(kCsvHeader) + "0,50\n");
+  EXPECT_THROW((void)ReadFrameCsv(in), std::runtime_error);
+}
+
+TEST(CsvErrors, TimestampOverflowRejected) {
+  std::istringstream in(
+      "# pmcorr-trace v1 start=9223372036854775000 period=1000\n"
+      "# measurement,1,CpuUtilization,cpu@a\n"
+      "time,cpu@a\n0,50\n1,51\n");
+  EXPECT_THROW((void)ReadFrameCsv(in), std::runtime_error);
+}
+
+TEST(CsvErrors, NegativeStartAndBadPeriodRejected) {
+  std::istringstream a(
+      "# pmcorr-trace v1 start=-5 period=60\ntime\n");
+  EXPECT_THROW((void)ReadFrameCsv(a), std::runtime_error);
+  std::istringstream b(
+      "# pmcorr-trace v1 start=0 period=0\ntime\n");
+  EXPECT_THROW((void)ReadFrameCsv(b), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// ReadSnapshotStreamJsonl.
+
+std::vector<SystemSnapshot> SampleSnapshots() {
+  std::vector<SystemSnapshot> snaps(3);
+  Rng rng(23);
+  for (std::size_t t = 0; t < snaps.size(); ++t) {
+    SystemSnapshot& snap = snaps[t];
+    snap.sample = t;
+    snap.time = 1700000000 + static_cast<TimePoint>(60 * t);
+    snap.pair_scores.resize(4);
+    snap.measurement_scores.resize(3);
+    for (auto& score : snap.pair_scores) {
+      if (rng.Uniform() < 0.8) score = rng.Uniform();
+    }
+    for (auto& score : snap.measurement_scores) {
+      if (rng.Uniform() < 0.8) score = rng.Uniform();
+    }
+    if (t > 0) snap.system_score = rng.Uniform();
+    if (t == 2) snap.alarmed_pairs = {1, 3};
+    snap.outlier_pairs = t;
+    snap.extended_pairs = 0;
+  }
+  return snaps;
+}
+
+TEST(JsonlErrors, StreamRoundTripsBitExactly) {
+  const std::vector<SystemSnapshot> original = SampleSnapshots();
+  std::stringstream stream;
+  WriteSnapshotStreamJsonl(original, stream);
+  const std::vector<SystemSnapshot> loaded =
+      ReadSnapshotStreamJsonl(stream);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t t = 0; t < original.size(); ++t) {
+    EXPECT_EQ(loaded[t].sample, original[t].sample);
+    EXPECT_EQ(loaded[t].time, original[t].time);
+    EXPECT_EQ(loaded[t].system_score, original[t].system_score);
+    EXPECT_EQ(loaded[t].pair_scores, original[t].pair_scores);
+    EXPECT_EQ(loaded[t].measurement_scores,
+              original[t].measurement_scores);
+    EXPECT_EQ(loaded[t].alarmed_pairs, original[t].alarmed_pairs);
+    EXPECT_EQ(loaded[t].outlier_pairs, original[t].outlier_pairs);
+    EXPECT_EQ(loaded[t].extended_pairs, original[t].extended_pairs);
+  }
+}
+
+void ExpectJsonlThrows(const std::string& text) {
+  std::istringstream in(text);
+  EXPECT_THROW((void)ReadSnapshotStreamJsonl(in), std::runtime_error)
+      << text;
+}
+
+TEST(JsonlErrors, MalformedLinesRejected) {
+  const std::string good =
+      "{\"sample\":0,\"t\":100,\"q\":null,\"qa\":[null],"
+      "\"pair_scores\":[0.5,null],\"alarmed\":[],\"outliers\":0,"
+      "\"extended\":0}\n";
+  {
+    std::istringstream in(good);
+    EXPECT_NO_THROW((void)ReadSnapshotStreamJsonl(in));
+  }
+  ExpectJsonlThrows("not json\n");
+  ExpectJsonlThrows(Replace(good, "\"q\":null", "\"q\":1e999"));  // inf
+  ExpectJsonlThrows(Replace(good, "\"q\":null", "\"q\":nan"));
+  ExpectJsonlThrows(Replace(good, "\"alarmed\":[]", "\"alarmed\":[5]"));
+  ExpectJsonlThrows(Replace(good, "\"alarmed\":[]", "\"alarmed\":[1,1]"));
+  ExpectJsonlThrows(Replace(good, "\"outliers\":0", "\"outliers\":3"));
+  ExpectJsonlThrows(Replace(good, "}\n", "}trailing\n"));
+  ExpectJsonlThrows(Replace(good, "\"sample\"", "\"Sample\""));
+  // Array width changing mid-stream.
+  ExpectJsonlThrows(good + Replace(good, "[0.5,null]", "[0.5]"));
+  // Truncations.
+  for (std::size_t len = 1; len + 1 < good.size(); len += 7) {
+    ExpectJsonlThrows(good.substr(0, len) + "\n");
+  }
+}
+
+TEST(JsonlErrors, NanScoreTextRejected) {
+  // from_chars accepts "nan"/"inf" spellings; the reader must still
+  // refuse them (JSON has no such numbers, and scores must be finite).
+  ExpectJsonlThrows(
+      "{\"sample\":0,\"t\":1,\"q\":null,\"qa\":[nan],"
+      "\"pair_scores\":[],\"alarmed\":[],\"outliers\":0,"
+      "\"extended\":0}\n");
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Repo-specific lint gate — the checks clang-tidy cannot express.
+# Run from anywhere; exits non-zero with an explanation per violation.
+#
+#  1. No naked assert() in src/: contracts go through common/check.h
+#     (PMCORR_ASSERT / PMCORR_DASSERT / PMCORR_AUDIT) so failures carry
+#     formatted messages and a testable handler. static_assert stays.
+#  2. Every AVX-512 translation unit compiles with -ffp-contract=off or
+#     is explicitly allowlisted here with the reason it needs no flag.
+#     Rationale: the x86-64 baseline has no FMA so contraction never
+#     materializes, but avx512f function clones DO embed FMA and a
+#     silently fused e*f + w*p changes the bitwise results the golden
+#     traces and differential tests pin (docs/kernels.md).
+#  3. BENCH_*.json stay flat {"bench": <name>, <metric>: <number|string>,
+#     ...} objects — the shape BenchJson (bench/bench_util.h) writes and
+#     the perf-tracking scripts diff across PRs. No nesting, no nulls.
+#  4. clang-format drift (only when clang-format is installed — the CI
+#     lint job always has it; GCC-only dev boxes skip with a notice).
+set -u
+cd "$(dirname "$0")/.."
+failures=0
+
+fail() {
+  echo "lint: $1" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1: naked assert() ------------------------------------------------
+naked_asserts=$(grep -rnE '(^|[^_[:alnum:]])assert\(' src \
+                  --include='*.cpp' --include='*.h' \
+                | grep -v 'static_assert' \
+                | grep -vE ':[0-9]+: *(//|\*)' || true)
+if [ -n "$naked_asserts" ]; then
+  fail "naked assert() in src/ — use PMCORR_DASSERT (common/check.h):
+$naked_asserts"
+fi
+
+# --- 2: -ffp-contract=off on AVX-512 TUs ------------------------------
+# TUs whose avx512 clones provably cannot contract (no FMA in the
+# target set) are allowlisted; everything else must carry the flag in
+# its directory's CMakeLists.
+ffp_allowlist='src/common/stats.cpp'  # avx512f-only targets: no FMA emitted
+while IFS= read -r tu; do
+  case " $ffp_allowlist " in *" $tu "*) continue ;; esac
+  dir=$(dirname "$tu")
+  base=$(basename "$tu")
+  cml="$dir/CMakeLists.txt"
+  if ! grep -q "ffp-contract=off" "$cml" 2>/dev/null ||
+     ! grep -q "$base" "$cml" 2>/dev/null; then
+    fail "$tu defines AVX-512 kernels but $cml does not set\
+ -ffp-contract=off for it (or allowlist it in tools/lint.sh with a reason)"
+  fi
+done < <(grep -rl 'target("avx512' src --include='*.cpp' || true)
+
+# --- 3: bench JSON schema ---------------------------------------------
+if command -v python3 >/dev/null 2>&1; then
+  for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    if ! python3 - "$f" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as fh:
+    doc = json.load(fh)
+ok = (isinstance(doc, dict)
+      and isinstance(doc.get("bench"), str)
+      and doc["bench"]
+      and all(isinstance(v, (int, float, str)) and not isinstance(v, bool)
+              for v in doc.values()))
+sys.exit(0 if ok else 1)
+EOF
+    then
+      fail "$f violates the bench schema (flat object: \"bench\" string + number/string metrics)"
+    fi
+  done
+else
+  echo "lint: python3 not found, skipping bench JSON schema check" >&2
+fi
+
+# --- 4: formatting drift ----------------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  unformatted=$(find src tests bench tools examples fuzz \
+                  -name '*.cpp' -o -name '*.h' 2>/dev/null \
+                | xargs clang-format --dry-run -Werror 2>&1 | head -40)
+  if [ -n "$unformatted" ]; then
+    fail "clang-format drift (clang-format -i to fix):
+$unformatted"
+  fi
+else
+  echo "lint: clang-format not found, skipping format check" >&2
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "lint: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "lint: all checks passed"
