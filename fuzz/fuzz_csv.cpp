@@ -23,5 +23,16 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     }
   } catch (const std::runtime_error&) {
   }
+  // The row-stream reader shares the value grammar but keeps timestamps
+  // verbatim (duplicates and gaps are the ingest guard's business, not
+  // the parser's) — same crash-free contract, different accept set.
+  try {
+    std::istringstream in(text);
+    const pmcorr::SampleStream stream = pmcorr::ReadSampleStreamCsv(in);
+    for (const pmcorr::SampleRow& row : stream.rows) {
+      if (row.values.size() != stream.infos.size()) return 0;
+    }
+  } catch (const std::runtime_error&) {
+  }
   return 0;
 }

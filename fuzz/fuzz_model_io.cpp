@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "io/model_io.h"
 #include "io/monitor_io.h"
@@ -25,6 +26,16 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   try {
     std::istringstream in(text);
     (void)pmcorr::LoadSystemMonitor(in, /*threads=*/1);
+  } catch (const std::runtime_error&) {
+  }
+  // The CRC trailer verifier sees every checkpoint before the parser
+  // does, so it gets the rawest input of all three: arbitrary bytes must
+  // be passed through (no trailer), stripped (valid trailer), or
+  // rejected with runtime_error — never misread as covering the wrong
+  // span.
+  try {
+    const std::string_view body = pmcorr::VerifyCheckpointTrailer(text);
+    if (body.size() > text.size()) return 0;  // unreachable; keeps body used
   } catch (const std::runtime_error&) {
   }
   return 0;

@@ -1,0 +1,25 @@
+#include "engine/fault_plan.h"
+
+namespace pmcorr {
+
+void EngineFaultPlan::CheckPairStep(std::size_t pair,
+                                    std::size_t sample) const {
+  for (const PairFault& fault : pair_faults) {
+    if (fault.pair == pair && sample >= fault.from && sample < fault.to) {
+      throw InjectedFault("injected fault: pair " + std::to_string(pair) +
+                          " at sample " + std::to_string(sample));
+    }
+  }
+}
+
+void EngineFaultPlan::ApplyToRow(std::span<double> values,
+                                 std::size_t sample) const {
+  for (const PoisonFault& fault : poison_faults) {
+    if (fault.measurement < values.size() && sample >= fault.from &&
+        sample < fault.to) {
+      values[fault.measurement] = fault.value;
+    }
+  }
+}
+
+}  // namespace pmcorr

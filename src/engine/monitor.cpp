@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "engine/fault_plan.h"
 
 namespace pmcorr {
 namespace {
@@ -18,7 +19,17 @@ struct SweepCell {
   bool alarm = false;
   bool outlier = false;
   bool extended = false;
+  // The quarantine skipped this (pair, sample) — or the pair tripped
+  // mid-sample and produced nothing.
+  bool skipped = false;
 };
+
+// Seeds the guard's cadence from the history frame so the very first
+// monitored sample is already checked against the right period.
+HealthConfig SeedPeriod(HealthConfig health, Duration period) {
+  if (health.expected_period == 0) health.expected_period = period;
+  return health;
+}
 
 }  // namespace
 
@@ -27,7 +38,9 @@ SystemMonitor::SystemMonitor(const MeasurementFrame& history,
     : config_(config),
       graph_(std::move(graph)),
       infos_(history.Infos()),
-      pool_(config.threads) {
+      pool_(config.threads),
+      guard_(infos_.size(), SeedPeriod(config.health, history.Period())),
+      quarantine_(graph_.PairCount(), config.quarantine) {
   if (graph_.MeasurementCount() != history.MeasurementCount()) {
     throw std::invalid_argument(
         "SystemMonitor: graph and history measurement counts differ");
@@ -61,7 +74,9 @@ SystemMonitor::SystemMonitor(MonitorConfig config, MeasurementGraph graph,
       pool_(config.threads),
       measurement_avg_(std::move(measurement_averages)),
       system_avg_(system_average),
-      steps_(steps) {
+      steps_(steps),
+      guard_(infos_.size(), config.health),
+      quarantine_(graph_.PairCount(), config.quarantine) {
   if (models_.size() != graph_.PairCount() ||
       graph_.MeasurementCount() != infos_.size()) {
     throw std::invalid_argument(
@@ -87,6 +102,18 @@ void SystemMonitor::CheckInvariants(bool deep) const {
                       static_cast<std::size_t>(pair.a.value) < infos_.size() &&
                       static_cast<std::size_t>(pair.b.value) < infos_.size(),
                   "pair " << i << " references invalid measurements");
+  }
+  PMCORR_ASSERT(
+      quarantine_.QuarantinedCount() + quarantine_.RetiredCount() <=
+          graph_.PairCount(),
+      quarantine_.QuarantinedCount() << " quarantined + "
+                                     << quarantine_.RetiredCount()
+                                     << " retired pairs exceed "
+                                     << graph_.PairCount());
+  if (guard_.Enabled()) {
+    PMCORR_ASSERT(guard_.HealthStates().size() == infos_.size(),
+                  "guard tracks " << guard_.HealthStates().size() << " of "
+                                  << infos_.size() << " measurements");
   }
   PMCORR_ASSERT(std::isfinite(system_avg_.Sum()),
                 "system average sum " << system_avg_.Sum());
@@ -135,18 +162,65 @@ SystemSnapshot SystemMonitor::Step(std::span<const double> values,
     throw std::invalid_argument("SystemMonitor::Step: value count mismatch");
   }
 
+  // Ingest guard: inspect the arriving row against the cadence, suppress
+  // frozen/duplicate/out-of-order values to NaN (the models' documented
+  // missing-sample path), and break transition sequences across gaps.
+  // On a clean on-cadence row the copied values are bit-identical to the
+  // caller's, so the engine's arithmetic is unchanged.
+  std::span<const double> use = values;
+  SampleReport report;
+  if (guard_.Enabled()) {
+    guard_values_.assign(values.begin(), values.end());
+    report = guard_.Filter(guard_values_, tp);
+    // Models only — not the public ResetSequences(), which would also
+    // reset the guard's stream clock and blind it to the next
+    // duplicate/out-of-order arrival of a storm.
+    if (report.sequence_break) {
+      for (PairModel& model : models_) model.ResetSequence();
+    }
+    use = guard_values_;
+  }
+
   SystemSnapshot snap;
   snap.sample = steps_;
   snap.time = tp;
+  snap.stream_event = report.event;
+  snap.suppressed_values = report.suppressed;
   snap.pair_scores.resize(graph_.PairCount());
 
   step_scratch_.assign(graph_.PairCount(), StepOutcome{});
+  step_skipped_.assign(graph_.PairCount(), 0);
   std::vector<StepOutcome>& outcomes = step_scratch_;
+  const std::size_t sample_index = steps_;
+  const bool guarded = quarantine_.Enabled() || fault_plan_ != nullptr;
   pool_.ParallelFor(graph_.PairCount(), [&](std::size_t i) {
     const PairId& pair = graph_.Pair(i);
-    outcomes[i] = models_[i].Step(
-        values[static_cast<std::size_t>(pair.a.value)],
-        values[static_cast<std::size_t>(pair.b.value)]);
+    const double x = use[static_cast<std::size_t>(pair.a.value)];
+    const double y = use[static_cast<std::size_t>(pair.b.value)];
+    if (!guarded) {
+      outcomes[i] = models_[i].Step(x, y);
+      return;
+    }
+    switch (quarantine_.BeginStep(i, sample_index)) {
+      case PairQuarantine::Decision::kSkip:
+        step_skipped_[i] = 1;
+        return;
+      case PairQuarantine::Decision::kRunAfterReset:
+        models_[i].ResetSequence();
+        break;
+      case PairQuarantine::Decision::kRun:
+        break;
+    }
+    try {
+      if (fault_plan_ != nullptr) fault_plan_->CheckPairStep(i, sample_index);
+      outcomes[i] = models_[i].Step(x, y);
+      quarantine_.RecordSuccess(i, sample_index, outcomes[i].outlier);
+    } catch (const std::exception& e) {
+      if (!quarantine_.Enabled()) throw;
+      outcomes[i] = StepOutcome{};
+      quarantine_.RecordFailure(i, sample_index, e.what());
+      step_skipped_[i] = 1;
+    }
   });
 
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -158,7 +232,9 @@ SystemSnapshot SystemMonitor::Step(std::span<const double> values,
     }
     if (out.outlier) ++snap.outlier_pairs;
     if (out.extended_grid) ++snap.extended_pairs;
+    if (step_skipped_[i] != 0) ++snap.quarantined_pairs;
   }
+  if (guard_.Enabled()) snap.measurement_health = guard_.HealthStates();
 
   FinishSnapshot(snap);
   // Shallow: each PairModel::Step above already audited its own model.
@@ -184,16 +260,71 @@ std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
   }
   const std::size_t samples = test.SampleCount();
   const std::size_t pairs = graph_.PairCount();
+  const std::size_t m = infos_.size();
   std::vector<SystemSnapshot> snapshots;
   snapshots.reserve(samples);
   if (samples == 0) return snapshots;
+
+  // Ingest-guard pre-pass, in time order (the guard is a serial state
+  // machine). A frame's timestamps are an on-cadence grid by
+  // construction, so the only degradations possible here are frozen
+  // values and NaN runs; the `filtered` column copy is built lazily and
+  // only if the guard actually suppressed something — on a clean frame
+  // the sweep reads the caller's columns, untouched.
+  std::vector<SampleReport> reports;
+  std::vector<MeasurementHealth> health_timeline;
+  std::vector<std::vector<double>> filtered;
+  std::vector<std::uint8_t> seq_break;
+  bool any_break = false;
+  if (guard_.Enabled()) {
+    // Each Run() call is its own segment: a frame's grid timestamps are
+    // self-consistent but carry no relation to a previous frame's (test
+    // harnesses and replay tools restart the clock per frame), so the
+    // stream clock resets here. Cross-call continuity checking is the
+    // Step path's job — that is where degraded streams actually arrive.
+    guard_.ResetTiming();
+    std::vector<std::span<const double>> cols(m);
+    for (std::size_t a = 0; a < m; ++a) {
+      cols[a] =
+          test.Series(MeasurementId(static_cast<std::int32_t>(a))).Values();
+    }
+    reports.resize(samples);
+    seq_break.assign(samples, 0);
+    health_timeline.reserve(samples * m);
+    std::vector<double> row(m);
+    for (std::size_t t = 0; t < samples; ++t) {
+      for (std::size_t a = 0; a < m; ++a) row[a] = cols[a][t];
+      reports[t] = guard_.Filter(row, test.TimeAt(t));
+      if (reports[t].sequence_break) {
+        seq_break[t] = 1;
+        any_break = true;
+      }
+      if (reports[t].suppressed > 0) {
+        if (filtered.empty()) {
+          filtered.resize(m);
+          for (std::size_t a = 0; a < m; ++a) {
+            filtered[a].assign(cols[a].begin(), cols[a].end());
+          }
+        }
+        for (std::size_t a = 0; a < m; ++a) filtered[a][t] = row[a];
+      }
+      for (std::size_t a = 0; a < m; ++a) {
+        health_timeline.push_back(guard_.Health(a));
+      }
+    }
+  }
 
   // Per-pair input columns, resolved once for the whole run.
   std::vector<std::span<const double>> xs(pairs), ys(pairs);
   for (std::size_t i = 0; i < pairs; ++i) {
     const PairId& pair = graph_.Pair(i);
-    xs[i] = test.Series(pair.a).Values();
-    ys[i] = test.Series(pair.b).Values();
+    if (!filtered.empty()) {
+      xs[i] = filtered[static_cast<std::size_t>(pair.a.value)];
+      ys[i] = filtered[static_cast<std::size_t>(pair.b.value)];
+    } else {
+      xs[i] = test.Series(pair.a).Values();
+      ys[i] = test.Series(pair.b).Values();
+    }
   }
 
   const std::size_t batch = BatchSamples(pairs);
@@ -204,30 +335,105 @@ std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
   for (std::size_t t0 = 0; t0 < samples; t0 += batch) {
     const std::size_t t1 = std::min(samples, t0 + batch);
     const std::size_t width = t1 - t0;
+    // Engine sample index of frame position t0 (steps_ advances in the
+    // merge phase, so at the top of each batch it equals t0's index).
+    const std::size_t base_sample = steps_;
+
+    // The guarded per-sample sweep only engages when it can matter: a
+    // scripted fault plan, an armed outlier breaker, or a pair that has
+    // already tripped. Otherwise the original unguarded hot loop runs —
+    // its only addition is a per-pair try/catch (zero-cost until a
+    // throw) so a first-ever trip quarantines the pair instead of
+    // killing the run.
+    const bool guarded =
+        fault_plan_ != nullptr ||
+        (quarantine_.Enabled() && (config_.quarantine.outlier_burst > 0 ||
+                                   quarantine_.AnyTripped()));
 
     // Pair-major sweep: each worker advances every model of its shard
     // through the whole batch in one pass. Pair state is private to the
-    // pair, so shards never contend; alarms go to a shard-local log.
+    // pair (including its quarantine slot), so shards never contend;
+    // alarms go to a shard-local log.
     cells.assign(pairs * width, SweepCell{});
     shard_logs.assign(shard_count, AlarmLog{});
     pool_.ParallelShards(pairs, [&](const ShardRange& shard) {
       AlarmLog& log = shard_logs[shard.index];
+
+      // Quarantine-aware per-sample loop for pair i from frame position
+      // t_start: skips quarantined samples, runs probation retries
+      // (after a sequence reset), and converts a throwing step into a
+      // recorded trip. Bitwise identical to the fast loop while the
+      // pair never trips.
+      const auto sweep_guarded =
+          [&](std::size_t i, PairModel& model, std::span<const double> x,
+              std::span<const double> y, SweepCell* row,
+              std::size_t t_start) {
+            for (std::size_t t = t_start; t < t1; ++t) {
+              const std::size_t s = base_sample + (t - t0);
+              SweepCell& cell = row[t - t0];
+              const PairQuarantine::Decision decision =
+                  quarantine_.BeginStep(i, s);
+              if (decision == PairQuarantine::Decision::kSkip) {
+                cell.skipped = true;
+                continue;
+              }
+              if (decision == PairQuarantine::Decision::kRunAfterReset ||
+                  (any_break && seq_break[t] != 0)) {
+                model.ResetSequence();
+              }
+              try {
+                if (fault_plan_ != nullptr) fault_plan_->CheckPairStep(i, s);
+                const StepOutcome out = model.Step(x[t], y[t]);
+                quarantine_.RecordSuccess(i, s, out.outlier);
+                cell.fitness = out.fitness;
+                cell.has_score = out.has_score;
+                cell.alarm = out.alarm;
+                cell.outlier = out.outlier;
+                cell.extended = out.extended_grid;
+                if (out.alarm) {
+                  log.Record({test.TimeAt(t), i, out.fitness, out.outlier});
+                }
+              } catch (const std::exception& e) {
+                if (!quarantine_.Enabled()) throw;
+                quarantine_.RecordFailure(i, s, e.what());
+                cell.skipped = true;
+              }
+            }
+          };
+
       for (std::size_t i = shard.begin; i < shard.end; ++i) {
         PairModel& model = models_[i];
         std::span<const double> x = xs[i];
         std::span<const double> y = ys[i];
         SweepCell* row = cells.data() + i * width;
-        for (std::size_t t = t0; t < t1; ++t) {
-          const StepOutcome out = model.Step(x[t], y[t]);
-          SweepCell& cell = row[t - t0];
-          cell.fitness = out.fitness;
-          cell.has_score = out.has_score;
-          cell.alarm = out.alarm;
-          cell.outlier = out.outlier;
-          cell.extended = out.extended_grid;
-          if (out.alarm) {
-            log.Record({test.TimeAt(t), i, out.fitness, out.outlier});
+        if (guarded) {
+          sweep_guarded(i, model, x, y, row, t0);
+          continue;
+        }
+        std::size_t t = t0;
+        try {
+          for (; t < t1; ++t) {
+            if (any_break && seq_break[t] != 0) model.ResetSequence();
+            const StepOutcome out = model.Step(x[t], y[t]);
+            SweepCell& cell = row[t - t0];
+            cell.fitness = out.fitness;
+            cell.has_score = out.has_score;
+            cell.alarm = out.alarm;
+            cell.outlier = out.outlier;
+            cell.extended = out.extended_grid;
+            if (out.alarm) {
+              log.Record({test.TimeAt(t), i, out.fitness, out.outlier});
+            }
           }
+        } catch (const std::exception& e) {
+          if (!quarantine_.Enabled()) throw;
+          // First-ever trip for this pair: quarantine it and finish its
+          // batch on the guarded loop so an in-batch probation retry
+          // still happens exactly where the sample-major path would
+          // retry it.
+          quarantine_.RecordFailure(i, base_sample + (t - t0), e.what());
+          row[t - t0].skipped = true;
+          sweep_guarded(i, model, x, y, row, t + 1);
         }
       }
     });
@@ -248,6 +454,14 @@ std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
         if (cell.alarm) snap.alarmed_pairs.push_back(i);
         if (cell.outlier) ++snap.outlier_pairs;
         if (cell.extended) ++snap.extended_pairs;
+        if (cell.skipped) ++snap.quarantined_pairs;
+      }
+      if (guard_.Enabled()) {
+        snap.stream_event = reports[t].event;
+        snap.suppressed_values = reports[t].suppressed;
+        snap.measurement_health.assign(
+            health_timeline.begin() + static_cast<std::ptrdiff_t>(t * m),
+            health_timeline.begin() + static_cast<std::ptrdiff_t>((t + 1) * m));
       }
       FinishSnapshot(snap);
       snapshots.push_back(std::move(snap));
@@ -259,6 +473,10 @@ std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
 
 void SystemMonitor::ResetSequences() {
   for (auto& model : models_) model.ResetSequence();
+  // A segment boundary also resets the ingest guard's stream clock and
+  // frozen-value history: the next sample legitimately starts a new
+  // timeline. Health states and lifetime counters persist.
+  guard_.ResetTiming();
 }
 
 void SystemMonitor::CalibrateThresholds(const MeasurementFrame& holdout,

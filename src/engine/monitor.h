@@ -14,11 +14,15 @@
 #include "engine/alarm.h"
 #include "core/fitness.h"
 #include "core/model.h"
+#include "engine/health.h"
 #include "engine/measurement_graph.h"
+#include "engine/quarantine.h"
 #include "engine/thread_pool.h"
 #include "timeseries/frame.h"
 
 namespace pmcorr {
+
+struct EngineFaultPlan;
 
 /// Engine configuration.
 struct MonitorConfig {
@@ -34,6 +38,13 @@ struct MonitorConfig {
   /// the identical snapshot/alarm stream — this is purely a
   /// memory/latency knob.
   std::size_t batch_samples = 0;
+  /// Ingest guard: degraded-stream detection in front of the models
+  /// (engine/health.h). Enabled by default; bitwise invisible on clean
+  /// on-cadence streams.
+  HealthConfig health;
+  /// Per-pair circuit breaker (engine/quarantine.h). Enabled by default
+  /// for exceptions; the outlier-burst breaker stays off unless armed.
+  QuarantineConfig quarantine;
 };
 
 /// The engine's view of one processed sample.
@@ -58,6 +69,20 @@ struct SystemSnapshot {
   /// margin / pairs that grew their grid at this sample.
   std::size_t outlier_pairs = 0;
   std::size_t extended_pairs = 0;
+
+  /// Degraded-mode telemetry (engine/health.h, engine/quarantine.h).
+  /// On a clean stream: kNone, all-healthy, 0, 0. These fields are
+  /// engine-side observability only — they are not part of the JSONL
+  /// snapshot-stream format or the checkpoint format.
+  StreamEvent stream_event = StreamEvent::kNone;
+  /// Per-measurement feed health after this sample; empty when the
+  /// ingest guard is disabled.
+  std::vector<MeasurementHealth> measurement_health;
+  /// Values the guard suppressed to NaN at this sample.
+  std::size_t suppressed_values = 0;
+  /// Pairs that were not stepped at this sample (quarantined, retired,
+  /// or tripped mid-sample).
+  std::size_t quarantined_pairs = 0;
 };
 
 class SystemMonitor {
@@ -132,6 +157,20 @@ class SystemMonitor {
   /// outlier flag) — feeds drill-down and noisy-pair reports.
   const AlarmLog& Alarms() const { return alarm_log_; }
 
+  /// The ingest guard's current view of every measurement feed.
+  const IngestGuard& Health() const { return guard_; }
+
+  /// The per-pair circuit breaker's current state.
+  const PairQuarantine& Quarantine() const { return quarantine_; }
+
+  /// Installs a scripted engine fault plan (engine/fault_plan.h) checked
+  /// at every pair step; pass nullptr to clear. Non-owning — the plan
+  /// must outlive its installation. Test-only seam: production monitors
+  /// never install one.
+  void SetFaultPlanForTest(const EngineFaultPlan* plan) {
+    fault_plan_ = plan;
+  }
+
   /// Audits the engine-level invariants: one model per graph pair,
   /// per-measurement info/averager arrays sized to the graph, every
   /// graph pair referencing valid measurement ids, and finite lifetime
@@ -166,6 +205,16 @@ class SystemMonitor {
   /// Step()'s per-call outcome buffer, reused across samples so the
   /// sample-major loop doesn't allocate pair_count outcomes per sample.
   std::vector<StepOutcome> step_scratch_;
+
+  /// Degraded-mode machinery. guard_values_ is Step()'s mutable copy of
+  /// the caller's row (the guard suppresses in place); step_skipped_
+  /// marks pairs the quarantine skipped this sample (per-pair slots, so
+  /// workers write without synchronization).
+  IngestGuard guard_;
+  PairQuarantine quarantine_;
+  const EngineFaultPlan* fault_plan_ = nullptr;
+  std::vector<double> guard_values_;
+  std::vector<std::uint8_t> step_skipped_;
 };
 
 }  // namespace pmcorr

@@ -32,10 +32,27 @@ RollingPairRetrainer::~RollingPairRetrainer() {
   }
 }
 
+PairModel RollingPairRetrainer::Rebuild(std::span<const double> x,
+                                        std::span<const double> y) {
+  if (config_.rebuild_override) {
+    return config_.rebuild_override(x, y, model_config_);
+  }
+  return PairModel::Learn(x, y, model_config_);
+}
+
+std::int64_t RollingPairRetrainer::NowNs() const {
+  return config_.clock ? config_.clock() : MonotonicNowNs();
+}
+
 StepOutcome RollingPairRetrainer::Step(double x, double y) {
   // Adopt a finished background rebuild before scoring, so the sample is
   // judged by exactly one model and the swap lands on a sample boundary.
-  if (config_.background) AdoptPendingIfReady();
+  // The watchdog check precedes adoption: a wedged rebuild is written
+  // off at a sample boundary too.
+  if (config_.background) {
+    CheckWatchdog();
+    AdoptPendingIfReady();
+  }
   const StepOutcome out = model_.Step(x, y);
   window_x_.push_back(x);
   window_y_.push_back(y);
@@ -54,7 +71,17 @@ void RollingPairRetrainer::MaybeRebuild() {
   if (!config_.background) {
     const std::vector<double> xs(window_x_.begin(), window_x_.end());
     const std::vector<double> ys(window_y_.begin(), window_y_.end());
-    model_ = PairModel::Learn(xs, ys, model_config_);
+    try {
+      model_ = Rebuild(xs, ys);
+    } catch (const std::exception& e) {
+      // Keep serving the current model; count the failure and let the
+      // cadence schedule the next attempt from scratch.
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++failed_rebuilds_;
+      last_error_ = e.what();
+      since_rebuild_ = 0;
+      return;
+    }
     since_rebuild_ = 0;
     ++rebuilds_;
     return;
@@ -62,16 +89,33 @@ void RollingPairRetrainer::MaybeRebuild() {
   // Background mode: hand the worker a snapshot of the window. At most
   // one rebuild is in flight or awaiting adoption — if the cadence fires
   // again before then, keep deferring to the next Step (since_rebuild_
-  // stays past the interval, so this re-checks every sample).
+  // stays past the interval, so this re-checks every sample). A rebuild
+  // the watchdog abandoned no longer occupies the slot: a fresh job may
+  // queue behind the wedged one.
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (job_ready_ || busy_ || pending_) return;
+    if (job_ready_ || (busy_ && !abandoned_current_) || pending_) return;
     job_x_.assign(window_x_.begin(), window_x_.end());
     job_y_.assign(window_y_.begin(), window_y_.end());
     job_ready_ = true;
   }
   job_cv_.notify_one();
   since_rebuild_ = 0;
+}
+
+void RollingPairRetrainer::CheckWatchdog() {
+  if (config_.watchdog_ms <= 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!busy_ || abandoned_current_) return;
+  const std::int64_t limit_ns = config_.watchdog_ms * 1'000'000;
+  if (NowNs() - busy_since_ns_ < limit_ns) return;
+  // The rebuild has been grinding past its deadline. The thread itself
+  // cannot be killed; what the watchdog does is write the attempt off —
+  // its eventual result is discarded, the slot reopens for the next
+  // cadence, and waiters stop waiting on it.
+  abandoned_current_ = true;
+  ++abandoned_rebuilds_;
+  done_cv_.notify_all();
 }
 
 void RollingPairRetrainer::AdoptPendingIfReady() {
@@ -87,12 +131,28 @@ void RollingPairRetrainer::AdoptPendingIfReady() {
 
 bool RollingPairRetrainer::RebuildInFlight() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return job_ready_ || busy_;
+  return job_ready_ || (busy_ && !abandoned_current_);
+}
+
+std::size_t RollingPairRetrainer::FailedRebuilds() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return failed_rebuilds_;
+}
+
+std::size_t RollingPairRetrainer::AbandonedRebuilds() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return abandoned_rebuilds_;
+}
+
+std::string RollingPairRetrainer::LastRebuildError() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
 }
 
 void RollingPairRetrainer::WaitForPendingRebuild() {
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return !job_ready_ && !busy_; });
+  done_cv_.wait(lock,
+                [&] { return !job_ready_ && (!busy_ || abandoned_current_); });
 }
 
 void RollingPairRetrainer::WorkerLoop() {
@@ -105,13 +165,34 @@ void RollingPairRetrainer::WorkerLoop() {
       if (stop_) return;
       job_ready_ = false;
       busy_ = true;
+      abandoned_current_ = false;
+      busy_since_ns_ = NowNs();
       xs = std::move(job_x_);
       ys = std::move(job_y_);
     }
-    PairModel fresh = PairModel::Learn(xs, ys, model_config_);
+    // A throwing rebuild must not escape the worker thread (that would
+    // std::terminate the process): it becomes a counted failure, and
+    // the serving model keeps serving.
+    std::unique_ptr<PairModel> fresh;
+    std::string error;
+    try {
+      fresh = std::make_unique<PairModel>(Rebuild(xs, ys));
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "rebuild threw a non-std::exception";
+    }
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      pending_ = std::make_unique<PairModel>(std::move(fresh));
+      if (!error.empty()) {
+        ++failed_rebuilds_;
+        last_error_ = error;
+      } else if (!abandoned_current_) {
+        pending_ = std::move(fresh);
+      }
+      // An abandoned rebuild's model (if it produced one) is discarded:
+      // the watchdog already wrote this attempt off.
+      abandoned_current_ = false;
       busy_ = false;
     }
     done_cv_.notify_all();

@@ -13,16 +13,26 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/time.h"
 #include "core/model.h"
 
 namespace pmcorr {
+
+/// Builds a replacement model from a window snapshot — the rebuild seam
+/// RetrainerConfig::rebuild_override plugs into.
+using RebuildFn = std::function<PairModel(
+    std::span<const double> x, std::span<const double> y,
+    const ModelConfig& config)>;
 
 /// Rebuild policy.
 struct RetrainerConfig {
@@ -38,6 +48,18 @@ struct RetrainerConfig {
   /// rebuilds run synchronously inside the Step that fires the cadence
   /// — deterministic, for tests and batch replays.
   bool background = false;
+  /// Watchdog: a background rebuild still running after this many
+  /// milliseconds is abandoned — its eventual result is discarded and
+  /// the rebuild slot reopens, so a wedged rebuild can never block
+  /// adoption (or WaitForPendingRebuild) forever. 0 disables it.
+  std::int64_t watchdog_ms = 0;
+  /// Clock the watchdog measures with; tests install a fake so "wedged
+  /// for ten minutes" is deterministic. Empty = steady_clock.
+  MonotonicClockFn clock;
+  /// Fault/test seam: replaces PairModel::Learn for rebuilds (not for
+  /// the constructor's initial learn). A throwing override exercises the
+  /// failure path; a slow one (with a fake clock) the watchdog.
+  RebuildFn rebuild_override;
 };
 
 /// Rolling re-initialization with an optional double-buffered background
@@ -73,21 +95,38 @@ class RollingPairRetrainer {
   /// Completed rebuilds so far (adoptions, in background mode).
   std::size_t Rebuilds() const { return rebuilds_; }
 
+  /// Rebuilds that threw instead of producing a model. The serving
+  /// model keeps serving; the cadence schedules the next attempt as
+  /// usual.
+  std::size_t FailedRebuilds() const;
+
+  /// Background rebuilds the watchdog gave up on (their results, if any
+  /// ever arrive, are discarded).
+  std::size_t AbandonedRebuilds() const;
+
+  /// Message of the most recent failed rebuild ("" if none).
+  std::string LastRebuildError() const;
+
   /// Samples currently in the sliding window.
   std::size_t WindowSize() const { return window_x_.size(); }
 
-  /// True while a background rebuild is queued or running.
+  /// True while a background rebuild is queued or running (an abandoned
+  /// one no longer counts, even if its thread is still grinding).
   bool RebuildInFlight() const;
 
   /// Test hook: blocks until the background worker is idle (any queued
-  /// or running rebuild has produced its pending model). The model is
-  /// still only adopted by the next Step. No-op in synchronous mode.
+  /// or running rebuild has produced its pending model, failed, or been
+  /// abandoned *and* finished). The model is still only adopted by the
+  /// next Step. No-op in synchronous mode.
   void WaitForPendingRebuild();
 
  private:
   void MaybeRebuild();
   void AdoptPendingIfReady();
+  void CheckWatchdog();
   void WorkerLoop();
+  PairModel Rebuild(std::span<const double> x, std::span<const double> y);
+  std::int64_t NowNs() const;
 
   ModelConfig model_config_;
   RetrainerConfig config_;
@@ -104,6 +143,13 @@ class RollingPairRetrainer {
   bool stop_ = false;
   bool job_ready_ = false;
   bool busy_ = false;
+  /// The in-flight rebuild was abandoned by the watchdog: its result
+  /// must be discarded, and the rebuild slot counts as free.
+  bool abandoned_current_ = false;
+  std::int64_t busy_since_ns_ = 0;
+  std::size_t failed_rebuilds_ = 0;
+  std::size_t abandoned_rebuilds_ = 0;
+  std::string last_error_;
   std::vector<double> job_x_;
   std::vector<double> job_y_;
   std::unique_ptr<PairModel> pending_;  // finished rebuild awaiting adoption

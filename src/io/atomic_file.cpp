@@ -1,0 +1,202 @@
+#include "io/atomic_file.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PMCORR_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define PMCORR_HAVE_POSIX_IO 0
+#include <fstream>
+#endif
+
+namespace pmcorr {
+namespace {
+
+WriteFaultHook g_write_fault_hook;
+
+void AtStage(const std::string& path, WriteStage stage) {
+  if (g_write_fault_hook) g_write_fault_hook(path, stage);
+}
+
+std::string DirectoryOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+#if PMCORR_HAVE_POSIX_IO
+// POSIX writer: explicit fds so fsync is possible. Returns false with
+// `error` set instead of throwing so the caller can clean up the temp
+// file on every failure path uniformly.
+bool WriteAllPosix(const std::string& temp, std::string_view content,
+                   std::string& error) {
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    error = "cannot create temp file " + temp;
+    return false;
+  }
+  std::size_t offset = 0;
+  while (offset < content.size()) {
+    const std::size_t chunk =
+        std::min(kWriteChunkBytes, content.size() - offset);
+    try {
+      AtStage(temp, WriteStage::kWrite);
+    } catch (...) {
+      ::close(fd);
+      throw;  // simulated crash: temp file stays truncated at `offset`
+    }
+    const ssize_t put = ::write(fd, content.data() + offset, chunk);
+    if (put < 0) {
+      ::close(fd);
+      error = "write failed on " + temp;
+      return false;
+    }
+    offset += static_cast<std::size_t>(put);
+  }
+  try {
+    AtStage(temp, WriteStage::kSync);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    error = "fsync failed on " + temp;
+    return false;
+  }
+  if (::close(fd) != 0) {
+    error = "close failed on " + temp;
+    return false;
+  }
+  return true;
+}
+
+void SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // durability best-effort; rename already happened
+  ::fsync(fd);
+  ::close(fd);
+}
+#else
+bool WriteAllPosix(const std::string& temp, std::string_view content,
+                   std::string& error) {
+  std::ofstream out(temp, std::ios::binary);
+  if (!out) {
+    error = "cannot create temp file " + temp;
+    return false;
+  }
+  std::size_t offset = 0;
+  while (offset < content.size()) {
+    const std::size_t chunk =
+        std::min(kWriteChunkBytes, content.size() - offset);
+    AtStage(temp, WriteStage::kWrite);  // may throw; ofstream closes itself
+    out.write(content.data() + offset, static_cast<std::streamsize>(chunk));
+    offset += chunk;
+  }
+  AtStage(temp, WriteStage::kSync);
+  out.flush();
+  out.close();
+  if (!out) {
+    error = "write failed on " + temp;
+    return false;
+  }
+  return true;
+}
+
+void SyncDirectory(const std::string&) {}
+#endif
+
+}  // namespace
+
+const char* WriteStageName(WriteStage stage) {
+  switch (stage) {
+    case WriteStage::kOpen: return "open";
+    case WriteStage::kWrite: return "write";
+    case WriteStage::kSync: return "sync";
+    case WriteStage::kRename: return "rename";
+    case WriteStage::kDirSync: return "dirsync";
+  }
+  return "unknown";
+}
+
+WriteFaultHook SetWriteFaultHookForTest(WriteFaultHook hook) {
+  WriteFaultHook previous = std::move(g_write_fault_hook);
+  g_write_fault_hook = std::move(hook);
+  return previous;
+}
+
+ScopedWriteFault::ScopedWriteFault(long long fail_at) : fail_at_(fail_at) {
+  previous_ = SetWriteFaultHookForTest(
+      [this](const std::string& path, WriteStage stage) {
+        const long long point = seen_++;
+        if (fail_at_ >= 0 && point == fail_at_) {
+          fired_ = true;
+          throw InjectedIoFailure("injected I/O failure at write point " +
+                                  std::to_string(point) + " (" +
+                                  WriteStageName(stage) + " of " + path + ")");
+        }
+      });
+}
+
+ScopedWriteFault::~ScopedWriteFault() {
+  SetWriteFaultHookForTest(std::move(previous_));
+}
+
+void AtomicWriteFile(const std::string& path,
+                     const std::function<void(std::ostream&)>& writer) {
+  std::ostringstream buffer;
+  writer(buffer);
+  if (!buffer) {
+    throw std::runtime_error("AtomicWriteFile: writer failed for " + path);
+  }
+  AtomicWriteFile(path, buffer.view());
+}
+
+void AtomicWriteFile(const std::string& path, std::string_view content) {
+  const std::string temp = path + ".tmp";
+  AtStage(temp, WriteStage::kOpen);
+  std::string error;
+  // A hook throwing inside WriteAllPosix is a simulated crash mid-write:
+  // it propagates and leaves the truncated temp file exactly as a real
+  // crash would — recovery must cope with it.
+  const bool ok = WriteAllPosix(temp, content, error);
+  if (!ok) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("AtomicWriteFile: " + error);
+  }
+  try {
+    AtStage(temp, WriteStage::kRename);
+  } catch (...) {
+    std::remove(temp.c_str());
+    throw;
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("AtomicWriteFile: rename to " + path +
+                             " failed");
+  }
+  AtStage(path, WriteStage::kDirSync);
+  SyncDirectory(DirectoryOf(path));
+}
+
+std::uint32_t Crc32(std::string_view bytes) {
+  // Table-less bitwise CRC-32: the checkpoint trailer covers megabytes
+  // at most and is written once per rotation, so simplicity beats a
+  // 1 KiB table.
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc ^= static_cast<unsigned char>(c);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace pmcorr

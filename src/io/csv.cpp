@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/string_util.h"
+#include "io/atomic_file.h"
 
 namespace pmcorr {
 namespace {
@@ -24,55 +25,56 @@ MetricKind KindFromName(const std::string& name) {
 }  // namespace
 
 void WriteFrameCsv(const MeasurementFrame& frame, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("WriteFrameCsv: cannot open " + path);
-
-  out << "# pmcorr-trace v1 start=" << frame.StartTime()
-      << " period=" << frame.Period() << "\n";
-  for (const auto& info : frame.Infos()) {
-    out << "# measurement," << info.machine.value << ","
-        << MetricKindName(info.kind) << "," << info.name << "\n";
-  }
-  out << "time";
-  for (const auto& info : frame.Infos()) out << "," << info.name;
-  out << "\n";
-
-  char buf[40];
-  for (std::size_t t = 0; t < frame.SampleCount(); ++t) {
-    out << frame.TimeAt(t);
+  // Atomic replacement: a crash mid-write must not tear a previously
+  // complete trace (io/atomic_file.h).
+  AtomicWriteFile(path, [&](std::ostream& out) {
+    out << "# pmcorr-trace v1 start=" << frame.StartTime()
+        << " period=" << frame.Period() << "\n";
     for (const auto& info : frame.Infos()) {
-      std::snprintf(buf, sizeof(buf), "%.17g", frame.Value(info.id, t));
-      out << "," << buf;
+      out << "# measurement," << info.machine.value << ","
+          << MetricKindName(info.kind) << "," << info.name << "\n";
     }
+    out << "time";
+    for (const auto& info : frame.Infos()) out << "," << info.name;
     out << "\n";
-  }
-  if (!out) throw std::runtime_error("WriteFrameCsv: write failed: " + path);
+
+    char buf[40];
+    for (std::size_t t = 0; t < frame.SampleCount(); ++t) {
+      out << frame.TimeAt(t);
+      for (const auto& info : frame.Infos()) {
+        std::snprintf(buf, sizeof(buf), "%.17g", frame.Value(info.id, t));
+        out << "," << buf;
+      }
+      out << "\n";
+    }
+  });
 }
 
-MeasurementFrame ReadFrameCsv(std::istream& in) {
+namespace {
+
+// Shared header parser for the two trace readers: consumes the version
+// line, the measurement lines, and the "time,..." column header.
+void ParseTraceHeader(std::istream& in, long long* start, long long* period,
+                      std::vector<MeasurementInfo>* infos) {
   std::string line;
   if (!std::getline(in, line) || !StartsWith(line, "# pmcorr-trace v1")) {
     throw std::runtime_error("ReadFrameCsv: missing trace header");
   }
-  long long start = 0, period = 0;
-  {
-    const auto fields = Split(line, ' ');
-    for (const auto& f : fields) {
-      if (StartsWith(f, "start=")) {
-        if (!ParseInt64(f.substr(6), &start)) {
-          throw std::runtime_error("ReadFrameCsv: bad start field");
-        }
-      } else if (StartsWith(f, "period=")) {
-        if (!ParseInt64(f.substr(7), &period)) {
-          throw std::runtime_error("ReadFrameCsv: bad period field");
-        }
+  const auto header_fields = Split(line, ' ');
+  for (const auto& f : header_fields) {
+    if (StartsWith(f, "start=")) {
+      if (!ParseInt64(f.substr(6), start)) {
+        throw std::runtime_error("ReadFrameCsv: bad start field");
+      }
+    } else if (StartsWith(f, "period=")) {
+      if (!ParseInt64(f.substr(7), period)) {
+        throw std::runtime_error("ReadFrameCsv: bad period field");
       }
     }
   }
-  if (period <= 0) throw std::runtime_error("ReadFrameCsv: bad period");
-  if (start < 0) throw std::runtime_error("ReadFrameCsv: negative start");
+  if (*period <= 0) throw std::runtime_error("ReadFrameCsv: bad period");
+  if (*start < 0) throw std::runtime_error("ReadFrameCsv: negative start");
 
-  std::vector<MeasurementInfo> infos;
   while (std::getline(in, line)) {
     if (StartsWith(line, "# measurement,")) {
       const auto fields = Split(line.substr(2), ',');
@@ -87,7 +89,7 @@ MeasurementFrame ReadFrameCsv(std::istream& in) {
       info.machine = MachineId(static_cast<std::int32_t>(machine));
       info.kind = KindFromName(fields[2]);
       info.name = fields[3];
-      infos.push_back(std::move(info));
+      infos->push_back(std::move(info));
     } else {
       break;  // the header row ("time,...")
     }
@@ -95,7 +97,16 @@ MeasurementFrame ReadFrameCsv(std::istream& in) {
   if (!StartsWith(line, "time")) {
     throw std::runtime_error("ReadFrameCsv: missing column header");
   }
+}
 
+}  // namespace
+
+MeasurementFrame ReadFrameCsv(std::istream& in) {
+  long long start = 0, period = 0;
+  std::vector<MeasurementInfo> infos;
+  ParseTraceHeader(in, &start, &period, &infos);
+
+  std::string line;
   std::vector<std::vector<double>> columns(infos.size());
   while (std::getline(in, line)) {
     if (Trim(line).empty()) continue;
@@ -136,6 +147,49 @@ MeasurementFrame ReadFrameCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("ReadFrameCsv: cannot open " + path);
   return ReadFrameCsv(in);
+}
+
+SampleStream ReadSampleStreamCsv(std::istream& in) {
+  long long start = 0, period = 0;
+  SampleStream stream;
+  ParseTraceHeader(in, &start, &period, &stream.infos);
+  stream.start = start;
+  stream.period = period;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, ',');
+    if (fields.size() != stream.infos.size() + 1) {
+      throw std::runtime_error("ReadSampleStreamCsv: row width mismatch");
+    }
+    SampleRow row;
+    long long tp = 0;
+    if (!ParseInt64(fields[0], &tp) || tp < 0) {
+      throw std::runtime_error("ReadSampleStreamCsv: bad timestamp '" +
+                               fields[0] + "'");
+    }
+    row.time = tp;
+    row.values.reserve(stream.infos.size());
+    for (std::size_t i = 0; i < stream.infos.size(); ++i) {
+      double v = 0.0;
+      if (!ParseDouble(fields[i + 1], &v) || std::isinf(v)) {
+        throw std::runtime_error("ReadSampleStreamCsv: bad value '" +
+                                 fields[i + 1] + "'");
+      }
+      row.values.push_back(v);
+    }
+    stream.rows.push_back(std::move(row));
+  }
+  return stream;
+}
+
+SampleStream ReadSampleStreamCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadSampleStreamCsv: cannot open " + path);
+  }
+  return ReadSampleStreamCsv(in);
 }
 
 }  // namespace pmcorr

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "io/atomic_file.h"
 
 namespace pmcorr {
 namespace {
@@ -115,9 +116,10 @@ void SavePairModel(const PairModel& model, std::ostream& out) {
 }
 
 void SavePairModel(const PairModel& model, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("SavePairModel: cannot open " + path);
-  SavePairModel(model, out);
+  // Atomic replacement: a crash mid-save must not destroy the previous
+  // model file (io/atomic_file.h).
+  AtomicWriteFile(path,
+                  [&](std::ostream& out) { SavePairModel(model, out); });
 }
 
 PairModel LoadPairModel(std::istream& in) {

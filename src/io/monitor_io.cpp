@@ -1,14 +1,17 @@
 #include "io/monitor_io.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 
+#include "io/atomic_file.h"
 #include "io/model_io.h"
 
 namespace pmcorr {
@@ -23,6 +26,10 @@ constexpr const char* kMagic = "pmcorr-monitor v1";
 // deployment yet still only megabytes of reserve.
 constexpr std::size_t kMaxMeasurements = 1u << 20;
 constexpr std::size_t kMaxPairs = 1u << 20;
+
+// Upper bound on the generation slots the path-based loader probes —
+// far above any sane CheckpointConfig::generations, purely a loop cap.
+constexpr std::size_t kMaxCheckpointGenerations = 32;
 
 void WriteDouble(std::ostream& out, double v) {
   char buf[40];
@@ -58,13 +65,97 @@ void SaveSystemMonitor(const SystemMonitor& monitor, std::ostream& out) {
   if (!out) throw std::runtime_error("SaveSystemMonitor: write failed");
 }
 
+namespace {
+
+// Trailer line appended to file checkpoints:
+//   trailer crc32 <8 hex digits> bytes <content-byte-count>\n
+// The CRC covers exactly the <content-byte-count> bytes before the
+// trailer line, so truncation, torn writes and bit rot are all
+// detectable before the (expensive) full parse runs.
+constexpr const char* kTrailerTag = "trailer crc32 ";
+
+std::string RenderTrailer(std::string_view content) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "trailer crc32 %08x bytes %zu\n",
+                Crc32(content), content.size());
+  return buf;
+}
+
+std::string GenerationPath(const std::string& path, std::size_t generation) {
+  if (generation == 0) return path;
+  return path + ".g" + std::to_string(generation);
+}
+
+bool ReadFileBytes(const std::string& path, std::string& bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  bytes = std::move(buffer).str();
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+std::string_view VerifyCheckpointTrailer(std::string_view bytes) {
+  // The trailer is the final newline-terminated line; find it without
+  // assuming anything about the (possibly corrupt) content above it.
+  if (bytes.empty() || bytes.back() != '\n') return bytes;
+  const std::size_t prev_newline = bytes.find_last_of('\n', bytes.size() - 2);
+  const std::size_t line_start =
+      prev_newline == std::string_view::npos ? 0 : prev_newline + 1;
+  const std::string_view line =
+      bytes.substr(line_start, bytes.size() - 1 - line_start);
+  if (!line.starts_with(kTrailerTag)) return bytes;  // legacy: no trailer
+
+  std::uint32_t crc = 0;
+  std::size_t declared = 0;
+  char extra = 0;
+  if (std::sscanf(std::string(line).c_str(), "trailer crc32 %x bytes %zu%c",
+                  &crc, &declared, &extra) != 2) {
+    throw std::runtime_error("checkpoint trailer is malformed");
+  }
+  if (declared != line_start) {
+    throw std::runtime_error(
+        "checkpoint trailer length mismatch: trailer covers " +
+        std::to_string(declared) + " bytes, file holds " +
+        std::to_string(line_start));
+  }
+  const std::string_view content = bytes.substr(0, line_start);
+  const std::uint32_t actual = Crc32(content);
+  if (actual != crc) {
+    char expect[16], got[16];
+    std::snprintf(expect, sizeof(expect), "%08x", crc);
+    std::snprintf(got, sizeof(got), "%08x", actual);
+    throw std::runtime_error(std::string("checkpoint CRC mismatch: trailer ") +
+                             expect + ", content " + got);
+  }
+  return content;
+}
+
+void SaveSystemMonitor(const SystemMonitor& monitor, const std::string& path,
+                       const CheckpointConfig& config) {
+  std::ostringstream content;
+  SaveSystemMonitor(monitor, content);
+  std::string bytes = std::move(content).str();
+  bytes += RenderTrailer(bytes);
+
+  // Rotate generations oldest-first: g -> g+1, dropping the oldest.
+  // Each shift is a single rename (atomic), so a crash anywhere in the
+  // loop leaves every checkpoint either at its old or its new slot —
+  // never torn — and the loader probes all slots anyway.
+  const std::size_t keep = std::max<std::size_t>(1, config.generations);
+  for (std::size_t g = keep; g-- > 1;) {
+    // Ignore failures: the source generation may simply not exist yet.
+    std::rename(GenerationPath(path, g - 1).c_str(),
+                GenerationPath(path, g).c_str());
+  }
+  AtomicWriteFile(path, bytes);
+}
+
 void SaveSystemMonitor(const SystemMonitor& monitor,
                        const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("SaveSystemMonitor: cannot open " + path);
-  }
-  SaveSystemMonitor(monitor, out);
+  SaveSystemMonitor(monitor, path, CheckpointConfig{});
 }
 
 std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
@@ -173,13 +264,42 @@ std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
   }
 }
 
-std::unique_ptr<SystemMonitor> LoadSystemMonitor(const std::string& path,
-                                                 std::size_t threads) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("LoadSystemMonitor: cannot open " + path);
+std::unique_ptr<SystemMonitor> LoadSystemMonitor(
+    const std::string& path, std::size_t threads,
+    CheckpointRecoveryInfo* recovery) {
+  // Probe generations newest-first; the first one that passes both the
+  // CRC trailer check and full load-time validation wins. The probe
+  // stops at the first missing slot past generation 1 (rotation never
+  // leaves holes beyond a single in-flight shift).
+  std::vector<std::string> rejected;
+  std::size_t missing_run = 0;
+  for (std::size_t g = 0; g < kMaxCheckpointGenerations; ++g) {
+    const std::string candidate = GenerationPath(path, g);
+    std::string bytes;
+    if (!ReadFileBytes(candidate, bytes)) {
+      rejected.push_back(candidate + ": cannot open");
+      if (g > 0 && ++missing_run >= 2) break;
+      continue;
+    }
+    missing_run = 0;
+    try {
+      const std::string_view content = VerifyCheckpointTrailer(bytes);
+      std::istringstream in{std::string(content)};
+      auto monitor = LoadSystemMonitor(in, threads);
+      if (recovery) {
+        recovery->loaded_path = candidate;
+        recovery->generation = g;
+        recovery->rejected = std::move(rejected);
+      }
+      return monitor;
+    } catch (const std::runtime_error& error) {
+      rejected.push_back(candidate + ": " + error.what());
+    }
   }
-  return LoadSystemMonitor(in, threads);
+  std::string message = "LoadSystemMonitor: no recoverable checkpoint at " +
+                        path;
+  for (const std::string& reason : rejected) message += "\n  " + reason;
+  throw std::runtime_error(message);
 }
 
 namespace {

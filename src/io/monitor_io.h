@@ -7,6 +7,8 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "engine/monitor.h"
 
@@ -16,7 +18,37 @@ namespace pmcorr {
 /// models (via the PairModel format of model_io), and the lifetime
 /// aggregates. Throws std::runtime_error on I/O failure.
 void SaveSystemMonitor(const SystemMonitor& monitor, std::ostream& out);
+
+/// On-disk checkpoint policy: how many last-good generations to keep.
+/// Generation 0 is `path` itself, generation g > 0 is `path.g<g>`; a
+/// save rotates g -> g+1 (dropping the oldest) before atomically
+/// writing the new generation 0.
+struct CheckpointConfig {
+  std::size_t generations = 2;
+};
+
+/// Crash-safe file checkpoint: renders the monitor with a CRC-32
+/// trailer line, rotates the existing generations, and replaces `path`
+/// via write-to-temp + fsync + atomic rename (io/atomic_file.h). A
+/// crash at any point leaves at least one complete, validated prior
+/// generation recoverable by the path-based loader below. Throws
+/// std::runtime_error on I/O failure.
+void SaveSystemMonitor(const SystemMonitor& monitor, const std::string& path,
+                       const CheckpointConfig& config);
 void SaveSystemMonitor(const SystemMonitor& monitor, const std::string& path);
+
+/// How a path-based load found its checkpoint (all fields informational).
+struct CheckpointRecoveryInfo {
+  /// The file that loaded successfully.
+  std::string loaded_path;
+  /// Its generation number (0 = the primary file).
+  std::size_t generation = 0;
+  /// One "<path>: <reason>" entry per newer candidate that was rejected
+  /// (missing, torn, CRC mismatch, failed validation) before the loaded
+  /// one — non-empty means the primary copy was lost and recovery
+  /// actually happened.
+  std::vector<std::string> rejected;
+};
 
 /// Restores a monitor saved by SaveSystemMonitor. Worker-thread count is
 /// taken from `threads` (0 = hardware concurrency) since it is a property
@@ -24,8 +56,23 @@ void SaveSystemMonitor(const SystemMonitor& monitor, const std::string& path);
 /// malformed input.
 std::unique_ptr<SystemMonitor> LoadSystemMonitor(std::istream& in,
                                                  std::size_t threads = 0);
-std::unique_ptr<SystemMonitor> LoadSystemMonitor(const std::string& path,
-                                                 std::size_t threads = 0);
+
+/// Path-based load with generation fallback: tries `path`, then
+/// `path.g1`, `path.g2`, ... and returns the newest generation that
+/// passes both the CRC trailer check and full load-time validation.
+/// Files without a trailer (pre-rotation checkpoints) are accepted when
+/// they validate. Throws std::runtime_error only when every generation
+/// is missing or corrupt (the message lists each rejection).
+std::unique_ptr<SystemMonitor> LoadSystemMonitor(
+    const std::string& path, std::size_t threads = 0,
+    CheckpointRecoveryInfo* recovery = nullptr);
+
+/// Verifies and strips the checkpoint's CRC trailer line, returning the
+/// content it covers. Bytes without a trailer are returned unchanged
+/// (legacy checkpoints); a present-but-wrong trailer (bad CRC, bad
+/// length, truncation) throws std::runtime_error. Exposed for the fuzz
+/// harness, which drives it on arbitrary bytes.
+std::string_view VerifyCheckpointTrailer(std::string_view bytes);
 
 /// Writes the full-detail snapshot stream as JSONL, one line per sample:
 ///   {"sample":N,"t":<unix>,"q":<Q|null>,"qa":[...],"pair_scores":[...],

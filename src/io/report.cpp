@@ -1,7 +1,8 @@
 #include "io/report.h"
 
-#include <fstream>
 #include <stdexcept>
+
+#include "io/atomic_file.h"
 
 namespace pmcorr {
 
@@ -22,10 +23,9 @@ void MarkdownReport::Table(const TextTable& table) {
 }
 
 void MarkdownReport::Write(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("MarkdownReport: cannot open " + path);
-  out << text_;
-  if (!out) throw std::runtime_error("MarkdownReport: write failed: " + path);
+  // Atomic replacement: a crash mid-write must not leave a torn report
+  // (io/atomic_file.h).
+  AtomicWriteFile(path, text_);
 }
 
 }  // namespace pmcorr

@@ -76,6 +76,18 @@ inline void ExpectSnapshotsEqual(const SystemSnapshot& a,
   EXPECT_EQ(a.alarmed_pairs, b.alarmed_pairs);
   EXPECT_EQ(a.outlier_pairs, b.outlier_pairs);
   EXPECT_EQ(a.extended_pairs, b.extended_pairs);
+  // Degraded-mode telemetry must match across execution paths too:
+  // quarantine trips and guard suppressions land on the same samples
+  // whether the engine steps sample-major or sweeps pair-major.
+  EXPECT_EQ(static_cast<int>(a.stream_event), static_cast<int>(b.stream_event));
+  ASSERT_EQ(a.measurement_health.size(), b.measurement_health.size());
+  for (std::size_t m = 0; m < a.measurement_health.size(); ++m) {
+    EXPECT_EQ(static_cast<int>(a.measurement_health[m]),
+              static_cast<int>(b.measurement_health[m]))
+        << "health of measurement " << m;
+  }
+  EXPECT_EQ(a.suppressed_values, b.suppressed_values);
+  EXPECT_EQ(a.quarantined_pairs, b.quarantined_pairs);
 }
 
 inline void ExpectStreamsEqual(const std::vector<SystemSnapshot>& a,

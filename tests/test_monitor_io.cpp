@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "common/rng.h"
@@ -90,6 +93,45 @@ TEST(MonitorIo, RestoredMonitorContinuesIdentically) {
       ASSERT_DOUBLE_EQ(*snaps_a[t].system_score, *snaps_b[t].system_score);
     }
   }
+}
+
+TEST(MonitorIo, PathCheckpointCarriesTrailerAndRotates) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "pmcorr_monitor_io_path";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "monitor.ckpt").string();
+
+  const MeasurementFrame history = SystemFrame(900, 13);
+  SystemMonitor monitor(history, MeasurementGraph::FullMesh(4),
+                        SmallConfig());
+  monitor.Run(SystemFrame(40, 15));
+
+  SaveSystemMonitor(monitor, path);
+  // The file ends with the CRC trailer line the loader verifies.
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const std::size_t last_line = bytes.rfind("trailer crc32 ");
+  ASSERT_NE(last_line, std::string::npos);
+  EXPECT_EQ(bytes.back(), '\n');
+
+  std::stringstream direct;
+  SaveSystemMonitor(monitor, direct);
+  CheckpointRecoveryInfo info;
+  const auto loaded = LoadSystemMonitor(path, 2, &info);
+  EXPECT_EQ(info.generation, 0u);
+  EXPECT_TRUE(info.rejected.empty());
+  std::stringstream reloaded;
+  SaveSystemMonitor(*loaded, reloaded);
+  EXPECT_EQ(reloaded.str(), direct.str());
+
+  // A second save rotates the first into generation 1.
+  monitor.Run(SystemFrame(10, 17));
+  SaveSystemMonitor(monitor, path);
+  EXPECT_TRUE(fs::exists(path + ".g1"));
+  fs::remove_all(dir);
 }
 
 TEST(MonitorIo, RejectsGarbage) {

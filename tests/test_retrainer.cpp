@@ -2,10 +2,13 @@
 // double-buffered background-rebuild mode and its swap points.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -246,6 +249,127 @@ TEST(RetrainerBackground, TracksDriftLikeSynchronousMode) {
   ASSERT_GT(n, 2000u);
   EXPECT_GT(sum / static_cast<double>(n), 0.85);
   EXPECT_GE(rolling.Rebuilds(), 10u);
+}
+
+TEST(Retrainer, FailedSyncRebuildKeepsServingAndCounts) {
+  std::vector<double> xs, ys;
+  MakeDrifting(300, 0.0, 19, &xs, &ys);
+  RetrainerConfig config = FastCadence();
+  config.rebuild_override = [](std::span<const double>,
+                               std::span<const double>,
+                               const ModelConfig&) -> PairModel {
+    throw std::runtime_error("kaboom: synthetic rebuild failure");
+  };
+  RollingPairRetrainer retrainer(xs, ys, SmallModel(), config);
+  // The constructor's initial learn does not go through the override.
+  EXPECT_EQ(retrainer.FailedRebuilds(), 0u);
+
+  std::size_t scored = 0;
+  for (int i = 0; i < 250; ++i) {
+    const StepOutcome out =
+        retrainer.Step(xs[static_cast<std::size_t>(i)],
+                       ys[static_cast<std::size_t>(i)]);
+    if (out.has_score) ++scored;
+  }
+  // Both cadence points (100 and 200) attempted and failed; the serving
+  // model never stopped scoring.
+  EXPECT_EQ(retrainer.FailedRebuilds(), 2u);
+  EXPECT_EQ(retrainer.Rebuilds(), 0u);
+  EXPECT_NE(retrainer.LastRebuildError().find("kaboom"), std::string::npos);
+  EXPECT_GT(scored, 200u);
+}
+
+TEST(RetrainerBackground, FailedBackgroundRebuildKeepsServingAndCounts) {
+  std::vector<double> xs, ys;
+  MakeDrifting(300, 0.0, 23, &xs, &ys);
+  RetrainerConfig config = FastCadence();
+  config.background = true;
+  config.rebuild_override = [](std::span<const double>,
+                               std::span<const double>,
+                               const ModelConfig&) -> PairModel {
+    throw std::runtime_error("kaboom: background rebuild failure");
+  };
+  RollingPairRetrainer retrainer(xs, ys, SmallModel(), config);
+  std::size_t scored = 0;
+  for (int i = 0; i < 250; ++i) {
+    const StepOutcome out =
+        retrainer.Step(xs[static_cast<std::size_t>(i)],
+                       ys[static_cast<std::size_t>(i)]);
+    if (out.has_score) ++scored;
+    // Drain each failure before the next cadence so the count below is
+    // deterministic.
+    retrainer.WaitForPendingRebuild();
+  }
+  EXPECT_EQ(retrainer.FailedRebuilds(), 2u);
+  EXPECT_EQ(retrainer.Rebuilds(), 0u);
+  EXPECT_FALSE(retrainer.RebuildInFlight());
+  EXPECT_NE(retrainer.LastRebuildError().find("kaboom"), std::string::npos);
+  EXPECT_GT(scored, 200u);
+}
+
+TEST(RetrainerBackground, WatchdogAbandonsWedgedRebuildAndSlotReopens) {
+  std::vector<double> xs, ys;
+  MakeDrifting(300, 0.0, 29, &xs, &ys);
+
+  // Deterministic time: the watchdog reads this fake clock, so "wedged
+  // past the deadline" is an explicit statement, not a sleep race.
+  std::atomic<std::int64_t> now_ns{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> rebuild_calls{0};
+  RetrainerConfig config = FastCadence();
+  config.background = true;
+  config.watchdog_ms = 10;
+  config.clock = [&now_ns] { return now_ns.load(); };
+  config.rebuild_override = [&](std::span<const double> x,
+                                std::span<const double> y,
+                                const ModelConfig& model_config) {
+    if (rebuild_calls.fetch_add(1) == 0) {
+      // First rebuild wedges until the test releases it.
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return PairModel::Learn(x, y, model_config);
+  };
+  RollingPairRetrainer retrainer(xs, ys, SmallModel(), config);
+
+  // Fire the first cadence and wait for the worker to pick the job up.
+  for (int i = 0; i < 100; ++i) {
+    retrainer.Step(xs[static_cast<std::size_t>(i)],
+                   ys[static_cast<std::size_t>(i)]);
+  }
+  while (rebuild_calls.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(retrainer.RebuildInFlight());
+
+  // The rebuild grinds past its deadline; the next Step's watchdog check
+  // writes it off. Waiters stop waiting even though the worker thread is
+  // still stuck inside the override.
+  now_ns.fetch_add(20 * 1'000'000);  // 20ms > watchdog_ms
+  retrainer.Step(xs[100], ys[100]);
+  EXPECT_EQ(retrainer.AbandonedRebuilds(), 1u);
+  EXPECT_FALSE(retrainer.RebuildInFlight());
+  retrainer.WaitForPendingRebuild();  // must return, not hang
+  EXPECT_EQ(retrainer.Rebuilds(), 0u);
+
+  // Unwedge: the abandoned rebuild's result must be discarded, not
+  // adopted.
+  release.store(true);
+  retrainer.WaitForPendingRebuild();
+  retrainer.Step(xs[101], ys[101]);
+  EXPECT_EQ(retrainer.Rebuilds(), 0u);
+
+  // The slot reopened: the next cadence rebuilds (fast this time) and
+  // its model is adopted normally.
+  for (int i = 102; i < 250 && retrainer.Rebuilds() == 0; ++i) {
+    retrainer.Step(xs[static_cast<std::size_t>(i % 300)],
+                   ys[static_cast<std::size_t>(i % 300)]);
+    retrainer.WaitForPendingRebuild();
+  }
+  EXPECT_GE(retrainer.Rebuilds(), 1u);
+  EXPECT_GE(rebuild_calls.load(), 2);
+  EXPECT_EQ(retrainer.AbandonedRebuilds(), 1u);
 }
 
 }  // namespace

@@ -273,6 +273,54 @@ int CmdMonitor(const Flags& flags) {
               graph.PairCount(), train.SampleCount(),
               train.MeasurementCount());
 
+  // Degraded-stream mode: feed a row-stream CSV through the ingest
+  // guard sample by sample, honoring each row's own timestamp (late,
+  // duplicated, out-of-order, and frozen feeds are detected instead of
+  // silently re-gridded), then report feed health.
+  const std::string stream_path = flags.GetOr("stream", "");
+  if (!stream_path.empty()) {
+    const SampleStream stream = ReadSampleStreamCsv(stream_path);
+    if (stream.infos.size() != monitor.MeasurementCount()) {
+      throw std::runtime_error(
+          "--stream measurement count does not match the training trace");
+    }
+    monitor.ResetSequences();
+    std::vector<std::optional<double>> q;
+    q.reserve(stream.rows.size());
+    std::size_t alarms = 0;
+    std::size_t events = 0;
+    for (const SampleRow& row : stream.rows) {
+      const SystemSnapshot snap = monitor.Step(row.values, row.time);
+      q.push_back(snap.system_score);
+      alarms += snap.alarmed_pairs.size();
+      if (snap.stream_event != StreamEvent::kNone) ++events;
+    }
+
+    SparklineOptions spark;
+    spark.width = 72;
+    std::printf("system fitness Q over %zu streamed samples:\n%s\n",
+                stream.rows.size(),
+                Sparkline(std::span<const std::optional<double>>(q), spark)
+                    .c_str());
+    const IngestGuard& health = monitor.Health();
+    std::printf(
+        "stream health: %zu degraded arrivals (%zu gaps, %zu duplicates,"
+        " %zu out-of-order), %zu values suppressed\n",
+        events, health.GapCount(), health.DuplicateCount(),
+        health.OutOfOrderCount(), health.SuppressedTotal());
+    for (std::size_t m = 0; m < monitor.MeasurementCount(); ++m) {
+      if (health.Health(m) != MeasurementHealth::kHealthy) {
+        std::printf("  measurement %-3zu %-12s %s\n", m,
+                    monitor.Infos()[m].name.c_str(),
+                    MeasurementHealthName(health.Health(m)));
+      }
+    }
+    std::printf("%zu pair alarms, %zu pairs quarantined, %zu retired\n",
+                alarms, monitor.Quarantine().QuarantinedCount(),
+                monitor.Quarantine().RetiredCount());
+    return 0;
+  }
+
   const auto snapshots = monitor.Run(test);
   const std::vector<std::optional<double>> q = SystemScoreSeries(snapshots);
 
@@ -365,6 +413,8 @@ void Usage() {
       "  monitor  --trace FILE --train-days N [--graph"
       " neighborhood|association|full]\n"
       "           [--partners N] [--min-spearman R] [--threshold Q]\n"
+      "           [--stream FILE]   (feed a degraded row-stream CSV and\n"
+      "                              report per-measurement feed health)\n"
       "  inspect  --model FILE\n");
 }
 
