@@ -57,6 +57,17 @@ struct DetectionOutcome {
   /// overlapping alarm (negative when the alarm began inside the grace
   /// margin before the window). Disengaged when nothing was detected.
   std::optional<double> mean_latency_seconds;
+
+  /// Scorecard convention for the disengaged case: serializers and
+  /// degraded-mode runs (quarantined/retired pairs can suppress every
+  /// alarm) need a total function, so "no detection" reads as a fixed
+  /// `fallback`. The scorecard uses -1: real latencies there are
+  /// multiples of the sample period (alarm windows start on the sample
+  /// grid), so -1 second is unambiguous. Pick a fallback outside your
+  /// own time base when the grid is finer.
+  double MeanLatencyOr(double fallback) const {
+    return mean_latency_seconds ? *mean_latency_seconds : fallback;
+  }
 };
 
 /// Matches alarm windows against truth windows.

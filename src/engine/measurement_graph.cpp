@@ -146,6 +146,23 @@ MeasurementGraph MeasurementGraph::ByAssociation(const MeasurementFrame& frame,
   return graph;
 }
 
+std::size_t MeasurementGraph::AddPair(PairId pair) {
+  if (!pair.valid()) {
+    throw std::invalid_argument("MeasurementGraph::AddPair: invalid pair");
+  }
+  if (static_cast<std::size_t>(pair.b.value) >= pairs_of_.size()) {
+    throw std::invalid_argument("MeasurementGraph::AddPair: pair out of range");
+  }
+  if (std::find(pairs_.begin(), pairs_.end(), pair) != pairs_.end()) {
+    throw std::invalid_argument("MeasurementGraph::AddPair: duplicate pair");
+  }
+  const std::size_t index = pairs_.size();
+  pairs_.push_back(pair);
+  pairs_of_[static_cast<std::size_t>(pair.a.value)].push_back(index);
+  pairs_of_[static_cast<std::size_t>(pair.b.value)].push_back(index);
+  return index;
+}
+
 std::span<const std::size_t> MeasurementGraph::PairsOf(MeasurementId a) const {
   return pairs_of_.at(static_cast<std::size_t>(a.value));
 }

@@ -49,6 +49,12 @@ class MeasurementGraph {
                                         double min_abs_spearman = 0.6,
                                         std::size_t max_partners = 3);
 
+  /// Appends one pair to an existing graph (dynamic topology: a machine
+  /// joining the fleet brings new edges). Validated exactly like
+  /// FromPairs (range, self-pair, duplicate); returns the new pair's
+  /// index. Existing pair indices never change.
+  std::size_t AddPair(PairId pair);
+
   std::size_t MeasurementCount() const { return pairs_of_.size(); }
   std::size_t PairCount() const { return pairs_.size(); }
   const std::vector<PairId>& Pairs() const { return pairs_; }

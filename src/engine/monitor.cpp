@@ -4,6 +4,7 @@
 #include <cmath>
 #include <span>
 #include <stdexcept>
+#include <string>
 
 #include "common/check.h"
 #include "engine/fault_plan.h"
@@ -348,7 +349,7 @@ std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
     const bool guarded =
         fault_plan_ != nullptr ||
         (quarantine_.Enabled() && (config_.quarantine.outlier_burst > 0 ||
-                                   quarantine_.AnyTripped()));
+                                   quarantine_.AnyDisengaged()));
 
     // Pair-major sweep: each worker advances every model of its shard
     // through the whole batch in one pass. Pair state is private to the
@@ -469,6 +470,52 @@ std::vector<SystemSnapshot> SystemMonitor::Run(const MeasurementFrame& test) {
   }
   PMCORR_AUDIT_ONLY(CheckInvariants(/*deep=*/false);)
   return snapshots;
+}
+
+std::size_t SystemMonitor::AddPair(PairId pair, PairModel model) {
+  // graph_.AddPair validates (range vs the measurement set, self-pair,
+  // duplicate) and keeps existing indices stable.
+  const std::size_t index = graph_.AddPair(pair);
+  model.ResetSequence();
+  models_.push_back(std::move(model));
+  quarantine_.AddPair();
+  PMCORR_AUDIT_ONLY(CheckInvariants(/*deep=*/false);)
+  return index;
+}
+
+std::size_t SystemMonitor::AddPair(PairId pair,
+                                   const MeasurementFrame& history) {
+  if (history.MeasurementCount() != infos_.size()) {
+    throw std::invalid_argument(
+        "SystemMonitor::AddPair: history measurement count mismatch");
+  }
+  if (history.SampleCount() < 2) {
+    throw std::invalid_argument(
+        "SystemMonitor::AddPair: history needs at least two samples");
+  }
+  if (!pair.valid() ||
+      static_cast<std::size_t>(pair.b.value) >= infos_.size()) {
+    throw std::invalid_argument("SystemMonitor::AddPair: pair out of range");
+  }
+  PairModel model =
+      PairModel::Learn(history.Series(pair.a).Values(),
+                       history.Series(pair.b).Values(), config_.model);
+  return AddPair(pair, std::move(model));
+}
+
+void SystemMonitor::RetirePair(std::size_t pair_index) {
+  if (pair_index >= graph_.PairCount()) {
+    throw std::out_of_range("SystemMonitor::RetirePair: pair index " +
+                            std::to_string(pair_index) + " of " +
+                            std::to_string(graph_.PairCount()));
+  }
+  if (!quarantine_.Enabled()) {
+    throw std::logic_error(
+        "SystemMonitor::RetirePair: needs the quarantine disengage path "
+        "(config.quarantine.enabled)");
+  }
+  quarantine_.Retire(pair_index, "administratively retired");
+  PMCORR_AUDIT_ONLY(CheckInvariants(/*deep=*/false);)
 }
 
 void SystemMonitor::ResetSequences() {

@@ -124,6 +124,30 @@ class SystemMonitor {
   /// segments, e.g. train -> test gaps).
   void ResetSequences();
 
+  /// Dynamic topology: appends one pair to the running monitor (a
+  /// machine joined the fleet and warmed up). The model arrives
+  /// pre-built — learned elsewhere, typically on the warmup slice — and
+  /// has its sequence reset so its first step starts a fresh transition
+  /// chain. Call between Step/Run calls only (the serial sections of the
+  /// thread-safety contract). Returns the new pair's index; existing
+  /// pair indices, models and scores are untouched — proven bitwise by
+  /// tests/test_dynamic_topology.cpp. Note: AddPair/RetirePair state is
+  /// not part of the checkpoint format (io/monitor_io.h); a restored
+  /// monitor must replay its topology script.
+  std::size_t AddPair(PairId pair, PairModel model);
+
+  /// Convenience overload: learns the pair's model from `history` (same
+  /// width as the monitor's frame) with the monitor's model config.
+  std::size_t AddPair(PairId pair, const MeasurementFrame& history);
+
+  /// Dynamic topology: administratively retires pair `pair_index` (its
+  /// machine left the fleet). The pair is skipped from the next sample
+  /// on — its snapshot slot reads disengaged, exactly like a
+  /// quarantine-retired pair — while every other pair's scores stay
+  /// bitwise identical. Requires the quarantine breaker (the disengage
+  /// path) to be enabled; throws std::logic_error otherwise. Idempotent.
+  void RetirePair(std::size_t pair_index);
+
   /// Per-pair alarm calibration: replays a clean holdout frame through a
   /// frozen copy of each pair model and arms that pair's fitness/delta
   /// bounds at the `target_false_positive_rate` quantile of its own

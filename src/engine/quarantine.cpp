@@ -57,6 +57,16 @@ void PairQuarantine::RecordFailure(std::size_t i, std::size_t sample,
   Trip(pair, sample, what);
 }
 
+void PairQuarantine::AddPair() { pairs_.emplace_back(); }
+
+void PairQuarantine::Retire(std::size_t i, const std::string& why) {
+  PairState& pair = pairs_.at(i);
+  pair.state = State::kRetired;
+  pair.last_error = why;
+  pair.probation = false;
+  pair.outlier_run = 0;
+}
+
 void PairQuarantine::Trip(PairState& pair, std::size_t sample,
                           const std::string& why) {
   ++pair.trips;
@@ -97,6 +107,13 @@ std::size_t PairQuarantine::TripCount() const {
 bool PairQuarantine::AnyTripped() const {
   for (const PairState& pair : pairs_) {
     if (pair.trips > 0) return true;
+  }
+  return false;
+}
+
+bool PairQuarantine::AnyDisengaged() const {
+  for (const PairState& pair : pairs_) {
+    if (pair.trips > 0 || pair.state != State::kActive) return true;
   }
   return false;
 }

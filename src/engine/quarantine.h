@@ -84,6 +84,16 @@ class PairQuarantine {
   void RecordFailure(std::size_t i, std::size_t sample,
                      const std::string& what);
 
+  /// Serial-side: grows the state vector for a pair appended to the
+  /// graph (dynamic topology); the new pair starts active.
+  void AddPair();
+
+  /// Serial-side: administratively retires pair `i` — skipped forever,
+  /// exactly like a budget-exhausted trip, but without recording a trip
+  /// (the pair did nothing wrong; its machine left the fleet). `why` is
+  /// surfaced through LastError.
+  void Retire(std::size_t i, const std::string& why);
+
   State StateOf(std::size_t i) const { return pairs_[i].state; }
   bool IsQuarantined(std::size_t i) const {
     return pairs_[i].state == State::kQuarantined;
@@ -102,9 +112,12 @@ class PairQuarantine {
   std::size_t RetiredCount() const;
   /// Total trips recorded across all pairs (exceptions + bursts).
   std::size_t TripCount() const;
-  /// True once any pair has ever tripped — the monitor's batched path
-  /// stays on its unguarded fast sweep until this flips.
+  /// True once any pair has ever tripped (exception or outlier burst).
   bool AnyTripped() const;
+  /// True once any pair has tripped OR left the active state (including
+  /// administrative Retire, which records no trip) — the monitor's
+  /// batched path stays on its unguarded fast sweep until this flips.
+  bool AnyDisengaged() const;
 
  private:
   struct PairState {

@@ -1,0 +1,128 @@
+// QualityHarness — the detection-quality scorecard.
+//
+// Runs pmcorr (the paper's pairwise-correlation monitor) and the five
+// in-repo baselines (ewma, zscore, gmm, subspace, linear_invariant) over
+// every ScenarioSuite scenario and scores each against the scenario's
+// ground truth: window-level precision/recall/F1, mean detection latency
+// and localization rank. Results serialize to the flat BENCH_quality.json
+// schema tools/lint.sh checks, so detection quality is tracked across
+// PRs exactly like perf.
+//
+// Every detector is reduced to the same shape: a per-sample health
+// series in [0, 1] over the test period (1 = healthy), alarm windows
+// extracted below a per-detector threshold (ExtractLowScoreWindows), and
+// a machine ranking with suspects first. Conventions for the degraded
+// cases are fixed here so scorecard numbers stay stable when pairs are
+// disengaged, quarantined or retired:
+//
+//  * mean detection latency: DetectionOutcome::MeanLatencyOr —
+//    kLatencyUnavailableSeconds (-1) when nothing was detected;
+//  * localization rank: 1-based position of the scenario's problem
+//    machine in the detector's ranking; a machine absent from the
+//    ranking (every measurement disengaged for the whole run) ranks
+//    after every ranked machine (ranking size + 1); benign scenarios
+//    report kRankNotApplicable (0).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/evaluation.h"
+#include "engine/localizer.h"
+#include "telemetry/suite.h"
+
+namespace pmcorr {
+
+/// MeanLatencyOr fallback: "nothing detected". Real latencies are
+/// multiples of the sample period, so -1 s never collides.
+inline constexpr double kLatencyUnavailableSeconds = -1.0;
+
+/// Localization rank for benign scenarios (no problem machine exists).
+inline constexpr double kRankNotApplicable = 0.0;
+
+/// 1-based position of `machine` in a suspects-first ranking. A machine
+/// absent from the ranking — every one of its measurements disengaged
+/// for the whole run (quarantined/retired pairs, or a machine that never
+/// reported) — ranks after every ranked machine: ranking.size() + 1.
+/// An invalid machine id returns kRankNotApplicable.
+double LocalizationRankOf(const std::vector<MachineScore>& ranking,
+                          MachineId machine);
+
+/// Harness knobs. Defaults are the committed-BENCH configuration; per-PR
+/// CI runs the same harness with SmokeSuiteConfig() and mode "smoke".
+struct ScorecardConfig {
+  SuiteConfig suite;
+  /// Stamped into the JSON ("full" or "smoke").
+  std::string mode = "full";
+
+  /// pmcorr: per-pair alarm calibration target on the holdout day.
+  double calibrate_fpr = 0.02;
+  /// pmcorr: alarm-concentration bound. The health series is one minus
+  /// the worst per-measurement fraction of persistently-alarming pairs
+  /// (a pair counts only when it alarmed two samples running); the
+  /// system flips unhealthy when some measurement has more than this
+  /// fraction of its engaged pairs persistently alarming. Persistence
+  /// kills single-sample ramp bursts, concentration distinguishes a
+  /// broken measurement from fleet-wide scatter.
+  double pmcorr_alarm_fraction = 0.5;
+  /// The shared unit-fraction alarm bound: pmcorr (calibrated alarming
+  /// pairs), ewma/zscore (alarming measurements) and gmm/
+  /// linear_invariant (pairs scoring below pair_score_threshold) all
+  /// turn their per-sample alarming-unit fraction into health =
+  /// 1 - fraction and alarm below 1 - alarm_fraction.
+  double alarm_fraction = 0.10;
+  /// gmm/linear_invariant: a pair scoring below this counts as alarming.
+  double pair_score_threshold = 0.5;
+  /// subspace: threshold on the graded SPE health thr/(thr+spe); 0.5
+  /// alarms exactly when SPE exceeds the fitted training boundary.
+  double subspace_threshold = 0.5;
+
+  /// Alarm-window debounce (samples) and truth-matching grace. Three
+  /// consecutive low samples (18 min) separates sustained faults from
+  /// the single-sample noise bursts every fraction-based health series
+  /// produces at calibrated false-positive rates.
+  std::size_t min_window = 3;
+  Duration grace = kHour;
+
+  /// pmcorr pair graph: Neighborhood(train, remote_partners, graph_seed).
+  std::size_t remote_partners = 2;
+  std::uint64_t graph_seed = 7;
+
+  /// Monitor worker threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// One detector's score on one scenario.
+struct DetectorScore {
+  std::string detector;
+  DetectionOutcome outcome;
+  /// See LocalizationRankOf; kRankNotApplicable for benign scenarios.
+  double localization_rank = kRankNotApplicable;
+  /// Machines the detector managed to rank at all.
+  std::size_t ranked_machines = 0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::vector<DetectorScore> detectors;  // ScorecardDetectors() order
+};
+
+/// Fixed detector order: "pmcorr", then the five baselines.
+const std::vector<std::string>& ScorecardDetectors();
+
+/// Runs every detector over one scenario.
+ScenarioResult RunScenarioScorecard(const QualityScenario& scenario,
+                                    const ScorecardConfig& config);
+
+/// Runs the whole suite (MakeScenarioSuite(config.suite)).
+std::vector<ScenarioResult> RunScorecard(const ScorecardConfig& config);
+
+/// Serializes results to the flat bench schema: {"bench": "quality",
+/// ...run metadata..., "<scenario>.<detector>.<metric>": <number>}.
+void WriteScorecardJson(const std::string& path,
+                        const ScorecardConfig& config,
+                        const std::vector<ScenarioResult>& results);
+
+}  // namespace pmcorr

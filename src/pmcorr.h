@@ -32,6 +32,7 @@
 #include "engine/measurement_graph.h"
 #include "engine/monitor.h"
 #include "engine/retrainer.h"
+#include "engine/scorecard.h"
 
 // Time series and traces.
 #include "timeseries/frame.h"
@@ -44,6 +45,7 @@
 #include "telemetry/generator.h"
 #include "telemetry/queueing.h"
 #include "telemetry/scenarios.h"
+#include "telemetry/suite.h"
 #include "telemetry/topology.h"
 #include "telemetry/workload.h"
 

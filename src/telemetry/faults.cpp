@@ -14,8 +14,14 @@ std::string FaultTypeName(FaultType type) {
     case FaultType::kStuckValue:       return "stuck-value";
     case FaultType::kNoiseStorm:       return "noise-storm";
     case FaultType::kDropout:          return "dropout";
+    case FaultType::kFlashCrowd:       return "flash-crowd";
+    case FaultType::kRegimeShift:      return "regime-shift";
   }
   return "unknown";
+}
+
+bool IsLoadShaped(FaultType type) {
+  return type == FaultType::kFlashCrowd || type == FaultType::kRegimeShift;
 }
 
 FaultInjector::FaultInjector(std::vector<FaultEvent> events,
@@ -39,7 +45,9 @@ double FaultInjector::Apply(MachineId machine, MetricKind kind,
 
   const FaultEvent* active = nullptr;
   for (const FaultEvent& e : events_) {
-    if (e.Affects(machine, kind, tp)) {
+    // Load-shaped events act upstream of the response curves (LoadFactor)
+    // and must not shadow a value-shaped event on the same target.
+    if (!IsLoadShaped(e.type) && e.Affects(machine, kind, tp)) {
       active = &e;
       break;
     }
@@ -86,8 +94,33 @@ double FaultInjector::Apply(MachineId machine, MetricKind kind,
       return clean_value;
     case FaultType::kDropout:
       return std::numeric_limits<double>::quiet_NaN();
+    case FaultType::kFlashCrowd:
+    case FaultType::kRegimeShift:
+      break;  // handled by LoadFactor; unreachable via the scan above
   }
   return clean_value;
+}
+
+double FaultInjector::LoadFactor(MachineId machine, MetricKind kind,
+                                 TimePoint tp) const {
+  double factor = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (!IsLoadShaped(e.type) || !e.Affects(machine, kind, tp)) continue;
+    double weight = 1.0;
+    if (e.type == FaultType::kFlashCrowd && e.end > e.start) {
+      // Crowds build and disperse; a step function would teleport every
+      // metric to an unseen operating point in one sample. Trapezoid:
+      // ramp up over the first quarter of the window, plateau, ramp
+      // down over the last quarter.
+      const double span = static_cast<double>(e.end - e.start);
+      const double into = static_cast<double>(tp - e.start);
+      const double ramp = span / 4.0;
+      weight = std::min({1.0, into / ramp, (span - into) / ramp});
+      weight = std::max(0.0, weight);
+    }
+    factor *= 1.0 + weight * e.magnitude;
+  }
+  return factor;
 }
 
 }  // namespace pmcorr

@@ -40,9 +40,28 @@ enum class FaultType : std::uint8_t {
   /// The collector stops reporting: samples in the window are NaN
   /// (exercises the engine's missing-data path).
   kDropout,
+
+  /// A legitimate demand surge: the machine's *load* is multiplied by
+  /// (1 + magnitude) for the window, and every metric responds through
+  /// its normal response curve. Correlations hold, so a detector that
+  /// models relationships (rather than levels) should stay quiet — flash
+  /// crowds are the canonical false-positive bait.
+  kFlashCrowd,
+
+  /// A deploy-shaped regime change: from `start` onward the *load seen
+  /// by the filtered metric* is multiplied by (1 + magnitude) while its
+  /// partners keep the old regime, permanently breaking the learned
+  /// relationship (new binary, changed cache behavior). Unlike
+  /// kLevelShift this acts before the response curve, so the metric
+  /// moves along a plausible-but-different operating curve.
+  kRegimeShift,
 };
 
 std::string FaultTypeName(FaultType type);
+
+/// Load-shaped types act on the normalized load upstream of the response
+/// curves (via FaultInjector::LoadFactor) instead of on emitted values.
+bool IsLoadShaped(FaultType type);
 
 /// One injected problem: which machine, when, what kind, how strong.
 struct FaultEvent {
@@ -84,6 +103,12 @@ class FaultInjector {
 
   /// True if any event affects the (machine, kind) pair at `tp`.
   bool AnyActive(MachineId machine, MetricKind kind, TimePoint tp) const;
+
+  /// Multiplier the load-shaped events (kFlashCrowd, kRegimeShift) put
+  /// on the normalized load feeding (machine, kind) at `tp`; 1.0 when
+  /// none is active. Overlapping events compound. Deterministic and
+  /// RNG-free, so traces without load events are bitwise unchanged.
+  double LoadFactor(MachineId machine, MetricKind kind, TimePoint tp) const;
 
  private:
   struct WalkState {

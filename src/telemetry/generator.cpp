@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "telemetry/response.h"
@@ -37,6 +38,14 @@ MeasurementFrame GenerateTrace(const TraceSpec& spec) {
   std::size_t measurement_index = 0;
 
   for (const auto& machine : spec.topology.machines) {
+    const MachinePresence* presence = nullptr;
+    for (const auto& p : spec.presence) {
+      if (p.machine == machine.id) {
+        presence = &p;
+        break;
+      }
+    }
+
     Rng machine_rng(CombineSeed(
         spec.seed, 0x3a0000 + static_cast<std::uint64_t>(machine.id.value)));
 
@@ -74,7 +83,12 @@ MeasurementFrame GenerateTrace(const TraceSpec& spec) {
             0.0, machine_u[t] * (1.0 - recipe.local_mix) +
                      machine_u[t] * recipe.local_mix * std::exp(local_ar));
 
-        double clean = recipe.response->Value(u);
+        // Load-shaped faults (flash crowds, regime shifts) scale demand
+        // upstream of the response curve; RNG-free, so traces without
+        // them are bitwise unchanged.
+        const double load_factor = injector.LoadFactor(machine.id, kind, tp);
+
+        double clean = recipe.response->Value(u * load_factor);
         double noise_scale = 1.0;
         clean = injector.Apply(machine.id, kind, measurement_index, tp,
                                clean, range, noise_scale);
@@ -83,6 +97,11 @@ MeasurementFrame GenerateTrace(const TraceSpec& spec) {
         noise.additive_sigma *= noise_scale;
         double value = ApplyNoise(clean, noise, noise_rng, recipe.floor);
         if (recipe.ceil > 0.0) value = std::min(value, recipe.ceil);
+        // Presence is applied last: the full series is always computed so
+        // RNG streams (and the present span's values) never shift.
+        if (presence != nullptr && !presence->Present(tp)) {
+          value = std::numeric_limits<double>::quiet_NaN();
+        }
         values[t] = value;
       }
 

@@ -18,6 +18,21 @@
 
 namespace pmcorr {
 
+/// Dynamic topology: the half-open window [from, to) during which a
+/// machine actually reports. Outside it every metric on the machine is
+/// NaN — the frame keeps the full-width column layout so downstream
+/// consumers see a machine "join" as columns coming alive mid-trace.
+/// Values inside the window are bitwise identical to an always-present
+/// run: generation always computes the full series and only then blanks
+/// the absent span, so RNG streams never shift.
+struct MachinePresence {
+  MachineId machine;
+  TimePoint from = 0;
+  TimePoint to = 0;  // half-open; use a far-future value for "never leaves"
+
+  bool Present(TimePoint tp) const { return from <= tp && tp < to; }
+};
+
 /// Everything needed to generate one group's trace.
 struct TraceSpec {
   Topology topology;
@@ -26,6 +41,8 @@ struct TraceSpec {
   std::size_t samples = 0;
   Duration period = kPaperSamplePeriod;
   std::vector<FaultEvent> faults;
+  /// Machines without an entry are present for the whole trace.
+  std::vector<MachinePresence> presence;
   std::uint64_t seed = 1;
 };
 

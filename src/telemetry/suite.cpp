@@ -1,0 +1,253 @@
+#include "telemetry/suite.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace pmcorr {
+namespace {
+
+std::vector<MachineId> WithRole(const Topology& topo, MachineRole role) {
+  std::vector<MachineId> ids;
+  for (const auto& m : topo.machines) {
+    if (m.role == role) ids.push_back(m.id);
+  }
+  if (ids.empty()) {
+    throw std::runtime_error("suite topology lacks role " +
+                             MachineRoleName(role));
+  }
+  return ids;
+}
+
+MachineId NthWithRole(const Topology& topo, MachineRole role, std::size_t n) {
+  const auto ids = WithRole(topo, role);
+  return ids[n < ids.size() ? n : ids.size() - 1];
+}
+
+/// A presence `to` far past any trace end: "joined and never leaves".
+constexpr TimePoint kForever = std::numeric_limits<TimePoint>::max();
+
+PaperScenario Base(char group, const SuiteConfig& config, std::size_t index) {
+  ScenarioConfig base;
+  base.machine_count = config.machine_count;
+  base.trace_days = config.trace_days;
+  // Each scenario gets its own trace world; the index keeps them
+  // decorrelated while the whole suite stays pinned to config.seed.
+  base.seed = CombineSeed(config.seed, 0x5c000 + index);
+  base.localization_fault = false;
+  return MakeGroupScenario(group, base);
+}
+
+}  // namespace
+
+SuiteConfig SmokeSuiteConfig() {
+  SuiteConfig config;
+  config.machine_count = 6;
+  config.trace_days = 17;
+  return config;
+}
+
+const QualityScenario* ScenarioSuite::Find(const std::string& name) const {
+  for (const auto& s : scenarios) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+ScenarioSuite MakeScenarioSuite(const SuiteConfig& config) {
+  if (config.trace_days < 17) {
+    throw std::invalid_argument(
+        "suite needs trace_days >= 17 (two test days for the "
+        "dynamic-topology scripts)");
+  }
+  ScenarioSuite suite;
+  suite.config = config;
+  const TimePoint test = PaperTestStart();
+
+  // 1. paper_baseline — the unmodified Group B narration (Figure 12):
+  //    anomalous jump at 2pm, residual level shift until 8pm.
+  {
+    PaperScenario base = Base('B', config, 1);
+    QualityScenario s;
+    s.name = "paper_baseline";
+    s.description = "Group B June 13 switch fault, unmodified";
+    s.group = base.group;
+    s.test_start = test;
+    s.truth = {{base.problem_start, base.problem_end}};
+    s.problem_machine = base.problem_machine;
+    s.spec = std::move(base.spec);
+    suite.scenarios.push_back(std::move(s));
+  }
+
+  // 2. cascading_db_failure — the database decouples first, latency and
+  //    frontend traffic follow staggered: the classic tiered cascade.
+  //    Root cause (and localization target) is the database.
+  {
+    PaperScenario base = Base('A', config, 2);
+    const MachineId db = NthWithRole(base.spec.topology, MachineRole::kDatabase, 0);
+    const MachineId app = NthWithRole(base.spec.topology, MachineRole::kAppServer, 0);
+    const MachineId web = NthWithRole(base.spec.topology, MachineRole::kWebServer, 0);
+    QualityScenario s;
+    s.name = "cascading_db_failure";
+    s.description = "db correlation break cascades into app latency and web traffic";
+    s.group = base.group;
+    s.test_start = test;
+    base.spec.faults = {
+        {db, test + 10 * kHour, test + 16 * kHour,
+         FaultType::kCorrelationBreak, 1.0, std::nullopt},
+        {app, test + 11 * kHour, test + 15 * kHour,
+         FaultType::kCorrelationBreak, 1.0, MetricKind::kResponseTimeMs},
+        {web, test + 12 * kHour, test + 14 * kHour + 30 * kMinute,
+         FaultType::kCorrelationBreak, 1.0, MetricKind::kIfOutOctetsRate},
+    };
+    s.truth = {{test + 10 * kHour, test + 16 * kHour}};
+    s.problem_machine = db;
+    s.spec = std::move(base.spec);
+    suite.scenarios.push_back(std::move(s));
+  }
+
+  // 3. correlated_outage — a shared rack/PDU brownout hits three
+  //    machines at once: every metric on each shifts level
+  //    simultaneously (thermal throttling), breaking each machine's
+  //    correlations with the rest of the fleet for the duration.
+  {
+    PaperScenario base = Base('C', config, 3);
+    const MachineId web = NthWithRole(base.spec.topology, MachineRole::kWebServer, 0);
+    const MachineId app = NthWithRole(base.spec.topology, MachineRole::kAppServer, 0);
+    const MachineId db = NthWithRole(base.spec.topology, MachineRole::kDatabase, 0);
+    QualityScenario s;
+    s.name = "correlated_outage";
+    s.description = "rack brownout: simultaneous level shift on three machines";
+    s.group = base.group;
+    s.test_start = test;
+    base.spec.faults = {
+        {web, test + 13 * kHour, test + 16 * kHour, FaultType::kLevelShift,
+         1.5, std::nullopt},
+        {app, test + 13 * kHour, test + 16 * kHour, FaultType::kLevelShift,
+         1.5, std::nullopt},
+        {db, test + 13 * kHour, test + 16 * kHour, FaultType::kLevelShift,
+         1.5, std::nullopt},
+    };
+    s.truth = {{test + 13 * kHour, test + 16 * kHour}};
+    s.problem_machine = web;
+    s.spec = std::move(base.spec);
+    suite.scenarios.push_back(std::move(s));
+  }
+
+  // 4. flash_crowd — a fleet-wide demand surge. Every metric rides its
+  //    normal response curve, so correlations hold: the ground truth is
+  //    EMPTY and every alarm a detector raises here is a false alarm.
+  {
+    PaperScenario base = Base('B', config, 4);
+    base.spec.faults.clear();
+    for (const auto& m : base.spec.topology.machines) {
+      base.spec.faults.push_back({m.id, test + 12 * kHour, test + 15 * kHour,
+                                  FaultType::kFlashCrowd, 0.2, std::nullopt});
+    }
+    QualityScenario s;
+    s.name = "flash_crowd";
+    s.description = "fleet-wide 1.2x demand surge; correlations hold (benign)";
+    s.group = base.group;
+    s.test_start = test;
+    s.benign = true;
+    s.problem_machine = MachineId();
+    s.spec = std::move(base.spec);
+    suite.scenarios.push_back(std::move(s));
+  }
+
+  // 5. deploy_regime_change — a bad deploy permanently moves one app
+  //    server's CPU onto a different operating curve while its partners
+  //    keep the old regime. Truth runs from the deploy to trace end.
+  {
+    PaperScenario base = Base('B', config, 5);
+    const MachineId app = NthWithRole(base.spec.topology, MachineRole::kAppServer, 0);
+    QualityScenario s;
+    s.name = "deploy_regime_change";
+    s.description = "deploy shifts one app server's CPU regime permanently";
+    s.group = base.group;
+    s.test_start = test;
+    const TimePoint deploy = test + 9 * kHour;
+    const TimePoint trace_end =
+        base.spec.start +
+        static_cast<Duration>(base.spec.samples) * base.spec.period;
+    base.spec.faults = {{app, deploy, kForever, FaultType::kRegimeShift, 0.9,
+                         MetricKind::kCpuUtilization}};
+    s.truth = {{deploy, trace_end}};
+    s.problem_machine = app;
+    s.spec = std::move(base.spec);
+    suite.scenarios.push_back(std::move(s));
+  }
+
+  // 6. switch_noise_storm — flaky switch hardware inflates measurement
+  //    noise tenfold on one port counter for an afternoon.
+  {
+    PaperScenario base = Base('C', config, 6);
+    const MachineId sw = NthWithRole(base.spec.topology, MachineRole::kSwitch, 0);
+    QualityScenario s;
+    s.name = "switch_noise_storm";
+    s.description = "10x noise inflation on one switch port counter";
+    s.group = base.group;
+    s.test_start = test;
+    base.spec.faults = {{sw, test + 11 * kHour, test + 14 * kHour,
+                         FaultType::kNoiseStorm, 10.0,
+                         MetricKind::kPortOutOctetsRate}};
+    s.truth = {{test + 11 * kHour, test + 14 * kHour}};
+    s.problem_machine = sw;
+    s.spec = std::move(base.spec);
+    suite.scenarios.push_back(std::move(s));
+  }
+
+  // 7. scale_out — a web server joins the fleet at the test-day boundary,
+  //    warms up for a day, then breaks. Only a monitor that dynamically
+  //    adds the new machine's pairs can see the fault at all.
+  {
+    PaperScenario base = Base('A', config, 7);
+    const auto webs = WithRole(base.spec.topology, MachineRole::kWebServer);
+    const MachineId joiner = webs.back();
+    QualityScenario s;
+    s.name = "scale_out";
+    s.description = "web server joins at test start, faults on its second day";
+    s.group = base.group;
+    s.test_start = test;
+    base.spec.presence = {{joiner, test, kForever}};
+    const TimePoint pairs_live = test + 1 * kDay;
+    base.spec.faults = {{joiner, pairs_live + 3 * kHour, pairs_live + 7 * kHour,
+                         FaultType::kCorrelationBreak, 1.0, std::nullopt}};
+    s.truth = {{pairs_live + 3 * kHour, pairs_live + 7 * kHour}};
+    s.problem_machine = joiner;
+    s.topology_changes = {{joiner, pairs_live, /*join=*/true,
+                           /*learn_from=*/test}};
+    s.spec = std::move(base.spec);
+    suite.scenarios.push_back(std::move(s));
+  }
+
+  // 8. scale_in — a web server leaves after the first test day (its pairs
+  //    must be retired, not alarmed on), while the real fault happens on
+  //    the database afterwards. Checks that scoring and localization stay
+  //    stable with part of the graph administratively disengaged.
+  {
+    PaperScenario base = Base('C', config, 8);
+    const auto webs = WithRole(base.spec.topology, MachineRole::kWebServer);
+    const MachineId leaver = webs.back();
+    const MachineId db = NthWithRole(base.spec.topology, MachineRole::kDatabase, 0);
+    QualityScenario s;
+    s.name = "scale_in";
+    s.description = "web server leaves after day one; db faults on day two";
+    s.group = base.group;
+    s.test_start = test;
+    const TimePoint leave = test + 1 * kDay;
+    base.spec.presence = {{leaver, 0, leave}};
+    base.spec.faults = {{db, leave + 2 * kHour, leave + 6 * kHour,
+                         FaultType::kCorrelationBreak, 1.0, std::nullopt}};
+    s.truth = {{leave + 2 * kHour, leave + 6 * kHour}};
+    s.problem_machine = db;
+    s.topology_changes = {{leaver, leave, /*join=*/false, /*learn_from=*/0}};
+    s.spec = std::move(base.spec);
+    suite.scenarios.push_back(std::move(s));
+  }
+
+  return suite;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,92 @@
+// ScenarioSuite — the named detection-quality scenarios the scorecard
+// (src/engine/scorecard.h) runs pmcorr and the baselines over.
+//
+// Each scenario layers an operationally-motivated failure shape on a
+// MakeGroupScenario base: cascading faults, correlated multi-machine
+// outages, flash crowds (benign by construction), deploy-shaped regime
+// changes, and dynamic topology (machines joining/leaving mid-trace).
+// Every scenario carries its ground-truth windows and the machine a
+// localizer should rank first, so precision/recall/F1, time-to-detect
+// and localization rank are all computable against exact truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/scenarios.h"
+
+namespace pmcorr {
+
+/// Ground-truth anomaly window, half-open [start, end).
+struct TruthWindow {
+  TimePoint start = 0;
+  TimePoint end = 0;
+};
+
+/// A scripted mid-run topology change the monitoring side is expected to
+/// replay: at `at`, either add the machine's pairs to the running monitor
+/// (join; models learned from the warmup slice [learn_from, at)) or
+/// retire them (leave). The trace side is already encoded in
+/// TraceSpec::presence; this is the monitor-side half of the script.
+struct TopologyChange {
+  MachineId machine;
+  TimePoint at = 0;
+  bool join = true;
+  /// Join only: start of the warmup window the new pairs learn from.
+  TimePoint learn_from = 0;
+};
+
+/// One named scenario: a trace spec plus everything needed to score a
+/// detector's output against ground truth.
+struct QualityScenario {
+  std::string name;
+  std::string description;
+  std::string group;  // base paper group ("A", "B" or "C")
+  TraceSpec spec;
+
+  /// Scoring starts here (the paper's June 13 test day); everything
+  /// before is training/holdout material.
+  TimePoint test_start = 0;
+
+  /// Empty for benign scenarios — any alarm is then a false alarm.
+  std::vector<TruthWindow> truth;
+
+  /// The machine a localizer should rank first; meaningless when benign.
+  MachineId problem_machine;
+
+  std::vector<TopologyChange> topology_changes;
+  bool benign = false;
+
+  TimePoint TraceEnd() const {
+    return spec.start + static_cast<Duration>(spec.samples) * spec.period;
+  }
+};
+
+/// Suite-wide knobs. The defaults are the "full" configuration the
+/// committed BENCH_quality.json is generated with; SmokeSuiteConfig()
+/// is the reduced per-PR CI shape.
+struct SuiteConfig {
+  std::size_t machine_count = 10;
+  /// Days from May 29; must be >= 17 so at least two test days exist
+  /// (the dynamic-topology scenarios script day-2 events).
+  int trace_days = 19;
+  std::uint64_t seed = 2008;
+};
+
+/// Reduced configuration for per-PR CI: fewer machines, shorter trace.
+SuiteConfig SmokeSuiteConfig();
+
+/// The full named suite, in a fixed order. Deterministic: identical
+/// configs always produce identical scenarios (bit-identical traces).
+struct ScenarioSuite {
+  SuiteConfig config;
+  std::vector<QualityScenario> scenarios;
+
+  /// nullptr when no scenario has that name.
+  const QualityScenario* Find(const std::string& name) const;
+};
+
+ScenarioSuite MakeScenarioSuite(const SuiteConfig& config = {});
+
+}  // namespace pmcorr

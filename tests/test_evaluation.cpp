@@ -1,9 +1,11 @@
 // Tests for detection-quality evaluation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
+#include "common/rng.h"
 #include "engine/evaluation.h"
 
 namespace pmcorr {
@@ -102,6 +104,118 @@ TEST(SweepThresholds, MonotoneAlarmCounts) {
   // 0.99: everything alarms as one giant window covering the truth.
   EXPECT_DOUBLE_EQ(sweep[3].outcome.Recall(), 1.0);
   EXPECT_EQ(sweep[3].outcome.alarm_windows, 1u);
+}
+
+// --- Randomized properties -------------------------------------------
+//
+// The scorecard leans on EvaluateDetection/SweepThresholds for every
+// number it publishes, so the counting identities must hold for any
+// window arrangement, not just the curated examples above.
+
+std::vector<LabeledWindow> RandomTruth(Rng& rng) {
+  std::vector<LabeledWindow> truth;
+  const std::size_t n = static_cast<std::size_t>(rng.UniformInt(0, 4));
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimePoint start = rng.UniformInt(0, 5000);
+    truth.push_back({start, start + rng.UniformInt(1, 800)});
+  }
+  return truth;
+}
+
+std::vector<ScoreWindow> RandomAlarms(Rng& rng) {
+  std::vector<ScoreWindow> alarms;
+  const std::size_t n = static_cast<std::size_t>(rng.UniformInt(0, 6));
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimePoint start = rng.UniformInt(0, 5000);
+    alarms.push_back(Alarm(start, start + rng.UniformInt(1, 400)));
+  }
+  return alarms;
+}
+
+TEST(EvaluateDetectionProperty, CountingIdentitiesHoldForRandomWindows) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(CombineSeed(0xe7a1, seed));
+    const auto truth = RandomTruth(rng);
+    const auto alarms = RandomAlarms(rng);
+    const Duration grace = rng.UniformInt(0, 120);
+    const auto outcome = EvaluateDetection(alarms, truth, grace);
+
+    EXPECT_EQ(outcome.truth_windows, truth.size());
+    EXPECT_EQ(outcome.detected + outcome.missed, outcome.truth_windows);
+    EXPECT_EQ(outcome.alarm_windows, alarms.size());
+    EXPECT_LE(outcome.false_alarms, outcome.alarm_windows);
+    EXPECT_GE(outcome.Precision(), 0.0);
+    EXPECT_LE(outcome.Precision(), 1.0);
+    EXPECT_GE(outcome.Recall(), 0.0);
+    EXPECT_LE(outcome.Recall(), 1.0);
+    EXPECT_GE(outcome.F1(), 0.0);
+    EXPECT_LE(outcome.F1(), 1.0);
+    // The harmonic mean is bracketed by its components.
+    const double lo = std::min(outcome.Precision(), outcome.Recall());
+    const double hi = std::max(outcome.Precision(), outcome.Recall());
+    EXPECT_GE(outcome.F1(), lo - 1e-12);
+    EXPECT_LE(outcome.F1(), hi + 1e-12);
+    // Latency exists iff something was detected.
+    EXPECT_EQ(outcome.mean_latency_seconds.has_value(),
+              outcome.detected > 0);
+    EXPECT_EQ(outcome.MeanLatencyOr(-1.0) == -1.0, outcome.detected == 0);
+  }
+}
+
+TEST(EvaluateDetectionProperty, GraceIsMonotone) {
+  // Widening the grace margin can only convert misses to detections and
+  // false alarms to matches — never the reverse.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(CombineSeed(0x97ace, seed));
+    const auto truth = RandomTruth(rng);
+    const auto alarms = RandomAlarms(rng);
+    std::size_t prev_detected = 0;
+    std::size_t prev_false = alarms.size();
+    for (const Duration grace : {0, 60, 300, 1200}) {
+      const auto outcome = EvaluateDetection(alarms, truth, grace);
+      EXPECT_GE(outcome.detected, prev_detected);
+      EXPECT_LE(outcome.false_alarms, prev_false);
+      prev_detected = outcome.detected;
+      prev_false = outcome.false_alarms;
+    }
+  }
+}
+
+TEST(SweepThresholdsProperty, AlarmedSamplesGrowWithThreshold) {
+  // Raising the threshold can only grow the alarming sample set, so
+  // recall is monotone non-decreasing across the sweep (window counts
+  // are not monotone — adjacent windows merge — which is why the
+  // property is stated on recall and detected, not on alarm_windows).
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(CombineSeed(0x5feed, seed));
+    std::vector<std::optional<double>> scores(120);
+    for (auto& s : scores) {
+      if (rng.Bernoulli(0.1)) continue;  // disengaged samples stay nullopt
+      s = rng.Uniform();
+    }
+    const std::vector<LabeledWindow> truth = {
+        {rng.UniformInt(0, 3000), rng.UniformInt(3001, 7000)}};
+    const std::vector<double> thresholds = {0.1, 0.3, 0.5, 0.7, 0.9};
+    const auto sweep = SweepThresholds(scores, 0, 60, truth, thresholds);
+    ASSERT_EQ(sweep.size(), thresholds.size());
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      EXPECT_GE(sweep[i].outcome.Recall(), sweep[i - 1].outcome.Recall());
+      EXPECT_GE(sweep[i].outcome.detected, sweep[i - 1].outcome.detected);
+    }
+  }
+}
+
+TEST(SweepThresholdsProperty, MinLengthFiltersShortWindows) {
+  // A single alarming sample survives min_length 1 and vanishes at 2;
+  // the scorecard's debounce (min_window) is exactly this knob.
+  std::vector<std::optional<double>> scores(30, 0.9);
+  scores[10] = 0.1;
+  scores[20] = scores[21] = scores[22] = 0.1;
+  const std::vector<double> thresholds = {0.5};
+  const auto loose = SweepThresholds(scores, 0, 60, {}, thresholds, 1);
+  const auto tight = SweepThresholds(scores, 0, 60, {}, thresholds, 2);
+  EXPECT_EQ(loose[0].outcome.alarm_windows, 2u);
+  EXPECT_EQ(tight[0].outcome.alarm_windows, 1u);
 }
 
 }  // namespace

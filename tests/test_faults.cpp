@@ -151,6 +151,65 @@ TEST(FaultInjector, DropoutEmitsNan) {
                    40.0);
 }
 
+TEST(FaultInjector, FlashCrowdLoadFactorIsTrapezoidal) {
+  // [1000, 2000) at magnitude 0.2: ramp over the first and last quarter
+  // (250 s), plateau at 1.2x in between.
+  FaultInjector injector({Event(FaultType::kFlashCrowd, 0.2)}, 1);
+  const auto factor = [&](TimePoint tp) {
+    return injector.LoadFactor(MachineId(3), MetricKind::kCpuUtilization, tp);
+  };
+  EXPECT_DOUBLE_EQ(factor(999), 1.0);    // before
+  EXPECT_DOUBLE_EQ(factor(1000), 1.0);   // ramp starts from zero
+  EXPECT_DOUBLE_EQ(factor(1125), 1.1);   // halfway up
+  EXPECT_DOUBLE_EQ(factor(1250), 1.2);   // plateau edge
+  EXPECT_DOUBLE_EQ(factor(1500), 1.2);   // plateau
+  EXPECT_DOUBLE_EQ(factor(1875), 1.1);   // halfway down
+  EXPECT_DOUBLE_EQ(factor(2000), 1.0);   // half-open end
+  // Other machines ride the same surge only if targeted.
+  EXPECT_DOUBLE_EQ(
+      injector.LoadFactor(MachineId(4), MetricKind::kCpuUtilization, 1500),
+      1.0);
+}
+
+TEST(FaultInjector, RegimeShiftLoadFactorIsStep) {
+  // A deploy flips the operating curve instantly; no ramp.
+  FaultInjector injector({Event(FaultType::kRegimeShift, 0.9)}, 1);
+  const auto factor = [&](TimePoint tp) {
+    return injector.LoadFactor(MachineId(3), MetricKind::kCpuUtilization, tp);
+  };
+  EXPECT_DOUBLE_EQ(factor(999), 1.0);
+  EXPECT_DOUBLE_EQ(factor(1000), 1.9);
+  EXPECT_DOUBLE_EQ(factor(1999), 1.9);
+  EXPECT_DOUBLE_EQ(factor(2000), 1.0);
+}
+
+TEST(FaultInjector, OverlappingLoadEventsCompound) {
+  FaultInjector injector({Event(FaultType::kRegimeShift, 0.5),
+                          Event(FaultType::kRegimeShift, 0.2)},
+                         1);
+  EXPECT_DOUBLE_EQ(
+      injector.LoadFactor(MachineId(3), MetricKind::kCpuUtilization, 1500),
+      1.5 * 1.2);
+}
+
+TEST(FaultInjector, LoadShapedEventsPassThroughApply) {
+  // Flash crowds act upstream (LoadFactor scales the workload before the
+  // response curves); Apply must not double-apply them.
+  FaultInjector injector({Event(FaultType::kFlashCrowd, 0.2)}, 1);
+  double noise = 1.0;
+  EXPECT_DOUBLE_EQ(injector.Apply(MachineId(3), MetricKind::kCpuUtilization,
+                                  0, 1500, 42.0, 10.0, noise),
+                   42.0);
+  EXPECT_DOUBLE_EQ(noise, 1.0);
+}
+
+TEST(FaultInjector, ValueShapedEventsLeaveLoadFactorAlone) {
+  FaultInjector injector({Event(FaultType::kLevelShift, 1.5)}, 1);
+  EXPECT_DOUBLE_EQ(
+      injector.LoadFactor(MachineId(3), MetricKind::kCpuUtilization, 1500),
+      1.0);
+}
+
 TEST(FaultTypeName, AllNamed) {
   EXPECT_EQ(FaultTypeName(FaultType::kCorrelationBreak), "correlation-break");
   EXPECT_EQ(FaultTypeName(FaultType::kAnomalousJump), "anomalous-jump");

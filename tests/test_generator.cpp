@@ -205,5 +205,69 @@ TEST(Generator, FaultWindowChangesValues) {
   EXPECT_GT(max_rel_diff_inside, 1.0);  // ~3x shift inside the window
 }
 
+TEST(Generator, PresenceBlanksAbsentSpanOnly) {
+  TraceSpec spec = SmallSpec();
+  const MeasurementFrame always = GenerateTrace(spec);
+
+  const MachineId late = spec.topology.machines.front().id;
+  const TimePoint join = spec.start + kDay;
+  spec.presence = {{late, join, spec.start + 100 * kDay}};
+  const MeasurementFrame joined = GenerateTrace(spec);
+
+  for (const auto& info : always.Infos()) {
+    for (std::size_t t = 0; t < always.SampleCount(); ++t) {
+      const double a = always.Value(info.id, t);
+      const double j = joined.Value(info.id, t);
+      if (info.machine == late && always.TimeAt(t) < join) {
+        // Absent span: every metric on the machine reads NaN.
+        EXPECT_TRUE(std::isnan(j)) << info.name << " sample " << t;
+      } else if (std::isnan(a)) {
+        // Injected dropouts (none in SmallSpec) would stay NaN.
+        EXPECT_TRUE(std::isnan(j));
+      } else {
+        // Present spans and other machines are bitwise identical to the
+        // always-present run: generation computes the full series first
+        // and blanks afterwards, so RNG streams never shift.
+        EXPECT_EQ(a, j) << info.name << " sample " << t;
+      }
+    }
+  }
+}
+
+TEST(Generator, FlashCrowdRampLeavesOutsideSamplesUntouched) {
+  TraceSpec spec = SmallSpec();
+  const MeasurementFrame clean = GenerateTrace(spec);
+
+  TraceSpec crowded = SmallSpec();
+  const TimePoint surge_start = spec.start + kDay;
+  const TimePoint surge_end = surge_start + 4 * kHour;
+  for (const auto& m : crowded.topology.machines) {
+    crowded.faults.push_back({m.id, surge_start, surge_end,
+                              FaultType::kFlashCrowd, 0.2, std::nullopt});
+  }
+  const MeasurementFrame surged = GenerateTrace(crowded);
+
+  double max_rel_diff_inside = 0.0;
+  for (const auto& info : clean.Infos()) {
+    for (std::size_t t = 0; t < clean.SampleCount(); ++t) {
+      const TimePoint tp = clean.TimeAt(t);
+      const double c = clean.Value(info.id, t);
+      const double s = surged.Value(info.id, t);
+      if (tp >= surge_start && tp < surge_end) {
+        if (!std::isnan(c) && !std::isnan(s)) {
+          max_rel_diff_inside = std::max(
+              max_rel_diff_inside, std::fabs(s - c) / (std::fabs(c) + 1e-9));
+        }
+      } else {
+        // The surge is strictly windowed: outside it the trace is
+        // bitwise identical (LoadFactor multiplies by exactly 1.0 and
+        // the RNG streams are untouched).
+        EXPECT_EQ(c, s) << info.name << " sample " << t;
+      }
+    }
+  }
+  EXPECT_GT(max_rel_diff_inside, 0.05);  // the surge visibly moves metrics
+}
+
 }  // namespace
 }  // namespace pmcorr

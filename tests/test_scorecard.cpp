@@ -1,0 +1,186 @@
+// Scorecard conventions and golden detection outcomes. The golden tests
+// pin the full per-baseline DetectionOutcome on one fixed scenario and
+// seed (smoke paper_baseline): alarm/detected/false-alarm window counts,
+// latency and localization rank. They exist to catch silent drift — any
+// change to calibration, window extraction or a baseline's reduction
+// shows up here as an exact-count diff, not a vague metric wiggle.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/scorecard.h"
+
+namespace pmcorr {
+namespace {
+
+MachineScore Score(int machine, double score) {
+  MachineScore ms;
+  ms.machine = MachineId(machine);
+  ms.score = score;
+  return ms;
+}
+
+TEST(LocalizationRank, RankedMachinesArePositionOneBased) {
+  // Suspects first: lower score = more suspect.
+  const std::vector<MachineScore> ranking = {Score(4, 0.2), Score(1, 0.5),
+                                             Score(9, 0.9)};
+  EXPECT_EQ(LocalizationRankOf(ranking, MachineId(4)), 1.0);
+  EXPECT_EQ(LocalizationRankOf(ranking, MachineId(1)), 2.0);
+  EXPECT_EQ(LocalizationRankOf(ranking, MachineId(9)), 3.0);
+}
+
+TEST(LocalizationRank, UnrankedMachineSortsAfterEveryRankedOne) {
+  const std::vector<MachineScore> ranking = {Score(4, 0.2), Score(1, 0.5)};
+  // Machine 7 exists but every measurement was disengaged: worse than
+  // every ranked machine, by exactly one position.
+  EXPECT_EQ(LocalizationRankOf(ranking, MachineId(7)),
+            static_cast<double>(ranking.size() + 1));
+  EXPECT_EQ(LocalizationRankOf({}, MachineId(7)), 1.0);
+}
+
+TEST(LocalizationRank, InvalidMachineReadsNotApplicable) {
+  const std::vector<MachineScore> ranking = {Score(4, 0.2)};
+  EXPECT_EQ(LocalizationRankOf(ranking, MachineId()), kRankNotApplicable);
+}
+
+TEST(ScorecardConventions, LatencyFallbackNeverCollidesWithRealLatency) {
+  // Real latencies are non-negative multiples of the sample period.
+  EXPECT_LT(kLatencyUnavailableSeconds, 0.0);
+  DetectionOutcome nothing;
+  EXPECT_EQ(nothing.MeanLatencyOr(kLatencyUnavailableSeconds),
+            kLatencyUnavailableSeconds);
+}
+
+TEST(ScorecardDetectorsOrder, PmcorrFirstThenBaselines) {
+  const auto& detectors = ScorecardDetectors();
+  ASSERT_EQ(detectors.size(), 6u);
+  EXPECT_EQ(detectors[0], "pmcorr");
+  EXPECT_EQ(detectors[1], "ewma");
+  EXPECT_EQ(detectors[2], "zscore");
+  EXPECT_EQ(detectors[3], "gmm");
+  EXPECT_EQ(detectors[4], "subspace");
+  EXPECT_EQ(detectors[5], "linear_invariant");
+}
+
+TEST(ScenarioSuiteShape, SmokeSuiteIsDeterministicAndComplete) {
+  const ScenarioSuite a = MakeScenarioSuite(SmokeSuiteConfig());
+  const ScenarioSuite b = MakeScenarioSuite(SmokeSuiteConfig());
+  ASSERT_GE(a.scenarios.size(), 8u);
+  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+
+  bool has_benign = false, has_join = false, has_leave = false;
+  bool has_cascade = false;
+  for (std::size_t i = 0; i < a.scenarios.size(); ++i) {
+    const QualityScenario& sa = a.scenarios[i];
+    const QualityScenario& sb = b.scenarios[i];
+    EXPECT_EQ(sa.name, sb.name);
+    EXPECT_EQ(sa.truth.size(), sb.truth.size());
+    EXPECT_EQ(sa.spec.seed, sb.spec.seed);
+
+    if (sa.benign) has_benign = true;
+    for (const auto& change : sa.topology_changes) {
+      (change.join ? has_join : has_leave) = true;
+    }
+    if (sa.spec.faults.size() >= 3 && !sa.benign) has_cascade = true;
+
+    // Benign scenarios have empty truth and no problem machine; faulted
+    // ones have both.
+    EXPECT_EQ(sa.truth.empty(), sa.benign) << sa.name;
+    EXPECT_EQ(sa.problem_machine.valid(), !sa.benign) << sa.name;
+  }
+  EXPECT_TRUE(has_benign);
+  EXPECT_TRUE(has_join);
+  EXPECT_TRUE(has_leave);
+  EXPECT_TRUE(has_cascade);
+}
+
+// Golden outcomes on the pinned smoke paper_baseline scenario. One
+// scorecard run shared by every golden test (the run takes seconds).
+class ScorecardGolden : public ::testing::Test {
+ protected:
+  static const ScenarioResult& Result() {
+    static const ScenarioResult result = [] {
+      ScorecardConfig config;
+      config.suite = SmokeSuiteConfig();
+      config.mode = "smoke";
+      const ScenarioSuite suite = MakeScenarioSuite(config.suite);
+      const QualityScenario* scenario = suite.Find("paper_baseline");
+      if (scenario == nullptr) {
+        throw std::runtime_error("paper_baseline missing from smoke suite");
+      }
+      return RunScenarioScorecard(*scenario, config);
+    }();
+    return result;
+  }
+
+  static const DetectorScore& Of(const std::string& name) {
+    for (const auto& d : Result().detectors) {
+      if (d.detector == name) return d;
+    }
+    throw std::runtime_error("detector missing: " + name);
+  }
+};
+
+TEST_F(ScorecardGolden, PmcorrDetectsCleanlyWithOneWindow) {
+  const DetectorScore& d = Of("pmcorr");
+  EXPECT_EQ(d.outcome.truth_windows, 1u);
+  EXPECT_EQ(d.outcome.detected, 1u);
+  EXPECT_EQ(d.outcome.alarm_windows, 1u);
+  EXPECT_EQ(d.outcome.false_alarms, 0u);
+  EXPECT_EQ(d.outcome.MeanLatencyOr(kLatencyUnavailableSeconds), 360.0);
+  EXPECT_EQ(d.localization_rank, 2.0);
+}
+
+TEST_F(ScorecardGolden, BaselineWindowCountsArePinned) {
+  // {alarm_windows, detected, false_alarms} per baseline, pinned on the
+  // smoke seed. Update deliberately when a baseline's reduction changes.
+  struct Pin {
+    const char* name;
+    std::size_t alarm_windows, detected, false_alarms;
+  };
+  const Pin pins[] = {
+      {"ewma", 7, 1, 6},    {"zscore", 5, 1, 0},
+      {"gmm", 6, 1, 5},     {"subspace", 2, 1, 0},
+      {"linear_invariant", 16, 1, 15},
+  };
+  for (const Pin& pin : pins) {
+    const DetectorScore& d = Of(pin.name);
+    EXPECT_EQ(d.outcome.truth_windows, 1u) << pin.name;
+    EXPECT_EQ(d.outcome.alarm_windows, pin.alarm_windows) << pin.name;
+    EXPECT_EQ(d.outcome.detected, pin.detected) << pin.name;
+    EXPECT_EQ(d.outcome.false_alarms, pin.false_alarms) << pin.name;
+  }
+}
+
+TEST_F(ScorecardGolden, JsonSerializesFlatNumericSchema) {
+  ScorecardConfig config;
+  config.suite = SmokeSuiteConfig();
+  config.mode = "smoke";
+  const std::string path =
+      ::testing::TempDir() + "scorecard_golden_quality.json";
+  WriteScorecardJson(path, config, {Result()});
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(path.c_str());
+
+  EXPECT_NE(json.find("\"bench\": \"quality\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"smoke\""), std::string::npos);
+  for (const std::string& detector : ScorecardDetectors()) {
+    EXPECT_NE(json.find("\"paper_baseline." + detector + ".f1\""),
+              std::string::npos)
+        << detector;
+    EXPECT_NE(json.find("\"" + detector + ".mean_f1\""), std::string::npos)
+        << detector;
+  }
+}
+
+}  // namespace
+}  // namespace pmcorr

@@ -76,7 +76,33 @@ else
   echo "lint: python3 not found, skipping bench JSON schema check" >&2
 fi
 
-# --- 4: formatting drift ----------------------------------------------
+# --- 4: fuzz corpora stay present and minimized -----------------------
+# Every fuzz harness keeps a seed corpus under fuzz/corpus/<name>/ with
+# at least two seeds (one happy path, one boundary shape), and every
+# seed stays small: corpora are for edge-shape coverage, not bulk data —
+# a fat seed slows each libFuzzer iteration and bloats the repo.
+max_seed_bytes=32768
+for harness in fuzz/fuzz_*.cpp; do
+  [ -e "$harness" ] || continue
+  name=$(basename "$harness" .cpp)
+  dir="fuzz/corpus/${name#fuzz_}"
+  if [ ! -d "$dir" ]; then
+    fail "$harness has no seed corpus at $dir"
+    continue
+  fi
+  count=$(find "$dir" -type f | wc -l)
+  if [ "$count" -lt 2 ]; then
+    fail "$dir has $count seed(s); keep at least 2 (happy path + boundary)"
+  fi
+  while IFS= read -r seed; do
+    size=$(wc -c < "$seed")
+    if [ "$size" -gt "$max_seed_bytes" ]; then
+      fail "$seed is ${size} bytes (> ${max_seed_bytes}); minimize the seed"
+    fi
+  done < <(find "$dir" -type f)
+done
+
+# --- 5: formatting drift ----------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
   unformatted=$(find src tests bench tools examples fuzz \
                   -name '*.cpp' -o -name '*.h' 2>/dev/null \

@@ -359,6 +359,52 @@ int CmdMonitor(const Flags& flags) {
   return 0;
 }
 
+int CmdEvaluate(const Flags& flags) {
+  ScorecardConfig config;
+  const std::string mode = flags.GetOr("mode", "full");
+  if (mode == "smoke") {
+    config.suite = SmokeSuiteConfig();
+  } else if (mode != "full") {
+    throw std::runtime_error("--mode must be full or smoke");
+  }
+  config.mode = mode;
+  config.suite.seed = static_cast<std::uint64_t>(
+      flags.GetInt("seed", static_cast<long long>(config.suite.seed)));
+  config.suite.machine_count = static_cast<std::size_t>(flags.GetInt(
+      "machines", static_cast<long long>(config.suite.machine_count)));
+  config.suite.trace_days =
+      static_cast<int>(flags.GetInt("days", config.suite.trace_days));
+  config.threads = static_cast<std::size_t>(flags.GetInt("threads", 0));
+  const std::string out = flags.GetOr("out", "BENCH_quality.json");
+  const std::string only = flags.GetOr("scenario", "");
+
+  const ScenarioSuite suite = MakeScenarioSuite(config.suite);
+  std::vector<ScenarioResult> results;
+  for (const QualityScenario& scenario : suite.scenarios) {
+    if (!only.empty() && scenario.name != only) continue;
+    std::printf("%s (%s): %s\n", scenario.name.c_str(),
+                scenario.group.c_str(), scenario.description.c_str());
+    results.push_back(RunScenarioScorecard(scenario, config));
+    std::printf("  %-17s %5s %5s %5s %10s %5s\n", "detector", "prec", "rec",
+                "f1", "latency", "rank");
+    for (const DetectorScore& ds : results.back().detectors) {
+      const double latency =
+          ds.outcome.MeanLatencyOr(kLatencyUnavailableSeconds);
+      std::printf("  %-17s %5.2f %5.2f %5.2f %9.0fs %5.0f\n",
+                  ds.detector.c_str(), ds.outcome.Precision(),
+                  ds.outcome.Recall(), ds.outcome.F1(), latency,
+                  ds.localization_rank);
+    }
+  }
+  if (results.empty()) {
+    throw std::runtime_error("no scenario named '" + only + "'");
+  }
+  WriteScorecardJson(out, config, results);
+  std::printf("wrote %zu scenario(s) x %zu detectors to %s\n", results.size(),
+              ScorecardDetectors().size(), out.c_str());
+  return 0;
+}
+
 int CmdInspect(const Flags& flags) {
   const PairModel model = LoadPairModel(flags.Get("model"));
   std::printf("grid: %s\n", model.Grid().Describe().c_str());
@@ -415,6 +461,10 @@ void Usage() {
       "           [--partners N] [--min-spearman R] [--threshold Q]\n"
       "           [--stream FILE]   (feed a degraded row-stream CSV and\n"
       "                              report per-measurement feed health)\n"
+      "  evaluate [--mode full|smoke] [--out FILE] [--scenario NAME]\n"
+      "           [--machines N] [--days N] [--seed N] [--threads N]\n"
+      "           (detection-quality scorecard: pmcorr + 5 baselines over\n"
+      "            the scenario suite -> BENCH_quality.json)\n"
       "  inspect  --model FILE\n");
 }
 
@@ -432,6 +482,7 @@ int main(int argc, char** argv) {
     if (command == "train") return CmdTrain(flags);
     if (command == "run") return CmdRun(flags);
     if (command == "monitor") return CmdMonitor(flags);
+    if (command == "evaluate") return CmdEvaluate(flags);
     if (command == "inspect") return CmdInspect(flags);
     Usage();
     return 2;
