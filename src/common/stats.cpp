@@ -216,20 +216,25 @@ void Histogram::Add(double x) {
 }
 
 void Histogram::AddAll(std::span<const double> xs) {
-  // Bulk insert in two passes. Pass one evaluates BinOf's (x - lo) /
-  // width quotient for every sample — a straight-line loop the compiler
-  // turns into packed divides, where BinOf's branches and the counter
-  // scatter would keep it scalar. Pass two applies BinOf's edge logic to
-  // the precomputed quotient: x <= lo ⇔ quotient <= 0 (width > 0, and
-  // x - lo compares to zero exactly as x compares to lo), the upper
-  // clamps are unchanged, and the quotient is the identical double BinOf
-  // divides out — so every sample lands in the identical bin.
+  // Bulk insert as a blocked two-phase loop. Phase one evaluates BinOf's
+  // (x - lo) / width quotient for one block — a straight-line loop the
+  // compiler turns into packed divides, where BinOf's branches and the
+  // counter scatter would keep it scalar. Phase two applies BinOf's edge
+  // logic to the precomputed quotient: x <= lo ⇔ quotient <= 0
+  // (width > 0, and x - lo compares to zero exactly as x compares to
+  // lo), the upper clamps are unchanged, and the quotient is the
+  // identical double BinOf divides out — so every sample lands in the
+  // identical bin. Fusing the phases per block (instead of one
+  // full-length quotient pass then one full-length scatter pass) keeps
+  // the quotient buffer L1-resident and makes one trip over the
+  // samples, not two; per-element math is unchanged, so the counts are
+  // bit-for-bit the same for any block size.
+  constexpr std::size_t kBlock = 2048;
   const double width = BinWidth();
   const double lo = lo_;
   const std::size_t last = counts_.size() - 1;
-  quotients_.resize(xs.size());
+  quotients_.resize(std::min(xs.size(), kBlock));
   double* q = quotients_.data();
-  kQuotientsFn(xs.data(), xs.size(), lo, width, q);
   // Four independent count banks, merged at the end. Smooth series drop
   // consecutive samples into the same bin, so a single counter array
   // serializes on store-to-load forwarding of one hot line; rotating
@@ -252,14 +257,18 @@ void Histogram::AddAll(std::span<const double> xs) {
   const auto bin_of = [&](std::size_t i) {
     return static_cast<std::size_t>(std::min(std::max(q[i], 0.0), dlast));
   };
-  std::size_t i = 0;
-  for (; i + 4 <= xs.size(); i += 4) {
-    ++b0[bin_of(i)];
-    ++b1[bin_of(i + 1)];
-    ++b2[bin_of(i + 2)];
-    ++b3[bin_of(i + 3)];
+  for (std::size_t base = 0; base < xs.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, xs.size() - base);
+    kQuotientsFn(xs.data() + base, n, lo, width, q);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      ++b0[bin_of(i)];
+      ++b1[bin_of(i + 1)];
+      ++b2[bin_of(i + 2)];
+      ++b3[bin_of(i + 3)];
+    }
+    for (; i < n; ++i) ++b0[bin_of(i)];
   }
-  for (; i < xs.size(); ++i) ++b0[bin_of(i)];
   for (std::size_t b = 0; b < bins; ++b) {
     counts_[b] += b0[b] + b1[b] + b2[b] + b3[b];
   }

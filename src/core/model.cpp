@@ -7,44 +7,7 @@
 #include "core/fitness.h"
 #include "grid/partitioner.h"
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-
-#include <limits>
-#endif
-
 namespace pmcorr {
-
-namespace {
-
-// Branch-free scan with no early exit — the result feeds one branch, and
-// real histories are usually gap-free end to end. The vector form tests
-// |x| <= DBL_MAX (clears the sign bit, compares "not <="): NaN fails the
-// ordered compare and ±inf exceeds the bound, exactly std::isfinite.
-// Scalar isfinite loops do not auto-vectorize, and this scan runs twice
-// over every history Learn sees.
-bool AllFinite(std::span<const double> v) {
-#if defined(__SSE2__)
-  const __m128d abs_mask =
-      _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffLL));
-  const __m128d vmax = _mm_set1_pd(std::numeric_limits<double>::max());
-  __m128d bad = _mm_setzero_pd();
-  std::size_t i = 0;
-  for (; i + 2 <= v.size(); i += 2) {
-    const __m128d x = _mm_loadu_pd(v.data() + i);
-    bad = _mm_or_pd(bad, _mm_cmpnle_pd(_mm_and_pd(x, abs_mask), vmax));
-  }
-  bool ok = _mm_movemask_pd(bad) == 0;
-  for (; i < v.size(); ++i) ok &= std::isfinite(v[i]) != 0;
-  return ok;
-#else
-  bool ok = true;
-  for (const double x : v) ok &= std::isfinite(x) != 0;
-  return ok;
-#endif
-}
-
-}  // namespace
 
 // Shared front half of Learn/LearnSequential: validates the history,
 // drops non-finite samples (collector gaps — NaNs must never reach the
@@ -58,12 +21,15 @@ PairModel PairModel::InitFromHistory(std::span<const double> x,
         "PairModel::Learn: history vectors must be non-empty and equal size");
   }
   // Gap-free histories (the common case) partition straight from the
-  // input spans; only histories with non-finite samples pay for the
-  // filtered copies.
+  // input spans, reusing the fused scan's extrema so neither history is
+  // walked twice; only histories with non-finite samples pay for the
+  // filtered copies (and their rescans).
   std::span<const double> fx = x;
   std::span<const double> fy = y;
   std::vector<double> fx_store, fy_store;
-  gap_free = AllFinite(x) && AllFinite(y);
+  const ValueScan scan_x = ScanValues(x);
+  const ValueScan scan_y = ScanValues(y);
+  gap_free = scan_x.all_finite && scan_y.all_finite;
   if (!gap_free) {
     fx_store.reserve(x.size());
     fy_store.reserve(y.size());
@@ -83,8 +49,14 @@ PairModel PairModel::InitFromHistory(std::span<const double> x,
   PairModel model;
   model.config_ = config;
   model.kernel_ = MakeKernel(config.kernel);
-  model.grid_ = Grid2D(PartitionDimension(fx, config.partition),
-                       PartitionDimension(fy, config.partition));
+  model.grid_ =
+      gap_free
+          ? Grid2D(PartitionDimension(fx, config.partition, scan_x.min,
+                                      scan_x.max),
+                   PartitionDimension(fy, config.partition, scan_y.min,
+                                      scan_y.max))
+          : Grid2D(PartitionDimension(fx, config.partition),
+                   PartitionDimension(fy, config.partition));
   model.matrix_ = TransitionMatrix::Prior(model.grid_, *model.kernel_);
   return model;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "common/check.h"
+
 namespace pmcorr {
 namespace {
 
@@ -71,21 +73,54 @@ void AlarmLog::Record(AlarmRecord record) {
   records_.push_back(record);
 }
 
-void AlarmLog::AppendMerged(std::vector<AlarmLog> shards) {
-  const std::size_t first = records_.size();
+namespace {
+
+// (time, pair index) — the sample-major recording order.
+bool RecordBefore(const AlarmRecord& a, const AlarmRecord& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.pair_index < b.pair_index;
+}
+
+}  // namespace
+
+void AlarmLog::SortForMerge() {
+  std::sort(records_.begin(), records_.end(), RecordBefore);
+}
+
+void AlarmLog::AppendMerged(std::span<AlarmLog> shards,
+                            std::vector<std::size_t>& cursors) {
   std::size_t total = 0;
-  for (const AlarmLog& shard : shards) total += shard.Count();
-  records_.reserve(first + total);
-  for (AlarmLog& shard : shards) {
-    records_.insert(records_.end(), shard.records_.begin(),
-                    shard.records_.end());
-    shard.records_.clear();
+  for (const AlarmLog& shard : shards) {
+    total += shard.Count();
+    PMCORR_DASSERT(std::is_sorted(shard.records_.begin(),
+                                  shard.records_.end(), RecordBefore),
+                   "AppendMerged shard log is not (time, pair)-sorted");
   }
-  std::sort(records_.begin() + static_cast<std::ptrdiff_t>(first),
-            records_.end(), [](const AlarmRecord& a, const AlarmRecord& b) {
-              if (a.time != b.time) return a.time < b.time;
-              return a.pair_index < b.pair_index;
-            });
+  records_.reserve(records_.size() + total);
+  cursors.assign(shards.size(), 0);
+  // K-way merge with a linear min scan: k is the sweep's shard count
+  // (bounded by the pool's thread count), so a heap would cost more in
+  // bookkeeping than it saves in comparisons.
+  for (std::size_t done = 0; done < total; ++done) {
+    std::size_t best = shards.size();
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (cursors[s] >= shards[s].records_.size()) continue;
+      if (best == shards.size() ||
+          RecordBefore(shards[s].records_[cursors[s]],
+                       shards[best].records_[cursors[best]])) {
+        best = s;
+      }
+    }
+    records_.push_back(shards[best].records_[cursors[best]]);
+    ++cursors[best];
+  }
+  for (AlarmLog& shard : shards) shard.records_.clear();
+}
+
+void AlarmLog::AppendMerged(std::vector<AlarmLog> shards) {
+  for (AlarmLog& shard : shards) shard.SortForMerge();
+  std::vector<std::size_t> cursors;
+  AppendMerged(std::span<AlarmLog>(shards), cursors);
 }
 
 std::size_t AlarmLog::CountForPair(std::size_t pair_index) const {

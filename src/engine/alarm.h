@@ -59,15 +59,31 @@ class AlarmLog {
  public:
   void Record(AlarmRecord record);
 
-  /// Merges per-shard logs (as produced by a pair-major sweep: each shard
-  /// holds its own pairs' alarms, time-ordered within a pair) into this
-  /// log in (time, pair index) order — the order a sample-major Step loop
-  /// would have recorded them in, since a frame's timestamps are strictly
-  /// increasing. The shard logs are consumed.
+  /// Sorts this log's records by (time, pair index) — the order a
+  /// sample-major Step loop records them in. A pair-major sweep calls
+  /// this on its shard-local log (inside the worker, so the sort cost
+  /// parallelizes) before handing it to AppendMerged.
+  void SortForMerge();
+
+  /// Merges per-shard logs — each already in (time, pair index) order,
+  /// see SortForMerge — into this log via a deterministic k-way merge.
+  /// Ties on time are broken by pair index, and a pair lives in exactly
+  /// one shard, so the merged order is exactly the order a sample-major
+  /// Step loop would have recorded. The shard logs are emptied but keep
+  /// their capacity (`cursors` likewise — reusable scratch), so a
+  /// steady-state caller re-merging every batch never reallocates them.
+  void AppendMerged(std::span<AlarmLog> shards,
+                    std::vector<std::size_t>& cursors);
+
+  /// Convenience overload (owns its scratch; shards are consumed).
   void AppendMerged(std::vector<AlarmLog> shards);
 
   const std::vector<AlarmRecord>& Records() const { return records_; }
   std::size_t Count() const { return records_.size(); }
+
+  /// Drops all records, keeping capacity (shard-log reuse across
+  /// batches).
+  void Clear() { records_.clear(); }
 
   /// Number of alarms recorded for `pair_index`.
   std::size_t CountForPair(std::size_t pair_index) const;

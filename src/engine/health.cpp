@@ -36,9 +36,14 @@ IngestGuard::IngestGuard(std::size_t measurement_count, HealthConfig config)
 
 std::vector<MeasurementHealth> IngestGuard::HealthStates() const {
   std::vector<MeasurementHealth> out;
+  CopyHealthStates(out);
+  return out;
+}
+
+void IngestGuard::CopyHealthStates(std::vector<MeasurementHealth>& out) const {
+  out.clear();
   out.reserve(states_.size());
   for (const FeedState& feed : states_) out.push_back(feed.health);
-  return out;
 }
 
 void IngestGuard::ResetTiming() {

@@ -137,6 +137,10 @@ class IngestGuard {
   /// All measurement healths, indexed by measurement id.
   std::vector<MeasurementHealth> HealthStates() const;
 
+  /// Allocation-reusing variant: fills `out` (capacity permitting,
+  /// without touching the heap) — the monitor's steady-state Step path.
+  void CopyHealthStates(std::vector<MeasurementHealth>& out) const;
+
   /// True when every feed is currently kHealthy (the common case; lets
   /// callers skip copying health vectors on clean streams).
   bool AllHealthy() const { return degraded_ == 0; }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "engine/health.h"
 #include "engine/measurement_graph.h"
 #include "engine/quarantine.h"
+#include "engine/snapshot.h"
 #include "engine/thread_pool.h"
 #include "timeseries/frame.h"
 
@@ -47,42 +49,15 @@ struct MonitorConfig {
   QuarantineConfig quarantine;
 };
 
-/// The engine's view of one processed sample.
-struct SystemSnapshot {
-  std::size_t sample = 0;
-  TimePoint time = 0;
-
-  /// Q^{a,b} per graph pair; disengaged when the pair had no scorable
-  /// transition (first sample, or source cell unknown after an outlier).
-  std::vector<std::optional<double>> pair_scores;
-
-  /// Q^a per measurement (mean over its engaged pair scores).
-  std::vector<std::optional<double>> measurement_scores;
-
-  /// Q for the entire system (mean over engaged measurement scores).
-  std::optional<double> system_score;
-
-  /// Pair indices that alarmed at this sample.
-  std::vector<std::size_t> alarmed_pairs;
-
-  /// Pairs whose observation fell outside the grid beyond the extension
-  /// margin / pairs that grew their grid at this sample.
-  std::size_t outlier_pairs = 0;
-  std::size_t extended_pairs = 0;
-
-  /// Degraded-mode telemetry (engine/health.h, engine/quarantine.h).
-  /// On a clean stream: kNone, all-healthy, 0, 0. These fields are
-  /// engine-side observability only — they are not part of the JSONL
-  /// snapshot-stream format or the checkpoint format.
-  StreamEvent stream_event = StreamEvent::kNone;
-  /// Per-measurement feed health after this sample; empty when the
-  /// ingest guard is disabled.
-  std::vector<MeasurementHealth> measurement_health;
-  /// Values the guard suppressed to NaN at this sample.
-  std::size_t suppressed_values = 0;
-  /// Pairs that were not stepped at this sample (quarantined, retired,
-  /// or tripped mid-sample).
-  std::size_t quarantined_pairs = 0;
+/// Phase timings of the last Run/RunDelta call, for scale benchmarks:
+/// the pair-major model sweep (parallel), the alarm-log k-way merge, and
+/// snapshot/delta assembly (parallel per-sample work plus the serial
+/// lifetime-averager pass).
+struct RunStats {
+  double sweep_seconds = 0.0;
+  double alarm_merge_seconds = 0.0;
+  double assemble_seconds = 0.0;
+  std::size_t batches = 0;
 };
 
 class SystemMonitor {
@@ -105,6 +80,14 @@ class SystemMonitor {
   /// snapshot; `tp` is the sample's timestamp.
   SystemSnapshot Step(std::span<const double> values, TimePoint tp);
 
+  /// Allocation-reusing overload: assembles the snapshot into `out`,
+  /// reusing its vectors' capacity. After a warmup tick the steady-state
+  /// path is malloc-free (verified by tests/test_alloc_audit.cpp) — the
+  /// long-running ingest loop of a shard-scale deployment steps at a
+  /// fixed memory footprint.
+  void Step(std::span<const double> values, TimePoint tp,
+            SystemSnapshot& out);
+
   /// Feeds an entire test frame (its measurements must line up with the
   /// history frame) and returns one snapshot per sample.
   ///
@@ -112,13 +95,29 @@ class SystemMonitor {
   /// sample (the Step loop), each worker takes a contiguous shard of
   /// pairs and sweeps a whole batch of samples for its shard in one pass
   /// — per-pair state (previous cell, grid extensions, alarm bounds) is
-  /// private to the pair, so the sweep is embarrassingly parallel. A
-  /// deterministic merge phase then assembles the snapshot stream in time
-  /// order, bitwise identical to calling Step once per sample: the same
-  /// per-pair outcomes feed the same Q^a / Q aggregation arithmetic in
-  /// the same order, and shard-local alarm logs merge in (time, pair)
-  /// order — exactly the order the serial loop records.
+  /// private to the pair, so the sweep is embarrassingly parallel. The
+  /// post-sweep phase is sharded too: workers sort shard-local alarm
+  /// logs (merged by a deterministic k-way merge) and assemble the pure
+  /// per-sample snapshot fields in parallel; only the lifetime-averager
+  /// updates stay serial, in time order, because floating-point
+  /// accumulation order is part of the bitwise contract. The stream is
+  /// bitwise identical to calling Step once per sample (proven by
+  /// tests/test_differential.cpp).
   std::vector<SystemSnapshot> Run(const MeasurementFrame& test);
+
+  /// Like Run, but emits incremental SystemDeltas instead of full
+  /// snapshots: the first tick (or the first after tracking was
+  /// invalidated by Step/Run/AddPair/RetirePair/calibration) is a
+  /// baseline restating the engaged state; every other tick carries
+  /// only pairs/measurements whose score changed bits since the
+  /// previous tick, so a quiet tick is O(changes), not O(pairs). The
+  /// engine state advances exactly as Run would (same models, averages,
+  /// alarms — ReconstructSnapshots(deltas) is bitwise identical to
+  /// Run's snapshots, proven by tests/test_delta.cpp).
+  std::vector<SystemDelta> RunDelta(const MeasurementFrame& test);
+
+  /// Phase timings of the last Run/RunDelta call.
+  const RunStats& LastRunStats() const { return run_stats_; }
 
   /// Forgets the per-pair previous cells (call between discontiguous
   /// segments, e.g. train -> test gaps).
@@ -206,10 +205,47 @@ class SystemMonitor {
 
  private:
   friend struct InvariantTestPeer;
-  /// Level 2 + 3 of Section 5 over an already-filled pair_scores vector,
-  /// plus the lifetime averager updates and the step counter — the exact
-  /// per-sample aggregation shared by Step and Run's merge phase.
+
+  /// Compact per-(pair, sample) result of a pair-major sweep — only the
+  /// fields the assembly phase needs.
+  struct SweepCell {
+    double fitness = 0.0;
+    bool has_score = false;
+    bool alarm = false;
+    bool outlier = false;
+    bool extended = false;
+    // The quarantine skipped this (pair, sample) — or the pair tripped
+    // mid-sample and produced nothing.
+    bool skipped = false;
+  };
+
+  /// Ingest-guard pre-pass results for one Run/RunDelta call.
+  struct GuardPrepass {
+    std::vector<SampleReport> reports;
+    std::vector<MeasurementHealth> health_timeline;  // samples x m
+    std::vector<std::vector<double>> filtered;       // lazily built
+    std::vector<std::uint8_t> seq_break;
+    bool any_break = false;
+  };
+
+  /// Level 2 + 3 of Section 5 over an already-filled pair_scores vector
+  /// (pure arithmetic — no monitor state touched), shared by Step and
+  /// the parallel assembly of Run/RunDelta.
+  void ComputeAggregates(SystemSnapshot& snap) const;
+
+  /// ComputeAggregates plus the lifetime averager updates and the step
+  /// counter — the exact per-sample aggregation of the Step path.
   void FinishSnapshot(SystemSnapshot& snap);
+
+  /// Shared Run/RunDelta driver: guard pre-pass, pair-major batched
+  /// sweep, sharded assembly. Exactly one of snapshots/deltas is set.
+  void RunImpl(const MeasurementFrame& test,
+               std::vector<SystemSnapshot>* snapshots,
+               std::vector<SystemDelta>* deltas);
+
+  /// Serial ingest-guard pre-pass over the whole frame (the guard is a
+  /// serial state machine); fills prepass reusing its capacity.
+  void BuildGuardPrepass(const MeasurementFrame& test, GuardPrepass& prepass);
 
   /// Batch width used by Run for a given pair count (resolves
   /// config_.batch_samples == 0 to the auto size).
@@ -239,6 +275,30 @@ class SystemMonitor {
   const EngineFaultPlan* fault_plan_ = nullptr;
   std::vector<double> guard_values_;
   std::vector<std::uint8_t> step_skipped_;
+
+  /// Run/RunDelta scratch, persisted across batches and calls so the
+  /// steady-state batch loop allocates nothing: the sweep-cell arena
+  /// (pairs x batch), per-shard alarm logs + merge cursors, resolved
+  /// input columns, the per-batch Q^a arena, and the guard pre-pass.
+  RunStats run_stats_;
+  std::vector<SweepCell> run_cells_;
+  std::vector<AlarmLog> run_shard_logs_;
+  std::vector<std::size_t> run_merge_cursors_;
+  std::vector<std::span<const double>> run_xs_;
+  std::vector<std::span<const double>> run_ys_;
+  std::vector<std::optional<double>> run_qa_;  // batch x m, per-sample Q^a
+  GuardPrepass run_guard_;
+
+  /// Dirty-pair tracking for RunDelta: the engaged state, score bits,
+  /// Q^a and feed health of the last emitted tick. Valid only while no
+  /// other state-advancing call interleaves (Step, full Run, topology
+  /// or calibration changes invalidate it — the next RunDelta re-emits
+  /// a baseline).
+  bool delta_valid_ = false;
+  std::vector<std::uint8_t> delta_pair_engaged_;
+  std::vector<double> delta_pair_score_;
+  std::vector<std::optional<double>> delta_qa_;
+  std::vector<MeasurementHealth> delta_health_;
 };
 
 }  // namespace pmcorr

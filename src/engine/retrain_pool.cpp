@@ -1,0 +1,271 @@
+#include "engine/retrain_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pmcorr {
+
+RetrainPool::RetrainPool(ModelConfig model_config, RetrainPoolConfig config)
+    : model_config_(model_config), config_(std::move(config)) {
+  if (config_.threads == 0) config_.threads = 1;
+  workers_.reserve(config_.threads);
+  live_workers_ = config_.threads;
+  for (std::size_t i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back(&RetrainPool::WorkerLoop, this);
+  }
+}
+
+RetrainPool::~RetrainPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::int64_t RetrainPool::NowNs() const {
+  return config_.clock ? config_.clock() : MonotonicNowNs();
+}
+
+PairModel RetrainPool::Rebuild(std::span<const double> x,
+                               std::span<const double> y) {
+  if (config_.rebuild_override) {
+    return config_.rebuild_override(x, y, model_config_);
+  }
+  return PairModel::Learn(x, y, model_config_);
+}
+
+void RetrainPool::SeedWindow(PairState& s, std::span<const double> x,
+                             std::span<const double> y,
+                             std::size_t window_samples) {
+  const std::size_t keep = std::min(x.size(), window_samples);
+  for (std::size_t i = x.size() - keep; i < x.size(); ++i) {
+    s.window_x.push_back(x[i]);
+    s.window_y.push_back(y[i]);
+  }
+}
+
+std::size_t RetrainPool::AddPair(std::span<const double> x,
+                                 std::span<const double> y) {
+  return AddPair(PairModel::Learn(x, y, model_config_), x, y);
+}
+
+std::size_t RetrainPool::AddPair(PairModel model, std::span<const double> x,
+                                 std::span<const double> y) {
+  auto state = std::make_unique<PairState>();
+  state->model = std::move(model);
+  SeedWindow(*state, x, y, config_.window_samples);
+  pairs_.push_back(std::move(state));
+  return pairs_.size() - 1;
+}
+
+StepOutcome RetrainPool::Step(std::size_t i, double x, double y) {
+  PairState& s = *pairs_.at(i);
+
+  // Adopt a finished rebuild before scoring, so the sample is judged by
+  // exactly one model and the swap lands on a sample boundary. The
+  // watchdog runs first: a wedged rebuild — of any pair — is written off
+  // at a sample boundary too.
+  std::unique_ptr<PairModel> fresh;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    CheckWatchdogsLocked();
+    fresh = std::move(s.pending);
+    if (s.cooldown_remaining > 0) --s.cooldown_remaining;
+  }
+  if (fresh) {
+    s.model = std::move(*fresh);
+    ++s.rebuilds;
+  }
+
+  const StepOutcome out = s.model.Step(x, y);
+  s.window_x.push_back(x);
+  s.window_y.push_back(y);
+  while (s.window_x.size() > config_.window_samples) {
+    s.window_x.pop_front();
+    s.window_y.pop_front();
+  }
+  ++s.since_rebuild;
+  MaybeEnqueue(s, i);
+  return out;
+}
+
+void RetrainPool::MaybeEnqueue(PairState& s, std::size_t i) {
+  if (s.since_rebuild < config_.interval_samples) return;
+  if (s.window_x.size() < config_.min_samples) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (s.given_up) {
+      // Permanent: stop re-checking every sample.
+      s.since_rebuild = 0;
+      return;
+    }
+    // Backoff after failures, and one slot per pair: a queued, running
+    // (non-abandoned) or awaiting-adoption rebuild defers the cadence to
+    // the next Step (since_rebuild stays past the interval, so this
+    // re-checks every sample — exactly the RollingPairRetrainer rule).
+    if (s.cooldown_remaining > 0) return;
+    if (s.queued || (s.running && !s.abandoned_current) || s.pending) return;
+    s.job_x.assign(s.window_x.begin(), s.window_x.end());
+    s.job_y.assign(s.window_y.begin(), s.window_y.end());
+    s.queued = true;
+    queue_.push_back(i);
+  }
+  work_cv_.notify_one();
+  s.since_rebuild = 0;
+}
+
+void RetrainPool::CheckWatchdogsLocked() {
+  if (config_.watchdog_ms <= 0 || running_pairs_.empty()) return;
+  const std::int64_t limit_ns = config_.watchdog_ms * 1'000'000;
+  const std::int64_t now = NowNs();
+  for (std::size_t r = 0; r < running_pairs_.size();) {
+    PairState& s = *pairs_[running_pairs_[r]];
+    PMCORR_DASSERT(s.running && !s.abandoned_current,
+                   "running_pairs_ entry is not an active build");
+    if (now - s.busy_since_ns < limit_ns) {
+      ++r;
+      continue;
+    }
+    // Grinding past its deadline. The thread itself cannot be killed;
+    // the watchdog writes the attempt off — the result will be
+    // discarded, the pair's slot reopens — and spawns a replacement so
+    // the queue keeps draining at full width. The doomed worker exits
+    // when its rebuild finally returns.
+    s.abandoned_current = true;
+    ++s.abandoned;
+    --active_builds_;
+    running_pairs_.erase(running_pairs_.begin() +
+                         static_cast<std::ptrdiff_t>(r));
+    ++live_workers_;
+    workers_.emplace_back(&RetrainPool::WorkerLoop, this);
+    idle_cv_.notify_all();
+  }
+}
+
+void RetrainPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    const std::size_t index = queue_.front();
+    queue_.pop_front();
+    PairState& s = *pairs_[index];
+    s.queued = false;
+    s.running = true;
+    s.abandoned_current = false;
+    s.busy_since_ns = NowNs();
+    const std::uint64_t token = ++token_counter_;
+    s.current_token = token;
+    ++active_builds_;
+    running_pairs_.push_back(index);
+    std::vector<double> xs = std::move(s.job_x);
+    std::vector<double> ys = std::move(s.job_y);
+    lock.unlock();
+
+    // A throwing rebuild must not escape the worker (that would
+    // std::terminate): it becomes a counted failure and the serving
+    // model keeps serving.
+    std::unique_ptr<PairModel> fresh;
+    std::string error;
+    try {
+      fresh = std::make_unique<PairModel>(Rebuild(xs, ys));
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "rebuild threw a non-std::exception";
+    }
+
+    lock.lock();
+    // The watchdog may have written this attempt off while the build
+    // ran — and the pair may even be running a *fresh* build already
+    // (token mismatch). Either way the result is discarded and this
+    // worker is surplus: a replacement was spawned at abandon time, so
+    // it exits to restore the bounded thread count.
+    const bool abandoned = s.current_token != token || s.abandoned_current;
+    if (abandoned) {
+      if (s.current_token == token) {
+        s.running = false;
+        s.abandoned_current = false;
+      }
+      --live_workers_;
+      idle_cv_.notify_all();
+      return;
+    }
+    if (!error.empty()) {
+      ++s.failed;
+      ++s.failures_in_row;
+      s.last_error = std::move(error);
+      if (config_.failure_backoff.Exhausted(s.failures_in_row)) {
+        s.given_up = true;
+      } else {
+        s.cooldown_remaining =
+            config_.failure_backoff.DelayFor(s.failures_in_row - 1);
+      }
+    } else {
+      s.pending = std::move(fresh);
+      s.failures_in_row = 0;
+    }
+    s.running = false;
+    --active_builds_;
+    running_pairs_.erase(
+        std::find(running_pairs_.begin(), running_pairs_.end(), index));
+    idle_cv_.notify_all();
+  }
+}
+
+std::size_t RetrainPool::FailedRebuilds(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pairs_.at(i)->failed;
+}
+
+std::size_t RetrainPool::AbandonedRebuilds(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pairs_.at(i)->abandoned;
+}
+
+std::string RetrainPool::LastRebuildError(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pairs_.at(i)->last_error;
+}
+
+bool RetrainPool::RebuildInFlight(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const PairState& s = *pairs_.at(i);
+  return s.queued || (s.running && !s.abandoned_current);
+}
+
+bool RetrainPool::GaveUp(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pairs_.at(i)->given_up;
+}
+
+std::size_t RetrainPool::QueueDepth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t RetrainPool::ThreadCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return live_workers_;
+}
+
+void RetrainPool::WaitForPair(std::size_t i) {
+  PairState& s = *pairs_.at(i);
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] {
+    return !s.queued && (!s.running || s.abandoned_current);
+  });
+}
+
+void RetrainPool::WaitForIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_builds_ == 0; });
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,212 @@
+// Shared bounded rolling-retrain pool.
+//
+// RollingPairRetrainer (engine/retrainer.h) gives one pair a
+// double-buffered background rebuild — at the cost of one dedicated
+// thread per pair. At 100k+ pairs that is 100k threads; the pool lifts
+// the same machinery (window snapshots, adopt-at-a-Step-boundary,
+// keep-the-old-model-on-failure, the rebuild watchdog) to a single FIFO
+// work queue drained by a fixed number of workers, so the thread count
+// is a deployment constant, independent of pair count.
+//
+// Fairness: the queue is strictly FIFO and a pair occupies at most one
+// slot (queued, running, or awaiting adoption) at a time, so every pair
+// whose cadence fires gets its rebuild before any pair goes twice.
+// A wedged rebuild cannot starve the queue either: the watchdog writes
+// the attempt off and spawns a replacement worker; the doomed worker
+// discards its result and exits when the wedged build finally returns,
+// restoring the bounded count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/time.h"
+#include "core/model.h"
+
+namespace pmcorr {
+
+/// Builds a replacement model from a window snapshot — the rebuild seam
+/// rebuild_override plugs into.
+using RebuildFn = std::function<PairModel(
+    std::span<const double> x, std::span<const double> y,
+    const ModelConfig& config)>;
+
+/// Pool-wide rebuild policy (the per-pair knobs of RetrainerConfig plus
+/// the worker count and a failure backoff).
+struct RetrainPoolConfig {
+  /// Worker threads draining the rebuild queue. The deployment knob:
+  /// fixed, independent of how many pairs the pool serves.
+  std::size_t threads = 1;
+  /// Sliding-window length each rebuild learns from.
+  std::size_t window_samples = 15 * static_cast<std::size_t>(kSamplesPerDay);
+  /// Rebuild a pair every this many of its processed samples.
+  std::size_t interval_samples = static_cast<std::size_t>(kSamplesPerDay);
+  /// Never rebuild from fewer buffered samples than this.
+  std::size_t min_samples = static_cast<std::size_t>(kSamplesPerDay) / 2;
+  /// Watchdog: a rebuild still running after this many milliseconds is
+  /// abandoned — its result is discarded, the pair's slot reopens, and a
+  /// replacement worker keeps the queue draining. 0 disables it.
+  std::int64_t watchdog_ms = 0;
+  /// Retry schedule after failed rebuilds, counted in the failing pair's
+  /// own samples on top of the normal cadence; once the budget is spent
+  /// the pair gives up for good (it keeps serving its last good model).
+  /// The default — no delay, unlimited budget — is the
+  /// RollingPairRetrainer contract: retry at every cadence, forever.
+  BackoffPolicy failure_backoff{
+      .base = 0,
+      .multiplier = 1.0,
+      .cap = 0,
+      .budget = std::numeric_limits<std::size_t>::max()};
+  /// Clock the watchdog measures with; tests install a fake. Empty =
+  /// steady_clock.
+  MonotonicClockFn clock;
+  /// Fault/test seam: replaces PairModel::Learn for rebuilds (never for
+  /// AddPair's initial learn).
+  RebuildFn rebuild_override;
+};
+
+/// The pool. Thread contract: AddPair and WaitFor* are serial-section
+/// calls; Step(i, ...) calls for the *same* pair must be serial, but
+/// different pairs may step from different threads concurrently (all
+/// shared state is behind one mutex; per-pair serving state — model,
+/// window, cadence — is only touched by that pair's Step caller).
+class RetrainPool {
+ public:
+  RetrainPool(ModelConfig model_config, RetrainPoolConfig config);
+
+  /// Joins every worker. Queued rebuilds are dropped; a rebuild in
+  /// flight is waited for (its result is discarded).
+  ~RetrainPool();
+
+  RetrainPool(const RetrainPool&) = delete;
+  RetrainPool& operator=(const RetrainPool&) = delete;
+
+  /// Registers a pair: learns its initial model from (x, y) with
+  /// PairModel::Learn (the rebuild_override seam does not apply here)
+  /// and seeds its window with the tail of (x, y). Returns the pair's
+  /// pool index.
+  std::size_t AddPair(std::span<const double> x, std::span<const double> y);
+
+  /// Registers a pair with a pre-built model (e.g. restored from a
+  /// checkpoint), seeding its window with the tail of (x, y).
+  std::size_t AddPair(PairModel model, std::span<const double> x,
+                      std::span<const double> y);
+
+  /// Steps pair i: adopts a finished rebuild first (so the sample is
+  /// judged by exactly one model and swaps land on sample boundaries),
+  /// scores, buffers the sample, and enqueues a rebuild when the pair's
+  /// cadence fires and its slot is free. Also runs the watchdog over
+  /// every in-flight rebuild — any pair's Step can write off any wedged
+  /// build.
+  StepOutcome Step(std::size_t i, double x, double y);
+
+  std::size_t PairCount() const { return pairs_.size(); }
+  const PairModel& Model(std::size_t i) const { return pairs_.at(i)->model; }
+
+  /// Adoptions for pair i: its serving model has been replaced this many
+  /// times.
+  std::size_t Rebuilds(std::size_t i) const { return pairs_.at(i)->rebuilds; }
+
+  /// Samples currently in pair i's sliding window.
+  std::size_t WindowSize(std::size_t i) const {
+    return pairs_.at(i)->window_x.size();
+  }
+
+  std::size_t FailedRebuilds(std::size_t i) const;
+  std::size_t AbandonedRebuilds(std::size_t i) const;
+  /// Message of pair i's most recent failed rebuild ("" if none).
+  std::string LastRebuildError(std::size_t i) const;
+  /// True while pair i has a rebuild queued or running (an abandoned one
+  /// no longer counts, even if its doomed worker is still grinding).
+  bool RebuildInFlight(std::size_t i) const;
+  /// True once pair i spent its failure budget and stopped retrying.
+  bool GaveUp(std::size_t i) const;
+
+  /// Rebuilds currently waiting in the queue.
+  std::size_t QueueDepth() const;
+  /// Live worker threads: config threads, plus replacements for wedged
+  /// workers that have not finished grinding yet.
+  std::size_t ThreadCount() const;
+
+  /// Test hook: blocks until pair i's queued or running rebuild has
+  /// produced its pending model, failed, or been abandoned. The model is
+  /// still only adopted by pair i's next Step.
+  void WaitForPair(std::size_t i);
+
+  /// Test hook: blocks until the queue is empty and no non-abandoned
+  /// rebuild is running.
+  void WaitForIdle();
+
+ private:
+  struct PairState {
+    // Serving state — touched only by this pair's Step caller.
+    PairModel model;
+    std::deque<double> window_x;
+    std::deque<double> window_y;
+    std::size_t since_rebuild = 0;
+    std::size_t rebuilds = 0;
+
+    // Shared state — guarded by the pool mutex.
+    bool queued = false;
+    bool running = false;
+    /// The in-flight rebuild was abandoned by the watchdog: its result
+    /// must be discarded and the slot counts as free.
+    bool abandoned_current = false;
+    bool given_up = false;
+    std::uint64_t current_token = 0;
+    std::int64_t busy_since_ns = 0;
+    std::size_t failed = 0;
+    std::size_t abandoned = 0;
+    std::size_t failures_in_row = 0;
+    /// Samples of this pair still to pass before the next retry
+    /// (failure backoff).
+    std::size_t cooldown_remaining = 0;
+    std::string last_error;
+    std::vector<double> job_x;
+    std::vector<double> job_y;
+    std::unique_ptr<PairModel> pending;  // finished rebuild awaiting adoption
+  };
+
+  void WorkerLoop();
+  void MaybeEnqueue(PairState& s, std::size_t i);
+  /// Abandons every in-flight rebuild past the watchdog deadline and
+  /// spawns replacement workers. Caller holds mu_.
+  void CheckWatchdogsLocked();
+  PairModel Rebuild(std::span<const double> x, std::span<const double> y);
+  std::int64_t NowNs() const;
+  static void SeedWindow(PairState& s, std::span<const double> x,
+                         std::span<const double> y,
+                         std::size_t window_samples);
+
+  ModelConfig model_config_;
+  RetrainPoolConfig config_;
+  /// unique_ptr slots so PairState addresses stay stable across AddPair
+  /// while workers hold references.
+  std::vector<std::unique_ptr<PairState>> pairs_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // wakes workers
+  std::condition_variable idle_cv_;  // wakes WaitForPair/WaitForIdle
+  std::deque<std::size_t> queue_;    // FIFO of pair indices
+  /// Pairs with a (running && !abandoned) build — the watchdog's scan
+  /// set, bounded by the live worker count.
+  std::vector<std::size_t> running_pairs_;
+  std::vector<std::thread> workers_;
+  std::uint64_t token_counter_ = 0;
+  std::size_t active_builds_ = 0;  // running and not abandoned
+  std::size_t live_workers_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pmcorr

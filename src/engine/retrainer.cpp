@@ -8,29 +8,29 @@ namespace pmcorr {
 RollingPairRetrainer::RollingPairRetrainer(
     std::span<const double> x, std::span<const double> y,
     const ModelConfig& model_config, const RetrainerConfig& retrainer_config)
-    : model_config_(model_config),
-      config_(retrainer_config),
-      model_(PairModel::Learn(x, y, model_config)) {
+    : model_config_(model_config), config_(retrainer_config) {
+  if (config_.background) {
+    RetrainPoolConfig pool_config;
+    pool_config.threads = 1;
+    pool_config.window_samples = config_.window_samples;
+    pool_config.interval_samples = config_.interval_samples;
+    pool_config.min_samples = config_.min_samples;
+    pool_config.watchdog_ms = config_.watchdog_ms;
+    pool_config.clock = config_.clock;
+    pool_config.rebuild_override = config_.rebuild_override;
+    pool_ = std::make_unique<RetrainPool>(model_config_, pool_config);
+    pool_->AddPair(x, y);
+    return;
+  }
+  model_ = PairModel::Learn(x, y, model_config_);
   const std::size_t keep = std::min(x.size(), config_.window_samples);
   for (std::size_t i = x.size() - keep; i < x.size(); ++i) {
     window_x_.push_back(x[i]);
     window_y_.push_back(y[i]);
   }
-  if (config_.background) {
-    worker_ = std::thread(&RollingPairRetrainer::WorkerLoop, this);
-  }
 }
 
-RollingPairRetrainer::~RollingPairRetrainer() {
-  if (worker_.joinable()) {
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    job_cv_.notify_all();
-    worker_.join();
-  }
-}
+RollingPairRetrainer::~RollingPairRetrainer() = default;
 
 PairModel RollingPairRetrainer::Rebuild(std::span<const double> x,
                                         std::span<const double> y) {
@@ -40,19 +40,8 @@ PairModel RollingPairRetrainer::Rebuild(std::span<const double> x,
   return PairModel::Learn(x, y, model_config_);
 }
 
-std::int64_t RollingPairRetrainer::NowNs() const {
-  return config_.clock ? config_.clock() : MonotonicNowNs();
-}
-
 StepOutcome RollingPairRetrainer::Step(double x, double y) {
-  // Adopt a finished background rebuild before scoring, so the sample is
-  // judged by exactly one model and the swap lands on a sample boundary.
-  // The watchdog check precedes adoption: a wedged rebuild is written
-  // off at a sample boundary too.
-  if (config_.background) {
-    CheckWatchdog();
-    AdoptPendingIfReady();
-  }
+  if (pool_) return pool_->Step(0, x, y);
   const StepOutcome out = model_.Step(x, y);
   window_x_.push_back(x);
   window_y_.push_back(y);
@@ -61,142 +50,52 @@ StepOutcome RollingPairRetrainer::Step(double x, double y) {
     window_y_.pop_front();
   }
   ++since_rebuild_;
-  MaybeRebuild();
+  MaybeRebuildSync();
   return out;
 }
 
-void RollingPairRetrainer::MaybeRebuild() {
+void RollingPairRetrainer::MaybeRebuildSync() {
   if (since_rebuild_ < config_.interval_samples) return;
   if (window_x_.size() < config_.min_samples) return;
-  if (!config_.background) {
-    const std::vector<double> xs(window_x_.begin(), window_x_.end());
-    const std::vector<double> ys(window_y_.begin(), window_y_.end());
-    try {
-      model_ = Rebuild(xs, ys);
-    } catch (const std::exception& e) {
-      // Keep serving the current model; count the failure and let the
-      // cadence schedule the next attempt from scratch.
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++failed_rebuilds_;
-      last_error_ = e.what();
-      since_rebuild_ = 0;
-      return;
-    }
+  const std::vector<double> xs(window_x_.begin(), window_x_.end());
+  const std::vector<double> ys(window_y_.begin(), window_y_.end());
+  try {
+    model_ = Rebuild(xs, ys);
+  } catch (const std::exception& e) {
+    // Keep serving the current model; count the failure and let the
+    // cadence schedule the next attempt from scratch.
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++failed_rebuilds_;
+    last_error_ = e.what();
     since_rebuild_ = 0;
-    ++rebuilds_;
     return;
   }
-  // Background mode: hand the worker a snapshot of the window. At most
-  // one rebuild is in flight or awaiting adoption — if the cadence fires
-  // again before then, keep deferring to the next Step (since_rebuild_
-  // stays past the interval, so this re-checks every sample). A rebuild
-  // the watchdog abandoned no longer occupies the slot: a fresh job may
-  // queue behind the wedged one.
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (job_ready_ || (busy_ && !abandoned_current_) || pending_) return;
-    job_x_.assign(window_x_.begin(), window_x_.end());
-    job_y_.assign(window_y_.begin(), window_y_.end());
-    job_ready_ = true;
-  }
-  job_cv_.notify_one();
   since_rebuild_ = 0;
-}
-
-void RollingPairRetrainer::CheckWatchdog() {
-  if (config_.watchdog_ms <= 0) return;
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (!busy_ || abandoned_current_) return;
-  const std::int64_t limit_ns = config_.watchdog_ms * 1'000'000;
-  if (NowNs() - busy_since_ns_ < limit_ns) return;
-  // The rebuild has been grinding past its deadline. The thread itself
-  // cannot be killed; what the watchdog does is write the attempt off —
-  // its eventual result is discarded, the slot reopens for the next
-  // cadence, and waiters stop waiting on it.
-  abandoned_current_ = true;
-  ++abandoned_rebuilds_;
-  done_cv_.notify_all();
-}
-
-void RollingPairRetrainer::AdoptPendingIfReady() {
-  std::unique_ptr<PairModel> fresh;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    fresh = std::move(pending_);
-  }
-  if (!fresh) return;
-  model_ = std::move(*fresh);
   ++rebuilds_;
 }
 
 bool RollingPairRetrainer::RebuildInFlight() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return job_ready_ || (busy_ && !abandoned_current_);
+  return pool_ ? pool_->RebuildInFlight(0) : false;
 }
 
 std::size_t RollingPairRetrainer::FailedRebuilds() const {
+  if (pool_) return pool_->FailedRebuilds(0);
   const std::lock_guard<std::mutex> lock(mu_);
   return failed_rebuilds_;
 }
 
 std::size_t RollingPairRetrainer::AbandonedRebuilds() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return abandoned_rebuilds_;
+  return pool_ ? pool_->AbandonedRebuilds(0) : 0;
 }
 
 std::string RollingPairRetrainer::LastRebuildError() const {
+  if (pool_) return pool_->LastRebuildError(0);
   const std::lock_guard<std::mutex> lock(mu_);
   return last_error_;
 }
 
 void RollingPairRetrainer::WaitForPendingRebuild() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock,
-                [&] { return !job_ready_ && (!busy_ || abandoned_current_); });
-}
-
-void RollingPairRetrainer::WorkerLoop() {
-  for (;;) {
-    std::vector<double> xs;
-    std::vector<double> ys;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_cv_.wait(lock, [&] { return stop_ || job_ready_; });
-      if (stop_) return;
-      job_ready_ = false;
-      busy_ = true;
-      abandoned_current_ = false;
-      busy_since_ns_ = NowNs();
-      xs = std::move(job_x_);
-      ys = std::move(job_y_);
-    }
-    // A throwing rebuild must not escape the worker thread (that would
-    // std::terminate the process): it becomes a counted failure, and
-    // the serving model keeps serving.
-    std::unique_ptr<PairModel> fresh;
-    std::string error;
-    try {
-      fresh = std::make_unique<PairModel>(Rebuild(xs, ys));
-    } catch (const std::exception& e) {
-      error = e.what();
-    } catch (...) {
-      error = "rebuild threw a non-std::exception";
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      if (!error.empty()) {
-        ++failed_rebuilds_;
-        last_error_ = error;
-      } else if (!abandoned_current_) {
-        pending_ = std::move(fresh);
-      }
-      // An abandoned rebuild's model (if it produced one) is discarded:
-      // the watchdog already wrote this attempt off.
-      abandoned_current_ = false;
-      busy_ = false;
-    }
-    done_cv_.notify_all();
-  }
+  if (pool_) pool_->WaitForPair(0);
 }
 
 }  // namespace pmcorr

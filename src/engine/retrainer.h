@@ -11,28 +11,19 @@
 // fixed cadence.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/backoff.h"
 #include "common/time.h"
 #include "core/model.h"
+#include "engine/retrain_pool.h"
 
 namespace pmcorr {
-
-/// Builds a replacement model from a window snapshot — the rebuild seam
-/// RetrainerConfig::rebuild_override plugs into.
-using RebuildFn = std::function<PairModel(
-    std::span<const double> x, std::span<const double> y,
-    const ModelConfig& config)>;
 
 /// Rebuild policy.
 struct RetrainerConfig {
@@ -72,6 +63,10 @@ struct RetrainerConfig {
 /// deferred to the next Step after it finishes. Rebuilds() counts
 /// adoptions, so a count of k means the serving model has been replaced
 /// k times regardless of mode.
+///
+/// Background mode is a single-pair view over a one-thread RetrainPool
+/// (engine/retrain_pool.h) — the pool is the scale-out form of the same
+/// machinery, and this wrapper keeps the original one-pair API.
 class RollingPairRetrainer {
  public:
   /// Learns the initial model from (x, y) and seeds the window with it.
@@ -90,10 +85,14 @@ class RollingPairRetrainer {
   /// samples are buffered too — they re-break the sequence on replay.
   StepOutcome Step(double x, double y);
 
-  const PairModel& Model() const { return model_; }
+  const PairModel& Model() const {
+    return pool_ ? pool_->Model(0) : model_;
+  }
 
   /// Completed rebuilds so far (adoptions, in background mode).
-  std::size_t Rebuilds() const { return rebuilds_; }
+  std::size_t Rebuilds() const {
+    return pool_ ? pool_->Rebuilds(0) : rebuilds_;
+  }
 
   /// Rebuilds that threw instead of producing a model. The serving
   /// model keeps serving; the cadence schedules the next attempt as
@@ -108,7 +107,9 @@ class RollingPairRetrainer {
   std::string LastRebuildError() const;
 
   /// Samples currently in the sliding window.
-  std::size_t WindowSize() const { return window_x_.size(); }
+  std::size_t WindowSize() const {
+    return pool_ ? pool_->WindowSize(0) : window_x_.size();
+  }
 
   /// True while a background rebuild is queued or running (an abandoned
   /// one no longer counts, even if its thread is still grinding).
@@ -116,44 +117,29 @@ class RollingPairRetrainer {
 
   /// Test hook: blocks until the background worker is idle (any queued
   /// or running rebuild has produced its pending model, failed, or been
-  /// abandoned *and* finished). The model is still only adopted by the
-  /// next Step. No-op in synchronous mode.
+  /// abandoned *and* written off). The model is still only adopted by
+  /// the next Step. No-op in synchronous mode.
   void WaitForPendingRebuild();
 
  private:
-  void MaybeRebuild();
-  void AdoptPendingIfReady();
-  void CheckWatchdog();
-  void WorkerLoop();
+  void MaybeRebuildSync();
   PairModel Rebuild(std::span<const double> x, std::span<const double> y);
-  std::int64_t NowNs() const;
 
   ModelConfig model_config_;
   RetrainerConfig config_;
+
+  /// Background mode: everything lives in a one-thread pool.
+  std::unique_ptr<RetrainPool> pool_;
+
+  /// Synchronous mode only.
   PairModel model_;
   std::deque<double> window_x_;
   std::deque<double> window_y_;
   std::size_t since_rebuild_ = 0;
   std::size_t rebuilds_ = 0;
-
-  // Background-rebuild state; everything below mu_ is guarded by it.
-  mutable std::mutex mu_;
-  std::condition_variable job_cv_;   // wakes the worker
-  std::condition_variable done_cv_;  // wakes WaitForPendingRebuild
-  bool stop_ = false;
-  bool job_ready_ = false;
-  bool busy_ = false;
-  /// The in-flight rebuild was abandoned by the watchdog: its result
-  /// must be discarded, and the rebuild slot counts as free.
-  bool abandoned_current_ = false;
-  std::int64_t busy_since_ns_ = 0;
+  mutable std::mutex mu_;  // failure counters
   std::size_t failed_rebuilds_ = 0;
-  std::size_t abandoned_rebuilds_ = 0;
   std::string last_error_;
-  std::vector<double> job_x_;
-  std::vector<double> job_y_;
-  std::unique_ptr<PairModel> pending_;  // finished rebuild awaiting adoption
-  std::thread worker_;                  // running only in background mode
 };
 
 }  // namespace pmcorr

@@ -1,60 +1,11 @@
 #include "engine/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 #include "common/logging.h"
 
 namespace pmcorr {
-namespace {
-
-// Shared completion state for one fork/join region. Tasks referencing it
-// outlive neither the region (the caller blocks until `remaining` hits
-// zero) nor the pool.
-struct JoinState {
-  std::atomic<std::size_t> remaining;
-  std::mutex mutex;
-  std::condition_variable done;
-  // First failure by range position, so the rethrown exception does not
-  // depend on scheduling order.
-  std::exception_ptr error;
-  std::size_t error_begin = 0;
-
-  explicit JoinState(std::size_t tasks) : remaining(tasks) {}
-
-  void RecordError(std::size_t begin, std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (!error || begin < error_begin) {
-      error = std::move(e);
-      error_begin = begin;
-    }
-  }
-
-  void TaskDone() {
-    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mutex);
-      done.notify_one();
-    }
-  }
-
-  void Wait() {
-    std::exception_ptr first_error;
-    {
-      std::unique_lock<std::mutex> lock(mutex);
-      done.wait(lock, [this] {
-        return remaining.load(std::memory_order_acquire) == 0;
-      });
-      // Take sole ownership before rethrowing: the recording worker must
-      // not drop the exception's last reference (its task lambda can
-      // still be mid-destruction) while the caller reads the object.
-      first_error = std::move(error);
-    }
-    if (first_error) std::rethrow_exception(first_error);
-  }
-};
-
-}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -80,7 +31,16 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      cv_.wait(lock, [this] {
+        return stop_ || !tasks_.empty() ||
+               (region_.active && region_.next < region_.shards);
+      });
+      // An active region with unclaimed shards takes priority over the
+      // queue: a fork/join caller is blocked on it right now.
+      if (region_.active && region_.next < region_.shards) {
+        RunRegionShards(lock);
+        continue;
+      }
       // Drain-on-stop: queued work still runs, so Post() never loses
       // tasks to destruction.
       if (stop_ && tasks_.empty()) return;
@@ -89,6 +49,91 @@ void ThreadPool::WorkerLoop() {
     }
     task();
   }
+}
+
+ShardRange ThreadPool::RegionRange(std::size_t shard) const {
+  // Spread count over shards so sizes differ by at most one: the first
+  // `count % shards` shards take one extra index.
+  ShardRange r;
+  r.index = shard;
+  r.count = region_.shards;
+  r.begin = shard * region_.base + std::min(shard, region_.extra);
+  r.end = r.begin + region_.base + (shard < region_.extra ? 1 : 0);
+  return r;
+}
+
+void ThreadPool::RunRegionShards(std::unique_lock<std::mutex>& lock) {
+  ++region_.participants;
+  while (region_.active && region_.next < region_.shards) {
+    const std::size_t shard = region_.next++;
+    const ShardRange range = RegionRange(shard);
+    ShardTaskFn fn = region_.fn;
+    void* ctx = region_.ctx;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      fn(ctx, range);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && (!region_.error || range.begin < region_.error_begin)) {
+      // First failure by range position, so the rethrown exception does
+      // not depend on scheduling order.
+      region_.error = std::move(error);
+      region_.error_begin = range.begin;
+    }
+    if (--region_.remaining == 0) region_cv_.notify_all();
+  }
+  if (--region_.participants == 0) region_cv_.notify_all();
+}
+
+void ThreadPool::ParallelShardsStatic(std::size_t count, ShardTaskFn fn,
+                                      void* ctx, std::size_t max_shards) {
+  const std::size_t shards = ShardCountFor(count, max_shards);
+  if (shards == 0) return;
+  const std::size_t base = count / shards;
+  const std::size_t extra = count % shards;
+  if (shards == 1 || workers_.size() <= 1) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      ShardRange r;
+      r.index = s;
+      r.count = shards;
+      r.begin = s * base + std::min(s, extra);
+      r.end = r.begin + base + (s < extra ? 1 : 0);
+      fn(ctx, r);
+    }
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // One region at a time; a second external caller waits for the block
+  // to be fully released (no thread still inside RunRegionShards).
+  region_cv_.wait(lock, [this] {
+    return !region_.active && region_.participants == 0;
+  });
+  region_.fn = fn;
+  region_.ctx = ctx;
+  region_.shards = shards;
+  region_.base = base;
+  region_.extra = extra;
+  region_.next = 0;
+  region_.remaining = shards;
+  region_.error = nullptr;
+  region_.error_begin = 0;
+  region_.active = true;
+  cv_.notify_all();
+  // The caller participates too — on a saturated pool it would otherwise
+  // just block, and on a single-core box it typically runs every shard.
+  RunRegionShards(lock);
+  region_cv_.wait(lock, [this] {
+    return region_.remaining == 0 && region_.participants == 0;
+  });
+  region_.active = false;
+  std::exception_ptr error = std::move(region_.error);
+  lock.unlock();
+  region_cv_.notify_all();
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
@@ -119,24 +164,16 @@ void ThreadPool::ParallelFor(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-
-  const std::size_t chunks = std::min(count, threads * 4);
-  const std::size_t chunk_size = (count + chunks - 1) / chunks;
-  const std::size_t scheduled = (count + chunk_size - 1) / chunk_size;
-
-  auto state = std::make_shared<JoinState>(scheduled);
-  for (std::size_t begin = 0; begin < count; begin += chunk_size) {
-    const std::size_t end = std::min(begin + chunk_size, count);
-    Enqueue([state, &fn, begin, end] {
-      try {
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      } catch (...) {
-        state->RecordError(begin, std::current_exception());
-      }
-      state->TaskDone();
-    });
-  }
-  state->Wait();
+  // 4 chunks per thread (claimed dynamically) for load balance; the
+  // trampoline keeps the dispatch allocation-free.
+  ParallelShardsStatic(
+      count,
+      [](void* ctx, const ShardRange& r) {
+        const auto& f =
+            *static_cast<const std::function<void(std::size_t)>*>(ctx);
+        for (std::size_t i = r.begin; i < r.end; ++i) f(i);
+      },
+      const_cast<void*>(static_cast<const void*>(&fn)), threads * 4);
 }
 
 std::size_t ThreadPool::ShardCountFor(std::size_t count,
@@ -149,39 +186,12 @@ std::size_t ThreadPool::ShardCountFor(std::size_t count,
 void ThreadPool::ParallelShards(
     std::size_t count, const std::function<void(const ShardRange&)>& fn,
     std::size_t max_shards) {
-  const std::size_t shards = ShardCountFor(count, max_shards);
-  if (shards == 0) return;
-  // Spread count over shards so sizes differ by at most one:
-  // the first `count % shards` shards take one extra index.
-  const std::size_t base = count / shards;
-  const std::size_t extra = count % shards;
-  auto range_of = [&](std::size_t s) {
-    ShardRange r;
-    r.index = s;
-    r.count = shards;
-    r.begin = s * base + std::min(s, extra);
-    r.end = r.begin + base + (s < extra ? 1 : 0);
-    return r;
-  };
-
-  if (shards == 1 || workers_.size() <= 1) {
-    for (std::size_t s = 0; s < shards; ++s) fn(range_of(s));
-    return;
-  }
-
-  auto state = std::make_shared<JoinState>(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    const ShardRange r = range_of(s);
-    Enqueue([state, &fn, r] {
-      try {
-        fn(r);
-      } catch (...) {
-        state->RecordError(r.begin, std::current_exception());
-      }
-      state->TaskDone();
-    });
-  }
-  state->Wait();
+  ParallelShardsStatic(
+      count,
+      [](void* ctx, const ShardRange& r) {
+        (*static_cast<const std::function<void(const ShardRange&)>*>(ctx))(r);
+      },
+      const_cast<void*>(static_cast<const void*>(&fn)), max_shards);
 }
 
 }  // namespace pmcorr

@@ -30,6 +30,11 @@ struct ShardRange {
   std::size_t Size() const { return end - begin; }
 };
 
+/// Type-erased shard callback for the allocation-free dispatch path:
+/// fn(ctx, range) runs one shard. Plain function pointer + context so a
+/// dispatch never heap-allocates a closure.
+using ShardTaskFn = void (*)(void* ctx, const ShardRange& range);
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers (0 = hardware concurrency, at least 1).
@@ -71,6 +76,18 @@ class ThreadPool {
   std::size_t ShardCountFor(std::size_t count,
                             std::size_t max_shards = 0) const;
 
+  /// Allocation-free ParallelShards: identical decomposition and
+  /// exception semantics, but the region is dispatched through a
+  /// preallocated control block instead of per-task queue nodes, so a
+  /// steady-state caller (the monitor's per-tick path) never touches the
+  /// heap to fork/join. Shards are claimed dynamically (a shared cursor,
+  /// not a fixed assignment), so passing max_shards > ThreadCount() also
+  /// yields load balancing. ParallelFor and ParallelShards are thin
+  /// wrappers over this. One region runs at a time; concurrent external
+  /// callers serialize on the control block.
+  void ParallelShardsStatic(std::size_t count, ShardTaskFn fn, void* ctx,
+                            std::size_t max_shards = 0);
+
   /// Fire-and-forget: queues `task` for some worker and returns
   /// immediately. Queued tasks are drained (run, not dropped) by the
   /// destructor. Exceptions escaping `task` are logged and swallowed —
@@ -80,12 +97,37 @@ class ThreadPool {
  private:
   void WorkerLoop();
   void Enqueue(std::function<void()> task);
+  /// Claims and runs region shards until the region drains. Entered and
+  /// exited with `lock` held; unlocked only around the user callback.
+  void RunRegionShards(std::unique_lock<std::mutex>& lock);
+  ShardRange RegionRange(std::size_t shard) const;
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> tasks_;
   bool stop_ = false;
+
+  /// Fork/join region control block (all fields guarded by mutex_; the
+  /// claim counter hands out shards under the lock too — shard counts
+  /// are small, so contention is negligible). `participants` keeps the
+  /// block's fields stable: the owner only releases the region once
+  /// every thread has left RunRegionShards.
+  struct Region {
+    ShardTaskFn fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t shards = 0;
+    std::size_t base = 0;   // count / shards
+    std::size_t extra = 0;  // count % shards
+    std::size_t next = 0;
+    std::size_t remaining = 0;
+    std::size_t participants = 0;
+    bool active = false;
+    std::exception_ptr error;
+    std::size_t error_begin = 0;
+  };
+  Region region_;
+  std::condition_variable region_cv_;  // owner join + slot release
 };
 
 }  // namespace pmcorr

@@ -72,18 +72,25 @@ void EnforceMaxSegments(std::vector<Segment>& segments, std::size_t cap) {
   }
 }
 
-// minmax_element replacement for the bulk scan: value min/max folds
-// branchlessly (min/max instructions) where the iterator-tracking
-// std::minmax_element cannot, and two lanes at a time with SSE2.
-// minmax_element keeps the FIRST minimum and the LAST maximum; among
-// finite doubles only zero has two bit patterns, so a rare fixup rescan
-// on a zero extremum reproduces its exact bits (the grid bounds are
-// serialized — the sign of zero must not depend on which scan found
-// it). Callers pass NaN-filtered histories; a NaN would poison either
-// scan the same way it poisons minmax_element.
-std::pair<double, double> MinMax(std::span<const double> values) {
+}  // namespace
+
+// minmax_element replacement for the bulk scan, fused with the finite
+// check Learn needs before it: value min/max folds branchlessly
+// (min/max instructions) where the iterator-tracking
+// std::minmax_element cannot, the finiteness test is |x| <= DBL_MAX
+// (clears the sign bit, compares "not <=": NaN fails the ordered
+// compare and ±inf exceeds the bound, exactly std::isfinite), and both
+// ride the same two-lane SSE2 sweep. minmax_element keeps the FIRST
+// minimum and the LAST maximum; among finite doubles only zero has two
+// bit patterns, so a rare fixup rescan on a zero extremum reproduces
+// its exact bits (the grid bounds are serialized — the sign of zero
+// must not depend on which scan found it).
+ValueScan ScanValues(std::span<const double> values) {
+  PMCORR_DASSERT(!values.empty());
+  ValueScan scan;
   double mn = values[0];
   double mx = values[0];
+  bool ok = std::isfinite(values[0]) != 0;
 #if defined(__SSE2__)
   // The lane-parallel fold visits elements in a different order than a
   // scalar scan, which for finite inputs can only change the *bit
@@ -92,21 +99,28 @@ std::pair<double, double> MinMax(std::span<const double> values) {
   // not vectorize an FP min/max reduction on its own — IEEE NaN and
   // signed-zero rules forbid it — so this is done by hand.
   if (values.size() >= 4) {
+    const __m128d abs_mask =
+        _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffLL));
+    const __m128d vlim = _mm_set1_pd(std::numeric_limits<double>::max());
     __m128d vmn = _mm_set1_pd(values[0]);
     __m128d vmx = vmn;
+    __m128d bad = _mm_setzero_pd();
     std::size_t i = 1;
     for (; i + 2 <= values.size(); i += 2) {
       const __m128d v = _mm_loadu_pd(values.data() + i);
       vmn = _mm_min_pd(vmn, v);
       vmx = _mm_max_pd(vmx, v);
+      bad = _mm_or_pd(bad, _mm_cmpnle_pd(_mm_and_pd(v, abs_mask), vlim));
     }
     mn = std::min(_mm_cvtsd_f64(vmn),
                   _mm_cvtsd_f64(_mm_unpackhi_pd(vmn, vmn)));
     mx = std::max(_mm_cvtsd_f64(vmx),
                   _mm_cvtsd_f64(_mm_unpackhi_pd(vmx, vmx)));
+    ok &= _mm_movemask_pd(bad) == 0;
     for (; i < values.size(); ++i) {
       mn = std::min(mn, values[i]);
       mx = std::max(mx, values[i]);
+      ok &= std::isfinite(values[i]) != 0;
     }
   } else
 #endif
@@ -114,6 +128,7 @@ std::pair<double, double> MinMax(std::span<const double> values) {
     for (std::size_t i = 1; i < values.size(); ++i) {
       mn = std::min(mn, values[i]);
       mx = std::max(mx, values[i]);
+      ok &= std::isfinite(values[i]) != 0;
     }
   }
   if (mn == 0.0) {
@@ -132,19 +147,27 @@ std::pair<double, double> MinMax(std::span<const double> values) {
       }
     }
   }
-  return {mn, mx};
+  scan.all_finite = ok;
+  scan.min = mn;
+  scan.max = mx;
+  return scan;
 }
-
-}  // namespace
 
 IntervalList PartitionDimension(std::span<const double> values,
                                 const PartitionerConfig& config) {
   PMCORR_DASSERT(!values.empty());
+  const ValueScan scan = ScanValues(values);
+  return PartitionDimension(values, config, scan.min, scan.max);
+}
+
+IntervalList PartitionDimension(std::span<const double> values,
+                                const PartitionerConfig& config,
+                                double min_value, double max_value) {
+  PMCORR_DASSERT(!values.empty());
   PMCORR_DASSERT(config.units >= 2);
 
-  const auto [lo_v, hi_v] = MinMax(values);
-  double lo = lo_v;
-  double hi = hi_v;
+  double lo = min_value;
+  double hi = max_value;
   if (hi <= lo) {
     // Degenerate (constant) dimension: one symmetric band around the value.
     const double pad = std::max(std::fabs(lo) * 0.05, 0.5);

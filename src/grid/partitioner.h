@@ -48,9 +48,35 @@ struct PartitionerConfig {
   double pad_fraction = 1e-6;
 };
 
+/// One fused pass over a history: finiteness of every value plus the
+/// min/max extrema. Learn's compile phase needs both — the gap check
+/// before filtering, the extrema to place the grid bounds — and fusing
+/// them halves the scans over every history a model is built from.
+/// `min`/`max` match std::minmax_element bitwise on finite data (first
+/// minimum, last maximum — the ±0 distinction matters because the grid
+/// bounds are serialized); they are meaningless when all_finite is
+/// false (a NaN poisons the fold, exactly as it would poison
+/// minmax_element).
+struct ValueScan {
+  bool all_finite = false;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Scans `values` (non-empty) in one pass, two SSE2 lanes at a time.
+ValueScan ScanValues(std::span<const double> values);
+
 /// Discretizes one dimension to fit `values` (non-empty). Returns a
 /// contiguous IntervalList covering all the data.
 IntervalList PartitionDimension(std::span<const double> values,
                                 const PartitionerConfig& config);
+
+/// Precomputed-bounds overload: `min_value`/`max_value` must be the
+/// extrema of `values` as ScanValues reports them (callers that already
+/// scanned — Learn's fused finite+minmax pass — skip the rescan; the
+/// result is bitwise identical to the scanning overload).
+IntervalList PartitionDimension(std::span<const double> values,
+                                const PartitionerConfig& config,
+                                double min_value, double max_value);
 
 }  // namespace pmcorr

@@ -353,8 +353,9 @@ namespace {
 // crash or a silent skip.
 class LineCursor {
  public:
-  LineCursor(std::string_view text, std::size_t line_no)
-      : text_(text), line_no_(line_no) {}
+  LineCursor(std::string_view text, std::size_t line_no,
+             std::string_view context = "ReadSnapshotStreamJsonl")
+      : text_(text), line_no_(line_no), context_(context) {}
 
   void Expect(std::string_view token) {
     if (text_.substr(pos_, token.size()) != token) {
@@ -413,7 +414,7 @@ class LineCursor {
   }
 
   [[noreturn]] void Fail(const std::string& what) const {
-    throw std::runtime_error("ReadSnapshotStreamJsonl: line " +
+    throw std::runtime_error(std::string(context_) + ": line " +
                              std::to_string(line_no_) + ": " + what);
   }
 
@@ -421,6 +422,7 @@ class LineCursor {
   std::string_view text_;
   std::size_t pos_ = 0;
   std::size_t line_no_;
+  std::string_view context_;
 };
 
 std::vector<std::optional<double>> ReadScoreArray(LineCursor& cursor) {
@@ -497,6 +499,217 @@ std::vector<SystemSnapshot> ReadSnapshotStreamJsonl(std::istream& in) {
     snapshots.push_back(std::move(snap));
   }
   return snapshots;
+}
+
+namespace {
+
+void WriteChangeArray(std::ostream& out,
+                      const std::vector<ScoreChange>& changes) {
+  out << "[";
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "[" << changes[i].index << ",";
+    WriteDouble(out, changes[i].score);
+    out << "]";
+  }
+  out << "]";
+}
+
+void WriteIndexArray(std::ostream& out,
+                     const std::vector<std::uint32_t>& indices) {
+  out << "[";
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i > 0) out << ",";
+    out << indices[i];
+  }
+  out << "]";
+}
+
+// Reads [[index,score],...] with every index below `width`.
+std::vector<ScoreChange> ReadChangeArray(LineCursor& cursor,
+                                         std::uint32_t width) {
+  std::vector<ScoreChange> changes;
+  cursor.Expect("[");
+  if (!cursor.TryExpect("]")) {
+    do {
+      cursor.Expect("[");
+      ScoreChange change;
+      const std::uint64_t index = cursor.UInt();
+      if (index >= width) cursor.Fail("change index out of range");
+      change.index = static_cast<std::uint32_t>(index);
+      cursor.Expect(",");
+      change.score = cursor.Number();
+      cursor.Expect("]");
+      changes.push_back(change);
+    } while (cursor.TryExpect(","));
+    cursor.Expect("]");
+  }
+  return changes;
+}
+
+std::vector<std::uint32_t> ReadIndexArray(LineCursor& cursor,
+                                          std::uint32_t width) {
+  std::vector<std::uint32_t> indices;
+  cursor.Expect("[");
+  if (!cursor.TryExpect("]")) {
+    do {
+      const std::uint64_t index = cursor.UInt();
+      if (index >= width) cursor.Fail("index out of range");
+      indices.push_back(static_cast<std::uint32_t>(index));
+    } while (cursor.TryExpect(","));
+    cursor.Expect("]");
+  }
+  return indices;
+}
+
+bool ReadBool(LineCursor& cursor) {
+  if (cursor.TryExpect("true")) return true;
+  if (cursor.TryExpect("false")) return false;
+  cursor.Fail("expected true or false");
+}
+
+}  // namespace
+
+void WriteDeltaStreamJsonl(const std::vector<SystemDelta>& deltas,
+                           std::ostream& out) {
+  for (const SystemDelta& d : deltas) {
+    out << "{\"sample\":" << d.sample << ",\"t\":" << d.time
+        << ",\"baseline\":" << (d.baseline ? "true" : "false")
+        << ",\"pairs\":" << d.pair_count
+        << ",\"measurements\":" << d.measurement_count << ",\"q\":";
+    if (d.system_score) {
+      WriteDouble(out, *d.system_score);
+    } else {
+      out << "null";
+    }
+    out << ",\"pair_changes\":";
+    WriteChangeArray(out, d.pair_changes);
+    out << ",\"pair_disengaged\":";
+    WriteIndexArray(out, d.pair_disengaged);
+    out << ",\"qa_changes\":";
+    WriteChangeArray(out, d.measurement_changes);
+    out << ",\"qa_disengaged\":";
+    WriteIndexArray(out, d.measurement_disengaged);
+    out << ",\"alarmed\":[";
+    for (std::size_t i = 0; i < d.alarmed_pairs.size(); ++i) {
+      if (i > 0) out << ",";
+      out << d.alarmed_pairs[i];
+    }
+    out << "],\"outliers\":" << d.outlier_pairs
+        << ",\"extended\":" << d.extended_pairs
+        << ",\"event\":" << static_cast<int>(d.stream_event)
+        << ",\"suppressed\":" << d.suppressed_values
+        << ",\"quarantined\":" << d.quarantined_pairs
+        << ",\"health\":" << (d.has_health ? "true" : "false")
+        << ",\"health_changes\":[";
+    for (std::size_t i = 0; i < d.health_changes.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "[" << d.health_changes[i].index << ","
+          << static_cast<int>(d.health_changes[i].health) << "]";
+    }
+    out << "]}\n";
+  }
+  if (!out) throw std::runtime_error("WriteDeltaStreamJsonl: write failed");
+}
+
+std::vector<SystemDelta> ReadDeltaStreamJsonl(std::istream& in) {
+  std::vector<SystemDelta> deltas;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    LineCursor cursor(line, line_no, "ReadDeltaStreamJsonl");
+    SystemDelta d;
+
+    cursor.Expect("{\"sample\":");
+    d.sample = static_cast<std::size_t>(cursor.UInt());
+    cursor.Expect(",\"t\":");
+    d.time = cursor.Int();
+    cursor.Expect(",\"baseline\":");
+    d.baseline = ReadBool(cursor);
+    cursor.Expect(",\"pairs\":");
+    const std::uint64_t pairs = cursor.UInt();
+    if (pairs > kMaxPairs) cursor.Fail("declared pair count exceeds limit");
+    d.pair_count = static_cast<std::uint32_t>(pairs);
+    cursor.Expect(",\"measurements\":");
+    const std::uint64_t measurements = cursor.UInt();
+    if (measurements > kMaxMeasurements) {
+      cursor.Fail("declared measurement count exceeds limit");
+    }
+    d.measurement_count = static_cast<std::uint32_t>(measurements);
+    cursor.Expect(",\"q\":");
+    d.system_score = cursor.NumberOrNull();
+    cursor.Expect(",\"pair_changes\":");
+    d.pair_changes = ReadChangeArray(cursor, d.pair_count);
+    cursor.Expect(",\"pair_disengaged\":");
+    d.pair_disengaged = ReadIndexArray(cursor, d.pair_count);
+    cursor.Expect(",\"qa_changes\":");
+    d.measurement_changes = ReadChangeArray(cursor, d.measurement_count);
+    cursor.Expect(",\"qa_disengaged\":");
+    d.measurement_disengaged = ReadIndexArray(cursor, d.measurement_count);
+
+    cursor.Expect(",\"alarmed\":[");
+    if (cursor.Peek() != ']') {
+      do {
+        const std::uint64_t pair = cursor.UInt();
+        if (pair >= d.pair_count) {
+          cursor.Fail("alarmed pair index out of range");
+        }
+        if (!d.alarmed_pairs.empty() && pair <= d.alarmed_pairs.back()) {
+          cursor.Fail("alarmed pair indices not strictly increasing");
+        }
+        d.alarmed_pairs.push_back(static_cast<std::size_t>(pair));
+      } while (cursor.TryExpect(","));
+    }
+    cursor.Expect("]");
+
+    cursor.Expect(",\"outliers\":");
+    d.outlier_pairs = static_cast<std::size_t>(cursor.UInt());
+    cursor.Expect(",\"extended\":");
+    d.extended_pairs = static_cast<std::size_t>(cursor.UInt());
+    cursor.Expect(",\"event\":");
+    const std::uint64_t event = cursor.UInt();
+    if (event > static_cast<std::uint64_t>(StreamEvent::kOutOfOrder)) {
+      cursor.Fail("unknown stream event code");
+    }
+    d.stream_event = static_cast<StreamEvent>(event);
+    cursor.Expect(",\"suppressed\":");
+    d.suppressed_values = static_cast<std::size_t>(cursor.UInt());
+    cursor.Expect(",\"quarantined\":");
+    d.quarantined_pairs = static_cast<std::size_t>(cursor.UInt());
+    cursor.Expect(",\"health\":");
+    d.has_health = ReadBool(cursor);
+    cursor.Expect(",\"health_changes\":[");
+    if (cursor.Peek() != ']') {
+      do {
+        cursor.Expect("[");
+        HealthChange change;
+        const std::uint64_t index = cursor.UInt();
+        if (index >= d.measurement_count) {
+          cursor.Fail("health change index out of range");
+        }
+        change.index = static_cast<std::uint32_t>(index);
+        cursor.Expect(",");
+        const std::uint64_t health = cursor.UInt();
+        if (health > static_cast<std::uint64_t>(MeasurementHealth::kDead)) {
+          cursor.Fail("unknown health code");
+        }
+        change.health = static_cast<MeasurementHealth>(health);
+        cursor.Expect("]");
+        d.health_changes.push_back(change);
+      } while (cursor.TryExpect(","));
+    }
+    cursor.Expect("]");
+    cursor.Expect("}");
+    cursor.ExpectEnd();
+
+    if (d.outlier_pairs > d.pair_count || d.extended_pairs > d.pair_count) {
+      cursor.Fail("outlier/extended counts exceed pair count");
+    }
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
 }
 
 }  // namespace pmcorr

@@ -94,4 +94,27 @@ void WriteSnapshotStreamJsonl(const std::vector<SystemSnapshot>& snapshots,
 /// or out of order, and score arrays whose width changes mid-stream.
 std::vector<SystemSnapshot> ReadSnapshotStreamJsonl(std::istream& in);
 
+/// Writes a SystemDelta stream as JSONL, one line per tick:
+///   {"sample":N,"t":<unix>,"baseline":true|false,"pairs":P,
+///    "measurements":M,"q":<Q|null>,"pair_changes":[[i,score],...],
+///    "pair_disengaged":[i,...],"qa_changes":[[i,score],...],
+///    "qa_disengaged":[i,...],"alarmed":[...],"outliers":N,
+///    "extended":N,"event":E,"suppressed":N,"quarantined":N,
+///    "health":true|false,"health_changes":[[i,h],...]}
+/// Scores use 17 significant digits, so reconstructing the parsed
+/// stream (DeltaReconstructor) is bitwise identical to reconstructing
+/// the in-memory one. On a quiet tick every change list is empty and
+/// the line is O(1) bytes regardless of pair count — that is the point
+/// of the delta form.
+void WriteDeltaStreamJsonl(const std::vector<SystemDelta>& deltas,
+                           std::ostream& out);
+
+/// Parses a stream written by WriteDeltaStreamJsonl. Strict like
+/// ReadSnapshotStreamJsonl: exact key order, no padding; throws
+/// std::runtime_error with a line number on any deviation, including
+/// non-finite scores, unknown event/health codes, or change indices
+/// outside the declared widths. Ordering/baseline discipline is the
+/// reconstructor's job — this reader checks each line in isolation.
+std::vector<SystemDelta> ReadDeltaStreamJsonl(std::istream& in);
+
 }  // namespace pmcorr

@@ -182,6 +182,47 @@ TEST(Stats, HistogramBinsAndClamps) {
   EXPECT_EQ(hist.BinOf(4.0), 2u);
 }
 
+TEST(Stats, AddAllMatchesPerElementAdd) {
+  // The blocked bulk path (quotient block + branchless scatter into four
+  // banks) must produce exactly the counts of per-element Add, including
+  // at the clamp edges and across block boundaries. 5000 samples spans
+  // three 2048-sample blocks, with edge values salted in.
+  Rng rng(99);
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < 5000; ++i) xs.push_back(rng.Uniform(-2.0, 12.0));
+  xs[0] = 0.0;     // exactly lo
+  xs[1] = 10.0;    // exactly hi
+  xs[2] = -50.0;   // below lo
+  xs[3] = 50.0;    // above hi
+  xs[4] = 10.0 - 1e-12;
+  Histogram bulk(0.0, 10.0, 17);
+  bulk.AddAll(xs);
+  Histogram serial(0.0, 10.0, 17);
+  for (double x : xs) serial.Add(x);
+  ASSERT_EQ(bulk.BinCount(), serial.BinCount());
+  for (std::size_t b = 0; b < bulk.BinCount(); ++b) {
+    EXPECT_EQ(bulk.CountAt(b), serial.CountAt(b)) << "bin " << b;
+  }
+  EXPECT_EQ(bulk.TotalCount(), serial.TotalCount());
+}
+
+TEST(Stats, AddAllShortAndRepeatedCalls) {
+  // Sub-block inputs and repeated AddAll calls accumulate exactly like
+  // per-element Add (the scratch banks must reset between calls).
+  Histogram bulk(0.0, 1.0, 4);
+  Histogram serial(0.0, 1.0, 4);
+  const std::vector<double> a{0.1, 0.6, 0.6, 0.9};
+  const std::vector<double> b{0.3};
+  bulk.AddAll(a);
+  bulk.AddAll(b);
+  for (double x : a) serial.Add(x);
+  for (double x : b) serial.Add(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(bulk.CountAt(i), serial.CountAt(i));
+  }
+  EXPECT_EQ(bulk.TotalCount(), 5u);
+}
+
 TEST(Strings, SplitKeepsEmptyFields) {
   const auto parts = Split("a,,b", ',');
   ASSERT_EQ(parts.size(), 3u);

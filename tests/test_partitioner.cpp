@@ -1,7 +1,11 @@
 // Tests for the MAFIA-style adaptive dimension partitioner (Section 4.1).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -127,6 +131,78 @@ TEST(Partitioner, TwoClustersSeparatedBySparseGap) {
   const IntervalList list = PartitionDimension(xs, config);
   EXPECT_LE(list.Size(), config.max_intervals);
   EXPECT_GE(list.Size(), 3u);  // two modes + gap structure
+}
+
+bool SameBits(double a, double b) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+TEST(ScanValues, MatchesIsfiniteAndMinmaxElement) {
+  // The fused SSE2 pass must agree with the scalar oracle — per-element
+  // std::isfinite plus std::minmax_element — on sizes that hit the
+  // vector path, its tail loop, and the short scalar fallback.
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 64u, 257u}) {
+    const auto xs = UniformData(n, -5.0, 5.0, 1000 + n);
+    const ValueScan scan = ScanValues(xs);
+    const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+    EXPECT_TRUE(scan.all_finite) << "n=" << n;
+    EXPECT_TRUE(SameBits(scan.min, *mn)) << "n=" << n;
+    EXPECT_TRUE(SameBits(scan.max, *mx)) << "n=" << n;
+  }
+}
+
+TEST(ScanValues, FlagsNonFiniteAnywhere) {
+  const double bads[] = {std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity()};
+  for (double bad : bads) {
+    for (std::size_t pos : {0u, 1u, 5u, 30u, 31u}) {
+      auto xs = UniformData(32, -1.0, 1.0, 77);
+      xs[pos] = bad;
+      EXPECT_FALSE(ScanValues(xs).all_finite) << bad << " at " << pos;
+    }
+  }
+  EXPECT_TRUE(ScanValues(UniformData(32, -1.0, 1.0, 77)).all_finite);
+}
+
+TEST(ScanValues, SignedZeroExtremaMatchMinmaxElement) {
+  // minmax_element keeps the FIRST minimum and the LAST maximum; when an
+  // extremum is zero the two bit patterns of ±0 compare equal, so the
+  // fused scan's fixup must reproduce the oracle's choice exactly.
+  const std::vector<std::vector<double>> cases = {
+      {0.0, -0.0, 0.0, -0.0, 0.0, -0.0},
+      {-0.0, 0.0, -0.0, 0.0, -0.0, 0.0},
+      {1.0, -0.0, 2.0, 0.0, 3.0, 4.0},  // zero is the minimum
+      {-3.0, 0.0, -2.0, -0.0, -1.0},    // zero is the maximum
+      {-0.0, 0.0},
+      {0.0},
+  };
+  for (const auto& xs : cases) {
+    const ValueScan scan = ScanValues(xs);
+    const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+    EXPECT_TRUE(SameBits(scan.min, *mn));
+    EXPECT_TRUE(SameBits(scan.max, *mx));
+  }
+}
+
+TEST(Partitioner, BoundsOverloadMatchesScanningOverload) {
+  // Learn's fused path hands the ScanValues extrema straight to the
+  // partitioner; the result must be bitwise the intervals the scanning
+  // overload computes itself.
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto xs = BimodalData(1200, seed);
+    const ValueScan scan = ScanValues(xs);
+    const IntervalList a = PartitionDimension(xs, {});
+    const IntervalList b = PartitionDimension(xs, {}, scan.min, scan.max);
+    ASSERT_EQ(a.Size(), b.Size());
+    for (std::size_t i = 0; i < a.Size(); ++i) {
+      EXPECT_TRUE(SameBits(a.At(i).lo, b.At(i).lo));
+      EXPECT_TRUE(SameBits(a.At(i).hi, b.At(i).hi));
+    }
+  }
 }
 
 }  // namespace

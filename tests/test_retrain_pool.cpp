@@ -1,0 +1,314 @@
+// Tests for the shared bounded rolling-retrain pool: a fixed worker
+// count serving many pairs from one FIFO queue, with the retrainer's
+// adopt-at-a-boundary / keep-old-model / watchdog semantics lifted to
+// the pool level.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/retrain_pool.h"
+#include "io/model_io.h"
+
+namespace pmcorr {
+namespace {
+
+// Same drifting process as test_retrainer, with a per-pair level offset
+// so a rebuild's window identifies which pair it belongs to.
+void MakeDrifting(std::size_t n, double drift_per_sample, std::uint64_t seed,
+                  std::vector<double>* xs, std::vector<double>* ys,
+                  double offset = 0.0) {
+  Rng rng(seed);
+  xs->resize(n);
+  ys->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double level =
+        offset + 50.0 + drift_per_sample * static_cast<double>(i);
+    const double load =
+        level + 20.0 * std::sin(static_cast<double>(i) * 0.05) +
+        rng.Normal(0.0, 1.0);
+    (*xs)[i] = load;
+    (*ys)[i] = 2.0 * load + 10.0 + rng.Normal(0.0, 1.0);
+  }
+}
+
+ModelConfig SmallModel() {
+  ModelConfig config;
+  config.partition.units = 30;
+  config.partition.max_intervals = 8;
+  return config;
+}
+
+RetrainPoolConfig FastPool(std::size_t threads = 1) {
+  RetrainPoolConfig config;
+  config.threads = threads;
+  config.window_samples = 400;
+  config.interval_samples = 100;
+  config.min_samples = 50;
+  return config;
+}
+
+std::string Serialize(const PairModel& model) {
+  std::ostringstream out;
+  SavePairModel(model, out);
+  return out.str();
+}
+
+TEST(RetrainPool, FifoFairnessAcrossPairs) {
+  // 6 pairs, one worker. Every rebuild records which pair's window it
+  // learned from (pairs are separated by a big level offset), so the
+  // dequeue order is observable.
+  constexpr std::size_t kPairs = 6;
+  std::mutex order_mu;
+  std::vector<std::size_t> order;
+  RetrainPoolConfig config = FastPool(1);
+  config.rebuild_override = [&](std::span<const double> x,
+                                std::span<const double> y,
+                                const ModelConfig& model_config) {
+    {
+      const std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(static_cast<std::size_t>(x[0] / 1000.0 + 0.5));
+    }
+    return PairModel::Learn(x, y, model_config);
+  };
+  RetrainPool pool(SmallModel(), config);
+
+  std::vector<std::vector<double>> xs(kPairs), ys(kPairs);
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    MakeDrifting(300, 0.0, 3 + p, &xs[p], &ys[p],
+                 static_cast<double>(p) * 1000.0);
+    ASSERT_EQ(pool.AddPair(xs[p], ys[p]), p);
+  }
+
+  // Two full cadence rounds, stepping the pairs round-robin: the queue
+  // must serve every pair once before any pair goes twice.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      for (std::size_t p = 0; p < kPairs; ++p) {
+        pool.Step(p, xs[p][static_cast<std::size_t>(i) % 300],
+                  ys[p][static_cast<std::size_t>(i) % 300]);
+      }
+    }
+    pool.WaitForIdle();
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      pool.Step(p, xs[p][0], ys[p][0]);  // adoption boundary
+      EXPECT_EQ(pool.Rebuilds(p), static_cast<std::size_t>(round) + 1);
+    }
+  }
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+  EXPECT_EQ(pool.ThreadCount(), 1u);
+
+  ASSERT_EQ(order.size(), 2 * kPairs);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i % kPairs) << "dequeue position " << i;
+  }
+}
+
+TEST(RetrainPool, ThreadCountIndependentOfPairCount) {
+  constexpr std::size_t kPairs = 40;
+  RetrainPool pool(SmallModel(), FastPool(2));
+  std::vector<double> xs, ys;
+  MakeDrifting(300, 0.0, 17, &xs, &ys);
+  for (std::size_t p = 0; p < kPairs; ++p) pool.AddPair(xs, ys);
+  EXPECT_EQ(pool.ThreadCount(), 2u);
+
+  for (int i = 0; i < 100; ++i) {
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      pool.Step(p, xs[static_cast<std::size_t>(i)],
+                ys[static_cast<std::size_t>(i)]);
+    }
+  }
+  pool.WaitForIdle();
+  EXPECT_EQ(pool.ThreadCount(), 2u);  // never one thread per pair
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    pool.Step(p, xs[100], ys[100]);
+    EXPECT_EQ(pool.Rebuilds(p), 1u) << "pair " << p;
+  }
+}
+
+TEST(RetrainPool, AdoptedModelEqualsLearnOfWindowSnapshot) {
+  // Bitwise contract carried over from RollingPairRetrainer: the model
+  // adopted at the boundary is exactly PairModel::Learn over the window
+  // as of the cadence Step, plus the online steps fed after adoption.
+  std::vector<double> xs, ys;
+  MakeDrifting(900, 0.02, 13, &xs, &ys);
+  RetrainPool pool(SmallModel(), FastPool(1));
+  const std::vector<double> seed_x(xs.begin(), xs.begin() + 400);
+  const std::vector<double> seed_y(ys.begin(), ys.begin() + 400);
+  ASSERT_EQ(pool.AddPair(seed_x, seed_y), 0u);
+
+  for (std::size_t i = 400; i < 500; ++i) pool.Step(0, xs[i], ys[i]);
+  const std::vector<double> wx(xs.begin() + 100, xs.begin() + 500);
+  const std::vector<double> wy(ys.begin() + 100, ys.begin() + 500);
+  ASSERT_EQ(pool.WindowSize(0), wx.size());
+  const PairModel expected = PairModel::Learn(wx, wy, SmallModel());
+
+  pool.WaitForPair(0);
+  EXPECT_EQ(pool.Rebuilds(0), 0u);  // built, not yet adopted
+  pool.Step(0, xs[500], ys[500]);
+  EXPECT_EQ(pool.Rebuilds(0), 1u);  // adopted at the boundary
+  PairModel oracle = expected;
+  oracle.Step(xs[500], ys[500]);
+  EXPECT_EQ(Serialize(pool.Model(0)), Serialize(oracle));
+}
+
+TEST(RetrainPool, WatchdogAbandonsWedgedRebuildWithoutStarvingQueue) {
+  std::vector<double> xs, ys;
+  MakeDrifting(300, 0.0, 29, &xs, &ys);
+
+  // Deterministic time: the watchdog reads this fake clock, so "wedged
+  // past the deadline" is an explicit statement, not a sleep race.
+  std::atomic<std::int64_t> now_ns{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> rebuild_calls{0};
+  RetrainPoolConfig config = FastPool(1);
+  config.watchdog_ms = 10;
+  config.clock = [&now_ns] { return now_ns.load(); };
+  config.rebuild_override = [&](std::span<const double> x,
+                                std::span<const double> y,
+                                const ModelConfig& model_config) {
+    if (rebuild_calls.fetch_add(1) == 0) {
+      // First rebuild (pair 0) wedges until the test releases it.
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return PairModel::Learn(x, y, model_config);
+  };
+  RetrainPool pool(SmallModel(), config);
+  ASSERT_EQ(pool.AddPair(xs, ys), 0u);
+  ASSERT_EQ(pool.AddPair(xs, ys), 1u);
+
+  // Fire pair 0's cadence and wait for the single worker to wedge on it,
+  // then fire pair 1's cadence: it queues behind the wedged build.
+  for (int i = 0; i < 100; ++i) {
+    pool.Step(0, xs[static_cast<std::size_t>(i)],
+              ys[static_cast<std::size_t>(i)]);
+  }
+  while (rebuild_calls.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pool.RebuildInFlight(0));
+  for (int i = 0; i < 100; ++i) {
+    pool.Step(1, xs[static_cast<std::size_t>(i)],
+              ys[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_TRUE(pool.RebuildInFlight(1));
+
+  // Past the deadline, any pair's Step writes the wedged build off and a
+  // replacement worker drains pair 1's rebuild — the queue is not
+  // starved even though the doomed worker is still grinding.
+  now_ns.fetch_add(20 * 1'000'000);  // 20ms > watchdog_ms
+  pool.Step(1, xs[100], ys[100]);
+  EXPECT_EQ(pool.AbandonedRebuilds(0), 1u);
+  EXPECT_FALSE(pool.RebuildInFlight(0));
+  EXPECT_GE(pool.ThreadCount(), 2u);  // doomed worker + replacement
+  pool.WaitForPair(1);                // must return, not hang
+  pool.Step(1, xs[101], ys[101]);
+  EXPECT_EQ(pool.Rebuilds(1), 1u);
+  EXPECT_EQ(pool.Rebuilds(0), 0u);
+
+  // Unwedge: the abandoned result is discarded, never adopted, and the
+  // worker count settles back to the configured bound.
+  release.store(true);
+  pool.WaitForIdle();
+  pool.Step(0, xs[100], ys[100]);
+  EXPECT_EQ(pool.Rebuilds(0), 0u);
+  while (pool.ThreadCount() != 1u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Pair 0's slot reopened: its next cadence rebuilds and adopts.
+  for (int i = 101; i < 300 && pool.Rebuilds(0) == 0; ++i) {
+    pool.Step(0, xs[static_cast<std::size_t>(i % 300)],
+              ys[static_cast<std::size_t>(i % 300)]);
+    pool.WaitForPair(0);
+  }
+  EXPECT_GE(pool.Rebuilds(0), 1u);
+}
+
+TEST(RetrainPool, FailureBackoffDelaysRetry) {
+  std::vector<double> xs, ys;
+  MakeDrifting(300, 0.0, 31, &xs, &ys);
+  std::atomic<int> rebuild_calls{0};
+  RetrainPoolConfig config = FastPool(1);
+  config.failure_backoff = {.base = 1000,
+                            .multiplier = 1.0,
+                            .cap = 1000,
+                            .budget = SIZE_MAX};
+  config.rebuild_override = [&](std::span<const double>,
+                                std::span<const double>,
+                                const ModelConfig&) -> PairModel {
+    rebuild_calls.fetch_add(1);
+    throw std::runtime_error("injected rebuild failure");
+  };
+  RetrainPool pool(SmallModel(), config);
+  ASSERT_EQ(pool.AddPair(xs, ys), 0u);
+
+  for (int i = 0; i < 100; ++i) {
+    pool.Step(0, xs[static_cast<std::size_t>(i)],
+              ys[static_cast<std::size_t>(i)]);
+  }
+  pool.WaitForPair(0);
+  EXPECT_EQ(pool.FailedRebuilds(0), 1u);
+  EXPECT_NE(pool.LastRebuildError(0).find("injected"), std::string::npos);
+
+  // 300 more samples: far past the normal cadence, still inside the
+  // 1000-sample cooldown — no retry fires.
+  for (int i = 0; i < 300; ++i) {
+    pool.Step(0, xs[static_cast<std::size_t>(i % 300)],
+              ys[static_cast<std::size_t>(i % 300)]);
+  }
+  pool.WaitForIdle();
+  EXPECT_EQ(rebuild_calls.load(), 1);
+  EXPECT_FALSE(pool.GaveUp(0));
+  // The serving model was never replaced by a rebuild.
+  pool.Step(0, xs[0], ys[0]);
+  EXPECT_EQ(pool.Rebuilds(0), 0u);
+}
+
+TEST(RetrainPool, GivesUpAfterFailureBudget) {
+  std::vector<double> xs, ys;
+  MakeDrifting(300, 0.0, 37, &xs, &ys);
+  std::atomic<int> rebuild_calls{0};
+  RetrainPoolConfig config = FastPool(1);
+  config.failure_backoff = {
+      .base = 0, .multiplier = 1.0, .cap = 0, .budget = 2};
+  config.rebuild_override = [&](std::span<const double>,
+                                std::span<const double>,
+                                const ModelConfig&) -> PairModel {
+    rebuild_calls.fetch_add(1);
+    throw std::runtime_error("injected rebuild failure");
+  };
+  RetrainPool pool(SmallModel(), config);
+  ASSERT_EQ(pool.AddPair(xs, ys), 0u);
+
+  // Drive many cadence rounds, letting each queued rebuild resolve so
+  // the retry schedule is deterministic; after the 2-retry budget the
+  // pair stops asking.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      pool.Step(0, xs[static_cast<std::size_t>(i % 300)],
+                ys[static_cast<std::size_t>(i % 300)]);
+    }
+    pool.WaitForPair(0);
+  }
+  pool.WaitForIdle();
+  EXPECT_TRUE(pool.GaveUp(0));
+  EXPECT_EQ(pool.FailedRebuilds(0), 2u);
+  EXPECT_EQ(rebuild_calls.load(), 2);
+  EXPECT_EQ(pool.Rebuilds(0), 0u);  // still serving the initial model
+}
+
+}  // namespace
+}  // namespace pmcorr

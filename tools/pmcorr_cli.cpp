@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -236,7 +237,55 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+// Shared tail of `monitor`: sparkline + low-Q windows over a snapshot
+// stream, whether the snapshots came from a live Run or were
+// reconstructed from a delta stream.
+void PrintSystemScoreSummary(const std::vector<SystemSnapshot>& snapshots,
+                             double threshold) {
+  const std::vector<std::optional<double>> q = SystemScoreSeries(snapshots);
+  SparklineOptions spark;
+  spark.width = 72;
+  std::printf("system fitness Q over %zu samples:\n%s\n", snapshots.size(),
+              Sparkline(std::span<const std::optional<double>>(q), spark)
+                  .c_str());
+  if (snapshots.empty()) return;
+  const TimePoint start = snapshots.front().time;
+  const TimePoint period = snapshots.size() > 1
+                               ? snapshots[1].time - snapshots[0].time
+                               : kDay / 96;
+  const auto windows = ExtractLowScoreWindows(
+      std::span<const std::optional<double>>(q), start, period, threshold, 2);
+  std::printf("%zu low-Q windows (Q < %.2f for >= 2 samples)\n",
+              windows.size(), threshold);
+  for (const auto& w : windows) {
+    std::printf("  %s .. %s  min Q = %.3f\n",
+                FormatTimePoint(w.start).c_str(),
+                FormatTimePoint(w.end).c_str(), w.min_score);
+  }
+}
+
 int CmdMonitor(const Flags& flags) {
+  // Offline delta-stream review: reconstruct full snapshots from a
+  // stream written with --delta-out and report on them. Needs no trace
+  // (the stream is self-contained).
+  const std::string from_deltas = flags.GetOr("from-deltas", "");
+  if (!from_deltas.empty()) {
+    std::ifstream in(from_deltas, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("cannot open --from-deltas file " +
+                               from_deltas);
+    }
+    const std::vector<SystemDelta> deltas = ReadDeltaStreamJsonl(in);
+    const auto snapshots = ReconstructSnapshots(deltas);
+    std::size_t baselines = 0;
+    for (const SystemDelta& d : deltas) baselines += d.baseline ? 1 : 0;
+    std::printf("reconstructed %zu snapshots from %zu deltas"
+                " (%zu baselines)\n",
+                snapshots.size(), deltas.size(), baselines);
+    PrintSystemScoreSummary(snapshots, flags.GetDouble("threshold", 0.9));
+    return 0;
+  }
+
   const MeasurementFrame frame = ReadFrameCsv(flags.Get("trace"));
   const auto train_days = flags.GetInt("train-days", 0);
   if (train_days <= 0) {
@@ -321,7 +370,39 @@ int CmdMonitor(const Flags& flags) {
     return 0;
   }
 
-  const auto snapshots = monitor.Run(test);
+  // --delta-out: run in incremental mode, persist the delta stream, and
+  // reconstruct full snapshots for the report below (the differential
+  // suite proves reconstruction bitwise-identical to a plain Run).
+  const std::string delta_out = flags.GetOr("delta-out", "");
+  std::vector<SystemSnapshot> snapshots;
+  if (!delta_out.empty()) {
+    const std::vector<SystemDelta> deltas = monitor.RunDelta(test);
+    std::ofstream out(delta_out, std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("cannot open --delta-out file " + delta_out);
+    }
+    WriteDeltaStreamJsonl(deltas, out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("writing --delta-out file " + delta_out +
+                               " failed");
+    }
+    std::size_t changed = 0;
+    for (const SystemDelta& d : deltas) {
+      changed += d.pair_changes.size() + d.pair_disengaged.size();
+    }
+    std::printf("wrote %zu deltas to %s (%.2f pair changes/tick of %zu"
+                " pairs)\n",
+                deltas.size(), delta_out.c_str(),
+                deltas.empty()
+                    ? 0.0
+                    : static_cast<double>(changed) /
+                          static_cast<double>(deltas.size()),
+                graph.PairCount());
+    snapshots = ReconstructSnapshots(deltas);
+  } else {
+    snapshots = monitor.Run(test);
+  }
   const std::vector<std::optional<double>> q = SystemScoreSeries(snapshots);
 
   SparklineOptions spark;
@@ -461,6 +542,10 @@ void Usage() {
       "           [--partners N] [--min-spearman R] [--threshold Q]\n"
       "           [--stream FILE]   (feed a degraded row-stream CSV and\n"
       "                              report per-measurement feed health)\n"
+      "           [--delta-out FILE] (emit the incremental JSONL delta\n"
+      "                              stream instead of full snapshots)\n"
+      "  monitor  --from-deltas FILE [--threshold Q]\n"
+      "           (reconstruct and report a saved delta stream)\n"
       "  evaluate [--mode full|smoke] [--out FILE] [--scenario NAME]\n"
       "           [--machines N] [--days N] [--seed N] [--threads N]\n"
       "           (detection-quality scorecard: pmcorr + 5 baselines over\n"
