@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace pmcorr {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+/// Serializes sink writes so concurrent log lines never interleave.
+Mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,7 +31,7 @@ LogLevel GetLogLevel() { return g_level.load(); }
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::fprintf(stderr, "[pmcorr %s] %s\n", LevelName(level), message.c_str());
 }
 

@@ -1,0 +1,94 @@
+// Annotated mutex / condition-variable wrappers.
+//
+// The engine's locking disciplines are compile-time contracts: every
+// mutex in the codebase is a pmcorr::Mutex, every guarded member names
+// it in a PMCORR_GUARDED_BY, and clang's -Wthread-safety analysis
+// rejects any access that does not hold the right lock (see
+// common/thread_annotations.h and docs/analysis.md "Concurrency
+// contracts"). std::mutex itself carries no capability attributes, so
+// using it directly blinds the analysis — tools/static_checks bans the
+// raw std types everywhere outside this header.
+//
+// The wrappers are zero-cost veneers over the std primitives: Mutex is
+// exactly a std::mutex, MutexLock a lock_guard, CondVar a
+// condition_variable (TSan still sees the real thing). CondVar::Wait
+// takes the annotated Mutex directly, so predicate loops read
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);   // REQUIRES(mu_) — checked
+//
+// and a Wait without the lock held is a build error, not a hang.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace pmcorr {
+
+/// A std::mutex that the thread-safety analysis can see. Lock/Unlock
+/// pair explicitly for the rare hand-over-hand paths (the thread pool's
+/// worker loop); everything else should prefer MutexLock.
+class PMCORR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PMCORR_ACQUIRE() { mu_.lock(); }
+  void Unlock() PMCORR_RELEASE() { mu_.unlock(); }
+  bool TryLock() PMCORR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (and, under clang, informs the analysis of) a lock that
+  /// is provably held through some path the analysis cannot follow.
+  void AssertHeld() const PMCORR_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII holder: acquires in the constructor, releases in the destructor.
+/// The analysis tracks the scope, so guarded members are accessible for
+/// exactly the lifetime of the lock object.
+class PMCORR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PMCORR_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PMCORR_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Spurious wakeups are
+/// possible as with the std type: always Wait inside a predicate loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning — the caller must hold `mu`, and still does afterwards.
+  void Wait(Mutex& mu) PMCORR_REQUIRES(mu) {
+    // Hand the already-held mutex to the std wait via an adopting
+    // unique_lock, then release() so the borrowed ownership is returned
+    // to the caller's scope rather than dropped here. Net lock state is
+    // unchanged, which is exactly what REQUIRES promises.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pmcorr

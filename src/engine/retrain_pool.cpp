@@ -19,10 +19,10 @@ RetrainPool::RetrainPool(ModelConfig model_config, RetrainPoolConfig config)
 
 RetrainPool::~RetrainPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -73,7 +73,7 @@ StepOutcome RetrainPool::Step(std::size_t i, double x, double y) {
   // at a sample boundary too.
   std::unique_ptr<PairModel> fresh;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     CheckWatchdogsLocked();
     fresh = std::move(s.pending);
     if (s.cooldown_remaining > 0) --s.cooldown_remaining;
@@ -99,7 +99,7 @@ void RetrainPool::MaybeEnqueue(PairState& s, std::size_t i) {
   if (s.since_rebuild < config_.interval_samples) return;
   if (s.window_x.size() < config_.min_samples) return;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (s.given_up) {
       // Permanent: stop re-checking every sample.
       s.since_rebuild = 0;
@@ -116,7 +116,7 @@ void RetrainPool::MaybeEnqueue(PairState& s, std::size_t i) {
     s.queued = true;
     queue_.push_back(i);
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   s.since_rebuild = 0;
 }
 
@@ -144,15 +144,18 @@ void RetrainPool::CheckWatchdogsLocked() {
                          static_cast<std::ptrdiff_t>(r));
     ++live_workers_;
     workers_.emplace_back(&RetrainPool::WorkerLoop, this);
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
 void RetrainPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    if (stop_) return;
+    while (!(stop_ || !queue_.empty())) work_cv_.Wait(mu_);
+    if (stop_) {
+      mu_.Unlock();
+      return;
+    }
     const std::size_t index = queue_.front();
     queue_.pop_front();
     PairState& s = *pairs_[index];
@@ -166,7 +169,7 @@ void RetrainPool::WorkerLoop() {
     running_pairs_.push_back(index);
     std::vector<double> xs = std::move(s.job_x);
     std::vector<double> ys = std::move(s.job_y);
-    lock.unlock();
+    mu_.Unlock();
 
     // A throwing rebuild must not escape the worker (that would
     // std::terminate): it becomes a counted failure and the serving
@@ -181,7 +184,7 @@ void RetrainPool::WorkerLoop() {
       error = "rebuild threw a non-std::exception";
     }
 
-    lock.lock();
+    mu_.Lock();
     // The watchdog may have written this attempt off while the build
     // ran — and the pair may even be running a *fresh* build already
     // (token mismatch). Either way the result is discarded and this
@@ -194,7 +197,8 @@ void RetrainPool::WorkerLoop() {
         s.abandoned_current = false;
       }
       --live_workers_;
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
+      mu_.Unlock();
       return;
     }
     if (!error.empty()) {
@@ -215,57 +219,57 @@ void RetrainPool::WorkerLoop() {
     --active_builds_;
     running_pairs_.erase(
         std::find(running_pairs_.begin(), running_pairs_.end(), index));
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
 std::size_t RetrainPool::FailedRebuilds(std::size_t i) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return pairs_.at(i)->failed;
 }
 
 std::size_t RetrainPool::AbandonedRebuilds(std::size_t i) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return pairs_.at(i)->abandoned;
 }
 
 std::string RetrainPool::LastRebuildError(std::size_t i) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return pairs_.at(i)->last_error;
 }
 
 bool RetrainPool::RebuildInFlight(std::size_t i) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const PairState& s = *pairs_.at(i);
   return s.queued || (s.running && !s.abandoned_current);
 }
 
 bool RetrainPool::GaveUp(std::size_t i) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return pairs_.at(i)->given_up;
 }
 
 std::size_t RetrainPool::QueueDepth() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return queue_.size();
 }
 
 std::size_t RetrainPool::ThreadCount() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return live_workers_;
 }
 
 void RetrainPool::WaitForPair(std::size_t i) {
   PairState& s = *pairs_.at(i);
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] {
-    return !s.queued && (!s.running || s.abandoned_current);
-  });
+  const MutexLock lock(mu_);
+  while (!(!s.queued && (!s.running || s.abandoned_current))) {
+    idle_cv_.Wait(mu_);
+  }
 }
 
 void RetrainPool::WaitForIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && active_builds_ == 0; });
+  const MutexLock lock(mu_);
+  while (!(queue_.empty() && active_builds_ == 0)) idle_cv_.Wait(mu_);
 }
 
 }  // namespace pmcorr

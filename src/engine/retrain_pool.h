@@ -17,20 +17,19 @@
 // restoring the bounded count.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/backoff.h"
+#include "common/mutex.h"
 #include "common/time.h"
 #include "core/model.h"
 
@@ -109,7 +108,7 @@ class RetrainPool {
   /// cadence fires and its slot is free. Also runs the watchdog over
   /// every in-flight rebuild — any pair's Step can write off any wedged
   /// build.
-  StepOutcome Step(std::size_t i, double x, double y);
+  StepOutcome Step(std::size_t i, double x, double y) PMCORR_EXCLUDES(mu_);
 
   std::size_t PairCount() const { return pairs_.size(); }
   const PairModel& Model(std::size_t i) const { return pairs_.at(i)->model; }
@@ -123,30 +122,30 @@ class RetrainPool {
     return pairs_.at(i)->window_x.size();
   }
 
-  std::size_t FailedRebuilds(std::size_t i) const;
-  std::size_t AbandonedRebuilds(std::size_t i) const;
+  std::size_t FailedRebuilds(std::size_t i) const PMCORR_EXCLUDES(mu_);
+  std::size_t AbandonedRebuilds(std::size_t i) const PMCORR_EXCLUDES(mu_);
   /// Message of pair i's most recent failed rebuild ("" if none).
-  std::string LastRebuildError(std::size_t i) const;
+  std::string LastRebuildError(std::size_t i) const PMCORR_EXCLUDES(mu_);
   /// True while pair i has a rebuild queued or running (an abandoned one
   /// no longer counts, even if its doomed worker is still grinding).
-  bool RebuildInFlight(std::size_t i) const;
+  bool RebuildInFlight(std::size_t i) const PMCORR_EXCLUDES(mu_);
   /// True once pair i spent its failure budget and stopped retrying.
-  bool GaveUp(std::size_t i) const;
+  bool GaveUp(std::size_t i) const PMCORR_EXCLUDES(mu_);
 
   /// Rebuilds currently waiting in the queue.
-  std::size_t QueueDepth() const;
+  std::size_t QueueDepth() const PMCORR_EXCLUDES(mu_);
   /// Live worker threads: config threads, plus replacements for wedged
   /// workers that have not finished grinding yet.
-  std::size_t ThreadCount() const;
+  std::size_t ThreadCount() const PMCORR_EXCLUDES(mu_);
 
   /// Test hook: blocks until pair i's queued or running rebuild has
   /// produced its pending model, failed, or been abandoned. The model is
   /// still only adopted by pair i's next Step.
-  void WaitForPair(std::size_t i);
+  void WaitForPair(std::size_t i) PMCORR_EXCLUDES(mu_);
 
   /// Test hook: blocks until the queue is empty and no non-abandoned
   /// rebuild is running.
-  void WaitForIdle();
+  void WaitForIdle() PMCORR_EXCLUDES(mu_);
 
  private:
   struct PairState {
@@ -157,7 +156,12 @@ class RetrainPool {
     std::size_t since_rebuild = 0;
     std::size_t rebuilds = 0;
 
-    // Shared state — guarded by the pool mutex.
+    // Shared state — guarded by the pool mutex (mu_). Clang's analysis
+    // cannot attach a foreign object's capability to these members
+    // (GUARDED_BY must name a mutex reachable from the declaration), so
+    // the contract is enforced one level up instead: every function
+    // that touches them is either a *Locked helper annotated
+    // PMCORR_REQUIRES(mu_) or takes a MutexLock on mu_ first.
     bool queued = false;
     bool running = false;
     /// The in-flight rebuild was abandoned by the watchdog: its result
@@ -179,10 +183,10 @@ class RetrainPool {
   };
 
   void WorkerLoop();
-  void MaybeEnqueue(PairState& s, std::size_t i);
+  void MaybeEnqueue(PairState& s, std::size_t i) PMCORR_EXCLUDES(mu_);
   /// Abandons every in-flight rebuild past the watchdog deadline and
-  /// spawns replacement workers. Caller holds mu_.
-  void CheckWatchdogsLocked();
+  /// spawns replacement workers.
+  void CheckWatchdogsLocked() PMCORR_REQUIRES(mu_);
   PairModel Rebuild(std::span<const double> x, std::span<const double> y);
   std::int64_t NowNs() const;
   static void SeedWindow(PairState& s, std::span<const double> x,
@@ -192,21 +196,27 @@ class RetrainPool {
   ModelConfig model_config_;
   RetrainPoolConfig config_;
   /// unique_ptr slots so PairState addresses stay stable across AddPair
-  /// while workers hold references.
+  /// while workers hold references. The vector itself is governed by the
+  /// serial-section contract (AddPair never races Step or the workers),
+  /// not by mu_; each slot's shared block is guarded by mu_ as above.
   std::vector<std::unique_ptr<PairState>> pairs_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // wakes workers
-  std::condition_variable idle_cv_;  // wakes WaitForPair/WaitForIdle
-  std::deque<std::size_t> queue_;    // FIFO of pair indices
+  mutable Mutex mu_;
+  CondVar work_cv_;  // wakes workers
+  CondVar idle_cv_;  // wakes WaitForPair/WaitForIdle
+  /// FIFO of pair indices.
+  std::deque<std::size_t> queue_ PMCORR_GUARDED_BY(mu_);
   /// Pairs with a (running && !abandoned) build — the watchdog's scan
   /// set, bounded by the live worker count.
-  std::vector<std::size_t> running_pairs_;
-  std::vector<std::thread> workers_;
-  std::uint64_t token_counter_ = 0;
-  std::size_t active_builds_ = 0;  // running and not abandoned
-  std::size_t live_workers_ = 0;
-  bool stop_ = false;
+  std::vector<std::size_t> running_pairs_ PMCORR_GUARDED_BY(mu_);
+  /// Appended under mu_ by the watchdog (replacement workers); only the
+  /// destructor iterates, after every worker has been told to stop.
+  std::vector<std::thread> workers_ PMCORR_GUARDED_BY(mu_);
+  std::uint64_t token_counter_ PMCORR_GUARDED_BY(mu_) = 0;
+  /// Running and not abandoned.
+  std::size_t active_builds_ PMCORR_GUARDED_BY(mu_) = 0;
+  std::size_t live_workers_ PMCORR_GUARDED_BY(mu_) = 0;
+  bool stop_ PMCORR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pmcorr

@@ -64,7 +64,7 @@ void RollingPairRetrainer::MaybeRebuildSync() {
   } catch (const std::exception& e) {
     // Keep serving the current model; count the failure and let the
     // cadence schedule the next attempt from scratch.
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     ++failed_rebuilds_;
     last_error_ = e.what();
     since_rebuild_ = 0;
@@ -80,7 +80,7 @@ bool RollingPairRetrainer::RebuildInFlight() const {
 
 std::size_t RollingPairRetrainer::FailedRebuilds() const {
   if (pool_) return pool_->FailedRebuilds(0);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return failed_rebuilds_;
 }
 
@@ -90,7 +90,7 @@ std::size_t RollingPairRetrainer::AbandonedRebuilds() const {
 
 std::string RollingPairRetrainer::LastRebuildError() const {
   if (pool_) return pool_->LastRebuildError(0);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return last_error_;
 }
 

@@ -15,10 +15,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/backoff.h"
+#include "common/mutex.h"
 #include "common/time.h"
 #include "core/model.h"
 #include "engine/retrain_pool.h"
@@ -97,14 +97,14 @@ class RollingPairRetrainer {
   /// Rebuilds that threw instead of producing a model. The serving
   /// model keeps serving; the cadence schedules the next attempt as
   /// usual.
-  std::size_t FailedRebuilds() const;
+  std::size_t FailedRebuilds() const PMCORR_EXCLUDES(mu_);
 
   /// Background rebuilds the watchdog gave up on (their results, if any
   /// ever arrive, are discarded).
   std::size_t AbandonedRebuilds() const;
 
   /// Message of the most recent failed rebuild ("" if none).
-  std::string LastRebuildError() const;
+  std::string LastRebuildError() const PMCORR_EXCLUDES(mu_);
 
   /// Samples currently in the sliding window.
   std::size_t WindowSize() const {
@@ -137,9 +137,11 @@ class RollingPairRetrainer {
   std::deque<double> window_y_;
   std::size_t since_rebuild_ = 0;
   std::size_t rebuilds_ = 0;
-  mutable std::mutex mu_;  // failure counters
-  std::size_t failed_rebuilds_ = 0;
-  std::string last_error_;
+  /// Guards the failure counters, which the cadence Step writes and any
+  /// thread may read through the accessors.
+  mutable Mutex mu_;
+  std::size_t failed_rebuilds_ PMCORR_GUARDED_BY(mu_) = 0;
+  std::string last_error_ PMCORR_GUARDED_BY(mu_);
 };
 
 }  // namespace pmcorr

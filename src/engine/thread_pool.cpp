@@ -19,35 +19,42 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::WorkerLoop() {
+  mutex_.Lock();
   while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] {
-        return stop_ || !tasks_.empty() ||
-               (region_.active && region_.next < region_.shards);
-      });
-      // An active region with unclaimed shards takes priority over the
-      // queue: a fork/join caller is blocked on it right now.
-      if (region_.active && region_.next < region_.shards) {
-        RunRegionShards(lock);
-        continue;
-      }
-      // Drain-on-stop: queued work still runs, so Post() never loses
-      // tasks to destruction.
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    while (!(stop_ || !tasks_.empty() ||
+             (region_.active && region_.next < region_.shards))) {
+      cv_.Wait(mutex_);
     }
-    task();
+    // An active region with unclaimed shards takes priority over the
+    // queue: a fork/join caller is blocked on it right now.
+    if (region_.active && region_.next < region_.shards) {
+      RunRegionShards();
+      continue;
+    }
+    // Drain-on-stop: queued work still runs, so Post() never loses
+    // tasks to destruction.
+    if (stop_ && tasks_.empty()) {
+      mutex_.Unlock();
+      return;
+    }
+    {
+      // Inner scope so the task (and anything it captured) is destroyed
+      // before the lock is retaken, exactly as before the conversion to
+      // explicit Lock/Unlock.
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop();
+      mutex_.Unlock();
+      task();
+    }
+    mutex_.Lock();
   }
 }
 
@@ -62,30 +69,30 @@ ShardRange ThreadPool::RegionRange(std::size_t shard) const {
   return r;
 }
 
-void ThreadPool::RunRegionShards(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::RunRegionShards() {
   ++region_.participants;
   while (region_.active && region_.next < region_.shards) {
     const std::size_t shard = region_.next++;
     const ShardRange range = RegionRange(shard);
     ShardTaskFn fn = region_.fn;
     void* ctx = region_.ctx;
-    lock.unlock();
+    mutex_.Unlock();
     std::exception_ptr error;
     try {
       fn(ctx, range);
     } catch (...) {
       error = std::current_exception();
     }
-    lock.lock();
+    mutex_.Lock();
     if (error && (!region_.error || range.begin < region_.error_begin)) {
       // First failure by range position, so the rethrown exception does
       // not depend on scheduling order.
       region_.error = std::move(error);
       region_.error_begin = range.begin;
     }
-    if (--region_.remaining == 0) region_cv_.notify_all();
+    if (--region_.remaining == 0) region_cv_.NotifyAll();
   }
-  if (--region_.participants == 0) region_cv_.notify_all();
+  if (--region_.participants == 0) region_cv_.NotifyAll();
 }
 
 void ThreadPool::ParallelShardsStatic(std::size_t count, ShardTaskFn fn,
@@ -106,12 +113,12 @@ void ThreadPool::ParallelShardsStatic(std::size_t count, ShardTaskFn fn,
     return;
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   // One region at a time; a second external caller waits for the block
   // to be fully released (no thread still inside RunRegionShards).
-  region_cv_.wait(lock, [this] {
-    return !region_.active && region_.participants == 0;
-  });
+  while (!(!region_.active && region_.participants == 0)) {
+    region_cv_.Wait(mutex_);
+  }
   region_.fn = fn;
   region_.ctx = ctx;
   region_.shards = shards;
@@ -122,26 +129,26 @@ void ThreadPool::ParallelShardsStatic(std::size_t count, ShardTaskFn fn,
   region_.error = nullptr;
   region_.error_begin = 0;
   region_.active = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
   // The caller participates too — on a saturated pool it would otherwise
   // just block, and on a single-core box it typically runs every shard.
-  RunRegionShards(lock);
-  region_cv_.wait(lock, [this] {
-    return region_.remaining == 0 && region_.participants == 0;
-  });
+  RunRegionShards();
+  while (!(region_.remaining == 0 && region_.participants == 0)) {
+    region_cv_.Wait(mutex_);
+  }
   region_.active = false;
   std::exception_ptr error = std::move(region_.error);
-  lock.unlock();
-  region_cv_.notify_all();
+  mutex_.Unlock();
+  region_cv_.NotifyAll();
   if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::Post(std::function<void()> task) {

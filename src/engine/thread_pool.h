@@ -9,13 +9,13 @@
 // (count, max_shards, thread count).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace pmcorr {
 
@@ -55,7 +55,8 @@ class ThreadPool {
   /// pool stays usable, and the exception of the lowest-indexed failing
   /// chunk is rethrown on the caller.
   void ParallelFor(std::size_t count,
-                   const std::function<void(std::size_t)>& fn);
+                   const std::function<void(std::size_t)>& fn)
+      PMCORR_EXCLUDES(mutex_);
 
   /// Shard-major decomposition: splits [0, count) into
   /// ShardCountFor(count, max_shards) contiguous shards covering every
@@ -68,7 +69,7 @@ class ThreadPool {
   /// pre-size per-shard state via ShardCountFor.
   void ParallelShards(std::size_t count,
                       const std::function<void(const ShardRange&)>& fn,
-                      std::size_t max_shards = 0);
+                      std::size_t max_shards = 0) PMCORR_EXCLUDES(mutex_);
 
   /// Number of shards ParallelShards(count, fn, max_shards) will use:
   /// min(count, max_shards == 0 ? ThreadCount() : max_shards), and 0 for
@@ -86,27 +87,28 @@ class ThreadPool {
   /// wrappers over this. One region runs at a time; concurrent external
   /// callers serialize on the control block.
   void ParallelShardsStatic(std::size_t count, ShardTaskFn fn, void* ctx,
-                            std::size_t max_shards = 0);
+                            std::size_t max_shards = 0)
+      PMCORR_EXCLUDES(mutex_);
 
   /// Fire-and-forget: queues `task` for some worker and returns
   /// immediately. Queued tasks are drained (run, not dropped) by the
   /// destructor. Exceptions escaping `task` are logged and swallowed —
   /// there is no caller left to rethrow to.
-  void Post(std::function<void()> task);
+  void Post(std::function<void()> task) PMCORR_EXCLUDES(mutex_);
 
  private:
   void WorkerLoop();
-  void Enqueue(std::function<void()> task);
+  void Enqueue(std::function<void()> task) PMCORR_EXCLUDES(mutex_);
   /// Claims and runs region shards until the region drains. Entered and
-  /// exited with `lock` held; unlocked only around the user callback.
-  void RunRegionShards(std::unique_lock<std::mutex>& lock);
-  ShardRange RegionRange(std::size_t shard) const;
+  /// exited with mutex_ held; unlocked only around the user callback.
+  void RunRegionShards() PMCORR_REQUIRES(mutex_);
+  ShardRange RegionRange(std::size_t shard) const PMCORR_REQUIRES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ PMCORR_GUARDED_BY(mutex_);
+  bool stop_ PMCORR_GUARDED_BY(mutex_) = false;
 
   /// Fork/join region control block (all fields guarded by mutex_; the
   /// claim counter hands out shards under the lock too — shard counts
@@ -126,8 +128,8 @@ class ThreadPool {
     std::exception_ptr error;
     std::size_t error_begin = 0;
   };
-  Region region_;
-  std::condition_variable region_cv_;  // owner join + slot release
+  Region region_ PMCORR_GUARDED_BY(mutex_);
+  CondVar region_cv_;  // owner join + slot release
 };
 
 }  // namespace pmcorr

@@ -1,0 +1,16 @@
+// Seeded violation: acquiring a mutex already held on the same path
+// (self-deadlock with std::mutex underneath). Expected diagnostic:
+//   acquiring mutex 'mu' that is already held
+#include "common/mutex.h"
+
+namespace pmcorr {
+
+void DoubleAcquire() {
+  Mutex mu;
+  mu.Lock();
+  mu.Lock();
+  mu.Unlock();
+  mu.Unlock();
+}
+
+}  // namespace pmcorr

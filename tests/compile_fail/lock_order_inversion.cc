@@ -1,0 +1,23 @@
+// Seeded violation: taking the locks against the declared
+// PMCORR_ACQUIRED_BEFORE hierarchy (the deadlock shape TSan only finds
+// when two threads actually race the inversion). Expected diagnostic:
+//   mutex 'first_' must be acquired before 'second_'
+#include "common/mutex.h"
+
+namespace pmcorr {
+
+class Ledger {
+ public:
+  void Update() PMCORR_EXCLUDES(first_, second_) {
+    const MutexLock lock_second(second_);
+    const MutexLock lock_first(first_);
+    ++balance_;
+  }
+
+ private:
+  Mutex first_ PMCORR_ACQUIRED_BEFORE(second_);
+  Mutex second_;
+  int balance_ PMCORR_GUARDED_BY(second_) = 0;
+};
+
+}  // namespace pmcorr

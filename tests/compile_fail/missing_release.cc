@@ -1,0 +1,13 @@
+// Seeded violation: a path that returns with the mutex still held.
+// Expected diagnostic:
+//   mutex 'mu' is still held at the end of function
+#include "common/mutex.h"
+
+namespace pmcorr {
+
+void LeakLock() {
+  Mutex mu;
+  mu.Lock();
+}
+
+}  // namespace pmcorr

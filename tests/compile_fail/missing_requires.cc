@@ -1,0 +1,20 @@
+// Seeded violation: calling a PMCORR_REQUIRES(mu_) private helper
+// without acquiring mu_ first — the engine's *Locked() convention.
+// Expected diagnostic:
+//   calling function 'DrainLocked' requires holding mutex 'mu_'
+#include "common/mutex.h"
+
+namespace pmcorr {
+
+class Pool {
+ public:
+  void Step() PMCORR_EXCLUDES(mu_) { DrainLocked(); }
+
+ private:
+  void DrainLocked() PMCORR_REQUIRES(mu_) { ++drained_; }
+
+  Mutex mu_;
+  int drained_ PMCORR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pmcorr

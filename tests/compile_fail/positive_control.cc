@@ -1,0 +1,59 @@
+// Control case: a correctly annotated translation unit exercising every
+// macro class the sibling cases violate. Must compile clean under
+// -Wthread-safety -Wthread-safety-beta -Werror, proving those cases
+// fail for their seeded violation and not for a harness defect.
+#include "common/mutex.h"
+
+namespace pmcorr {
+namespace {
+
+class Counter {
+ public:
+  void Bump() PMCORR_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    BumpLocked();
+  }
+
+  int Get() const PMCORR_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  void BumpLocked() PMCORR_REQUIRES(mu_) { ++count_; }
+
+  mutable Mutex mu_;
+  int count_ PMCORR_GUARDED_BY(mu_) = 0;
+};
+
+class Ledger {
+ public:
+  void Update() PMCORR_EXCLUDES(first_, second_) {
+    const MutexLock lock_first(first_);
+    const MutexLock lock_second(second_);
+    ++balance_;
+  }
+
+ private:
+  Mutex first_ PMCORR_ACQUIRED_BEFORE(second_);
+  Mutex second_;
+  int balance_ PMCORR_GUARDED_BY(second_) = 0;
+};
+
+void ExplicitLockPair() {
+  Mutex mu;
+  mu.Lock();
+  mu.Unlock();
+}
+
+}  // namespace
+}  // namespace pmcorr
+
+int main() {
+  pmcorr::Counter counter;
+  counter.Bump();
+  pmcorr::Ledger ledger;
+  ledger.Update();
+  pmcorr::ExplicitLockPair();
+  return counter.Get();
+}

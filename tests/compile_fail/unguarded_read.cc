@@ -1,0 +1,17 @@
+// Seeded violation: reading a PMCORR_GUARDED_BY member with no lock
+// held. Expected diagnostic:
+//   reading variable 'count_' requires holding mutex 'mu_'
+#include "common/mutex.h"
+
+namespace pmcorr {
+
+class Counter {
+ public:
+  int Get() const { return count_; }
+
+ private:
+  mutable Mutex mu_;
+  int count_ PMCORR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pmcorr

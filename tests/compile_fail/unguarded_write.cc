@@ -1,0 +1,17 @@
+// Seeded violation: writing a PMCORR_GUARDED_BY member with no lock
+// held. Expected diagnostic:
+//   writing variable 'count_' requires holding mutex 'mu_' exclusively
+#include "common/mutex.h"
+
+namespace pmcorr {
+
+class Counter {
+ public:
+  void Bump() { ++count_; }
+
+ private:
+  Mutex mu_;
+  int count_ PMCORR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pmcorr

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/string_util.h"
@@ -308,6 +309,57 @@ TEST(Types, PairIdNormalizesOrder) {
   EXPECT_TRUE(p.valid());
   EXPECT_FALSE(PairId(MeasurementId(3), MeasurementId(3)).valid());
   EXPECT_EQ(p, PairId(MeasurementId(2), MeasurementId(5)));
+}
+
+TEST(Backoff, DelayGrowsGeometricallyThenSaturates) {
+  const BackoffPolicy policy;  // base 16, x2, cap 1024, budget 8
+  EXPECT_EQ(policy.DelayFor(0), 16u);
+  EXPECT_EQ(policy.DelayFor(1), 32u);
+  EXPECT_EQ(policy.DelayFor(5), 512u);
+  // 16 * 2^6 == 1024 lands exactly on the cap, and every later retry
+  // stays pinned there — including counts far past any real schedule.
+  EXPECT_EQ(policy.DelayFor(6), 1024u);
+  EXPECT_EQ(policy.DelayFor(7), 1024u);
+  EXPECT_EQ(policy.DelayFor(63), 1024u);
+  EXPECT_EQ(policy.DelayFor(100000), 1024u);
+}
+
+TEST(Backoff, BaseAtOrAboveCapClampsFromRetryZero) {
+  BackoffPolicy policy;
+  policy.base = policy.cap;
+  EXPECT_EQ(policy.DelayFor(0), policy.cap);
+  policy.base = policy.cap * 4;
+  EXPECT_EQ(policy.DelayFor(0), policy.cap);
+}
+
+TEST(Backoff, ZeroBaseStillWaitsOneUnit) {
+  // A zero base must not produce a zero delay: "retry at sample + 0"
+  // would re-trip on the same sample that quarantined the pair.
+  BackoffPolicy policy;
+  policy.base = 0;
+  EXPECT_EQ(policy.DelayFor(0), 1u);
+  EXPECT_EQ(policy.DelayFor(5), 1u);
+}
+
+TEST(Backoff, SubUnitMultiplierIsTreatedAsFlat) {
+  BackoffPolicy policy;
+  policy.multiplier = 0.25;
+  EXPECT_EQ(policy.DelayFor(0), policy.base);
+  EXPECT_EQ(policy.DelayFor(3), policy.base);
+}
+
+TEST(Backoff, ZeroBudgetIsExhaustedBeforeAnyRetry) {
+  BackoffPolicy policy;
+  policy.budget = 0;
+  EXPECT_TRUE(policy.Exhausted(0));
+  EXPECT_TRUE(policy.Exhausted(1));
+}
+
+TEST(Backoff, BudgetBoundaryIsExact) {
+  const BackoffPolicy policy;  // budget 8
+  EXPECT_FALSE(policy.Exhausted(7));
+  EXPECT_TRUE(policy.Exhausted(8));
+  EXPECT_TRUE(policy.Exhausted(9));
 }
 
 TEST(Types, MetricNamesMatchPaper) {

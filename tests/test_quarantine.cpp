@@ -88,6 +88,48 @@ TEST(PairQuarantine, ExhaustedBudgetRetiresForGood) {
   }
 }
 
+TEST(PairQuarantine, ProbationBoundaryIsExactAndRefailureRearms) {
+  PairQuarantine quarantine(1, FastBackoff());
+  quarantine.RecordFailure(0, 10, "boom");  // retry_at = 10 + 1 + 4 = 15
+  EXPECT_EQ(quarantine.BeginStep(0, 14), PairQuarantine::Decision::kSkip);
+  EXPECT_EQ(quarantine.BeginStep(0, 15),
+            PairQuarantine::Decision::kRunAfterReset);
+  // Re-asking at the same sample (checkpoint replay) grants probation
+  // again rather than tripping or skipping.
+  EXPECT_EQ(quarantine.BeginStep(0, 15),
+            PairQuarantine::Decision::kRunAfterReset);
+  // Failing the probation sample itself re-quarantines immediately, and
+  // the new window is anchored at the probation sample with the *next*
+  // delay: 15 + 1 + DelayFor(1) = 24.
+  quarantine.RecordFailure(0, 15, "refail");
+  EXPECT_TRUE(quarantine.IsQuarantined(0));
+  EXPECT_EQ(quarantine.BeginStep(0, 23), PairQuarantine::Decision::kSkip);
+  EXPECT_EQ(quarantine.BeginStep(0, 24),
+            PairQuarantine::Decision::kRunAfterReset);
+}
+
+TEST(PairQuarantine, LateProbationLongAfterExpiryStillReadmits) {
+  // A feed outage can park the whole monitor past retry_at; the first
+  // sample that arrives afterwards must still get the one probation
+  // attempt instead of skipping forever.
+  PairQuarantine quarantine(1, FastBackoff());
+  quarantine.RecordFailure(0, 0, "boom");  // retry_at = 5
+  EXPECT_EQ(quarantine.BeginStep(0, 500),
+            PairQuarantine::Decision::kRunAfterReset);
+  quarantine.RecordSuccess(0, 500, /*outlier=*/false);
+  EXPECT_EQ(quarantine.StateOf(0), PairQuarantine::State::kActive);
+}
+
+TEST(PairQuarantine, ZeroRetryBudgetRetiresOnFirstTrip) {
+  QuarantineConfig config = FastBackoff();
+  config.backoff.budget = 0;
+  PairQuarantine quarantine(1, config);
+  quarantine.RecordFailure(0, 3, "boom");
+  EXPECT_TRUE(quarantine.IsRetired(0));
+  EXPECT_EQ(quarantine.TripCount(), 1u);
+  EXPECT_EQ(quarantine.BeginStep(0, 1000), PairQuarantine::Decision::kSkip);
+}
+
 TEST(PairQuarantine, OutlierBurstBreakerNeedsConsecutiveOutliers) {
   QuarantineConfig config = FastBackoff();
   config.outlier_burst = 3;

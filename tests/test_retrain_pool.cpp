@@ -8,13 +8,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "engine/retrain_pool.h"
 #include "io/model_io.h"
@@ -68,14 +68,14 @@ TEST(RetrainPool, FifoFairnessAcrossPairs) {
   // learned from (pairs are separated by a big level offset), so the
   // dequeue order is observable.
   constexpr std::size_t kPairs = 6;
-  std::mutex order_mu;
+  Mutex order_mu;
   std::vector<std::size_t> order;
   RetrainPoolConfig config = FastPool(1);
   config.rebuild_override = [&](std::span<const double> x,
                                 std::span<const double> y,
                                 const ModelConfig& model_config) {
     {
-      const std::lock_guard<std::mutex> lock(order_mu);
+      const MutexLock lock(order_mu);
       order.push_back(static_cast<std::size_t>(x[0] / 1000.0 + 0.5));
     }
     return PairModel::Learn(x, y, model_config);

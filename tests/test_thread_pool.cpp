@@ -5,13 +5,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "engine/thread_pool.h"
 
 namespace pmcorr {
@@ -143,10 +143,10 @@ TEST(ThreadPool, ShardDecompositionIsDeterministicAndBalanced) {
   EXPECT_EQ(pool.ShardCountFor(100), 4u);
   EXPECT_EQ(pool.ShardCountFor(100, 6), 6u);
 
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<ShardRange> shards;
   pool.ParallelShards(103, [&](const ShardRange& r) {
-    std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     shards.push_back(r);
   });
   ASSERT_EQ(shards.size(), 4u);

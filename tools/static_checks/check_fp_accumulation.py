@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""No floating-point accumulation over unordered containers.
+
+Floating-point accumulation order is part of the engine's determinism
+contract (docs/engine.md): the golden traces and the serial-vs-batched
+differential suite pin results *bitwise*, so any sum folded in hash
+order — which varies across libstdc++ versions, load factors and ASLR —
+silently breaks the contract on someone else's machine. Until this PR
+that rule lived only in review comments; this check makes it a gate.
+
+A violation is a range-for whose range is an unordered container —
+either syntactically (`... : foo.unordered_map_member`) or by same-file
+declaration lookup — and whose body contains a compound FP accumulation
+(`+=`, `-=`, `*=`) or a RunningStats-style `.Add(`.
+
+Escape hatch: a `// fp-order-ok: <reason>` comment on the for line for
+loops whose accumulation is provably order-independent (integer counts,
+min/max, set insertion).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import pmcorr_ast
+
+SCAN_DIRS = ["src"]
+SCAN_EXTS = {".h", ".cpp"}
+
+UNORDERED = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+ACCUMULATE = re.compile(r"(?:[^=<>!+\-*]|^)(?:\+=|-=|\*=)|\.\s*Add\s*\(")
+ESCAPE = "fp-order-ok"
+
+
+def scan_file(path: Path, rel: str, violations: list) -> None:
+    raw = path.read_text()
+    raw_lines = raw.splitlines()
+    stripped = pmcorr_ast.strip_code(raw)
+    for line, range_expr, body in pmcorr_ast.range_for_loops(stripped):
+        over_unordered = bool(UNORDERED.search(range_expr))
+        if not over_unordered:
+            # `for (x : name)` / `for (x : obj.name_)`: resolve the
+            # trailing identifier against same-file declarations.
+            m = re.search(r"([A-Za-z_]\w*)\s*$", range_expr)
+            if m and pmcorr_ast.declared_unordered(stripped, m.group(1)):
+                over_unordered = True
+        if not over_unordered:
+            continue
+        if not ACCUMULATE.search(body):
+            continue
+        if line - 1 < len(raw_lines) and ESCAPE in raw_lines[line - 1]:
+            continue
+        violations.append(
+            f"{rel}:{line}: floating-point accumulation over an unordered "
+            f"container folds in hash order and breaks the bitwise "
+            f"determinism contract (docs/engine.md) — iterate a sorted/"
+            f"indexed view, or mark `// {ESCAPE}: <reason>` if the fold "
+            f"is order-independent"
+        )
+
+
+def run(root: Path, files=None):
+    violations: list[str] = []
+    if files is not None:
+        for f in files:
+            scan_file(Path(f), str(f), violations)
+        return violations
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SCAN_EXTS:
+                scan_file(path, path.relative_to(root).as_posix(),
+                          violations)
+    return violations
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if args and args[0] == "--files":
+        violations = run(Path("."), files=args[1:])
+    else:
+        root = Path(args[args.index("--root") + 1]) if "--root" in args \
+            else Path(__file__).resolve().parents[2]
+        violations = run(root)
+    for v in violations:
+        print(v)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+// Fixture: the range is a bare identifier whose *declaration* is an
+// unordered container — resolved by same-file lookup, then flagged for
+// the RunningStats-style .Add() accumulation in the body.
+#include <unordered_set>
+
+namespace fixture {
+
+struct Stats {
+  void Add(double v);
+};
+
+class ScoreBag {
+ public:
+  void Fold(Stats& stats) const {
+    for (double v : scores_) stats.Add(v);
+  }
+
+ private:
+  std::unordered_set<double> scores_;
+};
+
+}  // namespace fixture

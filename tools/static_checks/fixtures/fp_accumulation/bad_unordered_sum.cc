@@ -1,0 +1,16 @@
+// Fixture: summing doubles in hash order must be flagged — the fold
+// order changes across libstdc++ versions and breaks the bitwise
+// determinism contract. run_checks.sh asserts this file FAILS.
+#include <unordered_map>
+
+namespace fixture {
+
+double Total(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& entry : weights) {
+    sum += entry.second;
+  }
+  return sum;
+}
+
+}  // namespace fixture

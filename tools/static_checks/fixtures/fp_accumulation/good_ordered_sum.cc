@@ -1,0 +1,29 @@
+// Fixture: must PASS — ordered accumulation, membership-only unordered
+// use, and an escaped order-independent fold are all legitimate.
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+double Total(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;  // ordered container: fine
+  return sum;
+}
+
+std::size_t Distinct(const std::vector<int>& ids) {
+  std::unordered_set<int> seen;
+  for (int id : ids) seen.insert(id);  // membership only: fine
+  return seen.size();
+}
+
+std::size_t Count(const std::unordered_set<int>& ids) {
+  std::size_t n = 0;
+  for (int id : ids) {  // fp-order-ok: integer count, order-independent
+    n += static_cast<std::size_t>(id != 0);
+  }
+  return n;
+}
+
+}  // namespace fixture

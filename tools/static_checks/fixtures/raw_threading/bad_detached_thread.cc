@@ -1,0 +1,12 @@
+// Fixture: a raw std::thread outside the sanctioned owners AND a
+// .detach() (banned everywhere) must both be flagged (rules 2 and 3).
+#include <thread>
+
+namespace fixture {
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace fixture

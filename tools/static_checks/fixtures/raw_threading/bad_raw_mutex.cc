@@ -1,0 +1,15 @@
+// Fixture: raw std lock types outside src/common/mutex.h must be
+// flagged (rule 1). run_checks.sh asserts this file FAILS the check.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+int g_count = 0;
+
+void Bump() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++g_count;
+}
+
+}  // namespace fixture

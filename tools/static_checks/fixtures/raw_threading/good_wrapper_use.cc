@@ -1,0 +1,19 @@
+// Fixture: the annotated wrappers are the sanctioned spelling — this
+// file must PASS the check. The std::mutex in this comment (and the
+// "std::thread" in the string below) must not trip it either: matching
+// runs on comment- and string-stripped source.
+#include "common/mutex.h"
+
+namespace fixture {
+
+pmcorr::Mutex g_mu;
+int g_count = 0;
+
+const char* kBanner = "std::thread is banned here";
+
+void Bump() {
+  const pmcorr::MutexLock lock(g_mu);
+  ++g_count;
+}
+
+}  // namespace fixture

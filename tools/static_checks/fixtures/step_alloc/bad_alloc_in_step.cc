@@ -1,0 +1,20 @@
+// hot: Probe::Step
+// Fixture: unconditional allocation tokens inside a listed hot function
+// must be flagged. run_checks.sh asserts this file FAILS the check.
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Probe {
+  void Step(const std::vector<double>& values);
+  std::unique_ptr<int> cache;
+};
+
+void Probe::Step(const std::vector<double>& values) {
+  std::vector<double> scratch(values.size());  // fresh heap every sample
+  cache = std::make_unique<int>(0);            // ditto
+  scratch[0] = values.empty() ? 0.0 : values[0];
+}
+
+}  // namespace fixture

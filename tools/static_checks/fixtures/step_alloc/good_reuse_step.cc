@@ -1,0 +1,24 @@
+// hot: Probe::Step
+// Fixture: must PASS — capacity-reusing writes into member buffers, a
+// reference binding to scratch, and an escaped sanctioned cold branch.
+#include <vector>
+
+namespace fixture {
+
+struct Probe {
+  void Step(const std::vector<double>& values);
+  std::vector<double> scratch_;
+  std::vector<double> grid_;
+};
+
+void Probe::Step(const std::vector<double>& values) {
+  scratch_.assign(values.begin(), values.end());  // reuses capacity
+  std::vector<double>& out = scratch_;            // reference: no alloc
+  if (out.size() > grid_.capacity()) {
+    // alloc-ok: structural grid extension, isolated by the warmup audit
+    grid_ = std::vector<double>(out.size());
+  }
+  for (double v : values) out.push_back(v);
+}
+
+}  // namespace fixture

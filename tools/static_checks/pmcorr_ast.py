@@ -1,0 +1,175 @@
+"""Tiny AST-grep-style matching engine for the pmcorr project checks.
+
+The repo-specific static checks (check_*.py) need more structure than a
+grep — "a range-for over an unordered container whose body accumulates",
+"an allocation token inside this named function's body" — but far less
+than a full C++ frontend. This module provides the middle ground:
+
+  * strip_code():   comments and string/char literals blanked out (same
+                    length, newlines kept) so matchers never fire on
+                    prose, and reported line numbers stay true;
+  * find_functions(): brace-balanced body extraction for a qualified
+                    function name, every overload/definition;
+  * range_for_loops(): each `for (decl : range)` with its range
+                    expression and brace-balanced (or single-statement)
+                    body.
+
+Deliberately token-level: no preprocessing, no template instantiation,
+no type inference beyond same-file declaration lookup. The checks that
+build on it are backstops for contracts proven elsewhere (TSan jobs,
+the counting-allocator audit, the golden suites) — they catch the easy
+regression early, they do not replace the proof. When clang-query is
+available, the queries/ directory holds equivalent matchers for ad-hoc
+deep runs; the Python path is the portable always-on gate.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+def strip_code(text: str) -> str:
+    """Blanks comments and string/char literals, preserving layout.
+
+    Handles //, /* */, "...", '...' (with escapes) and raw strings
+    R"delim(...)delim". Every replaced character becomes a space;
+    newlines survive so line numbers match the original file.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c == "R" and nxt == '"':
+            m = re.match(r'R"([^ ()\\\t\n]*)\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            closer = ")" + m.group(1) + '"'
+            j = text.find(closer, i + m.end())
+            j = n - len(closer) if j == -1 else j
+            seg = text[i : j + len(closer)]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + len(closer)
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(" " * (min(j, n - 1) + 1 - i))
+            i = min(j, n - 1) + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    """1-based line number of a character offset."""
+    return text.count("\n", 0, offset) + 1
+
+
+def _match_balanced(text: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Offset just past the delimiter closing text[start] (which must be
+    open_ch), or -1 if unbalanced."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def find_functions(stripped: str, qualified_name: str):
+    """Yields (start_line, body) for each definition of qualified_name.
+
+    Matches `Qualified::Name (...)` followed (after const/noexcept/
+    attribute trivia) by a `{` and extracts the brace-balanced body.
+    Declarations (ending in `;`) are skipped.
+    """
+    pat = re.compile(r"\b" + re.escape(qualified_name) + r"\s*\(")
+    for m in pat.finditer(stripped):
+        params_end = _match_balanced(stripped, m.end() - 1, "(", ")")
+        if params_end == -1:
+            continue
+        tail = stripped[params_end:]
+        trivia = re.match(
+            r"(\s|const\b|noexcept\b|override\b|final\b|->\s*[\w:<>&*\s]+)*",
+            tail,
+        )
+        at = params_end + (trivia.end() if trivia else 0)
+        if at >= len(stripped) or stripped[at] != "{":
+            continue
+        body_end = _match_balanced(stripped, at, "{", "}")
+        if body_end == -1:
+            continue
+        yield line_of(stripped, m.start()), stripped[at:body_end]
+
+
+def range_for_loops(stripped: str):
+    """Yields (line, range_expr, body) for each range-based for."""
+    for m in re.finditer(r"\bfor\s*\(", stripped):
+        close = _match_balanced(stripped, m.end() - 1, "(", ")")
+        if close == -1:
+            continue
+        head = stripped[m.end() : close - 1]
+        # The decl:range colon sits at angle/paren/bracket depth 0 and is
+        # not part of a `::`.
+        depth = 0
+        colon = -1
+        k = 0
+        while k < len(head):
+            ch = head[k]
+            if ch in "<([{":
+                depth += 1
+            elif ch in ">)]}":
+                depth -= 1
+            elif ch == ":" and depth == 0:
+                if k + 1 < len(head) and head[k + 1] == ":":
+                    k += 2
+                    continue
+                if k > 0 and head[k - 1] == ":":
+                    k += 1
+                    continue
+                colon = k
+                break
+            k += 1
+        if colon == -1:
+            continue  # classic three-clause for
+        range_expr = head[colon + 1 :].strip()
+        after = close
+        while after < len(stripped) and stripped[after].isspace():
+            after += 1
+        if after < len(stripped) and stripped[after] == "{":
+            body_end = _match_balanced(stripped, after, "{", "}")
+            body = stripped[after:body_end] if body_end != -1 else ""
+        else:
+            semi = stripped.find(";", after)
+            body = stripped[after : semi + 1] if semi != -1 else ""
+        yield line_of(stripped, m.start()), range_expr, body
+
+
+def declared_unordered(stripped: str, name: str) -> bool:
+    """True if `name` is declared in this file with an unordered
+    container type (member or local; same-file heuristic lookup)."""
+    pat = re.compile(
+        r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<"
+        r"[^;{}]*?[>\s&]" + re.escape(name) + r"\b"
+    )
+    return bool(pat.search(stripped))

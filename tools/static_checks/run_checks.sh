@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Project-specific static checks for pmcorr, run from tools/lint.sh and
+# the lint CI job. Two stages:
+#
+#   1. Fixture self-test: every bad_*.cc fixture must FAIL its check and
+#      every good_*.cc must PASS it. This gates the gate — a check that
+#      silently stops matching its own seeded violation is itself a
+#      failure, so the suite cannot rot into a green no-op.
+#   2. Repo scan: run each check over the real tree.
+#
+# Exit non-zero on any self-test or repo violation.
+set -u
+
+cd "$(dirname "$0")/../.."
+
+PY=python3
+CHECKS_DIR=tools/static_checks
+FIXTURES=$CHECKS_DIR/fixtures
+fail=0
+
+self_test() {
+  # self_test <check.py> <fixture-subdir>
+  local check="$1" dir="$2" f
+  for f in "$FIXTURES/$dir"/bad_*.cc; do
+    if $PY "$CHECKS_DIR/$check" --files "$f" >/dev/null 2>&1; then
+      echo "static_checks SELF-TEST FAILURE: $check did not flag $f" >&2
+      fail=1
+    fi
+  done
+  for f in "$FIXTURES/$dir"/good_*.cc; do
+    if ! $PY "$CHECKS_DIR/$check" --files "$f"; then
+      echo "static_checks SELF-TEST FAILURE: $check flagged $f" >&2
+      fail=1
+    fi
+  done
+}
+
+echo "== static_checks: fixture self-test =="
+self_test check_raw_threading.py raw_threading
+self_test check_fp_accumulation.py fp_accumulation
+self_test check_step_alloc.py step_alloc
+if [ "$fail" -ne 0 ]; then
+  echo "static_checks: fixture self-test failed; not scanning repo" >&2
+  exit 1
+fi
+echo "OK"
+
+echo "== static_checks: repo scan =="
+for check in check_raw_threading.py check_fp_accumulation.py \
+    check_step_alloc.py; do
+  if ! $PY "$CHECKS_DIR/$check"; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "static_checks: repo scan found violations" >&2
+  exit 1
+fi
+echo "OK"
