@@ -1,0 +1,173 @@
+// Fuzz target for the length-prefixed CRC framing layer and the two
+// protocols that ride on it. Three oracles:
+//
+//   * Chunking invariance — a one-shot feed and a 7-byte drip feed of
+//     the same bytes must produce the identical frame sequence, and
+//     throw (or not) identically; the incremental parser has no
+//     arrival-order behavior.
+//   * Delta round trip — any payload the strict SystemDelta decoder
+//     accepts must re-encode and re-decode to the same bytes, and any
+//     stream ReadDeltaStreamBinary accepts must survive a full
+//     write/read cycle with every delta bitwise intact.
+//   * Serve messages — every protocol decoder either throws
+//     FramingError or yields a message whose re-encoding decodes again;
+//     nothing crashes, nothing reads out of bounds.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/delta_binary.h"
+#include "io/framing.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using pmcorr::Frame;
+using pmcorr::FrameReader;
+using pmcorr::FramingError;
+
+void CheckDeltaPayload(const std::string& payload) {
+  pmcorr::SystemDelta delta;
+  try {
+    delta = pmcorr::DecodeSystemDelta(payload);
+  } catch (const FramingError&) {
+    return;
+  }
+  std::string once;
+  pmcorr::EncodeSystemDelta(delta, once);
+  std::string twice;
+  pmcorr::EncodeSystemDelta(pmcorr::DecodeSystemDelta(once), twice);
+  if (once != twice) std::abort();
+}
+
+void CheckServeFrame(const Frame& frame) {
+  try {
+    switch (frame.type) {
+      case pmcorr::kFrameHello: {
+        const pmcorr::HelloRequest msg =
+            pmcorr::DecodeHelloRequest(frame.payload);
+        std::string out;
+        pmcorr::EncodeHelloRequest(msg, out);
+        pmcorr::DecodeHelloRequest(out);  // must not throw
+        break;
+      }
+      case pmcorr::kFrameSample: {
+        pmcorr::SampleRow row;
+        pmcorr::DecodeSampleRowInto(frame.payload, row);
+        break;
+      }
+      case pmcorr::kFrameQuery: {
+        const pmcorr::QueryRequest msg =
+            pmcorr::DecodeQueryRequest(frame.payload);
+        std::string out;
+        pmcorr::EncodeQueryRequest(msg, out);
+        pmcorr::DecodeQueryRequest(out);
+        break;
+      }
+      case pmcorr::kFrameHelloOk:
+        pmcorr::DecodeHelloReply(frame.payload);
+        break;
+      case pmcorr::kFrameStatus:
+        pmcorr::DecodeStatusReply(frame.payload);
+        break;
+      case pmcorr::kFrameSummary:
+        pmcorr::DecodeSummaryReply(frame.payload);
+        break;
+      case pmcorr::kFrameDrilldown:
+        pmcorr::DecodeDrilldownReply(frame.payload);
+        break;
+      case pmcorr::kFrameBackpressure:
+        pmcorr::DecodeBackpressureEvent(frame.payload);
+        break;
+      case pmcorr::kFrameDrained:
+        pmcorr::DecodeDrainedReply(frame.payload);
+        break;
+      case pmcorr::kFrameError:
+        pmcorr::DecodeErrorReply(frame.payload);
+        break;
+      default:
+        break;
+    }
+  } catch (const FramingError&) {
+    // Rejection is the expected outcome for hostile payloads.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  std::vector<Frame> whole;
+  bool whole_threw = false;
+  {
+    FrameReader reader;
+    reader.Feed(bytes);
+    try {
+      while (auto frame = reader.Next()) whole.push_back(std::move(*frame));
+    } catch (const FramingError&) {
+      whole_threw = true;
+    }
+  }
+
+  std::vector<Frame> dripped;
+  bool drip_threw = false;
+  {
+    FrameReader reader;
+    const std::string_view view(bytes);
+    try {
+      for (std::size_t i = 0; i < view.size(); i += 7) {
+        reader.Feed(view.substr(i, 7));
+        while (auto frame = reader.Next()) {
+          dripped.push_back(std::move(*frame));
+        }
+      }
+    } catch (const FramingError&) {
+      drip_threw = true;
+    }
+  }
+
+  if (whole_threw != drip_threw) std::abort();
+  if (whole.size() != dripped.size()) std::abort();
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    if (whole[i].type != dripped[i].type ||
+        whole[i].payload != dripped[i].payload) {
+      std::abort();
+    }
+  }
+
+  for (const Frame& frame : whole) {
+    if (frame.type == pmcorr::kDeltaStreamDelta) {
+      CheckDeltaPayload(frame.payload);
+    }
+    CheckServeFrame(frame);
+  }
+
+  // The strict whole-stream reader: anything it accepts must survive a
+  // full write/read cycle with every delta re-encoding bitwise.
+  try {
+    std::istringstream in(bytes);
+    const std::vector<pmcorr::SystemDelta> deltas =
+        pmcorr::ReadDeltaStreamBinary(in);
+    std::stringstream round;
+    pmcorr::WriteDeltaStreamBinary(deltas, round);
+    const std::vector<pmcorr::SystemDelta> reloaded =
+        pmcorr::ReadDeltaStreamBinary(round);
+    if (reloaded.size() != deltas.size()) std::abort();
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      std::string a, b;
+      pmcorr::EncodeSystemDelta(deltas[i], a);
+      pmcorr::EncodeSystemDelta(reloaded[i], b);
+      if (a != b) std::abort();
+    }
+  } catch (const std::runtime_error&) {
+    // Truncated, corrupt, or simply not a delta stream.
+  }
+
+  return 0;
+}

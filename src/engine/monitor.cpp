@@ -79,6 +79,15 @@ SystemMonitor::SystemMonitor(const MeasurementFrame& history,
                                   history.Series(pair.b).Values(),
                                   config_.model);
   });
+  if (config_.retrain.enabled) {
+    retrain_ = std::make_unique<RetrainPool>(config_.model,
+                                             config_.retrain.pool);
+    for (std::size_t i = 0; i < graph_.PairCount(); ++i) {
+      const PairId& pair = graph_.Pair(i);
+      retrain_->RegisterWindow(history.Series(pair.a).Values(),
+                               history.Series(pair.b).Values());
+    }
+  }
   PMCORR_AUDIT_ONLY(CheckInvariants();)
 }
 
@@ -103,6 +112,15 @@ SystemMonitor::SystemMonitor(MonitorConfig config, MeasurementGraph graph,
         "SystemMonitor: checkpoint parts are inconsistent");
   }
   measurement_avg_.resize(infos_.size());
+  if (config_.retrain.enabled) {
+    // Windows are not checkpointed: every pair starts empty and the
+    // pool's min_samples gate holds rebuilds until they refill live.
+    retrain_ = std::make_unique<RetrainPool>(config_.model,
+                                             config_.retrain.pool);
+    for (std::size_t i = 0; i < graph_.PairCount(); ++i) {
+      retrain_->RegisterWindow({}, {});
+    }
+  }
   PMCORR_AUDIT_ONLY(CheckInvariants();)
 }
 
@@ -239,6 +257,17 @@ void SystemMonitor::Step(std::span<const double> values, TimePoint tp,
       const PairId& pair = graph_.Pair(i);
       const double x = use[static_cast<std::size_t>(pair.a.value)];
       const double y = use[static_cast<std::size_t>(pair.b.value)];
+      if (retrain_ != nullptr) {
+        // Adopt a finished rebuild before this sample is scored, so the
+        // sample is judged by exactly one model and swaps land on
+        // sample boundaries (the pool's Step-mode contract); then
+        // buffer the guard-filtered sample — quarantined pairs keep
+        // buffering, so their eventual rebuild sees the full stream.
+        if (std::unique_ptr<PairModel> fresh = retrain_->TakeAdoptable(i)) {
+          models_[i] = std::move(*fresh);
+        }
+        retrain_->Observe(i, x, y);
+      }
       if (!guarded) {
         outcomes[i] = models_[i].Step(x, y);
         continue;
@@ -447,6 +476,7 @@ void SystemMonitor::RunImpl(const MeasurementFrame& test,
             for (std::size_t t = t_start; t < t1; ++t) {
               const std::size_t s = base_sample + (t - t0);
               SweepCell& cell = row[t - t0];
+              if (retrain_ != nullptr) retrain_->Observe(i, x[t], y[t]);
               const PairQuarantine::Decision decision =
                   quarantine_.BeginStep(i, s);
               if (decision == PairQuarantine::Decision::kSkip) {
@@ -479,6 +509,14 @@ void SystemMonitor::RunImpl(const MeasurementFrame& test,
 
       for (std::size_t i = shard.begin; i < shard.end; ++i) {
         PairModel& model = models_[i];
+        // Batched execution adopts at batch boundaries — the coarsest
+        // sample boundary; a rebuild finishing mid-batch waits for the
+        // next batch (or the next Step).
+        if (retrain_ != nullptr) {
+          if (std::unique_ptr<PairModel> fresh = retrain_->TakeAdoptable(i)) {
+            model = std::move(*fresh);
+          }
+        }
         std::span<const double> x = run_xs_[i];
         std::span<const double> y = run_ys_[i];
         SweepCell* row = run_cells_.data() + i * width;
@@ -489,6 +527,7 @@ void SystemMonitor::RunImpl(const MeasurementFrame& test,
         std::size_t t = t0;
         try {
           for (; t < t1; ++t) {
+            if (retrain_ != nullptr) retrain_->Observe(i, x[t], y[t]);
             if (guard.any_break && guard.seq_break[t] != 0) {
               model.ResetSequence();
             }
@@ -753,16 +792,27 @@ void SystemMonitor::RunImpl(const MeasurementFrame& test,
   PMCORR_AUDIT_ONLY(CheckInvariants(/*deep=*/false);)
 }
 
-std::size_t SystemMonitor::AddPair(PairId pair, PairModel model) {
+std::size_t SystemMonitor::AddPairImpl(PairId pair, PairModel model,
+                                       std::span<const double> x,
+                                       std::span<const double> y) {
   // graph_.AddPair validates (range vs the measurement set, self-pair,
   // duplicate) and keeps existing indices stable.
   const std::size_t index = graph_.AddPair(pair);
   model.ResetSequence();
   models_.push_back(std::move(model));
   quarantine_.AddPair();
+  if (retrain_ != nullptr) {
+    const std::size_t slot = retrain_->RegisterWindow(x, y);
+    PMCORR_ASSERT(slot == index, "retrain slot " << slot << " for pair "
+                                                 << index);
+  }
   delta_valid_ = false;
   PMCORR_AUDIT_ONLY(CheckInvariants(/*deep=*/false);)
   return index;
+}
+
+std::size_t SystemMonitor::AddPair(PairId pair, PairModel model) {
+  return AddPairImpl(pair, std::move(model), {}, {});
 }
 
 std::size_t SystemMonitor::AddPair(PairId pair,
@@ -779,10 +829,10 @@ std::size_t SystemMonitor::AddPair(PairId pair,
       static_cast<std::size_t>(pair.b.value) >= infos_.size()) {
     throw std::invalid_argument("SystemMonitor::AddPair: pair out of range");
   }
-  PairModel model =
-      PairModel::Learn(history.Series(pair.a).Values(),
-                       history.Series(pair.b).Values(), config_.model);
-  return AddPair(pair, std::move(model));
+  std::span<const double> x = history.Series(pair.a).Values();
+  std::span<const double> y = history.Series(pair.b).Values();
+  PairModel model = PairModel::Learn(x, y, config_.model);
+  return AddPairImpl(pair, std::move(model), x, y);
 }
 
 void SystemMonitor::RetirePair(std::size_t pair_index) {

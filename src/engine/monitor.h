@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "engine/health.h"
 #include "engine/measurement_graph.h"
 #include "engine/quarantine.h"
+#include "engine/retrain_pool.h"
 #include "engine/snapshot.h"
 #include "engine/thread_pool.h"
 #include "timeseries/frame.h"
@@ -25,6 +27,21 @@
 namespace pmcorr {
 
 struct EngineFaultPlan;
+
+/// Rolling-retrain knob: when enabled the monitor owns a shared bounded
+/// RetrainPool (engine/retrain_pool.h) in detached mode — one window
+/// slot per pair, a fixed worker count — and adopts finished rebuilds
+/// at sample boundaries, replacing the standalone per-pair retrainers.
+/// Windows buffer the guard-filtered feed (rebuilds learn from exactly
+/// the stream the serving models saw) and are not part of the
+/// checkpoint format: a restored monitor starts with empty windows and
+/// pool.min_samples keeps it from rebuilding until they refill live.
+/// Adopted models carry fresh Learn-time thresholds, not a later
+/// CalibrateThresholds overlay — the RollingPairRetrainer semantics.
+struct RetrainConfig {
+  bool enabled = false;
+  RetrainPoolConfig pool;
+};
 
 /// Engine configuration.
 struct MonitorConfig {
@@ -47,6 +64,9 @@ struct MonitorConfig {
   /// Per-pair circuit breaker (engine/quarantine.h). Enabled by default
   /// for exceptions; the outlier-burst breaker stays off unless armed.
   QuarantineConfig quarantine;
+  /// Rolling retrain through the shared bounded pool. Off by default —
+  /// a disabled knob is bitwise invisible everywhere.
+  RetrainConfig retrain;
 };
 
 /// Phase timings of the last Run/RunDelta call, for scale benchmarks:
@@ -186,6 +206,13 @@ class SystemMonitor {
   /// The per-pair circuit breaker's current state.
   const PairQuarantine& Quarantine() const { return quarantine_; }
 
+  /// The shared retrain pool, or nullptr when config.retrain is off.
+  /// Exposed for observability (rebuild/failure counters) and test
+  /// choreography (WaitForPair/WaitForIdle) — the monitor itself drives
+  /// adoption at sample boundaries.
+  RetrainPool* Retrain() { return retrain_.get(); }
+  const RetrainPool* Retrain() const { return retrain_.get(); }
+
   /// Installs a scripted engine fault plan (engine/fault_plan.h) checked
   /// at every pair step; pass nullptr to clear. Non-owning — the plan
   /// must outlive its installation. Test-only seam: production monitors
@@ -251,6 +278,13 @@ class SystemMonitor {
   /// config_.batch_samples == 0 to the auto size).
   std::size_t BatchSamples(std::size_t pair_count) const;
 
+  /// Shared AddPair body: graph append + model install + quarantine and
+  /// retrain-window slots. (x, y) seed the pair's retrain window (empty
+  /// when no history is at hand).
+  std::size_t AddPairImpl(PairId pair, PairModel model,
+                          std::span<const double> x,
+                          std::span<const double> y);
+
   MonitorConfig config_;
   MeasurementGraph graph_;
   std::vector<MeasurementInfo> infos_;
@@ -272,6 +306,9 @@ class SystemMonitor {
   /// workers write without synchronization).
   IngestGuard guard_;
   PairQuarantine quarantine_;
+  /// Detached-mode retrain pool (one window slot per pair, indices
+  /// aligned with models_); null when config_.retrain is off.
+  std::unique_ptr<RetrainPool> retrain_;
   const EngineFaultPlan* fault_plan_ = nullptr;
   std::vector<double> guard_values_;
   std::vector<std::uint8_t> step_skipped_;

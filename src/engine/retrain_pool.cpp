@@ -64,6 +64,14 @@ std::size_t RetrainPool::AddPair(PairModel model, std::span<const double> x,
   return pairs_.size() - 1;
 }
 
+std::size_t RetrainPool::RegisterWindow(std::span<const double> x,
+                                        std::span<const double> y) {
+  auto state = std::make_unique<PairState>();
+  SeedWindow(*state, x, y, config_.window_samples);
+  pairs_.push_back(std::move(state));
+  return pairs_.size() - 1;
+}
+
 StepOutcome RetrainPool::Step(std::size_t i, double x, double y) {
   PairState& s = *pairs_.at(i);
 
@@ -76,6 +84,7 @@ StepOutcome RetrainPool::Step(std::size_t i, double x, double y) {
     const MutexLock lock(mu_);
     CheckWatchdogsLocked();
     fresh = std::move(s.pending);
+    s.has_pending.store(false, std::memory_order_relaxed);
     if (s.cooldown_remaining > 0) --s.cooldown_remaining;
   }
   if (fresh) {
@@ -118,6 +127,54 @@ void RetrainPool::MaybeEnqueue(PairState& s, std::size_t i) {
   }
   work_cv_.NotifyOne();
   s.since_rebuild = 0;
+}
+
+void RetrainPool::Observe(std::size_t i, double x, double y) {
+  PairState& s = *pairs_.at(i);
+  s.window_x.push_back(x);
+  s.window_y.push_back(y);
+  while (s.window_x.size() > config_.window_samples) {
+    s.window_x.pop_front();
+    s.window_y.pop_front();
+  }
+  ++s.since_rebuild;
+  if (s.since_rebuild < config_.interval_samples) return;
+  if (s.window_x.size() < config_.min_samples) return;
+  {
+    const MutexLock lock(mu_);
+    // Detached callers have no Step to host the watchdog, so it piggy-
+    // backs on every cadence check (and on TakeAdoptable's slow path).
+    CheckWatchdogsLocked();
+    if (s.given_up) {
+      s.since_rebuild = 0;
+      return;
+    }
+    if (s.cooldown_remaining > 0) {
+      --s.cooldown_remaining;
+      return;
+    }
+    if (s.queued || (s.running && !s.abandoned_current) || s.pending) return;
+    s.job_x.assign(s.window_x.begin(), s.window_x.end());
+    s.job_y.assign(s.window_y.begin(), s.window_y.end());
+    s.queued = true;
+    queue_.push_back(i);
+  }
+  work_cv_.NotifyOne();
+  s.since_rebuild = 0;
+}
+
+std::unique_ptr<PairModel> RetrainPool::TakeAdoptable(std::size_t i) {
+  PairState& s = *pairs_.at(i);
+  if (!s.has_pending.load(std::memory_order_acquire)) return nullptr;
+  std::unique_ptr<PairModel> fresh;
+  {
+    const MutexLock lock(mu_);
+    CheckWatchdogsLocked();
+    fresh = std::move(s.pending);
+    s.has_pending.store(false, std::memory_order_relaxed);
+  }
+  if (fresh) ++s.rebuilds;
+  return fresh;
 }
 
 void RetrainPool::CheckWatchdogsLocked() {
@@ -213,6 +270,7 @@ void RetrainPool::WorkerLoop() {
       }
     } else {
       s.pending = std::move(fresh);
+      s.has_pending.store(true, std::memory_order_release);
       s.failures_in_row = 0;
     }
     s.running = false;

@@ -17,6 +17,7 @@
 // restoring the bounded count.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -102,6 +103,16 @@ class RetrainPool {
   std::size_t AddPair(PairModel model, std::span<const double> x,
                       std::span<const double> y);
 
+  /// Detached mode: registers a window-only slot for a pair whose
+  /// serving model lives elsewhere (SystemMonitor's models_ array, via
+  /// MonitorConfig::retrain). The slot's own `model` member stays
+  /// default-constructed and unused — feed the slot with Observe, pull
+  /// finished rebuilds with TakeAdoptable. Pass empty spans to start
+  /// with an empty window (e.g. after a checkpoint restore; min_samples
+  /// keeps the pool from rebuilding until the window refills live).
+  std::size_t RegisterWindow(std::span<const double> x,
+                             std::span<const double> y);
+
   /// Steps pair i: adopts a finished rebuild first (so the sample is
   /// judged by exactly one model and swaps land on sample boundaries),
   /// scores, buffers the sample, and enqueues a rebuild when the pair's
@@ -109,6 +120,26 @@ class RetrainPool {
   /// every in-flight rebuild — any pair's Step can write off any wedged
   /// build.
   StepOutcome Step(std::size_t i, double x, double y) PMCORR_EXCLUDES(mu_);
+
+  /// Detached-mode sibling of Step's bookkeeping half: buffers one
+  /// sample into pair i's window and enqueues a rebuild when the cadence
+  /// fires — without touching any serving model. Feed it the same
+  /// (possibly guard-filtered) values the external model scored, so a
+  /// rebuild learns from exactly the stream the serving model saw. Same
+  /// serial-per-pair contract as Step. One semantic difference from
+  /// Step: the failure-backoff cooldown is counted down here only while
+  /// the cadence is due (Step counts every sample), so a retry lands
+  /// after interval + cooldown samples instead of max(interval,
+  /// cooldown) — the backoff is at least as conservative.
+  void Observe(std::size_t i, double x, double y) PMCORR_EXCLUDES(mu_);
+
+  /// Detached-mode sibling of Step's adoption half: returns pair i's
+  /// finished rebuild (ready to swap in at a sample boundary), or
+  /// nullptr when none is pending. The no-rebuild fast path is a single
+  /// atomic load — no lock — so a shard-scale caller can poll every pair
+  /// every tick. Also runs the watchdog when it does take the lock.
+  std::unique_ptr<PairModel> TakeAdoptable(std::size_t i)
+      PMCORR_EXCLUDES(mu_);
 
   std::size_t PairCount() const { return pairs_.size(); }
   const PairModel& Model(std::size_t i) const { return pairs_.at(i)->model; }
@@ -180,6 +211,10 @@ class RetrainPool {
     std::vector<double> job_x;
     std::vector<double> job_y;
     std::unique_ptr<PairModel> pending;  // finished rebuild awaiting adoption
+    /// Mirror of `pending != nullptr`, maintained under mu_ but readable
+    /// without it: TakeAdoptable's no-rebuild fast path is one acquire
+    /// load, so detached-mode callers poll lock-free on quiet ticks.
+    std::atomic<bool> has_pending{false};
   };
 
   void WorkerLoop();

@@ -1,0 +1,234 @@
+#include "io/delta_binary.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "io/framing.h"
+
+namespace pmcorr {
+namespace {
+
+// Same declared-width limits as the JSONL delta reader (monitor_io.cpp):
+// the caps bound every count-prefixed allocation below.
+constexpr std::size_t kMaxMeasurements = 1u << 20;
+constexpr std::size_t kMaxPairs = 1u << 20;
+
+void EncodeChanges(WireWriter& w, const std::vector<ScoreChange>& changes) {
+  w.U32(static_cast<std::uint32_t>(changes.size()));
+  for (const ScoreChange& c : changes) {
+    w.U32(c.index);
+    w.F64(c.score);
+  }
+}
+
+void EncodeIndices(WireWriter& w, const std::vector<std::uint32_t>& indices) {
+  w.U32(static_cast<std::uint32_t>(indices.size()));
+  for (const std::uint32_t i : indices) w.U32(i);
+}
+
+// Count prefix bounded by `width`: a legitimate delta carries at most
+// one change per pair/measurement, so anything larger is malformed (and
+// would otherwise let a hostile count drive the reserve below).
+std::uint32_t ReadCount(WireReader& r, std::uint32_t width,
+                        const char* what) {
+  const std::uint32_t n = r.U32();
+  if (n > width) r.Fail(std::string(what) + " count exceeds declared width");
+  return n;
+}
+
+void DecodeChanges(WireReader& r, std::uint32_t width, const char* what,
+                   std::vector<ScoreChange>& out) {
+  const std::uint32_t n = ReadCount(r, width, what);
+  out.reserve(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    ScoreChange c;
+    c.index = r.U32();
+    if (c.index >= width) r.Fail(std::string(what) + " index out of range");
+    c.score = r.F64();
+    if (!std::isfinite(c.score)) {
+      r.Fail(std::string(what) + " score not finite");
+    }
+    out.push_back(c);
+  }
+}
+
+void DecodeIndices(WireReader& r, std::uint32_t width, const char* what,
+                   std::vector<std::uint32_t>& out) {
+  const std::uint32_t n = ReadCount(r, width, what);
+  out.reserve(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const std::uint32_t i = r.U32();
+    if (i >= width) r.Fail(std::string(what) + " index out of range");
+    out.push_back(i);
+  }
+}
+
+}  // namespace
+
+void EncodeSystemDelta(const SystemDelta& d, std::string& out) {
+  WireWriter w(out);
+  w.U64(static_cast<std::uint64_t>(d.sample));
+  w.I64(d.time);
+  w.U8(d.baseline ? 1 : 0);
+  w.U32(d.pair_count);
+  w.U32(d.measurement_count);
+  w.U8(d.system_score.has_value() ? 1 : 0);
+  if (d.system_score) w.F64(*d.system_score);
+  EncodeChanges(w, d.pair_changes);
+  EncodeIndices(w, d.pair_disengaged);
+  EncodeChanges(w, d.measurement_changes);
+  EncodeIndices(w, d.measurement_disengaged);
+  w.U32(static_cast<std::uint32_t>(d.alarmed_pairs.size()));
+  for (const std::size_t pair : d.alarmed_pairs) {
+    w.U32(static_cast<std::uint32_t>(pair));
+  }
+  w.U64(static_cast<std::uint64_t>(d.outlier_pairs));
+  w.U64(static_cast<std::uint64_t>(d.extended_pairs));
+  w.U8(static_cast<std::uint8_t>(d.stream_event));
+  w.U64(static_cast<std::uint64_t>(d.suppressed_values));
+  w.U64(static_cast<std::uint64_t>(d.quarantined_pairs));
+  w.U8(d.has_health ? 1 : 0);
+  w.U32(static_cast<std::uint32_t>(d.health_changes.size()));
+  for (const HealthChange& c : d.health_changes) {
+    w.U32(c.index);
+    w.U8(static_cast<std::uint8_t>(c.health));
+  }
+}
+
+SystemDelta DecodeSystemDelta(std::string_view payload) {
+  WireReader r(payload, "DecodeSystemDelta");
+  SystemDelta d;
+  d.sample = static_cast<std::size_t>(r.U64());
+  d.time = r.I64();
+  d.baseline = r.U8() != 0;
+  d.pair_count = r.U32();
+  if (d.pair_count > kMaxPairs) r.Fail("declared pair count exceeds limit");
+  d.measurement_count = r.U32();
+  if (d.measurement_count > kMaxMeasurements) {
+    r.Fail("declared measurement count exceeds limit");
+  }
+  if (r.U8() != 0) {
+    const double q = r.F64();
+    if (!std::isfinite(q)) r.Fail("system score not finite");
+    d.system_score = q;
+  }
+  DecodeChanges(r, d.pair_count, "pair change", d.pair_changes);
+  DecodeIndices(r, d.pair_count, "pair disengage", d.pair_disengaged);
+  DecodeChanges(r, d.measurement_count, "qa change", d.measurement_changes);
+  DecodeIndices(r, d.measurement_count, "qa disengage",
+                d.measurement_disengaged);
+  const std::uint32_t alarmed =
+      ReadCount(r, d.pair_count, "alarmed pair");
+  d.alarmed_pairs.reserve(alarmed);
+  for (std::uint32_t k = 0; k < alarmed; ++k) {
+    const std::uint32_t pair = r.U32();
+    if (pair >= d.pair_count) r.Fail("alarmed pair index out of range");
+    if (!d.alarmed_pairs.empty() && pair <= d.alarmed_pairs.back()) {
+      r.Fail("alarmed pair indices not strictly increasing");
+    }
+    d.alarmed_pairs.push_back(pair);
+  }
+  d.outlier_pairs = static_cast<std::size_t>(r.U64());
+  d.extended_pairs = static_cast<std::size_t>(r.U64());
+  const std::uint8_t event = r.U8();
+  if (event > static_cast<std::uint8_t>(StreamEvent::kOutOfOrder)) {
+    r.Fail("unknown stream event code");
+  }
+  d.stream_event = static_cast<StreamEvent>(event);
+  d.suppressed_values = static_cast<std::size_t>(r.U64());
+  d.quarantined_pairs = static_cast<std::size_t>(r.U64());
+  d.has_health = r.U8() != 0;
+  const std::uint32_t health =
+      ReadCount(r, d.measurement_count, "health change");
+  d.health_changes.reserve(health);
+  for (std::uint32_t k = 0; k < health; ++k) {
+    HealthChange c;
+    c.index = r.U32();
+    if (c.index >= d.measurement_count) {
+      r.Fail("health change index out of range");
+    }
+    const std::uint8_t code = r.U8();
+    if (code > static_cast<std::uint8_t>(MeasurementHealth::kDead)) {
+      r.Fail("unknown health code");
+    }
+    c.health = static_cast<MeasurementHealth>(code);
+    d.health_changes.push_back(c);
+  }
+  r.ExpectEnd();
+  if (d.outlier_pairs > d.pair_count || d.extended_pairs > d.pair_count) {
+    r.Fail("outlier/extended counts exceed pair count");
+  }
+  return d;
+}
+
+void WriteDeltaStreamBinary(const std::vector<SystemDelta>& deltas,
+                            std::ostream& out) {
+  WriteFrame(out, kDeltaStreamMagic, kDeltaStreamMagicPayload);
+  std::string payload;
+  for (const SystemDelta& d : deltas) {
+    payload.clear();
+    EncodeSystemDelta(d, payload);
+    WriteFrame(out, kDeltaStreamDelta, payload);
+  }
+  payload.clear();
+  WireWriter w(payload);
+  w.U64(deltas.size());
+  WriteFrame(out, kDeltaStreamEnd, payload);
+  if (!out) throw std::runtime_error("WriteDeltaStreamBinary: write failed");
+}
+
+std::vector<SystemDelta> ReadDeltaStreamBinary(std::istream& in) {
+  FrameReader reader;
+  std::vector<SystemDelta> deltas;
+  bool saw_magic = false;
+  bool saw_end = false;
+  char chunk[4096];
+  for (;;) {
+    in.read(chunk, sizeof(chunk));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    reader.Feed(std::string_view(chunk, static_cast<std::size_t>(got)));
+    while (const std::optional<Frame> frame = reader.Next()) {
+      if (saw_end) {
+        throw FramingError("ReadDeltaStreamBinary: frames after end frame");
+      }
+      if (!saw_magic) {
+        if (frame->type != kDeltaStreamMagic ||
+            frame->payload != kDeltaStreamMagicPayload) {
+          throw FramingError("ReadDeltaStreamBinary: bad stream magic");
+        }
+        saw_magic = true;
+        continue;
+      }
+      if (frame->type == kDeltaStreamDelta) {
+        deltas.push_back(DecodeSystemDelta(frame->payload));
+      } else if (frame->type == kDeltaStreamEnd) {
+        WireReader r(frame->payload, "ReadDeltaStreamBinary end frame");
+        const std::uint64_t count = r.U64();
+        r.ExpectEnd();
+        if (count != deltas.size()) {
+          throw FramingError(
+              "ReadDeltaStreamBinary: end frame count mismatch");
+        }
+        saw_end = true;
+      } else {
+        throw FramingError("ReadDeltaStreamBinary: unknown frame type " +
+                           std::to_string(frame->type));
+      }
+    }
+  }
+  if (in.bad()) throw std::runtime_error("ReadDeltaStreamBinary: read failed");
+  if (reader.HasPartial()) {
+    throw FramingError("ReadDeltaStreamBinary: truncated mid-frame");
+  }
+  if (!saw_magic) {
+    throw FramingError("ReadDeltaStreamBinary: missing stream magic");
+  }
+  if (!saw_end) {
+    throw FramingError("ReadDeltaStreamBinary: truncated (no end frame)");
+  }
+  return deltas;
+}
+
+}  // namespace pmcorr

@@ -1,0 +1,58 @@
+// RunServeDaemon — the `pmcorr serve` entry point: bind a unix-domain
+// socket, train or restore one TenantRuntime per --tenant spec, and run
+// a single-threaded poll loop that only moves bytes (framing in,
+// replies out). All engine work happens on the tenants' own worker
+// threads; all protocol logic lives in serve/server.h. SIGTERM/SIGINT
+// (or a client's kFrameDrain) stops intake, drains every tenant —
+// checkpoint-then-exit — and returns 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmcorr {
+
+/// One tenant of the daemon: its name on the wire plus the trace that
+/// trains it on cold start. On warm start (a checkpoint exists under
+/// --checkpoint-dir) the checkpoint wins and the trace is not read.
+struct ServeTenantSpec {
+  std::string name;
+  std::string trace_path;
+  std::size_t train_days = 1;
+};
+
+struct ServeDaemonOptions {
+  std::string socket_path;
+  std::vector<ServeTenantSpec> tenants;
+  /// Directory for per-tenant checkpoints ("" = checkpointing off).
+  /// Files are <dir>/<tenant>.ckpt with the PR-5 generation rotation.
+  std::string checkpoint_dir;
+  /// Checkpoint cadence in processed rows (0 = only the drain seal).
+  std::size_t checkpoint_every = 0;
+  /// Per-tenant ingest queue budget in rows.
+  std::size_t queue_budget = 256;
+  /// Chaos knob: per-row processing delay, to force overload at replay
+  /// speed.
+  std::int64_t ingest_delay_ms = 0;
+  /// Engine worker threads per tenant (0 = hardware concurrency).
+  std::size_t threads = 1;
+  /// Rolling-retrain cadence in samples (0 = retrain off). Applies to
+  /// cold-started tenants; a checkpoint-restored tenant runs with the
+  /// loader's default engine config.
+  std::size_t retrain_interval = 0;
+  /// Neighborhood graph partners for cold-start training.
+  std::size_t partners = 2;
+  std::size_t max_connections = 64;
+  /// A connection whose unsent replies exceed this many bytes is a slow
+  /// consumer and is disconnected — readers must not grow the daemon.
+  std::size_t output_buffer_limit = 4u << 20;
+};
+
+/// Runs until drained (signal or client request). Returns the process
+/// exit code. Throws std::runtime_error on startup failure (bad trace,
+/// unusable socket path).
+int RunServeDaemon(const ServeDaemonOptions& options);
+
+}  // namespace pmcorr

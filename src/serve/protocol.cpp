@@ -1,0 +1,306 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+
+#include "io/framing.h"
+
+namespace pmcorr {
+namespace {
+
+// Width cap shared with the delta codecs: bounds every count-prefixed
+// allocation a hostile payload could request.
+constexpr std::uint32_t kMaxWireWidth = 1u << 20;
+
+void EncodeOptionalScore(WireWriter& w, const std::optional<double>& v) {
+  w.U8(v.has_value() ? 1 : 0);
+  if (v) w.F64(*v);
+}
+
+std::optional<double> DecodeOptionalScore(WireReader& r) {
+  if (r.U8() == 0) return std::nullopt;
+  return r.F64();
+}
+
+std::uint32_t ReadWidth(WireReader& r, const char* what) {
+  const std::uint32_t n = r.U32();
+  if (n > kMaxWireWidth) {
+    r.Fail(std::string(what) + " count exceeds limit");
+  }
+  return n;
+}
+
+}  // namespace
+
+void EncodeHelloRequest(const HelloRequest& msg, std::string& out) {
+  WireWriter w(out);
+  w.U8(msg.version);
+  w.Str(msg.tenant);
+}
+
+HelloRequest DecodeHelloRequest(std::string_view payload) {
+  WireReader r(payload, "HelloRequest");
+  HelloRequest msg;
+  msg.version = r.U8();
+  msg.tenant = std::string(r.Str());
+  r.ExpectEnd();
+  return msg;
+}
+
+void EncodeHelloReply(const HelloReply& msg, std::string& out) {
+  WireWriter w(out);
+  w.U32(msg.tenant_index);
+  w.U32(msg.measurement_count);
+  w.I64(msg.expected_period);
+}
+
+HelloReply DecodeHelloReply(std::string_view payload) {
+  WireReader r(payload, "HelloReply");
+  HelloReply msg;
+  msg.tenant_index = r.U32();
+  msg.measurement_count = r.U32();
+  msg.expected_period = r.I64();
+  r.ExpectEnd();
+  return msg;
+}
+
+void EncodeSampleRow(const SampleRow& row, std::string& out) {
+  WireWriter w(out);
+  w.I64(row.time);
+  w.U32(static_cast<std::uint32_t>(row.values.size()));
+  for (const double v : row.values) w.F64(v);
+}
+
+void DecodeSampleRowInto(std::string_view payload, SampleRow& row) {
+  WireReader r(payload, "SampleRow");
+  row.time = r.I64();
+  const std::uint32_t n = ReadWidth(r, "sample value");
+  row.values.clear();
+  row.values.reserve(n);
+  // Values travel as raw bit patterns: NaN (the missing-value marker
+  // the guard and models understand) is legal here, so no finiteness
+  // check — the length discipline alone bounds the row.
+  for (std::uint32_t i = 0; i < n; ++i) row.values.push_back(r.F64());
+  r.ExpectEnd();
+}
+
+void EncodeQueryRequest(const QueryRequest& msg, std::string& out) {
+  WireWriter w(out);
+  w.U8(static_cast<std::uint8_t>(msg.kind));
+  w.U32(msg.arg);
+}
+
+QueryRequest DecodeQueryRequest(std::string_view payload) {
+  WireReader r(payload, "QueryRequest");
+  QueryRequest msg;
+  const std::uint8_t kind = r.U8();
+  if (kind > static_cast<std::uint8_t>(QueryKind::kDrilldown)) {
+    r.Fail("unknown query kind");
+  }
+  msg.kind = static_cast<QueryKind>(kind);
+  msg.arg = r.U32();
+  r.ExpectEnd();
+  return msg;
+}
+
+void EncodeStatusReply(const StatusReply& msg, std::string& out) {
+  WireWriter w(out);
+  w.U8(msg.state);
+  w.U64(msg.submitted);
+  w.U64(msg.accepted);
+  w.U64(msg.shed_ticks);
+  w.U64(msg.rejected);
+  w.U64(msg.processed);
+  w.U64(msg.checkpoints);
+  w.U64(msg.checkpoint_failures);
+  w.U64(msg.backpressure_raises);
+  w.U64(msg.backpressure_clears);
+  w.U64(msg.max_queue_rows);
+  w.U64(msg.queue_rows);
+  w.U64(msg.queue_budget);
+  w.U64(msg.alarms_total);
+  w.U64(msg.suppressed_total);
+  w.U64(msg.quarantined_pairs);
+  w.U64(msg.last_sample);
+  w.I64(msg.last_time);
+  EncodeOptionalScore(w, msg.last_q);
+  w.Str(msg.last_error);
+}
+
+StatusReply DecodeStatusReply(std::string_view payload) {
+  WireReader r(payload, "StatusReply");
+  StatusReply msg;
+  msg.state = r.U8();
+  msg.submitted = r.U64();
+  msg.accepted = r.U64();
+  msg.shed_ticks = r.U64();
+  msg.rejected = r.U64();
+  msg.processed = r.U64();
+  msg.checkpoints = r.U64();
+  msg.checkpoint_failures = r.U64();
+  msg.backpressure_raises = r.U64();
+  msg.backpressure_clears = r.U64();
+  msg.max_queue_rows = r.U64();
+  msg.queue_rows = r.U64();
+  msg.queue_budget = r.U64();
+  msg.alarms_total = r.U64();
+  msg.suppressed_total = r.U64();
+  msg.quarantined_pairs = r.U64();
+  msg.last_sample = r.U64();
+  msg.last_time = r.I64();
+  msg.last_q = DecodeOptionalScore(r);
+  msg.last_error = std::string(r.Str());
+  r.ExpectEnd();
+  return msg;
+}
+
+void EncodeSummaryReply(const SummaryReply& msg, std::string& out) {
+  WireWriter w(out);
+  w.U8(msg.has_snapshot ? 1 : 0);
+  if (!msg.has_snapshot) return;
+  w.U64(msg.sample);
+  w.I64(msg.time);
+  EncodeOptionalScore(w, msg.system_score);
+  w.U32(static_cast<std::uint32_t>(msg.measurement_scores.size()));
+  for (const std::optional<double>& qa : msg.measurement_scores) {
+    EncodeOptionalScore(w, qa);
+  }
+  w.U32(static_cast<std::uint32_t>(msg.measurement_health.size()));
+  for (const MeasurementHealth h : msg.measurement_health) {
+    w.U8(static_cast<std::uint8_t>(h));
+  }
+  w.U32(static_cast<std::uint32_t>(msg.alarmed_pairs.size()));
+  for (const std::uint32_t p : msg.alarmed_pairs) w.U32(p);
+}
+
+SummaryReply DecodeSummaryReply(std::string_view payload) {
+  WireReader r(payload, "SummaryReply");
+  SummaryReply msg;
+  msg.has_snapshot = r.U8() != 0;
+  if (!msg.has_snapshot) {
+    r.ExpectEnd();
+    return msg;
+  }
+  msg.sample = r.U64();
+  msg.time = r.I64();
+  msg.system_score = DecodeOptionalScore(r);
+  const std::uint32_t m = ReadWidth(r, "measurement score");
+  msg.measurement_scores.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    msg.measurement_scores.push_back(DecodeOptionalScore(r));
+  }
+  const std::uint32_t h = ReadWidth(r, "measurement health");
+  if (h != 0 && h != m) r.Fail("health width mismatch");
+  msg.measurement_health.reserve(h);
+  for (std::uint32_t i = 0; i < h; ++i) {
+    const std::uint8_t code = r.U8();
+    if (code > static_cast<std::uint8_t>(MeasurementHealth::kDead)) {
+      r.Fail("unknown health code");
+    }
+    msg.measurement_health.push_back(static_cast<MeasurementHealth>(code));
+  }
+  const std::uint32_t a = ReadWidth(r, "alarmed pair");
+  msg.alarmed_pairs.reserve(a);
+  for (std::uint32_t i = 0; i < a; ++i) msg.alarmed_pairs.push_back(r.U32());
+  r.ExpectEnd();
+  return msg;
+}
+
+void EncodeDrilldownReply(const DrilldownReply& msg, std::string& out) {
+  WireWriter w(out);
+  w.U32(msg.measurement);
+  w.U8(msg.has_snapshot ? 1 : 0);
+  w.U64(msg.sample);
+  EncodeOptionalScore(w, msg.system_score);
+  EncodeOptionalScore(w, msg.measurement_score);
+  w.U32(static_cast<std::uint32_t>(msg.pairs.size()));
+  for (const DrilldownPair& p : msg.pairs) {
+    w.U32(p.pair_index);
+    w.U32(p.a);
+    w.U32(p.b);
+    w.U8(p.has_score ? 1 : 0);
+    w.F64(p.score);
+    w.U8(p.alarmed ? 1 : 0);
+  }
+}
+
+DrilldownReply DecodeDrilldownReply(std::string_view payload) {
+  WireReader r(payload, "DrilldownReply");
+  DrilldownReply msg;
+  msg.measurement = r.U32();
+  msg.has_snapshot = r.U8() != 0;
+  msg.sample = r.U64();
+  msg.system_score = DecodeOptionalScore(r);
+  msg.measurement_score = DecodeOptionalScore(r);
+  const std::uint32_t n = ReadWidth(r, "drilldown pair");
+  msg.pairs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DrilldownPair p;
+    p.pair_index = r.U32();
+    p.a = r.U32();
+    p.b = r.U32();
+    p.has_score = r.U8() != 0;
+    p.score = r.F64();
+    p.alarmed = r.U8() != 0;
+    msg.pairs.push_back(p);
+  }
+  r.ExpectEnd();
+  return msg;
+}
+
+void EncodeBackpressureEvent(const BackpressureEvent& msg, std::string& out) {
+  WireWriter w(out);
+  w.U8(msg.engaged ? 1 : 0);
+  w.U64(msg.queue_rows);
+}
+
+BackpressureEvent DecodeBackpressureEvent(std::string_view payload) {
+  WireReader r(payload, "BackpressureEvent");
+  BackpressureEvent msg;
+  msg.engaged = r.U8() != 0;
+  msg.queue_rows = r.U64();
+  r.ExpectEnd();
+  return msg;
+}
+
+void EncodeDrainedReply(const DrainedReply& msg, std::string& out) {
+  WireWriter w(out);
+  w.U32(static_cast<std::uint32_t>(msg.tenants.size()));
+  for (const DrainedTenant& t : msg.tenants) {
+    w.Str(t.name);
+    w.U8(t.state);
+    w.U64(t.processed);
+    w.U8(t.checkpoint);
+  }
+}
+
+DrainedReply DecodeDrainedReply(std::string_view payload) {
+  WireReader r(payload, "DrainedReply");
+  DrainedReply msg;
+  const std::uint32_t n = ReadWidth(r, "drained tenant");
+  msg.tenants.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DrainedTenant t;
+    t.name = std::string(r.Str());
+    t.state = r.U8();
+    t.processed = r.U64();
+    t.checkpoint = r.U8();
+    if (t.checkpoint > 2) r.Fail("unknown checkpoint state");
+    msg.tenants.push_back(std::move(t));
+  }
+  r.ExpectEnd();
+  return msg;
+}
+
+void EncodeErrorReply(std::string_view message, std::string& out) {
+  WireWriter w(out);
+  w.Str(message);
+}
+
+std::string DecodeErrorReply(std::string_view payload) {
+  WireReader r(payload, "ErrorReply");
+  std::string message(r.Str());
+  r.ExpectEnd();
+  return message;
+}
+
+}  // namespace pmcorr

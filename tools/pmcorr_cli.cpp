@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "engine/thread_pool.h"
+#include "io/delta_binary.h"
 #include "pmcorr.h"
+#include "serve/daemon.h"
 
 namespace {
 
@@ -38,6 +40,7 @@ class Flags {
       if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
         throw std::runtime_error("expected --flag value, got '" + key + "'");
       }
+      ordered_.emplace_back(key.substr(2), argv[i + 1]);
       values_[key.substr(2)] = argv[++i];
     }
   }
@@ -75,8 +78,19 @@ class Flags {
     return out;
   }
 
+  /// Every value of a repeatable flag, in command-line order (Get and
+  /// friends keep their last-one-wins behavior for single-value flags).
+  std::vector<std::string> GetAll(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : ordered_) {
+      if (k == key) out.push_back(v);
+    }
+    return out;
+  }
+
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> ordered_;
 };
 
 MeasurementId ResolveMeasurement(const MeasurementFrame& frame,
@@ -275,7 +289,11 @@ int CmdMonitor(const Flags& flags) {
       throw std::runtime_error("cannot open --from-deltas file " +
                                from_deltas);
     }
-    const std::vector<SystemDelta> deltas = ReadDeltaStreamJsonl(in);
+    // Auto-detect the stream format: JSONL deltas start with '{', the
+    // binary framing starts with a length prefix that never does.
+    const std::vector<SystemDelta> deltas = in.peek() == '{'
+                                                ? ReadDeltaStreamJsonl(in)
+                                                : ReadDeltaStreamBinary(in);
     const auto snapshots = ReconstructSnapshots(deltas);
     std::size_t baselines = 0;
     for (const SystemDelta& d : deltas) baselines += d.baseline ? 1 : 0;
@@ -376,12 +394,20 @@ int CmdMonitor(const Flags& flags) {
   const std::string delta_out = flags.GetOr("delta-out", "");
   std::vector<SystemSnapshot> snapshots;
   if (!delta_out.empty()) {
+    const std::string delta_format = flags.GetOr("delta-format", "jsonl");
+    if (delta_format != "jsonl" && delta_format != "binary") {
+      throw std::runtime_error("--delta-format must be jsonl or binary");
+    }
     const std::vector<SystemDelta> deltas = monitor.RunDelta(test);
     std::ofstream out(delta_out, std::ios::binary);
     if (!out) {
       throw std::runtime_error("cannot open --delta-out file " + delta_out);
     }
-    WriteDeltaStreamJsonl(deltas, out);
+    if (delta_format == "binary") {
+      WriteDeltaStreamBinary(deltas, out);
+    } else {
+      WriteDeltaStreamJsonl(deltas, out);
+    }
     out.flush();
     if (!out) {
       throw std::runtime_error("writing --delta-out file " + delta_out +
@@ -438,6 +464,44 @@ int CmdMonitor(const Flags& flags) {
                 report.ranking[i].machine.value, report.ranking[i].score);
   }
   return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  ServeDaemonOptions options;
+  options.socket_path = flags.Get("socket");
+  for (const std::string& spec : flags.GetAll("tenant")) {
+    // NAME=TRACE[:DAYS] — the trace trains the tenant on cold start; a
+    // checkpoint under --checkpoint-dir wins on warm start.
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      throw std::runtime_error("--tenant wants NAME=TRACE[:DAYS], got '" +
+                               spec + "'");
+    }
+    ServeTenantSpec tenant;
+    tenant.name = spec.substr(0, eq);
+    tenant.trace_path = spec.substr(eq + 1);
+    const std::size_t colon = tenant.trace_path.rfind(':');
+    if (colon != std::string::npos) {
+      long long days = 0;
+      if (ParseInt64(tenant.trace_path.substr(colon + 1), &days) &&
+          days > 0) {
+        tenant.train_days = static_cast<std::size_t>(days);
+        tenant.trace_path.resize(colon);
+      }
+    }
+    options.tenants.push_back(std::move(tenant));
+  }
+  options.checkpoint_dir = flags.GetOr("checkpoint-dir", "");
+  options.checkpoint_every =
+      static_cast<std::size_t>(flags.GetInt("checkpoint-every", 0));
+  options.queue_budget =
+      static_cast<std::size_t>(flags.GetInt("queue-budget", 256));
+  options.ingest_delay_ms = flags.GetInt("ingest-delay-ms", 0);
+  options.threads = static_cast<std::size_t>(flags.GetInt("threads", 1));
+  options.retrain_interval =
+      static_cast<std::size_t>(flags.GetInt("retrain", 0));
+  options.partners = static_cast<std::size_t>(flags.GetInt("partners", 2));
+  return RunServeDaemon(options);
 }
 
 int CmdEvaluate(const Flags& flags) {
@@ -544,8 +608,16 @@ void Usage() {
       "                              report per-measurement feed health)\n"
       "           [--delta-out FILE] (emit the incremental JSONL delta\n"
       "                              stream instead of full snapshots)\n"
+      "           [--delta-format jsonl|binary] (delta stream encoding)\n"
       "  monitor  --from-deltas FILE [--threshold Q]\n"
-      "           (reconstruct and report a saved delta stream)\n"
+      "           (reconstruct and report a saved delta stream; the\n"
+      "            format is auto-detected)\n"
+      "  serve    --socket PATH --tenant NAME=TRACE[:DAYS] ...\n"
+      "           [--checkpoint-dir DIR] [--checkpoint-every ROWS]\n"
+      "           [--queue-budget ROWS] [--ingest-delay-ms N]\n"
+      "           [--retrain SAMPLES] [--threads N] [--partners N]\n"
+      "           (multi-tenant monitoring daemon; SIGTERM drains,\n"
+      "            checkpoints every tenant, then exits)\n"
       "  evaluate [--mode full|smoke] [--out FILE] [--scenario NAME]\n"
       "           [--machines N] [--days N] [--seed N] [--threads N]\n"
       "           (detection-quality scorecard: pmcorr + 5 baselines over\n"
@@ -567,6 +639,7 @@ int main(int argc, char** argv) {
     if (command == "train") return CmdTrain(flags);
     if (command == "run") return CmdRun(flags);
     if (command == "monitor") return CmdMonitor(flags);
+    if (command == "serve") return CmdServe(flags);
     if (command == "evaluate") return CmdEvaluate(flags);
     if (command == "inspect") return CmdInspect(flags);
     Usage();

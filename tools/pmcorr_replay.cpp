@@ -1,0 +1,308 @@
+// pmcorr_replay: traffic client for the `pmcorr serve` daemon. Connects
+// to the unix socket, binds one tenant, replays a row-stream CSV at full
+// speed (the daemon's shedding policy absorbs the overload), and prints
+// a parseable status line the smoke and chaos scripts assert on:
+//
+//   pmcorr_replay --socket /tmp/s --tenant A --trace stream.csv
+//       [--rows N] [--drain] [--summary]
+//
+// With --drain the client asks the daemon for a full drain — stop
+// intake, finish every queue, checkpoint every tenant — and prints one
+// line per drained tenant.
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+#include "io/csv.h"
+#include "io/framing.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using namespace pmcorr;
+
+const char* StateName(std::uint8_t state) {
+  switch (state) {
+    case 0:
+      return "active";
+    case 1:
+      return "draining";
+    case 2:
+      return "drained";
+    case 3:
+      return "poisoned";
+    default:
+      return "unknown";
+  }
+}
+
+const char* CheckpointName(std::uint8_t state) {
+  switch (state) {
+    case 0:
+      return "none";
+    case 1:
+      return "ok";
+    default:
+      return "failed";
+  }
+}
+
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) {
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("socket path too long: " + socket_path);
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+      throw std::runtime_error("cannot connect to " + socket_path + ": " +
+                               std::strerror(errno));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void Send(std::uint8_t type, std::string_view payload) {
+    wire_.clear();
+    AppendFrame(type, payload, wire_);
+    std::size_t off = 0;
+    while (off < wire_.size()) {
+      const ssize_t n = send(fd_, wire_.data() + off, wire_.size() - off, 0);
+      if (n <= 0) throw std::runtime_error("send failed (daemon gone?)");
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Blocks until a frame of `want` arrives. Backpressure edges are
+  /// counted and skipped; a kFrameError is fatal.
+  Frame WaitFor(std::uint8_t want) {
+    for (;;) {
+      while (const std::optional<Frame> frame = reader_.Next()) {
+        if (frame->type == kFrameBackpressure) {
+          const BackpressureEvent event =
+              DecodeBackpressureEvent(frame->payload);
+          if (event.engaged) {
+            ++backpressure_raises_;
+          } else {
+            ++backpressure_clears_;
+          }
+          continue;
+        }
+        if (frame->type == kFrameError) {
+          throw std::runtime_error("daemon error: " +
+                                   DecodeErrorReply(frame->payload));
+        }
+        if (frame->type == want) return *frame;
+        throw std::runtime_error("unexpected frame type");
+      }
+      char buf[4096];
+      const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) throw std::runtime_error("connection closed by daemon");
+      reader_.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+  /// Consumes whatever already arrived without blocking (keeps the
+  /// daemon's reply buffer drained while we stream rows).
+  void DrainIncoming() {
+    for (;;) {
+      char buf[4096];
+      const ssize_t n = recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n <= 0) break;
+      reader_.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    while (const std::optional<Frame> frame = reader_.Next()) {
+      if (frame->type == kFrameBackpressure) {
+        const BackpressureEvent event =
+            DecodeBackpressureEvent(frame->payload);
+        if (event.engaged) {
+          ++backpressure_raises_;
+        } else {
+          ++backpressure_clears_;
+        }
+        continue;
+      }
+      if (frame->type == kFrameError) {
+        throw std::runtime_error("daemon error: " +
+                                 DecodeErrorReply(frame->payload));
+      }
+      throw std::runtime_error("unexpected frame while streaming");
+    }
+  }
+
+  std::uint64_t BackpressureRaises() const { return backpressure_raises_; }
+  std::uint64_t BackpressureClears() const { return backpressure_clears_; }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+  std::string wire_;
+  std::uint64_t backpressure_raises_ = 0;
+  std::uint64_t backpressure_clears_ = 0;
+};
+
+void PrintStatus(const std::string& tenant, const StatusReply& status) {
+  std::printf(
+      "tenant %s: state=%s submitted=%llu accepted=%llu shed=%llu"
+      " rejected=%llu processed=%llu queue=%llu/%llu checkpoints=%llu"
+      " failures=%llu backpressure=%llu/%llu alarms=%llu suppressed=%llu"
+      " quarantined=%llu q=%s sample=%llu\n",
+      tenant.c_str(), StateName(status.state),
+      static_cast<unsigned long long>(status.submitted),
+      static_cast<unsigned long long>(status.accepted),
+      static_cast<unsigned long long>(status.shed_ticks),
+      static_cast<unsigned long long>(status.rejected),
+      static_cast<unsigned long long>(status.processed),
+      static_cast<unsigned long long>(status.queue_rows),
+      static_cast<unsigned long long>(status.queue_budget),
+      static_cast<unsigned long long>(status.checkpoints),
+      static_cast<unsigned long long>(status.checkpoint_failures),
+      static_cast<unsigned long long>(status.backpressure_raises),
+      static_cast<unsigned long long>(status.backpressure_clears),
+      static_cast<unsigned long long>(status.alarms_total),
+      static_cast<unsigned long long>(status.suppressed_total),
+      static_cast<unsigned long long>(status.quarantined_pairs),
+      status.last_q ? std::to_string(*status.last_q).c_str() : "none",
+      static_cast<unsigned long long>(status.last_sample));
+  if (!status.last_error.empty()) {
+    std::printf("tenant %s: last_error=%s\n", tenant.c_str(),
+                status.last_error.c_str());
+  }
+}
+
+int Run(int argc, char** argv) {
+  std::string socket_path, tenant, trace;
+  std::size_t max_rows = 0;
+  bool drain = false, summary = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("flag " + arg + " wants a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = value();
+    } else if (arg == "--tenant") {
+      tenant = value();
+    } else if (arg == "--trace") {
+      trace = value();
+    } else if (arg == "--rows") {
+      long long rows = 0;
+      if (!ParseInt64(value(), &rows) || rows < 0) {
+        throw std::runtime_error("--rows wants a non-negative integer");
+      }
+      max_rows = static_cast<std::size_t>(rows);
+    } else if (arg == "--drain") {
+      drain = true;
+    } else if (arg == "--summary") {
+      summary = true;
+    } else {
+      throw std::runtime_error("unknown flag " + arg);
+    }
+  }
+  if (socket_path.empty() || tenant.empty()) {
+    std::fprintf(stderr,
+                 "usage: pmcorr_replay --socket PATH --tenant NAME\n"
+                 "    [--trace FILE] [--rows N] [--drain] [--summary]\n");
+    return 2;
+  }
+
+  Client client(socket_path);
+  HelloRequest hello;
+  hello.tenant = tenant;
+  std::string payload;
+  EncodeHelloRequest(hello, payload);
+  client.Send(kFrameHello, payload);
+  const HelloReply bound =
+      DecodeHelloReply(client.WaitFor(kFrameHelloOk).payload);
+
+  std::size_t sent = 0;
+  if (!trace.empty()) {
+    const SampleStream stream = ReadSampleStreamCsv(trace);
+    if (stream.infos.size() != bound.measurement_count) {
+      throw std::runtime_error("trace width does not match tenant");
+    }
+    for (const SampleRow& row : stream.rows) {
+      if (max_rows != 0 && sent >= max_rows) break;
+      payload.clear();
+      EncodeSampleRow(row, payload);
+      client.Send(kFrameSample, payload);
+      ++sent;
+      client.DrainIncoming();
+    }
+  }
+
+  QueryRequest query;
+  query.kind = QueryKind::kStatus;
+  payload.clear();
+  EncodeQueryRequest(query, payload);
+  client.Send(kFrameQuery, payload);
+  const StatusReply status =
+      DecodeStatusReply(client.WaitFor(kFrameStatus).payload);
+  std::printf("replayed %zu rows, backpressure seen %llu/%llu\n", sent,
+              static_cast<unsigned long long>(client.BackpressureRaises()),
+              static_cast<unsigned long long>(client.BackpressureClears()));
+  PrintStatus(tenant, status);
+
+  if (summary) {
+    query.kind = QueryKind::kSummary;
+    payload.clear();
+    EncodeQueryRequest(query, payload);
+    client.Send(kFrameQuery, payload);
+    const SummaryReply reply =
+        DecodeSummaryReply(client.WaitFor(kFrameSummary).payload);
+    if (reply.has_snapshot) {
+      std::printf("summary: sample=%llu alarmed=%zu q=%s\n",
+                  static_cast<unsigned long long>(reply.sample),
+                  reply.alarmed_pairs.size(),
+                  reply.system_score ? std::to_string(*reply.system_score)
+                                           .c_str()
+                                     : "none");
+    } else {
+      std::printf("summary: no snapshot yet\n");
+    }
+  }
+
+  if (drain) {
+    client.Send(kFrameDrain, "");
+    const DrainedReply drained =
+        DecodeDrainedReply(client.WaitFor(kFrameDrained).payload);
+    for (const DrainedTenant& t : drained.tenants) {
+      std::printf("drained tenant %s: state=%s processed=%llu"
+                  " checkpoint=%s\n",
+                  t.name.c_str(), StateName(t.state),
+                  static_cast<unsigned long long>(t.processed),
+                  CheckpointName(t.checkpoint));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmcorr_replay: %s\n", e.what());
+    return 1;
+  }
+}
